@@ -1,0 +1,41 @@
+//! # todr-baselines — the protocols the paper compares against (§7)
+//!
+//! Two baseline replication protocols, implemented over the same
+//! simulated substrates (network fabric, disks, and — for COReL — the
+//! EVS layer) as the engine, so the comparison isolates the *algorithmic*
+//! cost differences the paper discusses:
+//!
+//! * [`TpcServer`] — **two-phase commit**: per action, a coordinator
+//!   round-trips PREPARE/YES/COMMIT with every replica; participants
+//!   force-write the prepare record, the coordinator force-writes the
+//!   commit record. Cost per action: **two sequential forced writes in
+//!   the latency path and ~3n unicast messages.**
+//! * [`CorelServer`] — **COReL** (Keidar 1994): actions flow through
+//!   totally-ordered group multicast; each server force-writes a
+//!   delivered action and then multicasts an **end-to-end
+//!   acknowledgement**; the action commits once acknowledgements from
+//!   *all* servers arrive. Cost per action: **one forced write (at every
+//!   server, in the critical path) and n acknowledgement multicasts.**
+//!
+//! The engine under study needs one forced write (at the origin only)
+//! and one multicast per action, with no per-action end-to-end
+//! acknowledgements — eliminating exactly the costs above, which is the
+//! paper's headline claim.
+//!
+//! Both baselines are implemented for the failure-free configuration of
+//! the paper's evaluation ("we compared their performance while running
+//! in normal configuration when no failures occur"); their recovery
+//! machinery is out of scope, as it is in §7.
+//!
+//! Clients speak the same [`todr_core::ClientRequest`] /
+//! [`todr_core::ClientReply`] protocol as with the engine, so workloads
+//! and measurement code are shared.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corel;
+mod tpc;
+
+pub use corel::{CorelConfig, CorelServer, CorelStats};
+pub use tpc::{TpcConfig, TpcServer, TpcStats};

@@ -1,0 +1,33 @@
+//! Extensions A4–A6: loss sweep, LAN-vs-WAN latency, forced-write
+//! latency sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_harness::experiments::ablations;
+use todr_sim::SimDuration;
+
+fn reproduce(c: &mut Criterion) {
+    let points = ablations::loss_sweep(
+        8,
+        8,
+        &[0.0, 0.01, 0.05, 0.10, 0.20],
+        SimDuration::from_secs(2),
+        42,
+    );
+    println!("\n{}", ablations::loss_sweep_table(&points, 8, 8));
+
+    let rows = ablations::wan_latency(8, 500, 42);
+    println!("{}", ablations::wan_latency_table(&rows, 8));
+
+    let points = ablations::fsync_sweep(8, 8, &[1, 5, 10, 20, 40], SimDuration::from_secs(2), 42);
+    println!("{}", ablations::fsync_sweep_table(&points, 8, 8));
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("loss_sweep_small", |b| {
+        b.iter(|| ablations::loss_sweep(4, 4, &[0.05], SimDuration::from_millis(500), 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

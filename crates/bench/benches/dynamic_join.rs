@@ -1,0 +1,21 @@
+//! Extension A2: online replica instantiation (§5.1) — bootstrap time
+//! and throughput impact of a PERSISTENT_JOIN under load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_bench::PAPER_REPLICAS;
+use todr_harness::experiments::join;
+
+fn reproduce(c: &mut Criterion) {
+    let report = join::run(PAPER_REPLICAS, 3, 42);
+    println!("\n{}", report.to_table());
+
+    let mut group = c.benchmark_group("dynamic_join");
+    group.sample_size(10);
+    group.bench_function("join_4servers_1s_preload", |b| {
+        b.iter(|| join::run(4, 1, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates Figure 5(a): throughput vs number of clients for the
+//! engine (forced writes), COReL and two-phase commit on 14 replicas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_bench::{PAPER_CLIENT_SWEEP, PAPER_REPLICAS};
+use todr_harness::experiments::{fig5a, run_workload, Protocol};
+use todr_sim::SimDuration;
+
+fn reproduce(c: &mut Criterion) {
+    // The deliverable: the full figure, printed once.
+    let fig = fig5a::run(
+        PAPER_REPLICAS,
+        &PAPER_CLIENT_SWEEP,
+        SimDuration::from_secs(3),
+        42,
+    );
+    println!("\n{}", fig.to_table());
+
+    // Host-time regression tracking on a scaled-down point.
+    let mut group = c.benchmark_group("fig5a");
+    group.sample_size(10);
+    group.bench_function("engine_5servers_4clients_500ms", |b| {
+        b.iter(|| {
+            run_workload(
+                Protocol::Engine {
+                    delayed_writes: false,
+                },
+                5,
+                4,
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(500),
+                42,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

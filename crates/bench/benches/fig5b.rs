@@ -1,0 +1,38 @@
+//! Regenerates Figure 5(b): the engine with delayed vs forced disk
+//! writes on 14 replicas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_bench::{PAPER_CLIENT_SWEEP, PAPER_REPLICAS};
+use todr_harness::experiments::{fig5b, run_workload, Protocol};
+use todr_sim::SimDuration;
+
+fn reproduce(c: &mut Criterion) {
+    let fig = fig5b::run(
+        PAPER_REPLICAS,
+        &PAPER_CLIENT_SWEEP,
+        SimDuration::from_secs(3),
+        42,
+    );
+    println!("\n{}", fig.to_table());
+
+    let mut group = c.benchmark_group("fig5b");
+    group.sample_size(10);
+    group.bench_function("engine_delayed_5servers_4clients_500ms", |b| {
+        b.iter(|| {
+            run_workload(
+                Protocol::Engine {
+                    delayed_writes: true,
+                },
+                5,
+                4,
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(500),
+                42,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates the §7 latency experiment: one client submits 2000
+//! sequential actions; average response time per protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_bench::PAPER_REPLICAS;
+use todr_harness::experiments::latency;
+
+fn reproduce(c: &mut Criterion) {
+    let table = latency::run(PAPER_REPLICAS, 2000, 42);
+    println!("\n{}", table.to_table());
+
+    let mut group = c.benchmark_group("latency");
+    group.sample_size(10);
+    group.bench_function("latency_5servers_100actions", |b| {
+        b.iter(|| latency::run(5, 100, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Extension A1: membership-change cost — re-primary time after a
+//! partition and convergence time after the merge (the engine's "one
+//! end-to-end exchange per connectivity change" claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_bench::PAPER_REPLICAS;
+use todr_harness::experiments::partition;
+
+fn reproduce(c: &mut Criterion) {
+    let report = partition::run(PAPER_REPLICAS, 42);
+    println!("\n{}", report.to_table());
+
+    let mut group = c.benchmark_group("partition_recovery");
+    group.sample_size(10);
+    group.bench_function("partition_5servers", |b| b.iter(|| partition::run(5, 42)));
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

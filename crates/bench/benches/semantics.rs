@@ -1,0 +1,19 @@
+//! Extension A3: the relaxed application semantics of §6 under a
+//! partition — what answers a non-primary component can give.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_bench::PAPER_REPLICAS;
+use todr_harness::experiments::semantics;
+
+fn reproduce(c: &mut Criterion) {
+    let report = semantics::run(PAPER_REPLICAS, 42);
+    println!("\n{}", report.to_table());
+
+    let mut group = c.benchmark_group("semantics");
+    group.sample_size(10);
+    group.bench_function("semantics_5servers", |b| b.iter(|| semantics::run(5, 42)));
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! # todr-bench — benchmark entry points
+//!
+//! One Criterion bench target per table/figure of the paper's
+//! evaluation plus the ablation experiments. Each target first prints
+//! the full reproduced table (the deliverable — compare its shape
+//! against the paper's), then registers a scaled-down run with Criterion
+//! so `cargo bench` also tracks host-time regressions of the simulator
+//! itself.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig5a` | Figure 5(a): engine vs COReL vs 2PC throughput, 14 replicas |
+//! | `fig5b` | Figure 5(b): delayed vs forced writes |
+//! | `latency` | §7 latency experiment (1 client × 2000 actions) |
+//! | `partition_recovery` | extension A1: membership-change cost |
+//! | `dynamic_join` | extension A2: online replica instantiation |
+//! | `semantics` | extension A3: relaxed semantics under partition |
+//!
+//! Run a single figure with e.g. `cargo bench --bench fig5a`.
+
+/// The replica count used by the paper's evaluation.
+pub const PAPER_REPLICAS: u32 = 14;
+
+/// The client sweep of Figures 5(a)/5(b).
+pub const PAPER_CLIENT_SWEEP: [usize; 8] = [1, 2, 4, 6, 8, 10, 12, 14];

@@ -1,0 +1,1721 @@
+//! The replication engine actor: the paper's Appendix A state machine,
+//! extended with online reconfiguration (§5.1) and the application
+//! semantics of §6.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use todr_db::{Database, Op, Query};
+use todr_evs::{ConfId, Configuration, EvsCmd, EvsEvent};
+use todr_net::{Datagram, NetOp, NodeId};
+use todr_sim::{Actor, ActorId, CpuMeter, Ctx, Payload, SimDuration, SimTime, TraceLevel};
+use todr_storage::{DiskDone, DiskOp, StableStore, SyncToken};
+
+use crate::action::{Action, ActionId, ActionKind, ClientId};
+use crate::exchange::{retrans_plan, GreenPath, MemberProgress, RetransPlan};
+use crate::persist::{self, BaseRecord, PersistEntry};
+use crate::quorum::{
+    compute_knowledge, is_weighted_quorum, KnowledgeInput, PrimComponent, VulnerableRecord,
+    YellowRecord,
+};
+use crate::semantics::{QuerySemantics, UpdateReplyPolicy};
+use crate::types::{
+    ClientReply, ClientRequest, EngineConfig, EngineCtl, EngineStats, TransferWire,
+};
+
+/// The engine's protocol state (Figure 4 of the paper, plus the
+/// bootstrap and crash states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineState {
+    /// Crashed; volatile state lost.
+    Down,
+    /// Online-join bootstrap: transferring the database from a
+    /// representative (§5.1, CodeSegment 5.2).
+    Joining,
+    /// Member of a non-primary component.
+    NonPrim,
+    /// Member of the primary component, regular configuration.
+    RegPrim,
+    /// Member of the primary component, transitional configuration.
+    TransPrim,
+    /// Exchanging State messages after a view change.
+    ExchangeStates,
+    /// Exchanging missing actions.
+    ExchangeActions,
+    /// Attempting to install a primary component (CPC round).
+    Construct,
+    /// Interrupted CPC round; as far as this server knows nobody
+    /// installed.
+    No,
+    /// Interrupted CPC round; somebody may have installed (the paper's
+    /// `Un`decided state — the `?` transition leaves the server
+    /// vulnerable).
+    Un,
+}
+
+/// Messages the engine multicasts through the EVS layer.
+#[derive(Debug, Clone)]
+pub(crate) enum EngineMsg {
+    /// A replicated action.
+    Action(Action),
+    /// Exchange-phase state message.
+    State(StateMsg),
+    /// Create Primary Component vote.
+    Cpc { server: NodeId, conf: ConfId },
+    /// Exchange-phase retransmission. `green_pos` is the action's global
+    /// green position if it is green at the sender.
+    Retrans {
+        action: Action,
+        green_pos: Option<u64>,
+    },
+    /// Exchange-phase green-state snapshot (fallback when the
+    /// most-updated member lacks bodies — see [`crate::exchange`]).
+    GreenSnapshot {
+        db: Database,
+        green_count: u64,
+        green_cut: BTreeMap<NodeId, u64>,
+        green_lines: BTreeMap<NodeId, u64>,
+    },
+    /// End-of-retransmission marker.
+    RetransDone { server: NodeId },
+}
+
+/// The paper's State message.
+#[derive(Debug, Clone)]
+pub(crate) struct StateMsg {
+    pub server: NodeId,
+    pub conf: ConfId,
+    pub progress: MemberProgress,
+    pub attempt_index: u64,
+    pub prim_component: PrimComponent,
+    pub vulnerable: VulnerableRecord,
+    pub yellow: YellowRecord,
+}
+
+/// What to do when a forced write completes.
+enum AfterSync {
+    /// Submit these actions to the group.
+    Submit(Vec<Action>),
+    /// Send our State message (exchange phase) — dropped if the
+    /// configuration changed while the write was in flight.
+    SendState { epoch: u64 },
+    /// Send our CPC vote.
+    SendCpc { epoch: u64 },
+    /// Primary installed: release buffered client requests.
+    Installed { epoch: u64 },
+    /// Exchange ended without quorum: release buffered client requests.
+    EnterNonPrim { epoch: u64 },
+    /// Join bootstrap persisted: join the replicated group.
+    JoinedReady,
+    /// Nothing further.
+    Noop,
+}
+
+/// A reply owed to a client once its action commits.
+#[derive(Debug, Clone)]
+struct PendingReply {
+    request: crate::types::RequestId,
+    reply_to: ActorId,
+    query: Option<Query>,
+    submitted_at: SimTime,
+    policy: UpdateReplyPolicy,
+}
+
+/// Timer for retrying the join bootstrap against another representative.
+struct JoinRetry;
+
+/// The replication engine for one server.
+///
+/// Wire traffic goes through the node's [`todr_evs::EvsDaemon`] (group
+/// messages) and [`todr_net::NetFabric`] (join transfers); durability
+/// through a [`todr_storage::DiskActor`] and an internal
+/// [`StableStore`]. Clients talk to the engine with [`ClientRequest`]
+/// events; the harness controls it with [`EngineCtl`].
+pub struct ReplicationEngine {
+    cfg: EngineConfig,
+    evs: ActorId,
+    disk: ActorId,
+    fabric: ActorId,
+
+    state: EngineState,
+    store: StableStore,
+
+    // ----- replicated knowledge (mirrored on stable storage) -----
+    actions: BTreeMap<ActionId, Action>,
+    green_count: u64,
+    green_floor: u64,
+    green_tail: Vec<ActionId>,
+    green_cut: BTreeMap<NodeId, u64>,
+    red_set: BTreeSet<ActionId>,
+    red_cut: BTreeMap<NodeId, u64>,
+    /// Out-of-order arrivals waiting for their per-creator gap to fill
+    /// (see `mark_red`).
+    stashed: BTreeMap<ActionId, Action>,
+    green_lines: BTreeMap<NodeId, u64>,
+    server_set: BTreeSet<NodeId>,
+    prim_component: PrimComponent,
+    attempt_index: u64,
+    vulnerable: VulnerableRecord,
+    yellow: YellowRecord,
+    action_index: u64,
+    ongoing: Vec<Action>,
+
+    // ----- database -----
+    db: Database,
+    dirty_db: Option<Database>,
+
+    // ----- configuration / exchange volatile state -----
+    conf: Option<Configuration>,
+    conf_epoch: u64,
+    state_msgs: BTreeMap<NodeId, StateMsg>,
+    plan: Option<RetransPlan>,
+    retrans_done: BTreeSet<NodeId>,
+    cpc_received: BTreeSet<NodeId>,
+
+    // ----- clients -----
+    pending_replies: BTreeMap<ActionId, PendingReply>,
+    buffered_reqs: Vec<ClientRequest>,
+    parked_strict: Vec<ClientRequest>,
+
+    // ----- disk -----
+    next_sync_token: u64,
+    pending_syncs: BTreeMap<SyncToken, AfterSync>,
+
+    // ----- misc -----
+    cpu: CpuMeter,
+    stats: EngineStats,
+    join_targets: Vec<NodeId>,
+    join_target_idx: usize,
+    /// Joiners we have already announced with a PERSISTENT_JOIN that has
+    /// not turned green yet (suppresses duplicate announcements while
+    /// the joiner retries its bootstrap).
+    pending_joins: BTreeSet<NodeId>,
+    departed: bool,
+}
+
+impl ReplicationEngine {
+    /// Creates an engine. `evs` is the node's group-communication
+    /// daemon, `disk` its disk actor, `fabric` the shared network
+    /// fabric.
+    pub fn new(cfg: EngineConfig, evs: ActorId, disk: ActorId, fabric: ActorId) -> Self {
+        let server_set: BTreeSet<NodeId> = cfg.server_set.iter().copied().collect();
+        let prim_component = PrimComponent::initial(server_set.iter().copied());
+        let state = if cfg.initial_member {
+            EngineState::NonPrim
+        } else {
+            EngineState::Down
+        };
+        let mut engine = ReplicationEngine {
+            cfg,
+            evs,
+            disk,
+            fabric,
+            state,
+            store: StableStore::new(),
+            actions: BTreeMap::new(),
+            green_count: 0,
+            green_floor: 0,
+            green_tail: Vec::new(),
+            green_cut: BTreeMap::new(),
+            red_set: BTreeSet::new(),
+            red_cut: BTreeMap::new(),
+            stashed: BTreeMap::new(),
+            green_lines: BTreeMap::new(),
+            server_set,
+            prim_component,
+            attempt_index: 0,
+            vulnerable: VulnerableRecord::invalid(),
+            yellow: YellowRecord::invalid(),
+            action_index: 0,
+            ongoing: Vec::new(),
+            db: Database::new(),
+            dirty_db: None,
+            conf: None,
+            conf_epoch: 0,
+            state_msgs: BTreeMap::new(),
+            plan: None,
+            retrans_done: BTreeSet::new(),
+            cpc_received: BTreeSet::new(),
+            pending_replies: BTreeMap::new(),
+            buffered_reqs: Vec::new(),
+            parked_strict: Vec::new(),
+            next_sync_token: 0,
+            pending_syncs: BTreeMap::new(),
+            cpu: CpuMeter::new(),
+            stats: EngineStats::default(),
+            join_targets: Vec::new(),
+            join_target_idx: 0,
+            pending_joins: BTreeSet::new(),
+            departed: false,
+        };
+        if engine.state == EngineState::NonPrim {
+            engine.persist_membership_records();
+        }
+        engine
+    }
+
+    // ============================================================
+    // inspection (tests, checkers, experiment harness)
+    // ============================================================
+
+    /// Current protocol state.
+    pub fn state(&self) -> EngineState {
+        self.state
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of green (globally ordered, applied) actions.
+    pub fn green_count(&self) -> u64 {
+        self.green_count
+    }
+
+    /// Green action ids from `green_floor()` onward, in global order.
+    pub fn green_tail(&self) -> &[ActionId] {
+        &self.green_tail
+    }
+
+    /// Lowest green position this server still holds a body for.
+    pub fn green_floor(&self) -> u64 {
+        self.green_floor
+    }
+
+    /// Red (locally ordered only) action ids, in `ActionId` order.
+    pub fn red_ids(&self) -> Vec<ActionId> {
+        self.red_set.iter().copied().collect()
+    }
+
+    /// Content digest of the green database.
+    pub fn db_digest(&self) -> u64 {
+        self.db.digest()
+    }
+
+    /// Read-only view of the green database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The current replica set (grows/shrinks with joins/leaves).
+    pub fn server_set(&self) -> &BTreeSet<NodeId> {
+        &self.server_set
+    }
+
+    /// The last known primary component.
+    pub fn prim_component(&self) -> &PrimComponent {
+        &self.prim_component
+    }
+
+    /// The white line: every action at a green position below it is
+    /// known green everywhere and can be discarded (§3).
+    pub fn white_line(&self) -> u64 {
+        self.server_set
+            .iter()
+            .map(|s| self.green_lines.get(s).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether this server believes it is in the primary component.
+    pub fn in_primary(&self) -> bool {
+        matches!(self.state, EngineState::RegPrim | EngineState::TransPrim)
+    }
+
+    /// Number of action bodies currently retained in memory.
+    pub fn retained_bodies(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether this server currently holds a valid vulnerability record
+    /// (it voted for a primary installation whose outcome it cannot yet
+    /// prove — §5).
+    pub fn is_vulnerable(&self) -> bool {
+        self.vulnerable.valid
+    }
+
+    /// Discards **white** actions (§3: "these actions can be discarded
+    /// since no other server will need them subsequently") and compacts
+    /// the persisted log to a checkpoint of the current green state.
+    /// Returns the number of bodies discarded.
+    ///
+    /// Safety of the discard: the white line is the minimum green line
+    /// over the server set, so every potential exchange peer already has
+    /// (at least) those actions green; the exchange plan never asks for
+    /// green positions below any member's green count, and this server's
+    /// advertised `green_floor` rises accordingly. The log compaction is
+    /// staged and becomes durable with the next forced write
+    /// (crash-before-commit reverts to the uncompacted log).
+    pub fn checkpoint(&mut self) -> u64 {
+        let white = self.white_line();
+        if white <= self.green_floor {
+            return 0;
+        }
+        let k = ((white - self.green_floor) as usize).min(self.green_tail.len());
+        let mut pruned = 0;
+        for id in self.green_tail.drain(..k) {
+            if self.actions.remove(&id).is_some() {
+                pruned += 1;
+            }
+        }
+        self.green_floor = white;
+
+        // Compact persistence: checkpoint the current green state and
+        // re-log the red bodies on top of it.
+        let base = BaseRecord {
+            db: self.db.snapshot(),
+            green_count: self.green_count,
+            green_cut: self.green_cut.clone(),
+        };
+        self.store
+            .put_record(persist::K_BASE, &base)
+            .expect("serialize base");
+        self.store.truncate_log();
+        for id in &self.red_set {
+            let action = self.actions.get(id).expect("red body present").clone();
+            self.store
+                .append_log_typed(&PersistEntry::Accepted(action))
+                .expect("serialize action");
+        }
+        pruned
+    }
+
+    // ============================================================
+    // plumbing
+    // ============================================================
+
+    fn send_group(&mut self, ctx: &mut Ctx<'_>, msg: EngineMsg, size_bytes: u32) {
+        ctx.send_now(
+            self.evs,
+            EvsCmd::Send {
+                payload: Rc::new(msg),
+                size_bytes,
+            },
+        );
+    }
+
+    fn send_transfer(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, msg: TransferWire) {
+        // Transfer messages ride the fabric directly (point-to-point,
+        // outside the group), addressed to the peer's EVS daemon which
+        // forwards non-group traffic to its engine.
+        let size = match &msg {
+            TransferWire::JoinRequest { .. } => 64,
+            TransferWire::Snapshot { db, .. } => 512 + db.row_count() as u32 * 64,
+        };
+        ctx.send_now(
+            self.fabric,
+            NetOp::unicast(self.cfg.me, dst, Rc::new(msg), size),
+        );
+    }
+
+    fn request_sync(&mut self, ctx: &mut Ctx<'_>, after: AfterSync) {
+        self.next_sync_token += 1;
+        let token = SyncToken(self.next_sync_token);
+        self.pending_syncs.insert(token, after);
+        self.stats.syncs_requested += 1;
+        let me = ctx.self_id();
+        ctx.send_now(
+            self.disk,
+            DiskOp::Sync {
+                token,
+                reply_to: me,
+            },
+        );
+    }
+
+    fn persist_membership_records(&mut self) {
+        self.store
+            .put_record(persist::K_PRIM, &self.prim_component)
+            .expect("serialize prim component");
+        self.store
+            .put_record(persist::K_ATTEMPT, &self.attempt_index)
+            .expect("serialize attempt index");
+        self.store
+            .put_record(persist::K_VULNERABLE, &self.vulnerable)
+            .expect("serialize vulnerable");
+        self.store
+            .put_record(persist::K_YELLOW, &self.yellow)
+            .expect("serialize yellow");
+        self.store
+            .put_record(persist::K_GREEN_LINES, &self.green_lines)
+            .expect("serialize green lines");
+        self.store
+            .put_record(persist::K_SERVER_SET, &self.server_set)
+            .expect("serialize server set");
+    }
+
+    fn persist_ongoing(&mut self) {
+        self.store
+            .put_record(persist::K_ACTION_INDEX, &self.action_index)
+            .expect("serialize action index");
+        self.store
+            .put_record(persist::K_ONGOING, &self.ongoing)
+            .expect("serialize ongoing queue");
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_>, at: SimTime, to: ActorId, reply: ClientReply) {
+        self.stats.replies_sent += 1;
+        ctx.send_at(at.max(ctx.now()), to, reply);
+    }
+
+    // ============================================================
+    // coloring (Appendix A, CodeSegment A.14)
+    // ============================================================
+
+    /// `MarkRed`: accept the action if it is the creator's next, log it,
+    /// maintain the red cut. Out-of-order arrivals (possible during an
+    /// exchange, when the green retransmission stream, the red
+    /// retransmission streams and freshly submitted actions interleave
+    /// in the agreed order) are stashed and re-tried as the creator's
+    /// cut advances; by the install barrier every member has reached the
+    /// exchange plan's targets, so stashes drain identically everywhere.
+    /// Returns whether the action was newly accepted.
+    fn mark_red(&mut self, ctx: &mut Ctx<'_>, action: &Action) -> bool {
+        let accepted = self.accept_red(ctx, action);
+        if accepted {
+            self.drain_stash(ctx, action.id.server);
+        }
+        accepted
+    }
+
+    fn drain_stash(&mut self, ctx: &mut Ctx<'_>, creator: NodeId) {
+        loop {
+            let cut = self.red_cut.get(&creator).copied().unwrap_or(0);
+            let next = ActionId {
+                server: creator,
+                index: cut + 1,
+            };
+            match self.stashed.remove(&next) {
+                Some(action) => {
+                    let ok = self.accept_red(ctx, &action);
+                    debug_assert!(ok, "stashed action no longer contiguous");
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn accept_red(&mut self, ctx: &mut Ctx<'_>, action: &Action) -> bool {
+        let id = action.id;
+        let cut = self.red_cut.entry(id.server).or_insert(0);
+        if id.index > *cut + 1 {
+            // Ahead of the contiguous prefix: keep it until the gap is
+            // filled by a retransmission stream.
+            self.stashed.insert(id, action.clone());
+            return false;
+        }
+        if id.index != *cut + 1 {
+            return false; // duplicate
+        }
+        *cut = id.index;
+        self.actions.insert(id, action.clone());
+        self.red_set.insert(id);
+        self.store
+            .append_log_typed(&PersistEntry::Accepted(action.clone()))
+            .expect("serialize action");
+        self.stats.marked_red += 1;
+        self.dirty_db = None;
+        if id.server == self.cfg.me {
+            self.ongoing.retain(|a| a.id != id);
+            self.persist_ongoing();
+            // Relaxed-policy replies fire on local (red) ordering.
+            if let Some(p) = self.pending_replies.get(&id) {
+                if p.policy == UpdateReplyPolicy::OnRed {
+                    let p = self.pending_replies.remove(&id).expect("just checked");
+                    let result = p.query.as_ref().map(|q| self.dirty_view().query(q));
+                    let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action);
+                    self.reply(
+                        ctx,
+                        at,
+                        p.reply_to,
+                        ClientReply::Committed {
+                            request: p.request,
+                            action: id,
+                            result,
+                            submitted_at: p.submitted_at,
+                        },
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// `MarkYellow`: accept as red and remember in the yellow set.
+    fn mark_yellow(&mut self, ctx: &mut Ctx<'_>, action: &Action) {
+        self.mark_red(ctx, action);
+        if self.actions.contains_key(&action.id) && !self.yellow.set.contains(&action.id) {
+            self.yellow.set.push(action.id);
+            self.stats.marked_yellow += 1;
+            self.store
+                .put_record(persist::K_YELLOW, &self.yellow)
+                .expect("serialize yellow");
+        }
+    }
+
+    /// `MarkGreen`: place the action on top of the green order and apply
+    /// it to the database.
+    fn mark_green(&mut self, ctx: &mut Ctx<'_>, action: &Action) {
+        self.mark_red(ctx, action);
+        let id = action.id;
+        if self.green_cut.get(&id.server).copied().unwrap_or(0) >= id.index {
+            return; // already green
+        }
+        // Green marking requires the body to be accepted: green streams
+        // respect per-creator FIFO, so a contiguity gap here would be a
+        // protocol bug, not a benign race.
+        assert!(
+            self.red_cut.get(&id.server).copied().unwrap_or(0) >= id.index,
+            "green mark for unaccepted action {id} at {}",
+            self.cfg.me
+        );
+        self.red_set.remove(&id);
+        self.green_tail.push(id);
+        self.green_count += 1;
+        self.green_cut.insert(id.server, id.index);
+        self.green_lines.insert(self.cfg.me, self.green_count);
+        self.store
+            .append_log_typed(&PersistEntry::Green(id))
+            .expect("serialize green mark");
+        self.stats.marked_green += 1;
+        self.dirty_db = None;
+
+        // Apply to the database / membership structures.
+        match &action.kind {
+            ActionKind::App { update, .. } => {
+                self.db.apply(update);
+            }
+            ActionKind::PersistentJoin { joiner } => self.apply_join_green(ctx, *joiner, id),
+            ActionKind::PersistentLeave { leaver } => self.apply_leave_green(ctx, *leaver),
+        }
+
+        // Periodic white-line garbage collection (§3).
+        let interval = self.cfg.checkpoint_interval;
+        if interval > 0 && self.green_count.is_multiple_of(interval) {
+            self.checkpoint();
+        }
+
+        // Charge the per-action processing cost; answer the waiting
+        // client (origin server only) once the CPU gets to it.
+        let done_at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action);
+        if let Some(p) = self.pending_replies.remove(&id) {
+            if p.policy == UpdateReplyPolicy::OnGreen {
+                let result = p.query.as_ref().map(|q| self.db.query(q));
+                self.reply(
+                    ctx,
+                    done_at,
+                    p.reply_to,
+                    ClientReply::Committed {
+                        request: p.request,
+                        action: id,
+                        result,
+                        submitted_at: p.submitted_at,
+                    },
+                );
+            }
+        }
+        // Strict queries parked behind this server's own updates (§6
+        // session causality) become answerable once the last one lands.
+        if self.state == EngineState::RegPrim
+            && self.pending_replies.is_empty()
+            && self.ongoing.is_empty()
+            && !self.parked_strict.is_empty()
+        {
+            let parked: Vec<ClientRequest> = std::mem::take(&mut self.parked_strict);
+            for req in parked {
+                self.serve_query(ctx, req);
+            }
+        }
+    }
+
+    /// CodeSegment 5.1, green `PERSISTENT_JOIN`.
+    fn apply_join_green(&mut self, ctx: &mut Ctx<'_>, joiner: NodeId, action_id: ActionId) {
+        self.pending_joins.remove(&joiner);
+        if self.server_set.contains(&joiner) {
+            return; // later duplicate join announcements are ignored
+        }
+        self.server_set.insert(joiner);
+        self.red_cut.entry(joiner).or_insert(0);
+        // The joiner's green line starts at the join action itself.
+        self.green_lines.insert(joiner, self.green_count);
+        self.persist_membership_records();
+        ctx.trace("engine", format!("{} joined the replica set", joiner));
+        if action_id.server == self.cfg.me {
+            // I am the representative: ship the database.
+            self.send_snapshot_to(ctx, joiner);
+        }
+    }
+
+    /// CodeSegment 5.1, green `PERSISTENT_LEAVE`.
+    fn apply_leave_green(&mut self, ctx: &mut Ctx<'_>, leaver: NodeId) {
+        if !self.server_set.contains(&leaver) {
+            return;
+        }
+        self.server_set.remove(&leaver);
+        self.green_lines.remove(&leaver);
+        self.persist_membership_records();
+        ctx.trace("engine", format!("{} left the replica set", leaver));
+        if leaver == self.cfg.me {
+            // "if (Action.leave_id == serverId) exit"
+            self.departed = true;
+            self.state = EngineState::Down;
+            ctx.send_now(self.evs, EvsCmd::LeaveGroup);
+        }
+    }
+
+    fn send_snapshot_to(&mut self, ctx: &mut Ctx<'_>, joiner: NodeId) {
+        let snapshot = TransferWire::Snapshot {
+            db: self.db.snapshot(),
+            green_count: self.green_count,
+            green_lines: self.green_lines.clone(),
+            red_cut: self.green_cut.clone(),
+            server_set: self.server_set.clone(),
+            prim_component: self.prim_component.clone(),
+            action_index: 0,
+        };
+        self.send_transfer(ctx, joiner, snapshot);
+    }
+
+    fn dirty_view(&mut self) -> &Database {
+        if self.dirty_db.is_none() {
+            let mut dirty = self.db.snapshot();
+            for id in &self.red_set {
+                if let Some(ActionKind::App { update, .. }) = self.actions.get(id).map(|a| &a.kind)
+                {
+                    dirty.apply(update);
+                }
+            }
+            self.dirty_db = Some(dirty);
+        }
+        self.dirty_db.as_ref().expect("just built")
+    }
+
+    // ============================================================
+    // client requests
+    // ============================================================
+
+    fn on_client_request(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest) {
+        match self.state {
+            EngineState::Down | EngineState::Joining => {
+                self.reply(
+                    ctx,
+                    ctx.now(),
+                    req.reply_to,
+                    ClientReply::Rejected {
+                        request: req.request,
+                        reason: "server unavailable",
+                    },
+                );
+            }
+            EngineState::RegPrim | EngineState::NonPrim => self.serve_request(ctx, req),
+            // All other states buffer (Appendix A: "Client req: buffer
+            // request").
+            _ => self.buffered_reqs.push(req),
+        }
+    }
+
+    fn serve_request(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest) {
+        let query_only = matches!(req.update, Op::Noop) && req.query.is_some();
+        if query_only {
+            return self.serve_query(ctx, req);
+        }
+
+        // Update (possibly with a query part): create and generate an
+        // action (Appendix A, NonPrim/RegPrim "Client req").
+        self.action_index += 1;
+        let action = Action {
+            id: ActionId {
+                server: self.cfg.me,
+                index: self.action_index,
+            },
+            green_line: self.green_count,
+            client: req.client,
+            kind: ActionKind::App {
+                query: req.query.clone(),
+                update: req.update.clone(),
+            },
+            size_bytes: req.size_bytes,
+        };
+        self.stats.actions_created += 1;
+        self.ongoing.push(action.clone());
+        self.persist_ongoing();
+        self.pending_replies.insert(
+            action.id,
+            PendingReply {
+                request: req.request,
+                reply_to: req.reply_to,
+                query: req.query,
+                submitted_at: ctx.now(),
+                policy: req.reply_policy,
+            },
+        );
+        // ** sync to disk, then generate.
+        self.request_sync(ctx, AfterSync::Submit(vec![action]));
+    }
+
+    fn serve_query(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest) {
+        let query = req.query.clone().expect("query-only request");
+        match req.query_semantics {
+            QuerySemantics::Strict => {
+                if self.state == EngineState::RegPrim {
+                    // §6: "a query issued at one server can be answered
+                    // as soon as all previous actions generated by this
+                    // server were applied to the database, without the
+                    // need to generate and order an action message" —
+                    // so it parks behind this server's in-flight
+                    // updates (session causality), but needs no global
+                    // ordering of its own.
+                    if !self.pending_replies.is_empty() || !self.ongoing.is_empty() {
+                        self.parked_strict.push(req);
+                        return;
+                    }
+                    let result = self.db.query(&query);
+                    let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action / 4);
+                    self.reply(
+                        ctx,
+                        at,
+                        req.reply_to,
+                        ClientReply::QueryAnswer {
+                            request: req.request,
+                            result,
+                            dirty: false,
+                        },
+                    );
+                } else {
+                    // Strict answers require the primary component; park
+                    // until we are back in one (§6: "queries issued in a
+                    // non-primary component cannot be answered until the
+                    // connectivity with the primary is restored").
+                    self.parked_strict.push(req);
+                }
+            }
+            QuerySemantics::Weak => {
+                let result = self.db.query(&query);
+                self.reply(
+                    ctx,
+                    ctx.now(),
+                    req.reply_to,
+                    ClientReply::QueryAnswer {
+                        request: req.request,
+                        result,
+                        dirty: false,
+                    },
+                );
+            }
+            QuerySemantics::Dirty => {
+                let result = self.dirty_view().query(&query);
+                self.reply(
+                    ctx,
+                    ctx.now(),
+                    req.reply_to,
+                    ClientReply::QueryAnswer {
+                        request: req.request,
+                        result,
+                        dirty: true,
+                    },
+                );
+            }
+        }
+    }
+
+    /// `Handle_buff_requests` (Appendix A, CodeSegment A.8).
+    fn handle_buffered(&mut self, ctx: &mut Ctx<'_>) {
+        let buffered: Vec<ClientRequest> = std::mem::take(&mut self.buffered_reqs);
+        for req in buffered {
+            self.on_client_request(ctx, req);
+        }
+        if self.state == EngineState::RegPrim {
+            let parked: Vec<ClientRequest> = std::mem::take(&mut self.parked_strict);
+            for req in parked {
+                self.serve_query(ctx, req);
+            }
+        }
+    }
+
+    // ============================================================
+    // view changes & exchange
+    // ============================================================
+
+    fn on_reg_conf(&mut self, ctx: &mut Ctx<'_>, conf: Configuration) {
+        self.conf_epoch += 1;
+        self.conf = Some(conf);
+        match self.state {
+            EngineState::TransPrim => {
+                // A.3: vulnerable invalid (we received every message of
+                // the primary up to the cut), yellow becomes valid.
+                self.vulnerable.valid = false;
+                self.yellow.valid = true;
+                self.shift_to_exchange_states(ctx);
+            }
+            EngineState::No => {
+                // A.11: nobody can have installed (case 3).
+                self.vulnerable.valid = false;
+                self.shift_to_exchange_states(ctx);
+            }
+            EngineState::Un | EngineState::NonPrim => {
+                // A.12 / A.1: vulnerability (if any) stays as is — the
+                // `?` transition of Figure 4.
+                self.shift_to_exchange_states(ctx);
+            }
+            EngineState::Down | EngineState::Joining => {}
+            other => panic!(
+                "RegConf cannot arrive in {:?} (EVS delivers TransConf first)",
+                other
+            ),
+        }
+    }
+
+    fn on_trans_conf(&mut self, ctx: &mut Ctx<'_>) {
+        match self.state {
+            EngineState::RegPrim => self.state = EngineState::TransPrim,
+            EngineState::Construct => self.state = EngineState::No,
+            EngineState::ExchangeStates | EngineState::ExchangeActions => {
+                self.state = EngineState::NonPrim;
+            }
+            // NonPrim ignores transitional configurations (A.1); the
+            // remaining states cannot see one.
+            _ => {
+                ctx.trace_at(
+                    TraceLevel::Debug,
+                    "engine",
+                    format!("trans conf ignored in {:?}", self.state),
+                );
+            }
+        }
+    }
+
+    /// `Shift_to_exchange_states` (CodeSegment A.5).
+    fn shift_to_exchange_states(&mut self, ctx: &mut Ctx<'_>) {
+        self.state_msgs.clear();
+        self.plan = None;
+        self.retrans_done.clear();
+        self.cpc_received.clear();
+        self.state = EngineState::ExchangeStates;
+        self.persist_membership_records();
+        let epoch = self.conf_epoch;
+        self.request_sync(ctx, AfterSync::SendState { epoch });
+    }
+
+    fn my_state_msg(&self) -> StateMsg {
+        StateMsg {
+            server: self.cfg.me,
+            conf: self.conf.as_ref().expect("in a configuration").id,
+            progress: MemberProgress {
+                server: self.cfg.me,
+                green_count: self.green_count,
+                green_floor: self.green_floor,
+                red_cut: self.red_cut.clone(),
+            },
+            attempt_index: self.attempt_index,
+            prim_component: self.prim_component.clone(),
+            vulnerable: self.vulnerable.clone(),
+            yellow: self.yellow.clone(),
+        }
+    }
+
+    fn on_state_msg(&mut self, ctx: &mut Ctx<'_>, sm: StateMsg) {
+        if self.state != EngineState::ExchangeStates {
+            ctx.trace_at(
+                TraceLevel::Debug,
+                "engine",
+                format!("state msg ignored in {:?}", self.state),
+            );
+            return;
+        }
+        let conf = self.conf.as_ref().expect("in a configuration");
+        if sm.conf != conf.id {
+            return;
+        }
+        self.state_msgs.insert(sm.server, sm);
+        let members = conf.members.clone();
+        if members.iter().all(|m| self.state_msgs.contains_key(m)) {
+            self.on_all_states(ctx);
+        }
+    }
+
+    fn on_all_states(&mut self, ctx: &mut Ctx<'_>) {
+        let progress: Vec<MemberProgress> = self
+            .state_msgs
+            .values()
+            .map(|sm| sm.progress.clone())
+            .collect();
+        let plan = retrans_plan(&progress);
+        self.state = EngineState::ExchangeActions;
+        if plan.senders.contains(&self.cfg.me) {
+            self.perform_retrans(ctx, &plan);
+        }
+        let empty = plan.is_empty();
+        self.plan = Some(plan);
+        if empty {
+            self.end_of_retrans(ctx);
+        }
+    }
+
+    /// `Retrans` (our role in the deterministic plan).
+    fn perform_retrans(&mut self, ctx: &mut Ctx<'_>, plan: &RetransPlan) {
+        match plan.green {
+            GreenPath::Retrans(sender, from, to) if sender == self.cfg.me => {
+                for pos in from..to {
+                    let idx = (pos - self.green_floor) as usize;
+                    let id = self.green_tail[idx];
+                    let action = self.actions.get(&id).expect("green body retained").clone();
+                    let size = action.size_bytes + 16;
+                    self.stats.retransmitted += 1;
+                    self.send_group(
+                        ctx,
+                        EngineMsg::Retrans {
+                            action,
+                            green_pos: Some(pos),
+                        },
+                        size,
+                    );
+                }
+            }
+            GreenPath::Snapshot(sender) if sender == self.cfg.me => {
+                let size = 512 + self.db.row_count() as u32 * 64;
+                let msg = EngineMsg::GreenSnapshot {
+                    db: self.db.snapshot(),
+                    green_count: self.green_count,
+                    green_cut: self.green_cut.clone(),
+                    green_lines: self.green_lines.clone(),
+                };
+                self.send_group(ctx, msg, size);
+            }
+            _ => {}
+        }
+        for &(sender, creator, from, to) in &plan.red {
+            if sender != self.cfg.me {
+                continue;
+            }
+            for index in from..=to {
+                let id = ActionId {
+                    server: creator,
+                    index,
+                };
+                if !self.red_set.contains(&id) {
+                    continue; // green here: covered by the green path
+                }
+                let action = self.actions.get(&id).expect("red body present").clone();
+                let size = action.size_bytes + 16;
+                self.stats.retransmitted += 1;
+                self.send_group(
+                    ctx,
+                    EngineMsg::Retrans {
+                        action,
+                        green_pos: None,
+                    },
+                    size,
+                );
+            }
+        }
+        self.send_group(
+            ctx,
+            EngineMsg::RetransDone {
+                server: self.cfg.me,
+            },
+            32,
+        );
+    }
+
+    fn on_retrans(&mut self, ctx: &mut Ctx<'_>, action: Action, green_pos: Option<u64>) {
+        match green_pos {
+            Some(pos) => {
+                if pos < self.green_count {
+                    // Already green here; nothing to do.
+                } else if pos == self.green_count {
+                    self.mark_green(ctx, &action);
+                } else {
+                    panic!(
+                        "green retransmission gap at {}: got pos {pos}, have {}",
+                        self.cfg.me, self.green_count
+                    );
+                }
+            }
+            None => {
+                self.mark_red(ctx, &action);
+            }
+        }
+    }
+
+    fn on_green_snapshot(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        db: Database,
+        green_count: u64,
+        green_cut: BTreeMap<NodeId, u64>,
+        green_lines: BTreeMap<NodeId, u64>,
+    ) {
+        if green_count <= self.green_count {
+            return; // we are at least as advanced
+        }
+        ctx.trace(
+            "engine",
+            format!(
+                "adopting green snapshot at {} (green {} -> {})",
+                self.cfg.me, self.green_count, green_count
+            ),
+        );
+        self.adopt_base(db, green_count, green_cut);
+        for (server, line) in green_lines {
+            let entry = self.green_lines.entry(server).or_insert(0);
+            *entry = (*entry).max(line);
+        }
+        self.green_lines.insert(self.cfg.me, self.green_count);
+        self.persist_membership_records();
+    }
+
+    /// Replaces the green prefix with an inherited database state (§5.1
+    /// transfer / exchange snapshot fallback). Red actions the snapshot
+    /// already incorporates are dropped; the rest are re-logged on the
+    /// fresh base.
+    fn adopt_base(&mut self, db: Database, green_count: u64, green_cut: BTreeMap<NodeId, u64>) {
+        self.db = db;
+        self.dirty_db = None;
+        self.green_count = green_count;
+        self.green_floor = green_count;
+        self.green_tail.clear();
+        // Merge cuts: the snapshot may know creators we do not and vice
+        // versa.
+        for (server, cut) in &green_cut {
+            let entry = self.green_cut.entry(*server).or_insert(0);
+            *entry = (*entry).max(*cut);
+            let red = self.red_cut.entry(*server).or_insert(0);
+            *red = (*red).max(*cut);
+        }
+        let cuts = self.green_cut.clone();
+        self.red_set
+            .retain(|id| id.index > cuts.get(&id.server).copied().unwrap_or(0));
+        self.actions
+            .retain(|id, _| id.index > cuts.get(&id.server).copied().unwrap_or(0));
+
+        // Rebase persistence: base record + re-logged red bodies.
+        self.store.truncate_log();
+        let base = BaseRecord {
+            db: self.db.snapshot(),
+            green_count: self.green_count,
+            green_cut: self.green_cut.clone(),
+        };
+        self.store
+            .put_record(persist::K_BASE, &base)
+            .expect("serialize base");
+        for id in &self.red_set {
+            let action = self.actions.get(id).expect("red body present").clone();
+            self.store
+                .append_log_typed(&PersistEntry::Accepted(action))
+                .expect("serialize action");
+        }
+    }
+
+    fn on_retrans_done(&mut self, ctx: &mut Ctx<'_>, server: NodeId) {
+        if self.state != EngineState::ExchangeActions {
+            return;
+        }
+        self.retrans_done.insert(server);
+        let done = match &self.plan {
+            Some(plan) => plan.senders.iter().all(|s| self.retrans_done.contains(s)),
+            None => false,
+        };
+        if done {
+            self.end_of_retrans(ctx);
+        }
+    }
+
+    /// `End_of_retrans` (CodeSegment A.5) + `ComputeKnowledge` (A.7) +
+    /// `IsQuorum` (A.8).
+    fn end_of_retrans(&mut self, ctx: &mut Ctx<'_>) {
+        self.stats.exchanges_completed += 1;
+        // Incorporate green lines from the state messages.
+        for sm in self.state_msgs.values() {
+            let entry = self.green_lines.entry(sm.server).or_insert(0);
+            *entry = (*entry).max(sm.progress.green_count);
+        }
+
+        let inputs: Vec<KnowledgeInput> = self
+            .state_msgs
+            .values()
+            .map(|sm| KnowledgeInput {
+                server: sm.server,
+                prim_component: sm.prim_component.clone(),
+                attempt_index: sm.attempt_index,
+                vulnerable: sm.vulnerable.clone(),
+                yellow: sm.yellow.clone(),
+            })
+            .collect();
+        let knowledge = compute_knowledge(&inputs);
+        self.prim_component = knowledge.prim_component.clone();
+        self.attempt_index = knowledge.attempt_index;
+        self.yellow = knowledge.yellow.clone();
+        self.vulnerable = knowledge.resolved_vulnerable[&self.cfg.me].clone();
+
+        let conf_members = self
+            .conf
+            .as_ref()
+            .expect("in a configuration")
+            .members
+            .clone();
+        let any_vulnerable = conf_members.iter().any(|m| {
+            knowledge
+                .resolved_vulnerable
+                .get(m)
+                .is_some_and(|v| v.valid)
+        });
+        let quorum = !any_vulnerable
+            && is_weighted_quorum(&conf_members, &self.prim_component, &self.cfg.weights);
+
+        if quorum {
+            self.attempt_index += 1;
+            self.vulnerable = VulnerableRecord::new_attempt(
+                self.prim_component.prim_index,
+                self.attempt_index,
+                conf_members.iter().copied(),
+            );
+            self.state = EngineState::Construct;
+            self.persist_membership_records();
+            let epoch = self.conf_epoch;
+            self.request_sync(ctx, AfterSync::SendCpc { epoch });
+        } else {
+            self.state = EngineState::NonPrim;
+            self.persist_membership_records();
+            let epoch = self.conf_epoch;
+            self.request_sync(ctx, AfterSync::EnterNonPrim { epoch });
+        }
+    }
+
+    fn on_cpc(&mut self, ctx: &mut Ctx<'_>, server: NodeId, conf: ConfId) {
+        let Some(current) = &self.conf else {
+            return;
+        };
+        if conf != current.id {
+            return;
+        }
+        match self.state {
+            EngineState::Construct => {
+                self.cpc_received.insert(server);
+                let members = current.members.clone();
+                if members.iter().all(|m| self.cpc_received.contains(m)) {
+                    // A.9: everyone voted; install.
+                    for m in &members {
+                        self.green_lines.insert(*m, self.green_count);
+                    }
+                    self.install(ctx);
+                    if self.departed {
+                        // Our own PERSISTENT_LEAVE turned green during
+                        // the installation's red conversion: we are out
+                        // of the system ("if (Action.leave_id ==
+                        // serverId) exit") and must not claim the
+                        // primary we just helped create.
+                        return;
+                    }
+                    self.state = EngineState::RegPrim;
+                    let epoch = self.conf_epoch;
+                    self.request_sync(ctx, AfterSync::Installed { epoch });
+                }
+            }
+            EngineState::No => {
+                // CPCs delivered in the transitional configuration.
+                self.cpc_received.insert(server);
+                let members = current.members.clone();
+                if members.iter().all(|m| self.cpc_received.contains(m)) {
+                    self.state = EngineState::Un;
+                }
+            }
+            _ => {
+                ctx.trace_at(
+                    TraceLevel::Debug,
+                    "engine",
+                    format!("CPC ignored in {:?}", self.state),
+                );
+            }
+        }
+    }
+
+    /// `Install` (CodeSegment A.10).
+    fn install(&mut self, ctx: &mut Ctx<'_>) {
+        debug_assert!(
+            self.stashed.is_empty(),
+            "stashed actions {:?} survive to install at {} — exchange targets missed",
+            self.stashed.keys().collect::<Vec<_>>(),
+            self.cfg.me
+        );
+        if self.yellow.valid {
+            // OR-1.2: the previous primary already fixed these actions'
+            // positions.
+            let yellow_ids = std::mem::take(&mut self.yellow.set);
+            for id in yellow_ids {
+                let action = self
+                    .actions
+                    .get(&id)
+                    .expect("yellow body present after exchange")
+                    .clone();
+                self.mark_green(ctx, &action);
+            }
+        }
+        self.yellow = YellowRecord::invalid();
+        self.prim_component.prim_index += 1;
+        self.prim_component.attempt_index = self.attempt_index;
+        self.prim_component.servers = self.vulnerable.set.clone();
+        self.attempt_index = 0;
+        // OR-2: remaining red actions, ordered by action id.
+        let reds: Vec<ActionId> = self.red_set.iter().copied().collect();
+        for id in reds {
+            let action = self.actions.get(&id).expect("red body present").clone();
+            self.mark_green(ctx, &action);
+        }
+        self.stats.primaries_installed += 1;
+        self.persist_membership_records();
+        ctx.trace(
+            "engine",
+            format!(
+                "{} installed primary #{} (attempt {}, members {:?})",
+                self.cfg.me,
+                self.prim_component.prim_index,
+                self.prim_component.attempt_index,
+                self.prim_component.servers
+            ),
+        );
+    }
+
+    // ============================================================
+    // deliveries
+    // ============================================================
+
+    fn on_delivery(&mut self, ctx: &mut Ctx<'_>, delivery: todr_evs::Delivery) {
+        let msg = delivery
+            .payload
+            .downcast_ref::<EngineMsg>()
+            .expect("engine received a non-engine group message");
+        match msg {
+            EngineMsg::Action(action) => {
+                let action = action.clone();
+                self.on_action(ctx, action, delivery.in_transitional);
+            }
+            EngineMsg::State(sm) => self.on_state_msg(ctx, sm.clone()),
+            EngineMsg::Cpc { server, conf } => self.on_cpc(ctx, *server, *conf),
+            EngineMsg::Retrans { action, green_pos } => {
+                let action = action.clone();
+                let green_pos = *green_pos;
+                match self.state {
+                    EngineState::ExchangeActions | EngineState::NonPrim => {
+                        self.on_retrans(ctx, action, green_pos)
+                    }
+                    _ => {
+                        // Late retransmissions (e.g. delivered in a
+                        // transitional batch after we aborted the
+                        // exchange) still carry monotone knowledge.
+                        self.on_retrans(ctx, action, green_pos)
+                    }
+                }
+            }
+            EngineMsg::GreenSnapshot {
+                db,
+                green_count,
+                green_cut,
+                green_lines,
+            } => {
+                let (db, green_count) = (db.clone(), *green_count);
+                let (green_cut, green_lines) = (green_cut.clone(), green_lines.clone());
+                self.on_green_snapshot(ctx, db, green_count, green_cut, green_lines);
+            }
+            EngineMsg::RetransDone { server } => {
+                let server = *server;
+                self.on_retrans_done(ctx, server);
+            }
+        }
+    }
+
+    fn on_action(&mut self, ctx: &mut Ctx<'_>, action: Action, in_transitional: bool) {
+        match self.state {
+            EngineState::RegPrim if !in_transitional => {
+                // OR-1.1: safe delivery in the primary's regular
+                // configuration -> green immediately.
+                let creator = action.id.server;
+                let creator_line = action.green_line;
+                self.mark_green(ctx, &action);
+                let entry = self.green_lines.entry(creator).or_insert(0);
+                *entry = (*entry).max(creator_line);
+            }
+            EngineState::RegPrim | EngineState::TransPrim => {
+                // Delivered in the transitional configuration of the
+                // primary: order known, survival unknown.
+                self.state = EngineState::TransPrim;
+                self.mark_yellow(ctx, &action);
+            }
+            EngineState::NonPrim | EngineState::ExchangeStates | EngineState::ExchangeActions => {
+                self.mark_red(ctx, &action);
+            }
+            EngineState::Un => {
+                // A.12: an action here proves some server installed the
+                // primary and moved on; follow it.
+                self.install(ctx);
+                if self.departed {
+                    return; // our own leave was among the converted reds
+                }
+                self.mark_yellow(ctx, &action);
+                self.state = EngineState::TransPrim;
+            }
+            EngineState::No => {
+                panic!(
+                    "action delivered in No state at {} — violates total-order reasoning",
+                    self.cfg.me
+                );
+            }
+            EngineState::Construct => {
+                panic!(
+                    "action delivered in Construct state at {} — CPCs must precede it",
+                    self.cfg.me
+                );
+            }
+            EngineState::Down | EngineState::Joining => {}
+        }
+    }
+
+    // ============================================================
+    // disk completions
+    // ============================================================
+
+    fn on_disk_done(&mut self, ctx: &mut Ctx<'_>, token: SyncToken) {
+        self.store.commit_staged();
+        let Some(after) = self.pending_syncs.remove(&token) else {
+            return; // completion from before a crash
+        };
+        match after {
+            AfterSync::Submit(actions) => {
+                for action in actions {
+                    let size = action.size_bytes;
+                    self.send_group(ctx, EngineMsg::Action(action), size);
+                }
+            }
+            AfterSync::SendState { epoch } => {
+                if epoch == self.conf_epoch && self.state == EngineState::ExchangeStates {
+                    let sm = self.my_state_msg();
+                    let size = self.cfg.state_msg_bytes
+                        + (sm.progress.red_cut.len() as u32) * 12
+                        + (sm.yellow.set.len() as u32) * 12;
+                    self.send_group(ctx, EngineMsg::State(sm), size);
+                }
+            }
+            AfterSync::SendCpc { epoch } => {
+                if epoch == self.conf_epoch && self.state == EngineState::Construct {
+                    let conf = self.conf.as_ref().expect("in a configuration").id;
+                    let me = self.cfg.me;
+                    let size = self.cfg.cpc_msg_bytes;
+                    self.send_group(ctx, EngineMsg::Cpc { server: me, conf }, size);
+                }
+            }
+            AfterSync::Installed { epoch } | AfterSync::EnterNonPrim { epoch } => {
+                if epoch == self.conf_epoch
+                    && matches!(self.state, EngineState::RegPrim | EngineState::NonPrim)
+                {
+                    self.handle_buffered(ctx);
+                }
+            }
+            AfterSync::JoinedReady => {
+                if self.state == EngineState::Joining {
+                    self.state = EngineState::NonPrim;
+                    ctx.send_now(self.evs, EvsCmd::JoinGroup);
+                    ctx.trace(
+                        "engine",
+                        format!("{} finished bootstrap, joining group", self.cfg.me),
+                    );
+                }
+            }
+            AfterSync::Noop => {}
+        }
+    }
+
+    // ============================================================
+    // control: crash / recovery / join / leave
+    // ============================================================
+
+    fn on_ctl(&mut self, ctx: &mut Ctx<'_>, ctl: EngineCtl) {
+        match ctl {
+            EngineCtl::Crash => self.crash(ctx),
+            EngineCtl::Recover => self.recover(ctx),
+            EngineCtl::StartJoin { via } => self.start_join(ctx, via),
+            EngineCtl::Leave => {
+                if matches!(self.state, EngineState::RegPrim | EngineState::NonPrim) {
+                    self.generate_internal_action(
+                        ctx,
+                        ActionKind::PersistentLeave {
+                            leaver: self.cfg.me,
+                        },
+                    );
+                }
+            }
+            EngineCtl::RemoveReplica { dead } => {
+                if matches!(self.state, EngineState::RegPrim | EngineState::NonPrim) {
+                    self.generate_internal_action(
+                        ctx,
+                        ActionKind::PersistentLeave { leaver: dead },
+                    );
+                }
+            }
+        }
+    }
+
+    fn generate_internal_action(&mut self, ctx: &mut Ctx<'_>, kind: ActionKind) {
+        self.action_index += 1;
+        let action = Action {
+            id: ActionId {
+                server: self.cfg.me,
+                index: self.action_index,
+            },
+            green_line: self.green_count,
+            client: ClientId(0),
+            kind,
+            size_bytes: 64,
+        };
+        self.stats.actions_created += 1;
+        self.ongoing.push(action.clone());
+        self.persist_ongoing();
+        self.request_sync(ctx, AfterSync::Submit(vec![action]));
+    }
+
+    fn crash(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.trace("engine", format!("{} crashed", self.cfg.me));
+        self.store.crash();
+        self.state = EngineState::Down;
+        self.actions.clear();
+        self.green_count = 0;
+        self.green_floor = 0;
+        self.green_tail.clear();
+        self.green_cut.clear();
+        self.red_set.clear();
+        self.red_cut.clear();
+        self.stashed.clear();
+        self.green_lines.clear();
+        self.db = Database::new();
+        self.dirty_db = None;
+        self.conf = None;
+        self.conf_epoch += 1;
+        self.state_msgs.clear();
+        self.plan = None;
+        self.retrans_done.clear();
+        self.cpc_received.clear();
+        self.pending_replies.clear();
+        self.buffered_reqs.clear();
+        self.parked_strict.clear();
+        self.pending_syncs.clear();
+        self.pending_joins.clear();
+        self.cpu.reset();
+        self.ongoing.clear();
+        // prim_component / vulnerable / yellow / attempt / action_index
+        // are reloaded from stable storage on recovery.
+    }
+
+    /// `Recover` (CodeSegment A.13).
+    fn recover(&mut self, ctx: &mut Ctx<'_>) {
+        if self.departed {
+            return; // permanently removed replicas stay down
+        }
+        let persisted = persist::load(&self.store);
+        self.actions = persisted.actions;
+        self.green_floor = persisted.base.green_count;
+        self.green_count = persisted.base.green_count + persisted.green_tail.len() as u64;
+        self.green_tail = persisted.green_tail;
+        self.green_cut = persisted.green_cut;
+        self.red_set = persisted.red_set;
+        self.red_cut = persisted.red_cut;
+        self.green_lines = persisted.green_lines;
+        if let Some(prim) = persisted.prim_component {
+            self.prim_component = prim;
+        }
+        self.attempt_index = persisted.attempt_index;
+        self.vulnerable = persisted.vulnerable;
+        self.yellow = persisted.yellow;
+        self.action_index = persisted.action_index;
+        self.ongoing = persisted.ongoing;
+        if !persisted.server_set.is_empty() {
+            self.server_set = persisted.server_set;
+        }
+
+        // Rebuild the green database: base + green tail replay.
+        self.db = persisted.base.db;
+        let tail = self.green_tail.clone();
+        for id in tail {
+            if let Some(ActionKind::App { update, .. }) =
+                self.actions.get(&id).map(|a| a.kind.clone())
+            {
+                self.db.apply(&update);
+            }
+        }
+        self.dirty_db = None;
+        self.green_lines.insert(self.cfg.me, self.green_count);
+
+        // Re-accept own unacknowledged actions (A.13).
+        let ongoing = self.ongoing.clone();
+        for action in ongoing {
+            let have = self.red_cut.get(&action.id.server).copied().unwrap_or(0);
+            if have < action.id.index {
+                self.mark_red(ctx, &action);
+            }
+        }
+        self.state = EngineState::NonPrim;
+        self.persist_membership_records();
+        self.persist_ongoing();
+        self.request_sync(ctx, AfterSync::Noop);
+        ctx.send_now(self.evs, EvsCmd::Restart);
+        ctx.trace(
+            "engine",
+            format!(
+                "{} recovered: green {}, red {}, vulnerable {}",
+                self.cfg.me,
+                self.green_count,
+                self.red_set.len(),
+                self.vulnerable.valid
+            ),
+        );
+    }
+
+    /// CodeSegment 5.2: the joining site's bootstrap.
+    fn start_join(&mut self, ctx: &mut Ctx<'_>, via: NodeId) {
+        self.state = EngineState::Joining;
+        self.join_targets = self.cfg.server_set.clone();
+        if let Some(pos) = self.join_targets.iter().position(|&n| n == via) {
+            self.join_targets.swap(0, pos);
+        }
+        self.join_target_idx = 0;
+        let me = self.cfg.me;
+        self.send_transfer(ctx, via, TransferWire::JoinRequest { joiner: me });
+        ctx.send_self_after(SimDuration::from_millis(500), JoinRetry);
+    }
+
+    fn on_join_retry(&mut self, ctx: &mut Ctx<'_>) {
+        if self.state != EngineState::Joining || self.join_targets.is_empty() {
+            return;
+        }
+        // "If the initial peer fails or a network partition occurs
+        // before the transfer is finished, the new server will try to
+        // establish a connection with a different member" (§5.1).
+        self.join_target_idx = (self.join_target_idx + 1) % self.join_targets.len();
+        let target = self.join_targets[self.join_target_idx];
+        let me = self.cfg.me;
+        self.send_transfer(ctx, target, TransferWire::JoinRequest { joiner: me });
+        ctx.send_self_after(SimDuration::from_millis(500), JoinRetry);
+    }
+
+    fn on_transfer(&mut self, ctx: &mut Ctx<'_>, src: NodeId, wire: &TransferWire) {
+        match wire {
+            TransferWire::JoinRequest { joiner } => {
+                let joiner = *joiner;
+                if !matches!(self.state, EngineState::RegPrim | EngineState::NonPrim) {
+                    return; // not in a position to represent anyone
+                }
+                if self.server_set.contains(&joiner) {
+                    // Join already ordered: resume/redo the transfer
+                    // from current state (line 21).
+                    self.send_snapshot_to(ctx, joiner);
+                } else if self.pending_joins.insert(joiner) {
+                    // Announce the newcomer (lines 17-19); duplicate
+                    // bootstrap retries while our announcement is still
+                    // in flight are absorbed here, and late duplicate
+                    // announcements from other representatives are
+                    // ignored when they turn green (CodeSegment 5.1).
+                    self.generate_internal_action(ctx, ActionKind::PersistentJoin { joiner });
+                }
+            }
+            TransferWire::Snapshot {
+                db,
+                green_count,
+                green_lines,
+                red_cut,
+                server_set,
+                prim_component,
+                action_index,
+            } => {
+                if self.state != EngineState::Joining {
+                    return;
+                }
+                ctx.trace(
+                    "engine",
+                    format!(
+                        "{} received transfer from {} at green {}",
+                        self.cfg.me, src, green_count
+                    ),
+                );
+                self.adopt_base(db.clone(), *green_count, red_cut.clone());
+                self.green_lines = green_lines.clone();
+                self.green_lines.insert(self.cfg.me, self.green_count);
+                self.server_set = server_set.clone();
+                self.server_set.insert(self.cfg.me);
+                self.prim_component = prim_component.clone();
+                self.action_index = (*action_index).max(self.action_index);
+                self.persist_membership_records();
+                self.persist_ongoing();
+                // Persist the inherited state, then join the group.
+                self.request_sync(ctx, AfterSync::JoinedReady);
+            }
+        }
+    }
+}
+
+impl Actor for ReplicationEngine {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.try_downcast::<EvsEvent>() {
+            Ok(event) => {
+                if self.state == EngineState::Down {
+                    return;
+                }
+                match event {
+                    EvsEvent::RegConf(conf) => self.on_reg_conf(ctx, conf),
+                    EvsEvent::TransConf(_) => self.on_trans_conf(ctx),
+                    EvsEvent::Deliver(d) => self.on_delivery(ctx, d),
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<DiskDone>() {
+            Ok(done) => {
+                if self.state != EngineState::Down {
+                    self.on_disk_done(ctx, done.token);
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<ClientRequest>() {
+            Ok(req) => {
+                self.on_client_request(ctx, req);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<Datagram>() {
+            Ok(dgram) => {
+                if self.state == EngineState::Down {
+                    return;
+                }
+                if let Some(wire) = dgram.payload.downcast_ref::<TransferWire>() {
+                    self.on_transfer(ctx, dgram.src, wire);
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<JoinRetry>() {
+            Ok(_) => {
+                self.on_join_retry(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<EngineCtl>() {
+            Some(ctl) => self.on_ctl(ctx, ctl),
+            None => panic!("ReplicationEngine received an unknown payload type"),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationEngine")
+            .field("me", &self.cfg.me)
+            .field("state", &self.state)
+            .field("green", &self.green_count)
+            .field("red", &self.red_set.len())
+            .field("prim", &self.prim_component.prim_index)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,286 @@
+//! The action-exchange plan computed from the State messages of an
+//! exchange round.
+//!
+//! When a new configuration's members have all shared their State
+//! messages, every server deterministically computes the same
+//! [`RetransPlan`]: which member retransmits the green suffix (the
+//! most-updated server) and which member retransmits each creator's
+//! missing red actions. Retransmissions flow through the group
+//! communication layer, so all members receive them in one agreed order;
+//! each planned sender finishes with a `RetransDone` marker, and the
+//! round completes when every marker arrived.
+//!
+//! Facts that keep the plan small and duplicate-free:
+//!
+//! * green prefixes are consistent across servers (Global Total Order),
+//!   so one sender covers everyone by sending positions
+//!   `(min green, max green]`;
+//! * an action that is green at its red-range holder is *provably*
+//!   covered by the green path (a member lacking it must have a green
+//!   line below its position), so red holders transmit only actions that
+//!   are red at them;
+//! * a server that inherited a database snapshot (an online-joined
+//!   replica, §5.1) lacks green *bodies* below its `green_floor`; if no
+//!   most-updated member can serve the whole needed range from bodies,
+//!   the plan falls back to a **green-state snapshot** over the group —
+//!   the receivers "inherit a database state which incorporated the
+//!   effect of these actions", exactly the clause Theorem 2 (Global FIFO
+//!   Order, dynamic) admits.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use todr_net::NodeId;
+
+/// The exchange-relevant part of one member's State message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberProgress {
+    /// The reporting server.
+    pub server: NodeId,
+    /// Number of actions it has marked green.
+    pub green_count: u64,
+    /// Lowest green position it still holds a body for (`0` unless the
+    /// server bootstrapped from a snapshot).
+    pub green_floor: u64,
+    /// Its `redCut`: per creator, the highest contiguous action index it
+    /// holds.
+    pub red_cut: BTreeMap<NodeId, u64>,
+}
+
+/// How the green suffix is brought to everyone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GreenPath {
+    /// Nothing to do: all members share the same green line.
+    None,
+    /// `(sender, from_pos, to_pos)`: the sender retransmits green
+    /// positions `from_pos..to_pos` (0-based, half-open).
+    Retrans(NodeId, u64, u64),
+    /// No eligible sender holds all needed bodies: `sender` transfers
+    /// its green database state (plus bookkeeping) instead.
+    Snapshot(NodeId),
+}
+
+/// Who must retransmit what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetransPlan {
+    /// Green suffix transfer.
+    pub green: GreenPath,
+    /// Per creator with divergent red cuts: `(sender, creator,
+    /// from_index, to_index)` — indices are 1-based and inclusive, like
+    /// action ids. Senders transmit only the actions in range that are
+    /// red at them (green ones are covered by the green path).
+    pub red: Vec<(NodeId, NodeId, u64, u64)>,
+    /// Every server that must send a `RetransDone` marker.
+    pub senders: BTreeSet<NodeId>,
+}
+
+impl Default for RetransPlan {
+    fn default() -> Self {
+        RetransPlan {
+            green: GreenPath::None,
+            red: Vec::new(),
+            senders: BTreeSet::new(),
+        }
+    }
+}
+
+impl RetransPlan {
+    /// Whether nothing needs to be exchanged.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+}
+
+/// Computes the deterministic retransmission plan. Every member runs
+/// this on identical inputs (the full set of State messages) and obtains
+/// the identical plan.
+pub fn retrans_plan(states: &[MemberProgress]) -> RetransPlan {
+    assert!(!states.is_empty(), "retrans plan needs >= 1 member");
+    let mut plan = RetransPlan::default();
+
+    // Green suffix: a most-updated member (ties -> smallest id) brings
+    // everyone up to the maximum green line, provided it still holds the
+    // bodies; otherwise it transfers its green state.
+    let min_green = states.iter().map(|s| s.green_count).min().unwrap();
+    let max_green = states.iter().map(|s| s.green_count).max().unwrap();
+    if max_green > min_green {
+        let eligible = states
+            .iter()
+            .filter(|s| s.green_count == max_green && s.green_floor <= min_green)
+            .map(|s| s.server)
+            .min();
+        let sender = match eligible {
+            Some(sender) => {
+                plan.green = GreenPath::Retrans(sender, min_green, max_green);
+                sender
+            }
+            None => {
+                let sender = states
+                    .iter()
+                    .filter(|s| s.green_count == max_green)
+                    .map(|s| s.server)
+                    .min()
+                    .unwrap();
+                plan.green = GreenPath::Snapshot(sender);
+                sender
+            }
+        };
+        plan.senders.insert(sender);
+    }
+
+    // Red ranges per creator.
+    let creators: BTreeSet<NodeId> = states
+        .iter()
+        .flat_map(|s| s.red_cut.keys().copied())
+        .collect();
+    for creator in creators {
+        let cut = |s: &MemberProgress| s.red_cut.get(&creator).copied().unwrap_or(0);
+        let min_cut = states.iter().map(cut).min().unwrap();
+        let max_cut = states.iter().map(cut).max().unwrap();
+        if max_cut > min_cut {
+            let sender = states
+                .iter()
+                .filter(|s| cut(s) == max_cut)
+                .map(|s| s.server)
+                .min()
+                .unwrap();
+            plan.red.push((sender, creator, min_cut + 1, max_cut));
+            plan.senders.insert(sender);
+        }
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn member(server: u32, green: u64, cuts: &[(u32, u64)]) -> MemberProgress {
+        MemberProgress {
+            server: n(server),
+            green_count: green,
+            green_floor: 0,
+            red_cut: cuts.iter().map(|&(s, c)| (n(s), c)).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_states_need_no_exchange() {
+        let states = vec![
+            member(0, 5, &[(0, 3), (1, 2)]),
+            member(1, 5, &[(0, 3), (1, 2)]),
+        ];
+        let plan = retrans_plan(&states);
+        assert!(plan.is_empty());
+        assert_eq!(plan.green, GreenPath::None);
+        assert!(plan.red.is_empty());
+    }
+
+    #[test]
+    fn most_green_member_sends_suffix() {
+        let states = vec![member(0, 3, &[]), member(1, 7, &[]), member(2, 5, &[])];
+        let plan = retrans_plan(&states);
+        assert_eq!(plan.green, GreenPath::Retrans(n(1), 3, 7));
+        assert_eq!(plan.senders, [n(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn green_ties_resolve_to_smallest_id() {
+        let states = vec![member(2, 7, &[]), member(1, 7, &[]), member(0, 3, &[])];
+        let plan = retrans_plan(&states);
+        assert_eq!(plan.green, GreenPath::Retrans(n(1), 3, 7));
+    }
+
+    #[test]
+    fn red_ranges_are_per_creator() {
+        let states = vec![
+            member(0, 2, &[(0, 5), (1, 1)]),
+            member(1, 2, &[(0, 2), (1, 4)]),
+        ];
+        let plan = retrans_plan(&states);
+        assert_eq!(plan.green, GreenPath::None);
+        assert_eq!(plan.red, vec![(n(0), n(0), 3, 5), (n(1), n(1), 2, 4)]);
+        assert_eq!(plan.senders, [n(0), n(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn missing_red_cut_entries_count_as_zero() {
+        // Member 1 has never heard of creator 2.
+        let states = vec![member(0, 0, &[(2, 4)]), member(1, 0, &[])];
+        let plan = retrans_plan(&states);
+        assert_eq!(plan.red, vec![(n(0), n(2), 1, 4)]);
+    }
+
+    #[test]
+    fn plan_is_identical_regardless_of_input_order() {
+        let a = vec![
+            member(0, 3, &[(0, 5)]),
+            member(1, 7, &[(0, 2)]),
+            member(2, 5, &[(0, 9)]),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(retrans_plan(&a), retrans_plan(&b));
+    }
+
+    #[test]
+    fn same_server_can_send_green_and_red() {
+        let states = vec![
+            member(0, 9, &[(0, 9), (1, 3)]),
+            member(1, 4, &[(0, 4), (1, 3)]),
+        ];
+        let plan = retrans_plan(&states);
+        assert_eq!(plan.green, GreenPath::Retrans(n(0), 4, 9));
+        assert_eq!(plan.red, vec![(n(0), n(0), 5, 9)]);
+        assert_eq!(plan.senders.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_fallback_when_sender_lacks_bodies() {
+        // The most-updated member joined online at green position 800:
+        // it cannot serve a member stuck at 500 from bodies.
+        let joiner = MemberProgress {
+            server: n(9),
+            green_count: 1000,
+            green_floor: 800,
+            red_cut: BTreeMap::new(),
+        };
+        let laggard = member(1, 500, &[]);
+        let plan = retrans_plan(&[joiner, laggard]);
+        assert_eq!(plan.green, GreenPath::Snapshot(n(9)));
+        assert_eq!(plan.senders, [n(9)].into_iter().collect());
+    }
+
+    #[test]
+    fn floor_below_min_green_is_harmless() {
+        let joiner = MemberProgress {
+            server: n(9),
+            green_count: 1000,
+            green_floor: 800,
+            red_cut: BTreeMap::new(),
+        };
+        // The laggard is above the joiner's floor: bodies suffice.
+        let laggard = member(1, 900, &[]);
+        let plan = retrans_plan(&[joiner, laggard]);
+        assert_eq!(plan.green, GreenPath::Retrans(n(9), 900, 1000));
+    }
+
+    #[test]
+    fn another_full_member_preferred_over_snapshot() {
+        let joiner = MemberProgress {
+            server: n(0),
+            green_count: 1000,
+            green_floor: 800,
+            red_cut: BTreeMap::new(),
+        };
+        let full = member(1, 1000, &[]); // floor 0, same green line
+        let laggard = member(2, 500, &[]);
+        let plan = retrans_plan(&[joiner, full, laggard]);
+        assert_eq!(plan.green, GreenPath::Retrans(n(1), 500, 1000));
+    }
+}

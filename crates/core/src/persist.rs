@@ -1,0 +1,254 @@
+//! What the engine writes to stable storage and how it recovers.
+//!
+//! The engine persists two kinds of data through [`StableStore`]:
+//!
+//! * an **append-only log** of [`PersistEntry`] values — every action
+//!   body once (when first accepted, i.e. marked red) and every green
+//!   transition (by id);
+//! * small **records**: the primary component, the attempt index, the
+//!   vulnerable and yellow records, green lines, the server set, the
+//!   creator counter and the `ongoingQueue`.
+//!
+//! All writes are staged; the engine's `** sync to disk` points request a
+//! forced write from the [`DiskActor`](todr_storage::DiskActor) and the
+//! staging area is committed when the platter write completes. A crash
+//! discards staged data, so recovery sees exactly the state as of the
+//! last completed sync — which is the assumption the paper's recovery
+//! procedure (Appendix A, CodeSegment A.13) is built on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use todr_net::NodeId;
+use todr_storage::StableStore;
+
+use crate::action::{Action, ActionId};
+use crate::quorum::{PrimComponent, VulnerableRecord, YellowRecord};
+
+/// One entry in the persisted action log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum PersistEntry {
+    /// An action body, logged when the action is first accepted.
+    Accepted(Action),
+    /// The action became green (global order position implied by entry
+    /// order).
+    Green(ActionId),
+}
+
+/// The base image a server's log builds on: empty for original members;
+/// replaced when a server bootstraps from a snapshot (online join, or a
+/// green-state snapshot received during exchange). The action log is
+/// truncated when the base is written, so recovery = base + log replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct BaseRecord {
+    /// Green database state.
+    pub db: todr_db::Database,
+    /// Green actions incorporated in `db`.
+    pub green_count: u64,
+    /// Per creator, the highest action index incorporated in `db`.
+    pub green_cut: BTreeMap<NodeId, u64>,
+}
+
+/// Record keys.
+pub(crate) const K_BASE: &str = "base";
+pub(crate) const K_PRIM: &str = "prim_component";
+pub(crate) const K_ATTEMPT: &str = "attempt_index";
+pub(crate) const K_VULNERABLE: &str = "vulnerable";
+pub(crate) const K_YELLOW: &str = "yellow";
+pub(crate) const K_GREEN_LINES: &str = "green_lines";
+pub(crate) const K_SERVER_SET: &str = "server_set";
+pub(crate) const K_ACTION_INDEX: &str = "action_index";
+pub(crate) const K_ONGOING: &str = "ongoing";
+
+/// Everything recovery can reconstruct from a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PersistedState {
+    /// The base image (see [`BaseRecord`]).
+    pub base: BaseRecord,
+    pub actions: BTreeMap<ActionId, Action>,
+    /// Green tail: ids of green actions *after* the base, in order
+    /// (position `base.green_count + i`).
+    pub green_tail: Vec<ActionId>,
+    /// Red actions (accepted, not green), in `ActionId` order.
+    pub red_set: BTreeSet<ActionId>,
+    /// Per creator, highest contiguous accepted index.
+    pub red_cut: BTreeMap<NodeId, u64>,
+    /// Per creator, highest green action index.
+    pub green_cut: BTreeMap<NodeId, u64>,
+    pub prim_component: Option<PrimComponent>,
+    pub attempt_index: u64,
+    pub vulnerable: VulnerableRecord,
+    pub yellow: YellowRecord,
+    pub green_lines: BTreeMap<NodeId, u64>,
+    pub server_set: BTreeSet<NodeId>,
+    pub action_index: u64,
+    pub ongoing: Vec<Action>,
+}
+
+/// Reads the persisted image back (after a simulated crash).
+///
+/// # Panics
+///
+/// Panics if the store contents are corrupt — that would be a bug in the
+/// engine, not an environmental condition.
+pub(crate) fn load(store: &StableStore) -> PersistedState {
+    let base: BaseRecord = store
+        .get_record(K_BASE)
+        .expect("corrupt base record")
+        .unwrap_or_default();
+    let entries: Vec<PersistEntry> = store
+        .log_iter_typed()
+        .expect("corrupt persisted action log");
+    let mut actions = BTreeMap::new();
+    let mut green_tail = Vec::new();
+    let mut red_set = BTreeSet::new();
+    let mut red_cut: BTreeMap<NodeId, u64> = base.green_cut.clone();
+    let mut green_cut: BTreeMap<NodeId, u64> = base.green_cut.clone();
+    for entry in entries {
+        match entry {
+            PersistEntry::Accepted(action) => {
+                let id = action.id;
+                let cut = red_cut.entry(id.server).or_insert(0);
+                debug_assert_eq!(*cut + 1, id.index, "non-contiguous persisted log");
+                *cut = id.index;
+                red_set.insert(id);
+                actions.insert(id, action);
+            }
+            PersistEntry::Green(id) => {
+                red_set.remove(&id);
+                let cut = green_cut.entry(id.server).or_insert(0);
+                debug_assert!(*cut < id.index, "green regression in persisted log");
+                *cut = id.index;
+                green_tail.push(id);
+            }
+        }
+    }
+
+    let rec = |key: &str| -> Option<_> { store.get_record(key).expect("corrupt record") };
+    PersistedState {
+        base,
+        actions,
+        green_tail,
+        red_set,
+        red_cut,
+        green_cut,
+        prim_component: store.get_record(K_PRIM).expect("corrupt record"),
+        attempt_index: rec(K_ATTEMPT).unwrap_or(0),
+        vulnerable: store
+            .get_record(K_VULNERABLE)
+            .expect("corrupt record")
+            .unwrap_or_else(VulnerableRecord::invalid),
+        yellow: store
+            .get_record(K_YELLOW)
+            .expect("corrupt record")
+            .unwrap_or_else(YellowRecord::invalid),
+        green_lines: store
+            .get_record(K_GREEN_LINES)
+            .expect("corrupt record")
+            .unwrap_or_default(),
+        server_set: store
+            .get_record(K_SERVER_SET)
+            .expect("corrupt record")
+            .unwrap_or_default(),
+        action_index: rec(K_ACTION_INDEX).unwrap_or(0),
+        ongoing: store
+            .get_record(K_ONGOING)
+            .expect("corrupt record")
+            .unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionKind, ClientId};
+    use todr_db::Op;
+
+    fn action(server: u32, index: u64) -> Action {
+        Action {
+            id: ActionId {
+                server: NodeId::new(server),
+                index,
+            },
+            green_line: 0,
+            client: ClientId(1),
+            kind: ActionKind::App {
+                query: None,
+                update: Op::put("t", format!("{server}-{index}"), 1i64),
+            },
+            size_bytes: 200,
+        }
+    }
+
+    #[test]
+    fn load_from_empty_store_gives_defaults() {
+        let store = StableStore::new();
+        let st = load(&store);
+        assert!(st.actions.is_empty());
+        assert!(st.green_tail.is_empty());
+        assert_eq!(st.attempt_index, 0);
+        assert!(!st.vulnerable.valid);
+        assert_eq!(st.action_index, 0);
+    }
+
+    #[test]
+    fn log_replay_rebuilds_colors() {
+        let mut store = StableStore::new();
+        let a1 = action(0, 1);
+        let a2 = action(0, 2);
+        let b1 = action(1, 1);
+        store
+            .append_log_typed(&PersistEntry::Accepted(a1.clone()))
+            .unwrap();
+        store
+            .append_log_typed(&PersistEntry::Accepted(b1.clone()))
+            .unwrap();
+        store.append_log_typed(&PersistEntry::Green(a1.id)).unwrap();
+        store
+            .append_log_typed(&PersistEntry::Accepted(a2.clone()))
+            .unwrap();
+        store.commit_staged();
+        let st = load(&store);
+        assert_eq!(st.green_tail, vec![a1.id]);
+        assert_eq!(
+            st.red_set.iter().copied().collect::<Vec<_>>(),
+            vec![a2.id, b1.id] // ActionId order: (n0,2) < (n1,1)
+        );
+        assert_eq!(st.red_cut[&NodeId::new(0)], 2);
+        assert_eq!(st.red_cut[&NodeId::new(1)], 1);
+        assert_eq!(st.actions.len(), 3);
+    }
+
+    #[test]
+    fn staged_entries_vanish_on_crash() {
+        let mut store = StableStore::new();
+        store
+            .append_log_typed(&PersistEntry::Accepted(action(0, 1)))
+            .unwrap();
+        store.commit_staged();
+        store
+            .append_log_typed(&PersistEntry::Accepted(action(0, 2)))
+            .unwrap();
+        store.crash();
+        let st = load(&store);
+        assert_eq!(st.actions.len(), 1);
+        assert_eq!(st.red_cut[&NodeId::new(0)], 1);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let mut store = StableStore::new();
+        let prim = PrimComponent::initial((0..3).map(NodeId::new));
+        store.put_record(K_PRIM, &prim).unwrap();
+        store.put_record(K_ATTEMPT, &7u64).unwrap();
+        let vul = VulnerableRecord::new_attempt(1, 2, (0..2).map(NodeId::new));
+        store.put_record(K_VULNERABLE, &vul).unwrap();
+        store.put_record(K_ONGOING, &vec![action(0, 1)]).unwrap();
+        store.commit_staged();
+        let st = load(&store);
+        assert_eq!(st.prim_component, Some(prim));
+        assert_eq!(st.attempt_index, 7);
+        assert_eq!(st.vulnerable, vul);
+        assert_eq!(st.ongoing.len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Application-semantics knobs (§6 of the paper).
+//!
+//! The engine enforces one-copy serializability by default: updates are
+//! acknowledged when green, queries are answered from green state in the
+//! primary component. Applications that can tolerate weaker guarantees
+//! opt in per request:
+//!
+//! * **weak queries** read the green (consistent but possibly obsolete)
+//!   state even in a non-primary component;
+//! * **dirty queries** additionally see the red actions known locally;
+//! * **timestamp / commutative updates** are acknowledged as soon as the
+//!   action is red — the database states converge once partitions heal,
+//!   because such updates are order-insensitive ([`todr_db::Op::TsPut`],
+//!   [`todr_db::Op::Incr`]).
+
+use serde::{Deserialize, Serialize};
+
+/// How the query part of a request is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QuerySemantics {
+    /// One-copy serializable: answered in the primary component when the
+    /// action is ordered; waits (or is rejected) in a non-primary
+    /// component.
+    #[default]
+    Strict,
+    /// Answered immediately from the green state, which may be obsolete
+    /// in a non-primary component.
+    Weak,
+    /// Answered immediately from the green state *plus* locally known
+    /// red actions (the "dirty version" of the database).
+    Dirty,
+}
+
+/// When the update part of a request is acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum UpdateReplyPolicy {
+    /// When the action is green (global persistent order) — the strict
+    /// model.
+    #[default]
+    OnGreen,
+    /// When the action is locally ordered (red). Only sound for
+    /// commutative or timestamped updates; the engine still propagates
+    /// and orders the action, so states converge after merges.
+    OnRed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_strict() {
+        assert_eq!(QuerySemantics::default(), QuerySemantics::Strict);
+        assert_eq!(UpdateReplyPolicy::default(), UpdateReplyPolicy::OnGreen);
+    }
+}

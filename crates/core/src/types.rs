@@ -1,0 +1,235 @@
+//! Public message and configuration types of the engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use todr_db::{Database, Op, Query, QueryResult};
+use todr_net::NodeId;
+use todr_sim::{ActorId, SimDuration, SimTime};
+
+use crate::action::{ActionId, ClientId};
+use crate::quorum::PrimComponent;
+use crate::semantics::{QuerySemantics, UpdateReplyPolicy};
+
+/// The knowledge level attached to an action at one server (§3, Figure
+/// 1/3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Color {
+    /// Ordered within the local component only.
+    Red,
+    /// Delivered in a transitional configuration of a primary component:
+    /// globally ordered, but the server cannot tell whether the next
+    /// primary saw it.
+    Yellow,
+    /// Global order known; applied to the database.
+    Green,
+    /// Known green at every server; discardable.
+    White,
+}
+
+/// Identifier a client attaches to a request to match the reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// A client request submitted to a replication server.
+#[derive(Debug, Clone)]
+pub struct ClientRequest {
+    /// Request correlation id (unique per client).
+    pub request: RequestId,
+    /// The submitting client.
+    pub client: ClientId,
+    /// The actor to send the [`ClientReply`] to.
+    pub reply_to: ActorId,
+    /// Optional query part, answered at this server.
+    pub query: Option<Query>,
+    /// Update part ([`Op::Noop`] for query-only requests).
+    pub update: Op,
+    /// How queries should be served (§6).
+    pub query_semantics: QuerySemantics,
+    /// When the update part may be acknowledged (§6).
+    pub reply_policy: UpdateReplyPolicy,
+    /// Modelled request size in bytes.
+    pub size_bytes: u32,
+}
+
+/// The engine's answer to a [`ClientRequest`].
+#[derive(Debug, Clone)]
+pub enum ClientReply {
+    /// The action reached the global persistent order (or, under a
+    /// relaxed reply policy, the locally sufficient order) and was
+    /// applied.
+    Committed {
+        /// The request this answers.
+        request: RequestId,
+        /// The action id the request was assigned.
+        action: ActionId,
+        /// Answer to the query part, if one was present.
+        result: Option<QueryResult>,
+        /// Virtual time at which the request was submitted.
+        submitted_at: SimTime,
+    },
+    /// Answer to a weak or dirty query (no global ordering involved).
+    QueryAnswer {
+        /// The request this answers.
+        request: RequestId,
+        /// The result.
+        result: QueryResult,
+        /// Whether red actions were visible ([`QuerySemantics::Dirty`]).
+        dirty: bool,
+    },
+    /// The request cannot be served under the requested semantics right
+    /// now (e.g. a strict query in a non-primary component would block
+    /// indefinitely and the client asked not to wait).
+    Rejected {
+        /// The request this answers.
+        request: RequestId,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+/// Harness / operator control events for an engine actor.
+#[derive(Debug, Clone)]
+pub enum EngineCtl {
+    /// Simulated process crash: volatile state is lost, stable storage
+    /// survives.
+    Crash,
+    /// Recover from stable storage (CodeSegment A.13) and rejoin the
+    /// group.
+    Recover,
+    /// Begin the online-join bootstrap (§5.1, CodeSegment 5.2): connect
+    /// to `via`, obtain a `PERSISTENT_JOIN` + database transfer, then
+    /// join the replicated group.
+    StartJoin {
+        /// An existing member to use as the first representative.
+        via: NodeId,
+    },
+    /// Broadcast a `PERSISTENT_LEAVE` for this server (§5.1).
+    Leave,
+    /// Administratively remove a (dead) replica by broadcasting a
+    /// `PERSISTENT_LEAVE` on its behalf (footnote 3 of the paper).
+    RemoveReplica {
+        /// The replica to remove.
+        dead: NodeId,
+    },
+}
+
+/// Messages exchanged directly (outside the group) for the online-join
+/// database transfer.
+#[derive(Debug, Clone)]
+pub enum TransferWire {
+    /// Joiner → member: please represent me (or resume my transfer).
+    JoinRequest {
+        /// The joining server.
+        joiner: NodeId,
+    },
+    /// Representative → joiner: the current green database state and the
+    /// bookkeeping needed to start replicating.
+    Snapshot {
+        /// Green database snapshot.
+        db: Database,
+        /// Number of green actions incorporated in `db`.
+        green_count: u64,
+        /// Green lines as known at the representative.
+        green_lines: BTreeMap<NodeId, u64>,
+        /// Red cut at the representative's green point (for duplicate
+        /// suppression of already-incorporated actions).
+        red_cut: BTreeMap<NodeId, u64>,
+        /// The server set including the joiner.
+        server_set: BTreeSet<NodeId>,
+        /// The representative's last known primary component.
+        prim_component: PrimComponent,
+        /// The joiner's own creator counter starting point (0 for new
+        /// replicas).
+        action_index: u64,
+    },
+}
+
+/// Tuning knobs and identity of a [`ReplicationEngine`](crate::ReplicationEngine).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// This server's node id.
+    pub me: NodeId,
+    /// The initial replica set (the paper's static set `S`; it can
+    /// change later through joins/leaves).
+    pub server_set: Vec<NodeId>,
+    /// Per-server voting weights for dynamic linear voting (absent =>
+    /// weight 1).
+    pub weights: BTreeMap<NodeId, u64>,
+    /// Modelled CPU time to process one action at a replica (ordering,
+    /// logging, applying). This is what caps the delayed-writes
+    /// throughput in Figure 5(b).
+    pub cpu_per_action: SimDuration,
+    /// Whether this engine starts as a member (true) or joins online
+    /// later via [`EngineCtl::StartJoin`] (false).
+    pub initial_member: bool,
+    /// Modelled size of a State message in bytes.
+    pub state_msg_bytes: u32,
+    /// Modelled size of a CPC message in bytes.
+    pub cpc_msg_bytes: u32,
+    /// Auto-checkpoint period, in green actions: every `interval`-th
+    /// green action triggers white-line garbage collection and log
+    /// compaction (`0` disables; see
+    /// [`ReplicationEngine::checkpoint`](crate::ReplicationEngine::checkpoint)).
+    pub checkpoint_interval: u64,
+}
+
+impl EngineConfig {
+    /// A default configuration for server `me` among `server_set`.
+    pub fn new(me: NodeId, server_set: Vec<NodeId>) -> Self {
+        EngineConfig {
+            me,
+            server_set,
+            weights: BTreeMap::new(),
+            cpu_per_action: SimDuration::from_micros(380),
+            initial_member: true,
+            state_msg_bytes: 256,
+            cpc_msg_bytes: 64,
+            checkpoint_interval: 1024,
+        }
+    }
+}
+
+/// Counters maintained by the engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Actions created at this server.
+    pub actions_created: u64,
+    /// Actions marked red (first acceptance).
+    pub marked_red: u64,
+    /// Actions marked yellow.
+    pub marked_yellow: u64,
+    /// Actions marked green (applied to the database).
+    pub marked_green: u64,
+    /// Forced-write (sync) requests issued.
+    pub syncs_requested: u64,
+    /// Client replies sent.
+    pub replies_sent: u64,
+    /// Primary components this server participated in installing.
+    pub primaries_installed: u64,
+    /// Exchange rounds completed.
+    pub exchanges_completed: u64,
+    /// Actions retransmitted to peers during exchanges.
+    pub retransmitted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_ordering_matches_knowledge_progression() {
+        assert!(Color::Red < Color::Yellow);
+        assert!(Color::Yellow < Color::Green);
+        assert!(Color::Green < Color::White);
+    }
+
+    #[test]
+    fn engine_config_defaults() {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let cfg = EngineConfig::new(nodes[0], nodes.clone());
+        assert!(cfg.initial_member);
+        assert_eq!(cfg.server_set.len(), 3);
+        assert!(cfg.weights.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! # todr-db — the deterministic replicated-database substrate
+//!
+//! The paper's replication engine treats the database as a deterministic
+//! state machine (§2.2): *"an action defines a transition from the current
+//! state of the database to the next state; the next state is completely
+//! determined by the current state and the action."* This crate provides
+//! that state machine:
+//!
+//! * [`Database`] — named tables of key/value rows with a deterministic
+//!   [`Database::apply`] for update operations and [`Database::query`] for
+//!   reads;
+//! * [`Op`] — the update part of an action, covering every semantic class
+//!   discussed in §6 of the paper: plain puts/deletes, **commutative**
+//!   increments, **timestamp** (last-writer-wins) puts, **active**
+//!   transactions (deterministic stored procedures, [`procs`]), and the
+//!   two-action emulation of **interactive** transactions
+//!   ([`Op::Checked`]: apply updates only if previously-read values are
+//!   unchanged, otherwise the action deterministically aborts everywhere);
+//! * [`Query`] — the query part of an action;
+//! * content [`Database::digest`]s and snapshots for state transfer to
+//!   joining replicas and for cross-replica consistency checking in tests.
+//!
+//! The database is intentionally simple — the paper's evaluation bypasses
+//! the DBMS entirely ("clients receive responses when the actions are
+//! globally ordered, without any interaction with a database", §7) — but
+//! it is complete enough that every engine code path (green apply, red
+//! dirty views, state transfer on `PERSISTENT_JOIN`) operates on real
+//! state.
+//!
+//! ```
+//! use todr_db::{Database, Op, Query, QueryResult, Value};
+//!
+//! let mut db = Database::new();
+//! db.apply(&Op::put("accounts", "alice", Value::Int(100)));
+//! db.apply(&Op::incr("accounts", "alice", -30));
+//! assert_eq!(
+//!     db.query(&Query::get("accounts", "alice")),
+//!     QueryResult::Value(Some(Value::Int(70))),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod op;
+pub mod procs;
+mod value;
+
+pub use database::{ApplyOutcome, Database, TableStats};
+pub use op::{Op, Query, QueryResult};
+pub use value::Value;

@@ -1,0 +1,259 @@
+//! Update operations (the update part of an action) and queries (the
+//! query part).
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// The update part of an action: a deterministic database transition.
+///
+/// The variants map onto the application-semantics classes of §6 of the
+/// paper; see the crate docs for the correspondence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Store `value` under `(table, key)`, creating the table/row as
+    /// needed.
+    Put {
+        /// Target table.
+        table: String,
+        /// Row key.
+        key: String,
+        /// New value.
+        value: Value,
+    },
+    /// Remove the row `(table, key)` if present.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row key.
+        key: String,
+    },
+    /// Add `delta` to the integer at `(table, key)` (missing rows count
+    /// as 0). Increments **commute**, so applications using only `Incr`
+    /// can accept the commutative relaxed semantics of §6.
+    Incr {
+        /// Target table.
+        table: String,
+        /// Row key.
+        key: String,
+        /// Signed amount to add.
+        delta: i64,
+    },
+    /// Last-writer-wins put: applied only if `ts` is strictly greater
+    /// than the timestamp of the current row (§6 "timestamp update
+    /// semantics", e.g. location tracking).
+    TsPut {
+        /// Target table.
+        table: String,
+        /// Row key.
+        key: String,
+        /// New value.
+        value: Value,
+        /// Application timestamp.
+        ts: u64,
+    },
+    /// An **active** transaction (§6): invoke the named deterministic
+    /// stored procedure *at ordering time*. The procedure sees the
+    /// current database state; see [`procs`](crate::procs) for the
+    /// registry.
+    Proc {
+        /// Registered procedure name.
+        name: String,
+        /// Procedure arguments.
+        args: Vec<Value>,
+    },
+    /// The second half of an **interactive** transaction (§6): apply
+    /// `then` only if every `(table, key)` listed in `expect` still holds
+    /// the recorded value; otherwise the action aborts — identically at
+    /// every replica, since all replicas evaluate the same rule on the
+    /// same state.
+    Checked {
+        /// Values the first (read) action observed.
+        expect: Vec<(String, String, Option<Value>)>,
+        /// Updates to apply if the expectation holds.
+        then: Vec<Op>,
+    },
+    /// Several updates applied atomically in order.
+    Batch(Vec<Op>),
+    /// No update part (query-only action).
+    Noop,
+}
+
+impl Op {
+    /// Convenience constructor for [`Op::Put`].
+    pub fn put(table: impl Into<String>, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        Op::Put {
+            table: table.into(),
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Op::Delete`].
+    pub fn delete(table: impl Into<String>, key: impl Into<String>) -> Self {
+        Op::Delete {
+            table: table.into(),
+            key: key.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Op::Incr`].
+    pub fn incr(table: impl Into<String>, key: impl Into<String>, delta: i64) -> Self {
+        Op::Incr {
+            table: table.into(),
+            key: key.into(),
+            delta,
+        }
+    }
+
+    /// Convenience constructor for [`Op::TsPut`].
+    pub fn ts_put(
+        table: impl Into<String>,
+        key: impl Into<String>,
+        value: impl Into<Value>,
+        ts: u64,
+    ) -> Self {
+        Op::TsPut {
+            table: table.into(),
+            key: key.into(),
+            value: value.into(),
+            ts,
+        }
+    }
+
+    /// Convenience constructor for [`Op::Proc`].
+    pub fn proc(name: impl Into<String>, args: Vec<Value>) -> Self {
+        Op::Proc {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// Whether this op (recursively) consists only of commutative
+    /// updates ([`Op::Incr`] / [`Op::Noop`]); such actions are safe under
+    /// the commutative relaxed semantics of §6.
+    pub fn is_commutative(&self) -> bool {
+        match self {
+            Op::Incr { .. } | Op::Noop => true,
+            Op::Batch(ops) => ops.iter().all(Op::is_commutative),
+            _ => false,
+        }
+    }
+
+    /// Whether this op (recursively) consists only of timestamped
+    /// updates ([`Op::TsPut`] / [`Op::Noop`]); such actions converge
+    /// under the timestamp relaxed semantics of §6.
+    pub fn is_timestamped(&self) -> bool {
+        match self {
+            Op::TsPut { .. } | Op::Noop => true,
+            Op::Batch(ops) => ops.iter().all(Op::is_timestamped),
+            _ => false,
+        }
+    }
+}
+
+/// The query part of an action: a read against the database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Query {
+    /// Read the value at `(table, key)`.
+    Get {
+        /// Target table.
+        table: String,
+        /// Row key.
+        key: String,
+    },
+    /// Read all rows of `table` whose key starts with `prefix`, in key
+    /// order.
+    Scan {
+        /// Target table.
+        table: String,
+        /// Key prefix ("" scans the whole table).
+        prefix: String,
+    },
+    /// Count the rows in `table`.
+    Count {
+        /// Target table.
+        table: String,
+    },
+    /// The whole-database content digest.
+    Digest,
+}
+
+impl Query {
+    /// Convenience constructor for [`Query::Get`].
+    pub fn get(table: impl Into<String>, key: impl Into<String>) -> Self {
+        Query::Get {
+            table: table.into(),
+            key: key.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Query::Scan`].
+    pub fn scan(table: impl Into<String>, prefix: impl Into<String>) -> Self {
+        Query::Scan {
+            table: table.into(),
+            prefix: prefix.into(),
+        }
+    }
+}
+
+/// The result of a [`Query`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryResult {
+    /// Result of [`Query::Get`].
+    Value(Option<Value>),
+    /// Result of [`Query::Scan`]: `(key, value)` pairs in key order.
+    Rows(Vec<(String, Value)>),
+    /// Result of [`Query::Count`].
+    Count(u64),
+    /// Result of [`Query::Digest`].
+    Digest(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_variants() {
+        assert_eq!(
+            Op::put("t", "k", 1i64),
+            Op::Put {
+                table: "t".into(),
+                key: "k".into(),
+                value: Value::Int(1)
+            }
+        );
+        assert_eq!(
+            Op::incr("t", "k", -2),
+            Op::Incr {
+                table: "t".into(),
+                key: "k".into(),
+                delta: -2
+            }
+        );
+        assert_eq!(
+            Query::get("t", "k"),
+            Query::Get {
+                table: "t".into(),
+                key: "k".into()
+            }
+        );
+    }
+
+    #[test]
+    fn commutativity_classification() {
+        assert!(Op::incr("t", "k", 1).is_commutative());
+        assert!(Op::Noop.is_commutative());
+        assert!(!Op::put("t", "k", 1i64).is_commutative());
+        assert!(Op::Batch(vec![Op::incr("t", "a", 1), Op::incr("t", "b", 2)]).is_commutative());
+        assert!(!Op::Batch(vec![Op::incr("t", "a", 1), Op::put("t", "b", 2i64)]).is_commutative());
+    }
+
+    #[test]
+    fn timestamp_classification() {
+        assert!(Op::ts_put("t", "k", 1i64, 5).is_timestamped());
+        assert!(!Op::put("t", "k", 1i64).is_timestamped());
+        assert!(Op::Batch(vec![Op::ts_put("t", "a", 1i64, 1)]).is_timestamped());
+    }
+}

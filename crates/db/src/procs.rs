@@ -1,0 +1,229 @@
+//! Deterministic stored procedures ("active transactions", §6).
+//!
+//! An active transaction names a procedure that is executed *when the
+//! action is ordered*, not when the client submits it. Correctness
+//! requires the procedure to be deterministic and to depend only on the
+//! current database state and its arguments; every replica then computes
+//! the same transition. This module is the registry of built-in
+//! procedures used by the examples and tests; applications embed their own
+//! logic by the same pattern.
+
+use crate::database::{ApplyOutcome, Database};
+use crate::value::Value;
+
+/// Executes the named procedure against `db`.
+///
+/// Returns [`ApplyOutcome::Aborted`] for unknown procedures or argument
+/// mismatches — deterministically, so every replica agrees that the
+/// action aborted.
+///
+/// # Built-in procedures
+///
+/// | name | args | effect |
+/// |---|---|---|
+/// | `transfer` | `[from_key, to_key, amount]` | moves `amount` between two integer rows of table `accounts` if the source balance suffices, else aborts |
+/// | `debit_if_sufficient` | `[key, amount]` | subtracts `amount` from `accounts/key` if the balance suffices, else aborts |
+/// | `append_history` | `[key, text]` | appends `text` to the text row `history/key` |
+/// | `stock_restock_if_low` | `[key, threshold, amount]` | adds `amount` to `inventory/key` only when the current level is below `threshold` |
+pub fn execute(db: &mut Database, name: &str, args: &[Value]) -> ApplyOutcome {
+    match name {
+        "transfer" => transfer(db, args),
+        "debit_if_sufficient" => debit_if_sufficient(db, args),
+        "append_history" => append_history(db, args),
+        "stock_restock_if_low" => stock_restock_if_low(db, args),
+        _ => ApplyOutcome::Aborted,
+    }
+}
+
+fn int_row(db: &Database, table: &str, key: &str) -> i64 {
+    db.get(table, key).and_then(|v| v.as_int()).unwrap_or(0)
+}
+
+fn transfer(db: &mut Database, args: &[Value]) -> ApplyOutcome {
+    let (Some(Value::Text(from)), Some(Value::Text(to)), Some(Value::Int(amount))) =
+        (args.first(), args.get(1), args.get(2))
+    else {
+        return ApplyOutcome::Aborted;
+    };
+    let balance = int_row(db, "accounts", from);
+    if balance < *amount || *amount < 0 {
+        return ApplyOutcome::Aborted;
+    }
+    let from_new = balance - amount;
+    let to_new = int_row(db, "accounts", to) + amount;
+    db.put("accounts", from, Value::Int(from_new));
+    db.put("accounts", to, Value::Int(to_new));
+    ApplyOutcome::Applied
+}
+
+fn debit_if_sufficient(db: &mut Database, args: &[Value]) -> ApplyOutcome {
+    let (Some(Value::Text(key)), Some(Value::Int(amount))) = (args.first(), args.get(1)) else {
+        return ApplyOutcome::Aborted;
+    };
+    let balance = int_row(db, "accounts", key);
+    if balance < *amount || *amount < 0 {
+        return ApplyOutcome::Aborted;
+    }
+    db.put("accounts", key, Value::Int(balance - amount));
+    ApplyOutcome::Applied
+}
+
+fn append_history(db: &mut Database, args: &[Value]) -> ApplyOutcome {
+    let (Some(Value::Text(key)), Some(Value::Text(text))) = (args.first(), args.get(1)) else {
+        return ApplyOutcome::Aborted;
+    };
+    let mut existing = db
+        .get("history", key)
+        .and_then(|v| v.as_text().map(str::to_string))
+        .unwrap_or_default();
+    if !existing.is_empty() {
+        existing.push(';');
+    }
+    existing.push_str(text);
+    db.put("history", key, Value::Text(existing));
+    ApplyOutcome::Applied
+}
+
+fn stock_restock_if_low(db: &mut Database, args: &[Value]) -> ApplyOutcome {
+    let (Some(Value::Text(key)), Some(Value::Int(threshold)), Some(Value::Int(amount))) =
+        (args.first(), args.get(1), args.get(2))
+    else {
+        return ApplyOutcome::Aborted;
+    };
+    let level = int_row(db, "inventory", key);
+    if level >= *threshold {
+        return ApplyOutcome::Aborted;
+    }
+    db.put("inventory", key, Value::Int(level + amount));
+    ApplyOutcome::Applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_moves_funds_when_sufficient() {
+        let mut db = Database::new();
+        db.put("accounts", "a", Value::Int(100));
+        let out = execute(
+            &mut db,
+            "transfer",
+            &["a".into(), "b".into(), Value::Int(40)],
+        );
+        assert_eq!(out, ApplyOutcome::Applied);
+        assert_eq!(db.get("accounts", "a"), Some(&Value::Int(60)));
+        assert_eq!(db.get("accounts", "b"), Some(&Value::Int(40)));
+    }
+
+    #[test]
+    fn transfer_aborts_on_insufficient_funds() {
+        let mut db = Database::new();
+        db.put("accounts", "a", Value::Int(10));
+        let out = execute(
+            &mut db,
+            "transfer",
+            &["a".into(), "b".into(), Value::Int(40)],
+        );
+        assert_eq!(out, ApplyOutcome::Aborted);
+        assert_eq!(db.get("accounts", "a"), Some(&Value::Int(10)));
+        assert_eq!(db.get("accounts", "b"), None);
+    }
+
+    #[test]
+    fn transfer_aborts_on_negative_amount() {
+        let mut db = Database::new();
+        db.put("accounts", "a", Value::Int(10));
+        let out = execute(
+            &mut db,
+            "transfer",
+            &["a".into(), "b".into(), Value::Int(-5)],
+        );
+        assert_eq!(out, ApplyOutcome::Aborted);
+    }
+
+    #[test]
+    fn debit_if_sufficient_behaviour() {
+        let mut db = Database::new();
+        db.put("accounts", "a", Value::Int(50));
+        assert_eq!(
+            execute(
+                &mut db,
+                "debit_if_sufficient",
+                &["a".into(), Value::Int(20)]
+            ),
+            ApplyOutcome::Applied
+        );
+        assert_eq!(db.get("accounts", "a"), Some(&Value::Int(30)));
+        assert_eq!(
+            execute(
+                &mut db,
+                "debit_if_sufficient",
+                &["a".into(), Value::Int(99)]
+            ),
+            ApplyOutcome::Aborted
+        );
+    }
+
+    #[test]
+    fn append_history_accumulates() {
+        let mut db = Database::new();
+        execute(&mut db, "append_history", &["k".into(), "e1".into()]);
+        execute(&mut db, "append_history", &["k".into(), "e2".into()]);
+        assert_eq!(db.get("history", "k").unwrap().as_text(), Some("e1;e2"));
+    }
+
+    #[test]
+    fn restock_only_when_low() {
+        let mut db = Database::new();
+        db.put("inventory", "widget", Value::Int(5));
+        assert_eq!(
+            execute(
+                &mut db,
+                "stock_restock_if_low",
+                &["widget".into(), Value::Int(10), Value::Int(100)]
+            ),
+            ApplyOutcome::Applied
+        );
+        assert_eq!(db.get("inventory", "widget"), Some(&Value::Int(105)));
+        assert_eq!(
+            execute(
+                &mut db,
+                "stock_restock_if_low",
+                &["widget".into(), Value::Int(10), Value::Int(100)]
+            ),
+            ApplyOutcome::Aborted
+        );
+    }
+
+    #[test]
+    fn unknown_procedure_aborts() {
+        let mut db = Database::new();
+        assert_eq!(execute(&mut db, "no_such_proc", &[]), ApplyOutcome::Aborted);
+    }
+
+    #[test]
+    fn bad_arguments_abort() {
+        let mut db = Database::new();
+        assert_eq!(
+            execute(&mut db, "transfer", &[Value::Int(1)]),
+            ApplyOutcome::Aborted
+        );
+    }
+
+    #[test]
+    fn procedures_are_deterministic() {
+        let build = || {
+            let mut db = Database::new();
+            db.put("accounts", "a", Value::Int(100));
+            execute(
+                &mut db,
+                "transfer",
+                &["a".into(), "b".into(), Value::Int(7)],
+            );
+            execute(&mut db, "append_history", &["k".into(), "x".into()]);
+            db.digest()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests of the database substrate: the state-machine
+//! property (determinism) the whole replication scheme rests on, and
+//! the algebraic claims behind the §6 relaxed-semantics classes.
+
+use proptest::prelude::*;
+use todr_db::{ApplyOutcome, Database, Op, Query, QueryResult, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,12}".prop_map(Value::Text),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ]
+}
+
+fn key() -> impl Strategy<Value = String> {
+    "[a-d][0-9]" // small keyspace to force collisions
+}
+
+fn table() -> impl Strategy<Value = String> {
+    "[tu]"
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (table(), key(), arb_value()).prop_map(|(t, k, v)| Op::Put {
+            table: t,
+            key: k,
+            value: v
+        }),
+        (table(), key()).prop_map(|(t, k)| Op::Delete { table: t, key: k }),
+        (table(), key(), any::<i32>()).prop_map(|(t, k, d)| Op::Incr {
+            table: t,
+            key: k,
+            delta: d as i64
+        }),
+        (table(), key(), arb_value(), any::<u32>()).prop_map(|(t, k, v, ts)| Op::TsPut {
+            table: t,
+            key: k,
+            value: v,
+            ts: ts as u64
+        }),
+        (key(), 0i64..500).prop_map(|(k, amt)| Op::proc(
+            "debit_if_sufficient",
+            vec![Value::Text(k), Value::Int(amt)]
+        )),
+        proptest::collection::vec(
+            (table(), key(), arb_value()).prop_map(|(t, k, v)| Op::Put {
+                table: t,
+                key: k,
+                value: v
+            }),
+            0..3
+        )
+        .prop_map(Op::Batch),
+        Just(Op::Noop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The state-machine property: identical op sequences from identical
+    /// states produce identical databases (digest, content, outcomes).
+    #[test]
+    fn apply_is_deterministic(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        for op in &ops {
+            let ra = a.apply(op);
+            let rb = b.apply(op);
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// Commutative class (§6): increments converge under any permutation.
+    #[test]
+    fn increments_commute(
+        deltas in proptest::collection::vec((key(), -100i64..100), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut forward = Database::new();
+        for (k, d) in &deltas {
+            forward.apply(&Op::incr("t", k.clone(), *d));
+        }
+        // A deterministic shuffle derived from the seed.
+        let mut shuffled = deltas.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut backward = Database::new();
+        for (k, d) in &shuffled {
+            backward.apply(&Op::incr("t", k.clone(), *d));
+        }
+        prop_assert_eq!(forward.digest(), backward.digest());
+    }
+
+    /// Timestamp class (§6): last-writer-wins converges under any
+    /// permutation when timestamps are distinct.
+    #[test]
+    fn timestamped_puts_converge(
+        entries in proptest::collection::vec((key(), any::<i64>()), 1..20),
+        seed in any::<u64>(),
+    ) {
+        // Distinct timestamps by construction.
+        let stamped: Vec<(String, i64, u64)> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (k, v))| (k, v, i as u64 + 1))
+            .collect();
+        let mut forward = Database::new();
+        for (k, v, ts) in &stamped {
+            forward.apply(&Op::ts_put("t", k.clone(), Value::Int(*v), *ts));
+        }
+        let mut shuffled = stamped.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut backward = Database::new();
+        for (k, v, ts) in &shuffled {
+            backward.apply(&Op::ts_put("t", k.clone(), Value::Int(*v), *ts));
+        }
+        prop_assert_eq!(forward.digest(), backward.digest());
+    }
+
+    /// Digests distinguish states: a put of a fresh value to a fresh key
+    /// always changes the digest.
+    #[test]
+    fn digest_changes_on_new_data(ops in proptest::collection::vec(arb_op(), 0..30)) {
+        let mut db = Database::new();
+        for op in &ops {
+            db.apply(op);
+        }
+        let before = db.digest();
+        db.apply(&Op::put("fresh_table", "fresh_key", Value::Int(424242)));
+        prop_assert_ne!(before, db.digest());
+    }
+
+    /// Aborted ops leave no trace: a Checked op with a failing
+    /// expectation never changes the digest.
+    #[test]
+    fn aborts_are_clean(ops in proptest::collection::vec(arb_op(), 0..30)) {
+        let mut db = Database::new();
+        for op in &ops {
+            db.apply(op);
+        }
+        let before = db.digest();
+        let outcome = db.apply(&Op::Checked {
+            expect: vec![(
+                "no_such_table".into(),
+                "k".into(),
+                Some(Value::Int(123456789)),
+            )],
+            then: vec![Op::put("t", "x", Value::Int(1))],
+        });
+        prop_assert_eq!(outcome, ApplyOutcome::Aborted);
+        prop_assert_eq!(before, db.digest());
+    }
+
+    /// Snapshots are faithful: applying the same suffix to a snapshot
+    /// and to the original yields identical states.
+    #[test]
+    fn snapshots_are_faithful(
+        prefix in proptest::collection::vec(arb_op(), 0..20),
+        suffix in proptest::collection::vec(arb_op(), 0..20),
+    ) {
+        let mut original = Database::new();
+        for op in &prefix {
+            original.apply(op);
+        }
+        let mut snap = original.snapshot();
+        for op in &suffix {
+            original.apply(op);
+            snap.apply(op);
+        }
+        prop_assert_eq!(original.digest(), snap.digest());
+    }
+
+    /// Query evaluation never mutates.
+    #[test]
+    fn queries_are_pure(
+        ops in proptest::collection::vec(arb_op(), 0..25),
+        t in table(),
+        k in key(),
+    ) {
+        let mut db = Database::new();
+        for op in &ops {
+            db.apply(op);
+        }
+        let before = db.digest();
+        let _ = db.query(&Query::get(t.clone(), k.clone()));
+        let _ = db.query(&Query::scan(t.clone(), ""));
+        let _ = db.query(&Query::Count { table: t });
+        let _ = db.query(&Query::Digest);
+        prop_assert_eq!(before, db.digest());
+    }
+}
+
+#[test]
+fn scan_results_are_sorted_and_consistent_with_get() {
+    let mut db = Database::new();
+    for k in ["b1", "a2", "a1", "c3", "a3"] {
+        db.apply(&Op::put("t", k, k));
+    }
+    let QueryResult::Rows(rows) = db.query(&Query::scan("t", "a")) else {
+        panic!("expected rows");
+    };
+    let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, vec!["a1", "a2", "a3"]);
+    for (k, v) in &rows {
+        assert_eq!(db.get("t", k), Some(v));
+    }
+}

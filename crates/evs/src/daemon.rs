@@ -1,0 +1,1102 @@
+//! The EVS daemon actor.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+use todr_net::{Datagram, NetOp, NodeId};
+use todr_sim::{Actor, ActorId, Ctx, Payload, SimDuration, TraceLevel};
+
+use crate::channel::{LinkFrame, LinkLayer};
+use crate::fd::FailureDetector;
+use crate::membership::{
+    evaluate_flush, FlushDecision, FlushInfoRec, FlushState, GatherState, Phase,
+};
+use crate::order::ConfOrdering;
+use crate::types::{ConfId, Configuration, EvsEvent};
+use crate::wire::{EvsWire, TransGroup};
+
+/// Tuning knobs of an [`EvsDaemon`].
+#[derive(Debug, Clone)]
+pub struct EvsConfig {
+    /// All nodes this daemon initially knows about (it also learns new
+    /// ones from their traffic). Heartbeats go to the whole universe so
+    /// merged partitions and newly started nodes are discovered.
+    pub universe: Vec<NodeId>,
+    /// Heartbeat / failure-detector evaluation period.
+    pub hb_interval: SimDuration,
+    /// Silence threshold after which a peer is considered unreachable.
+    pub fail_timeout: SimDuration,
+    /// Acknowledgement batching delay: acks are sent at most once per
+    /// this period per member, trading a small amount of safe-delivery
+    /// latency for far fewer messages under load.
+    pub ack_delay: SimDuration,
+    /// Run every non-heartbeat frame through per-peer reliable (ARQ)
+    /// channels, tolerating random message loss on the fabric. Off by
+    /// default: with a loss-free fabric the links are already reliable
+    /// FIFO and the extra acknowledgement traffic would only distort the
+    /// performance experiments.
+    pub reliable_links: bool,
+    /// Deliver messages on sequencing (agreed/total order) instead of
+    /// waiting for all-member stability (safe delivery). Only for
+    /// applications that layer their own end-to-end guarantees on top
+    /// (the COReL baseline); the replication engine requires safe
+    /// delivery.
+    pub deliver_agreed: bool,
+    /// Retransmission timeout of the reliable links.
+    pub link_rto: SimDuration,
+    /// Delayed-acknowledgement interval of the reliable links.
+    pub link_ack_delay: SimDuration,
+}
+
+impl Default for EvsConfig {
+    fn default() -> Self {
+        EvsConfig {
+            universe: Vec::new(),
+            hb_interval: SimDuration::from_millis(50),
+            fail_timeout: SimDuration::from_millis(200),
+            ack_delay: SimDuration::from_micros(300),
+            reliable_links: false,
+            deliver_agreed: false,
+            link_rto: SimDuration::from_millis(3),
+            link_ack_delay: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// Commands an application (or the test harness) sends to the daemon.
+pub enum EvsCmd {
+    /// Multicast `payload` to the current configuration with agreed
+    /// order and safe delivery. Buffered if a membership change is in
+    /// progress.
+    Send {
+        /// Application payload.
+        payload: Rc<dyn std::any::Any>,
+        /// Modelled payload size in bytes.
+        size_bytes: u32,
+    },
+    /// Join the group: install a singleton configuration and start
+    /// discovering peers.
+    JoinGroup,
+    /// Leave the group voluntarily (peers see a membership change after
+    /// the failure timeout).
+    LeaveGroup,
+    /// Simulated process crash: wipe all volatile state and go silent.
+    Crash,
+    /// Recover after a crash and rejoin the group.
+    Restart,
+}
+
+impl std::fmt::Debug for EvsCmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvsCmd::Send { size_bytes, .. } => f
+                .debug_struct("Send")
+                .field("size_bytes", size_bytes)
+                .finish_non_exhaustive(),
+            EvsCmd::JoinGroup => f.write_str("JoinGroup"),
+            EvsCmd::LeaveGroup => f.write_str("LeaveGroup"),
+            EvsCmd::Crash => f.write_str("Crash"),
+            EvsCmd::Restart => f.write_str("Restart"),
+        }
+    }
+}
+
+/// Counters maintained by the daemon.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvsStats {
+    /// Application messages submitted locally.
+    pub submitted: u64,
+    /// Messages this daemon sequenced while coordinator.
+    pub sequenced: u64,
+    /// Messages delivered safe in a regular configuration.
+    pub delivered_safe: u64,
+    /// Messages delivered in a transitional configuration.
+    pub delivered_trans: u64,
+    /// Regular configurations installed.
+    pub confs_installed: u64,
+    /// Gather rounds started.
+    pub gathers_started: u64,
+    /// Messages retransmitted during flushes.
+    pub retransmitted: u64,
+}
+
+/// Timer: heartbeat + failure-detector evaluation.
+struct FdTick;
+/// Timer: flush the batched acknowledgement.
+struct AckTick;
+/// Timer: retransmit unacknowledged link frames.
+struct RetxTick;
+/// Timer: send owed link-layer acknowledgements.
+struct LinkAckTick;
+
+/// The Extended Virtual Synchrony daemon for one node.
+///
+/// Wire traffic flows through a [`todr_net::NetFabric`]; upcalls
+/// ([`EvsEvent`]) go to the application actor given at construction.
+/// See the crate docs for the provided guarantees.
+pub struct EvsDaemon {
+    me: NodeId,
+    fabric: ActorId,
+    app: ActorId,
+    config: EvsConfig,
+    universe: BTreeSet<NodeId>,
+
+    joined: bool,
+    down: bool,
+    fd: FailureDetector,
+    phase: Phase,
+    ordering: Option<ConfOrdering>,
+    attempt: u64,
+    max_conf_seq: u64,
+    pending_out: VecDeque<(Rc<dyn std::any::Any>, u32)>,
+    /// FlushInfos that arrived before this daemon entered the matching
+    /// flush phase: `(from, membership, record)`.
+    early_infos: Vec<(NodeId, Vec<NodeId>, FlushInfoRec)>,
+    ack_scheduled: bool,
+    last_acked: u64,
+    fd_timer_armed: bool,
+    installed_at: todr_sim::SimTime,
+    link: LinkLayer,
+    retx_armed: bool,
+    link_ack_armed: bool,
+    stats: EvsStats,
+}
+
+impl EvsDaemon {
+    /// Creates a daemon for node `me`, speaking through `fabric`,
+    /// delivering upcalls to `app`. Call with an [`EvsCmd::JoinGroup`]
+    /// event to activate it.
+    pub fn new(me: NodeId, fabric: ActorId, app: ActorId, config: EvsConfig) -> Self {
+        let universe = config.universe.iter().copied().collect();
+        let fd = FailureDetector::new(me, config.fail_timeout);
+        EvsDaemon {
+            me,
+            fabric,
+            app,
+            config,
+            universe,
+            joined: false,
+            down: false,
+            fd,
+            phase: Phase::Steady,
+            ordering: None,
+            attempt: 0,
+            max_conf_seq: 0,
+            pending_out: VecDeque::new(),
+            early_infos: Vec::new(),
+            ack_scheduled: false,
+            last_acked: 0,
+            fd_timer_armed: false,
+            installed_at: todr_sim::SimTime::ZERO,
+            link: LinkLayer::new(0),
+            retx_armed: false,
+            link_ack_armed: false,
+            stats: EvsStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EvsStats {
+        self.stats
+    }
+
+    /// Re-points the application actor that receives upcalls. Intended
+    /// for wiring during world construction (daemon and application
+    /// reference each other, so one of them is created first with a
+    /// placeholder).
+    pub fn set_app(&mut self, app: ActorId) {
+        self.app = app;
+    }
+
+    /// The currently installed regular configuration, if any.
+    pub fn current_conf(&self) -> Option<&Configuration> {
+        self.ordering.as_ref().map(|o| o.conf())
+    }
+
+    /// Whether the daemon is operating inside an installed configuration
+    /// (no membership change in progress).
+    pub fn is_steady(&self) -> bool {
+        matches!(self.phase, Phase::Steady) && self.ordering.is_some()
+    }
+
+    /// Human-readable membership phase, for diagnostics.
+    pub fn phase_name(&self) -> String {
+        match &self.phase {
+            Phase::Steady => "Steady".to_string(),
+            Phase::Gather(g) => format!(
+                "Gather(attempt {}, proposal {:?}, seen {:?})",
+                g.attempt,
+                g.proposal,
+                g.seen.keys().collect::<Vec<_>>()
+            ),
+            Phase::Flush(f) => format!(
+                "Flush(membership {:?}, coord {}, infos {:?})",
+                f.membership,
+                f.coordinator,
+                f.infos.keys().collect::<Vec<_>>()
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------
+    // sending helpers
+    // ------------------------------------------------------------
+
+    fn send_wire_to(&mut self, ctx: &mut Ctx<'_>, dsts: Vec<NodeId>, wire: EvsWire) {
+        if dsts.is_empty() {
+            return;
+        }
+        let size = wire.wire_size();
+        // Heartbeats are idempotent probes and stay outside the reliable
+        // channels (retransmitting them to dead peers would be pure
+        // waste); so does loopback, which the fabric never drops.
+        let reliable = self.config.reliable_links && !matches!(wire, EvsWire::Heartbeat { .. });
+        if !reliable {
+            ctx.send_now(
+                self.fabric,
+                NetOp::multicast(self.me, dsts, Rc::new(wire), size),
+            );
+            return;
+        }
+        let wire = Rc::new(wire);
+        for dst in dsts {
+            if dst == self.me {
+                ctx.send_now(
+                    self.fabric,
+                    NetOp::unicast(
+                        self.me,
+                        dst,
+                        Rc::clone(&wire) as Rc<dyn std::any::Any>,
+                        size,
+                    ),
+                );
+                continue;
+            }
+            let frame = self.link.send(dst, Rc::clone(&wire), size);
+            ctx.send_now(
+                self.fabric,
+                NetOp::unicast(self.me, dst, Rc::new(frame), size + 16),
+            );
+        }
+        if !self.retx_armed {
+            self.retx_armed = true;
+            ctx.send_self_after(self.config.link_rto, RetxTick);
+        }
+    }
+
+    fn on_retx_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.retx_armed = false;
+        if self.down || !self.joined || !self.link.has_unacked() {
+            return;
+        }
+        // Retransmit only to currently reachable peers; queues for
+        // unreachable ones stay paused (see LinkLayer::retransmissions)
+        // and resume when connectivity returns.
+        let reachable = self.fd.reachable(ctx.now());
+        let retx = self.link.retransmissions(&|p| reachable.contains(&p));
+        let sent_any = !retx.is_empty();
+        for (peer, frame, size) in retx {
+            ctx.send_now(
+                self.fabric,
+                NetOp::unicast(self.me, peer, Rc::new(frame), size + 16),
+            );
+        }
+        self.retx_armed = true;
+        let delay = if sent_any {
+            self.config.link_rto
+        } else {
+            // Everything pending is behind a partition: poll lazily.
+            self.config.hb_interval
+        };
+        ctx.send_self_after(delay, RetxTick);
+    }
+
+    fn on_link_ack_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.link_ack_armed = false;
+        if self.down || !self.joined {
+            return;
+        }
+        for peer in self.link.ack_pending_peers() {
+            let frame = self.link.ack_frame(peer);
+            ctx.send_now(
+                self.fabric,
+                NetOp::unicast(self.me, peer, Rc::new(frame), 32),
+            );
+        }
+    }
+
+    fn arm_link_ack(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.link_ack_armed {
+            self.link_ack_armed = true;
+            ctx.send_self_after(self.config.link_ack_delay, LinkAckTick);
+        }
+    }
+
+    fn send_wire_one(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, wire: EvsWire) {
+        self.send_wire_to(ctx, vec![dst], wire);
+    }
+
+    fn members(&self) -> Vec<NodeId> {
+        self.ordering
+            .as_ref()
+            .map(|o| o.conf().members.clone())
+            .unwrap_or_default()
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>, event: EvsEvent) {
+        match &event {
+            EvsEvent::Deliver(d) => {
+                if d.in_transitional {
+                    self.stats.delivered_trans += 1;
+                } else {
+                    self.stats.delivered_safe += 1;
+                }
+            }
+            EvsEvent::RegConf(c) => {
+                ctx.trace("evs", format!("install {c}"));
+            }
+            EvsEvent::TransConf(c) => {
+                ctx.trace_at(TraceLevel::Debug, "evs", format!("transitional {c}"));
+            }
+        }
+        ctx.send_now(self.app, event);
+    }
+
+    // ------------------------------------------------------------
+    // membership
+    // ------------------------------------------------------------
+
+    fn start_gather(&mut self, ctx: &mut Ctx<'_>) {
+        self.attempt += 1;
+        self.stats.gathers_started += 1;
+        let proposal = self.fd.reachable(ctx.now());
+        ctx.trace_at(
+            TraceLevel::Debug,
+            "evs",
+            format!("gather attempt {} proposal {:?}", self.attempt, proposal),
+        );
+        let mut gather = GatherState::new(self.attempt, self.me, proposal.clone());
+        // Carry forward what peers already announced: a restart must not
+        // forget Joins that arrived moments ago, or two nodes can each
+        // wait for the other to speak again.
+        if let Phase::Gather(old) = &self.phase {
+            for (&from, (attempt, prop)) in &old.seen {
+                if from != self.me {
+                    gather.record_join(from, *attempt, prop.clone());
+                }
+            }
+        }
+        let peers: Vec<NodeId> = proposal.iter().copied().filter(|&n| n != self.me).collect();
+        self.phase = Phase::Gather(gather);
+        self.send_wire_to(
+            ctx,
+            peers,
+            EvsWire::Join {
+                from: self.me,
+                attempt: self.attempt,
+                proposal,
+            },
+        );
+        self.check_gather_convergence(ctx);
+    }
+
+    fn check_gather_convergence(&mut self, ctx: &mut Ctx<'_>) {
+        let Phase::Gather(gather) = &self.phase else {
+            return;
+        };
+        if !gather.converged() {
+            return;
+        }
+        let membership: Vec<NodeId> = gather.proposal.iter().copied().collect();
+        let attempt = gather.attempt;
+        ctx.trace_at(
+            TraceLevel::Debug,
+            "evs",
+            format!("flush starts for {membership:?}"),
+        );
+        let mut flush = FlushState::new(attempt, membership.clone());
+        // Adopt any flush reports that raced ahead of our own phase
+        // change.
+        self.early_infos.retain(|(from, m, rec)| {
+            if *m == membership {
+                flush.infos.insert(*from, rec.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let coordinator = flush.coordinator;
+        self.phase = Phase::Flush(flush);
+        let info = self.my_flush_info(membership);
+        self.send_wire_one(ctx, coordinator, info);
+    }
+
+    fn my_flush_info(&self, membership: Vec<NodeId>) -> EvsWire {
+        let (old_conf, have_upto, stable_upto) = match &self.ordering {
+            Some(o) => (o.conf().id, o.have_upto(), o.delivered_upto()),
+            None => (ConfId::initial(self.me), 0, 0),
+        };
+        EvsWire::FlushInfo {
+            from: self.me,
+            membership,
+            old_conf,
+            have_upto,
+            stable_upto,
+            max_conf_seq: self.max_conf_seq,
+        }
+    }
+
+    fn coordinator_evaluate(&mut self, ctx: &mut Ctx<'_>) {
+        let Phase::Flush(flush) = &mut self.phase else {
+            return;
+        };
+        if flush.coordinator != self.me {
+            return;
+        }
+        match evaluate_flush(&flush.membership, &flush.infos) {
+            FlushDecision::Wait => {}
+            FlushDecision::NeedRetrans(plans) => {
+                if flush.retrans_issued {
+                    return;
+                }
+                flush.retrans_issued = true;
+                let reqs: Vec<(NodeId, EvsWire)> = plans
+                    .into_iter()
+                    .map(|p| {
+                        (
+                            p.holder,
+                            EvsWire::RetransReq {
+                                old_conf: p.old_conf,
+                                from_seq: p.from_seq,
+                                to_seq: p.to_seq,
+                                needy: p.needy,
+                            },
+                        )
+                    })
+                    .collect();
+                for (holder, req) in reqs {
+                    self.send_wire_one(ctx, holder, req);
+                }
+            }
+            FlushDecision::Install {
+                new_conf_seq,
+                groups,
+            } => {
+                let membership = flush.membership.clone();
+                let new_conf = Configuration::new(
+                    ConfId {
+                        seq: new_conf_seq,
+                        coordinator: self.me,
+                    },
+                    membership.clone(),
+                );
+                self.send_wire_to(ctx, membership, EvsWire::Install { new_conf, groups });
+            }
+        }
+    }
+
+    fn do_install(&mut self, ctx: &mut Ctx<'_>, new_conf: Configuration, groups: &[TransGroup]) {
+        // Transitional delivery for the configuration we are leaving.
+        if let Some(ordering) = &mut self.ordering {
+            let old_id = ordering.conf().id;
+            let group = groups
+                .iter()
+                .find(|g| g.old_conf == old_id)
+                .expect("install lacks our transitional group");
+            debug_assert_eq!(
+                ordering.have_upto(),
+                group.final_upto,
+                "flush failed to equalize {} in {}",
+                self.me,
+                old_id
+            );
+            let trans_conf = Configuration::new(old_id, group.members.clone());
+            let trans = ordering.take_transitional();
+            let unsequenced = ordering.take_unsequenced();
+            self.emit(ctx, EvsEvent::TransConf(trans_conf));
+            for d in trans {
+                self.emit(ctx, EvsEvent::Deliver(d));
+            }
+            // Own messages never sequenced in the old configuration get
+            // re-submitted (at-least-once across view changes; consumers
+            // deduplicate by application id).
+            for (i, item) in unsequenced.into_iter().enumerate() {
+                self.pending_out.insert(i, item);
+            }
+        }
+
+        self.max_conf_seq = self.max_conf_seq.max(new_conf.id.seq);
+        self.ordering = Some(ConfOrdering::with_mode(
+            new_conf.clone(),
+            self.me,
+            self.config.deliver_agreed,
+        ));
+        self.phase = Phase::Steady;
+        self.last_acked = 0;
+        self.installed_at = ctx.now();
+        self.stats.confs_installed += 1;
+        self.emit(ctx, EvsEvent::RegConf(new_conf));
+
+        // Drain buffered submissions into the fresh configuration.
+        let pending: Vec<_> = self.pending_out.drain(..).collect();
+        for (payload, size) in pending {
+            self.submit(ctx, payload, size);
+        }
+    }
+
+    // ------------------------------------------------------------
+    // ordering
+    // ------------------------------------------------------------
+
+    fn submit(&mut self, ctx: &mut Ctx<'_>, payload: Rc<dyn std::any::Any>, size: u32) {
+        if !matches!(self.phase, Phase::Steady) || self.ordering.is_none() {
+            self.pending_out.push_back((payload, size));
+            return;
+        }
+        self.stats.submitted += 1;
+        let ordering = self.ordering.as_mut().expect("checked above");
+        let coordinator = ordering.coordinator();
+        let conf = ordering.conf().id;
+        let local_seq = ordering.register_submission(Rc::clone(&payload), size);
+        self.send_wire_one(
+            ctx,
+            coordinator,
+            EvsWire::Submit {
+                conf,
+                sender: self.me,
+                local_seq,
+                payload,
+                size,
+            },
+        );
+    }
+
+    fn maybe_schedule_ack(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.ack_scheduled {
+            self.ack_scheduled = true;
+            ctx.send_self_after(self.config.ack_delay, AckTick);
+        }
+    }
+
+    fn announce_stable(&mut self, ctx: &mut Ctx<'_>, upto: u64) {
+        let Some(ordering) = &self.ordering else {
+            return;
+        };
+        let conf = ordering.conf().id;
+        let members = self.members();
+        self.send_wire_to(ctx, members, EvsWire::Stable { conf, upto });
+    }
+
+    /// Coordinator self-acknowledgement: its own receipt counts without a
+    /// network round trip or batching delay.
+    fn coordinator_self_ack(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(ordering) = &mut self.ordering else {
+            return;
+        };
+        if !ordering.is_coordinator() {
+            return;
+        }
+        let have = ordering.have_upto();
+        let me = self.me;
+        if let Some(stable) = ordering.on_ack(me, have) {
+            self.announce_stable(ctx, stable);
+        }
+    }
+
+    // ------------------------------------------------------------
+    // frame handling
+    // ------------------------------------------------------------
+
+    fn handle_wire(&mut self, ctx: &mut Ctx<'_>, src: NodeId, wire: &EvsWire) {
+        self.universe.insert(src);
+        self.fd.heard_from(src, ctx.now());
+        if let Some(origin) = wire.origin() {
+            self.universe.insert(origin);
+            self.fd.heard_from(origin, ctx.now());
+        }
+
+        match wire {
+            EvsWire::Heartbeat { .. } => {}
+
+            EvsWire::Submit {
+                conf,
+                sender,
+                local_seq,
+                payload,
+                size,
+            } => {
+                let steady = matches!(self.phase, Phase::Steady);
+                if let Some(ordering) = &mut self.ordering {
+                    if steady && ordering.conf().id == *conf && ordering.is_coordinator() {
+                        let msg = ordering.sequence(*sender, *local_seq, Rc::clone(payload), *size);
+                        let stable_upto = ordering.announced_stable();
+                        self.stats.sequenced += 1;
+                        let members = self.members();
+                        self.send_wire_to(
+                            ctx,
+                            members,
+                            EvsWire::Sequenced {
+                                conf: *conf,
+                                stable_upto,
+                                msg,
+                            },
+                        );
+                    }
+                }
+            }
+
+            EvsWire::Sequenced {
+                conf,
+                stable_upto,
+                msg,
+            } => {
+                let steady = matches!(self.phase, Phase::Steady);
+                let Some(ordering) = &mut self.ordering else {
+                    return;
+                };
+                if !steady || ordering.conf().id != *conf {
+                    return; // stale frame from a configuration we left
+                }
+                let deliveries = ordering.on_sequenced(msg.clone(), *stable_upto);
+                let is_coord = ordering.is_coordinator();
+                for d in deliveries {
+                    self.emit(ctx, EvsEvent::Deliver(d));
+                }
+                if is_coord {
+                    self.coordinator_self_ack(ctx);
+                } else {
+                    self.maybe_schedule_ack(ctx);
+                }
+            }
+
+            EvsWire::Ack { conf, from, upto } => {
+                let steady = matches!(self.phase, Phase::Steady);
+                let Some(ordering) = &mut self.ordering else {
+                    return;
+                };
+                if !steady || ordering.conf().id != *conf || !ordering.is_coordinator() {
+                    return;
+                }
+                if let Some(stable) = ordering.on_ack(*from, *upto) {
+                    self.announce_stable(ctx, stable);
+                }
+            }
+
+            EvsWire::Stable { conf, upto } => {
+                let steady = matches!(self.phase, Phase::Steady);
+                let Some(ordering) = &mut self.ordering else {
+                    return;
+                };
+                if !steady || ordering.conf().id != *conf {
+                    return;
+                }
+                let deliveries = ordering.on_stable(*upto);
+                for d in deliveries {
+                    self.emit(ctx, EvsEvent::Deliver(d));
+                }
+            }
+
+            EvsWire::Join {
+                from,
+                attempt,
+                proposal,
+            } => self.handle_join(ctx, *from, *attempt, proposal.clone()),
+
+            EvsWire::FlushInfo {
+                from,
+                membership,
+                old_conf,
+                have_upto,
+                stable_upto,
+                max_conf_seq,
+                ..
+            } => {
+                let rec = FlushInfoRec {
+                    old_conf: *old_conf,
+                    have_upto: *have_upto,
+                    stable_upto: *stable_upto,
+                    max_conf_seq: *max_conf_seq,
+                };
+                match &mut self.phase {
+                    Phase::Flush(flush)
+                        if flush.membership == *membership && flush.coordinator == self.me =>
+                    {
+                        flush.infos.insert(*from, rec);
+                        self.coordinator_evaluate(ctx);
+                    }
+                    _ => {
+                        // We may not have converged yet; keep the report
+                        // for when we do.
+                        self.early_infos
+                            .retain(|(f, m, _)| !(*f == *from && *m == *membership));
+                        self.early_infos.push((*from, membership.clone(), rec));
+                    }
+                }
+            }
+
+            EvsWire::RetransReq {
+                old_conf,
+                from_seq,
+                to_seq,
+                needy,
+                ..
+            } => {
+                if !matches!(self.phase, Phase::Flush(_)) {
+                    return;
+                }
+                let Some(ordering) = &self.ordering else {
+                    return;
+                };
+                if ordering.conf().id != *old_conf {
+                    return;
+                }
+                let msgs = ordering.msgs_range(*from_seq, *to_seq);
+                self.stats.retransmitted += msgs.len() as u64 * needy.len() as u64;
+                for &dst in needy {
+                    self.send_wire_one(
+                        ctx,
+                        dst,
+                        EvsWire::Retrans {
+                            old_conf: *old_conf,
+                            msgs: msgs.clone(),
+                        },
+                    );
+                }
+            }
+
+            EvsWire::Retrans { old_conf, msgs, .. } => {
+                let Phase::Flush(flush) = &self.phase else {
+                    return;
+                };
+                let Some(ordering) = &mut self.ordering else {
+                    return;
+                };
+                if ordering.conf().id != *old_conf {
+                    return;
+                }
+                ordering.apply_retrans(msgs.clone());
+                // Report the updated prefix to the coordinator.
+                let membership = flush.membership.clone();
+                let coordinator = flush.coordinator;
+                let info = self.my_flush_info(membership);
+                self.send_wire_one(ctx, coordinator, info);
+            }
+
+            EvsWire::Install {
+                new_conf, groups, ..
+            } => {
+                let Phase::Flush(flush) = &self.phase else {
+                    return;
+                };
+                if flush.membership != new_conf.members {
+                    return;
+                }
+                if new_conf.id.seq <= self.max_conf_seq {
+                    return; // replay of an older install
+                }
+                let new_conf = new_conf.clone();
+                self.do_install(ctx, new_conf, groups);
+            }
+        }
+    }
+
+    fn handle_join(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        attempt: u64,
+        proposal: BTreeSet<NodeId>,
+    ) {
+        match &mut self.phase {
+            Phase::Steady => {
+                let members: BTreeSet<NodeId> = self.members().into_iter().collect();
+                if proposal != members {
+                    self.start_gather(ctx);
+                    // Record the trigger join into the fresh gather.
+                    if let Phase::Gather(g) = &mut self.phase {
+                        g.record_join(from, attempt, proposal);
+                    }
+                    self.check_gather_convergence(ctx);
+                } else if ctx.now().saturating_since(self.installed_at) > self.config.fail_timeout {
+                    // A member keeps announcing exactly our membership
+                    // long after we installed: it missed the install
+                    // (e.g. restarted its gather while the install was in
+                    // flight). Re-run the round to bring it back in. A
+                    // fresh install is exempt — the straggler's install
+                    // is usually still on the wire.
+                    self.start_gather(ctx);
+                    if let Phase::Gather(g) = &mut self.phase {
+                        g.record_join(from, attempt, proposal);
+                    }
+                    self.check_gather_convergence(ctx);
+                }
+            }
+            Phase::Gather(gather) => {
+                gather.record_join(from, attempt, proposal);
+                // Receiving a join may itself have revealed a new
+                // reachable peer; refresh our own proposal.
+                let reachable = self.fd.reachable(ctx.now());
+                let proposal_changed = {
+                    let Phase::Gather(g) = &self.phase else {
+                        unreachable!()
+                    };
+                    g.proposal != reachable
+                };
+                if proposal_changed {
+                    self.start_gather(ctx);
+                } else {
+                    self.check_gather_convergence(ctx);
+                }
+            }
+            Phase::Flush(flush) => {
+                let flush_set: BTreeSet<NodeId> = flush.membership.iter().copied().collect();
+                if proposal != flush_set {
+                    self.start_gather(ctx);
+                    if let Phase::Gather(g) = &mut self.phase {
+                        g.record_join(from, attempt, proposal);
+                    }
+                    self.check_gather_convergence(ctx);
+                } else {
+                    // The sender is still gathering towards the same
+                    // membership we are flushing for; re-announce so it
+                    // can converge (we stopped multicasting Joins when we
+                    // left the gather phase).
+                    let my_attempt = flush.attempt;
+                    let flush_proposal: BTreeSet<NodeId> = flush_set;
+                    self.send_wire_one(
+                        ctx,
+                        from,
+                        EvsWire::Join {
+                            from: self.me,
+                            attempt: my_attempt,
+                            proposal: flush_proposal,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // timers & commands
+    // ------------------------------------------------------------
+
+    fn on_fd_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.joined || self.down {
+            self.fd_timer_armed = false;
+            return;
+        }
+        ctx.send_self_after(self.config.hb_interval, FdTick);
+
+        // Heartbeat the whole universe so detached/merged/new nodes can
+        // find us.
+        let peers: Vec<NodeId> = self
+            .universe
+            .iter()
+            .copied()
+            .filter(|&n| n != self.me)
+            .collect();
+        self.send_wire_to(ctx, peers, EvsWire::Heartbeat { from: self.me });
+
+        let reachable = self.fd.reachable(ctx.now());
+        match &self.phase {
+            Phase::Steady => {
+                let members: BTreeSet<NodeId> = self.members().into_iter().collect();
+                if self.ordering.is_none() || reachable != members {
+                    self.start_gather(ctx);
+                }
+            }
+            Phase::Gather(g) => {
+                if g.proposal != reachable {
+                    self.start_gather(ctx);
+                } else {
+                    // Nudge stragglers: re-announce our proposal.
+                    let attempt = g.attempt;
+                    let proposal = g.proposal.clone();
+                    let peers: Vec<NodeId> =
+                        proposal.iter().copied().filter(|&n| n != self.me).collect();
+                    self.send_wire_to(
+                        ctx,
+                        peers,
+                        EvsWire::Join {
+                            from: self.me,
+                            attempt,
+                            proposal,
+                        },
+                    );
+                }
+            }
+            Phase::Flush(f) => {
+                let flush_set: BTreeSet<NodeId> = f.membership.iter().copied().collect();
+                if reachable != flush_set {
+                    self.start_gather(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_ack_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.ack_scheduled = false;
+        if self.down || !matches!(self.phase, Phase::Steady) {
+            return;
+        }
+        let Some(ordering) = &self.ordering else {
+            return;
+        };
+        let have = ordering.have_upto();
+        if have > self.last_acked {
+            self.last_acked = have;
+            let conf = ordering.conf().id;
+            let coordinator = ordering.coordinator();
+            self.send_wire_one(
+                ctx,
+                coordinator,
+                EvsWire::Ack {
+                    conf,
+                    from: self.me,
+                    upto: have,
+                },
+            );
+        }
+    }
+
+    fn on_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: EvsCmd) {
+        match cmd {
+            EvsCmd::Send {
+                payload,
+                size_bytes,
+            } => {
+                if self.down || !self.joined {
+                    return;
+                }
+                self.submit(ctx, payload, size_bytes);
+            }
+            EvsCmd::JoinGroup | EvsCmd::Restart => {
+                self.down = false;
+                self.joined = true;
+                self.ordering = None;
+                self.phase = Phase::Steady;
+                self.fd.reset();
+                self.early_infos.clear();
+                // Fresh link incarnation: the attempt counter is bumped
+                // by the gather below, so `attempt + 1` is this
+                // incarnation's first (and stable) epoch.
+                self.link.restart(self.attempt + 1);
+                if !self.fd_timer_armed {
+                    self.fd_timer_armed = true;
+                    ctx.send_self_now(FdTick);
+                }
+                self.start_gather(ctx);
+            }
+            EvsCmd::LeaveGroup => {
+                self.joined = false;
+                self.ordering = None;
+                self.phase = Phase::Steady;
+                self.pending_out.clear();
+                self.early_infos.clear();
+            }
+            EvsCmd::Crash => {
+                self.down = true;
+                self.joined = false;
+                self.ordering = None;
+                self.phase = Phase::Steady;
+                self.fd.reset();
+                self.pending_out.clear();
+                self.early_infos.clear();
+                self.ack_scheduled = false;
+                self.last_acked = 0;
+                self.link.restart(self.attempt + 1);
+                self.retx_armed = false;
+                self.link_ack_armed = false;
+                // `attempt` deliberately survives: it acts as an
+                // incarnation number so post-recovery Joins are not
+                // mistaken for stale ones.
+            }
+        }
+    }
+}
+
+impl Actor for EvsDaemon {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.try_downcast::<Datagram>() {
+            Ok(dgram) => {
+                if self.down {
+                    return;
+                }
+                if let Some(frame) = dgram.payload.downcast_ref::<LinkFrame>() {
+                    if self.joined {
+                        let outcome = self.link.receive(dgram.src, frame);
+                        if outcome.ack_due {
+                            self.arm_link_ack(ctx);
+                        }
+                        for wire in outcome.deliver {
+                            self.handle_wire(ctx, dgram.src, &wire);
+                        }
+                    }
+                    return;
+                }
+                match dgram.payload.downcast_ref::<EvsWire>() {
+                    Some(wire) => {
+                        if self.joined {
+                            self.handle_wire(ctx, dgram.src, wire);
+                        }
+                    }
+                    None => {
+                        // Not group traffic: point-to-point application
+                        // messages (e.g. database transfers to joining
+                        // replicas) are forwarded to the application even
+                        // when this daemon has not joined the group.
+                        ctx.send_now(self.app, dgram);
+                    }
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<FdTick>() {
+            Ok(_) => {
+                self.on_fd_tick(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<AckTick>() {
+            Ok(_) => {
+                self.on_ack_tick(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<RetxTick>() {
+            Ok(_) => {
+                self.on_retx_tick(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<LinkAckTick>() {
+            Ok(_) => {
+                self.on_link_ack_tick(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<EvsCmd>() {
+            Some(cmd) => self.on_cmd(ctx, cmd),
+            None => panic!("EvsDaemon received an unknown payload type"),
+        }
+    }
+}
+
+impl std::fmt::Debug for EvsDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvsDaemon")
+            .field("me", &self.me)
+            .field("joined", &self.joined)
+            .field("down", &self.down)
+            .field("conf", &self.ordering.as_ref().map(|o| o.conf().id))
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,117 @@
+//! Heartbeat failure detector.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use todr_net::NodeId;
+use todr_sim::{SimDuration, SimTime};
+
+/// Tracks which peers this daemon has heard from recently.
+///
+/// Every received frame refreshes the sender's entry; a peer is
+/// *reachable* while its last-heard time is within `fail_timeout`. The
+/// daemon compares the reachable set against its installed configuration
+/// on every tick and starts a membership round on any difference — this
+/// covers failure, partition, merge, and the arrival of entirely new
+/// nodes (the daemon learns of them from their heartbeats).
+#[derive(Debug, Clone)]
+pub(crate) struct FailureDetector {
+    me: NodeId,
+    fail_timeout: SimDuration,
+    last_heard: BTreeMap<NodeId, SimTime>,
+}
+
+impl FailureDetector {
+    pub(crate) fn new(me: NodeId, fail_timeout: SimDuration) -> Self {
+        FailureDetector {
+            me,
+            fail_timeout,
+            last_heard: BTreeMap::new(),
+        }
+    }
+
+    /// Records that a frame from `peer` arrived at `now`.
+    pub(crate) fn heard_from(&mut self, peer: NodeId, now: SimTime) {
+        if peer != self.me {
+            self.last_heard.insert(peer, now);
+        }
+    }
+
+    /// The currently reachable set, always including `me`.
+    pub(crate) fn reachable(&self, now: SimTime) -> BTreeSet<NodeId> {
+        let mut set: BTreeSet<NodeId> = self
+            .last_heard
+            .iter()
+            .filter(|&(_, &t)| now.saturating_since(t) <= self.fail_timeout)
+            .map(|(&n, _)| n)
+            .collect();
+        set.insert(self.me);
+        set
+    }
+
+    /// Drops all knowledge (on daemon restart after a crash).
+    pub(crate) fn reset(&mut self) {
+        self.last_heard.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    const TIMEOUT: SimDuration = SimDuration::from_millis(200);
+
+    #[test]
+    fn self_is_always_reachable() {
+        let fd = FailureDetector::new(n(0), TIMEOUT);
+        assert_eq!(
+            fd.reachable(SimTime::from_secs(100)),
+            [n(0)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn recent_peers_are_reachable() {
+        let mut fd = FailureDetector::new(n(0), TIMEOUT);
+        fd.heard_from(n(1), SimTime::from_millis(100));
+        fd.heard_from(n(2), SimTime::from_millis(250));
+        let at = SimTime::from_millis(300);
+        let r = fd.reachable(at);
+        assert!(r.contains(&n(1)));
+        assert!(r.contains(&n(2)));
+    }
+
+    #[test]
+    fn stale_peers_time_out() {
+        let mut fd = FailureDetector::new(n(0), TIMEOUT);
+        fd.heard_from(n(1), SimTime::from_millis(100));
+        let r = fd.reachable(SimTime::from_millis(301));
+        assert!(!r.contains(&n(1)));
+    }
+
+    #[test]
+    fn hearing_again_refreshes() {
+        let mut fd = FailureDetector::new(n(0), TIMEOUT);
+        fd.heard_from(n(1), SimTime::from_millis(100));
+        fd.heard_from(n(1), SimTime::from_millis(400));
+        assert!(fd.reachable(SimTime::from_millis(550)).contains(&n(1)));
+    }
+
+    #[test]
+    fn own_heartbeats_are_ignored() {
+        let mut fd = FailureDetector::new(n(0), TIMEOUT);
+        fd.heard_from(n(0), SimTime::from_millis(100));
+        assert_eq!(fd.reachable(SimTime::from_millis(100)).len(), 1);
+    }
+
+    #[test]
+    fn reset_forgets_everyone() {
+        let mut fd = FailureDetector::new(n(0), TIMEOUT);
+        fd.heard_from(n(1), SimTime::from_millis(100));
+        fd.reset();
+        assert!(!fd.reachable(SimTime::from_millis(100)).contains(&n(1)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Application-facing types: configurations and deliveries.
+
+use std::fmt;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+use todr_net::NodeId;
+
+/// Identifier of a regular configuration.
+///
+/// Uniqueness: the installing coordinator picks `seq` = 1 + the largest
+/// configuration sequence number any member of the new configuration has
+/// seen. Two components that split from the same configuration may pick
+/// the same `seq`, but they necessarily have different coordinators, so
+/// the pair is unique. Ordering by `(seq, coordinator)` gives a total
+/// order consistent with causality on any single node's installation
+/// history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConfId {
+    /// Monotonically growing configuration sequence number.
+    pub seq: u64,
+    /// The coordinator that installed the configuration.
+    pub coordinator: NodeId,
+}
+
+impl ConfId {
+    /// The sentinel id of a daemon's initial, not-yet-installed
+    /// configuration.
+    pub fn initial(node: NodeId) -> Self {
+        ConfId {
+            seq: 0,
+            coordinator: node,
+        }
+    }
+}
+
+impl fmt::Display for ConfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conf({},{})", self.seq, self.coordinator)
+    }
+}
+
+/// A membership: a configuration id plus its member list (sorted by node
+/// id).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Configuration identifier.
+    pub id: ConfId,
+    /// Members, in ascending node-id order.
+    pub members: Vec<NodeId>,
+}
+
+impl Configuration {
+    /// Creates a configuration, sorting the members.
+    pub fn new(id: ConfId, mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Configuration { id, members }
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no members (never true for installed
+    /// configurations).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The configuration's coordinator (smallest member id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is empty.
+    pub fn coordinator(&self) -> NodeId {
+        self.members[0]
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", self.id, self.members)
+    }
+}
+
+/// One application message handed up by the daemon.
+#[derive(Clone)]
+pub struct Delivery {
+    /// The node whose daemon submitted the message.
+    pub sender: NodeId,
+    /// The application payload (shared across all local deliveries).
+    pub payload: Rc<dyn std::any::Any>,
+    /// The regular configuration within which the message was sequenced.
+    pub conf_id: ConfId,
+    /// Global sequence number within `conf_id` — the agreed total order.
+    pub seq: u64,
+    /// `false`: delivered in the regular configuration with the full
+    /// safe-delivery guarantee. `true`: delivered in the transitional
+    /// configuration — ordered, but possibly missing at members of
+    /// `conf_id` that went to a different component.
+    pub in_transitional: bool,
+}
+
+impl fmt::Debug for Delivery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Delivery")
+            .field("sender", &self.sender)
+            .field("conf_id", &self.conf_id)
+            .field("seq", &self.seq)
+            .field("in_transitional", &self.in_transitional)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Events the daemon sends to its application actor.
+#[derive(Debug, Clone)]
+pub enum EvsEvent {
+    /// A new regular configuration was installed.
+    RegConf(Configuration),
+    /// A transitional configuration: the members of the previous regular
+    /// configuration that are moving together to the next one. Delivered
+    /// before the remaining (non-safe) messages of the previous
+    /// configuration.
+    TransConf(Configuration),
+    /// An application message.
+    Deliver(Delivery),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn conf_id_ordering() {
+        let a = ConfId {
+            seq: 1,
+            coordinator: n(5),
+        };
+        let b = ConfId {
+            seq: 2,
+            coordinator: n(0),
+        };
+        let c = ConfId {
+            seq: 2,
+            coordinator: n(3),
+        };
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn configuration_sorts_and_dedups_members() {
+        let conf = Configuration::new(ConfId::initial(n(0)), vec![n(3), n(1), n(3), n(2)]);
+        assert_eq!(conf.members, vec![n(1), n(2), n(3)]);
+        assert_eq!(conf.len(), 3);
+        assert_eq!(conf.coordinator(), n(1));
+        assert!(conf.contains(n(2)));
+        assert!(!conf.contains(n(9)));
+    }
+
+    #[test]
+    fn initial_conf_id_is_seq_zero() {
+        let id = ConfId::initial(n(4));
+        assert_eq!(id.seq, 0);
+        assert_eq!(id.coordinator, n(4));
+    }
+
+    #[test]
+    fn display_forms() {
+        let id = ConfId {
+            seq: 3,
+            coordinator: n(1),
+        };
+        assert_eq!(id.to_string(), "conf(3,n1)");
+    }
+}

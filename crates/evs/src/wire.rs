@@ -1,0 +1,193 @@
+//! Wire frames exchanged between EVS daemons.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use todr_net::NodeId;
+
+use crate::types::{ConfId, Configuration};
+
+/// A message that has been assigned a global sequence number by the
+/// configuration coordinator.
+#[derive(Clone)]
+pub(crate) struct SequencedMsg {
+    /// Global sequence number within the configuration.
+    pub seq: u64,
+    /// Submitting node.
+    pub sender: NodeId,
+    /// The sender's per-configuration submission counter (dedup key for
+    /// the sender's own resubmission logic).
+    pub local_seq: u64,
+    /// Application payload.
+    pub payload: Rc<dyn std::any::Any>,
+    /// Application payload size in bytes (for the network model).
+    pub size: u32,
+}
+
+impl std::fmt::Debug for SequencedMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequencedMsg")
+            .field("seq", &self.seq)
+            .field("sender", &self.sender)
+            .field("local_seq", &self.local_seq)
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-old-configuration group carried in an [`EvsWire::Install`]: the
+/// members moving together from `old_conf` and the final sequence number
+/// they must all deliver before installing the new configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TransGroup {
+    pub old_conf: ConfId,
+    pub members: Vec<NodeId>,
+    pub final_upto: u64,
+}
+
+/// Everything one daemon says to another.
+///
+/// Sizes: data-bearing frames carry the application payload size plus
+/// [`HEADER_BYTES`]; control frames are costed at [`HEADER_BYTES`].
+#[derive(Debug, Clone)]
+pub(crate) enum EvsWire {
+    /// Liveness probe; also how merged partitions discover each other.
+    Heartbeat { from: NodeId },
+
+    // ----- total order within a regular configuration -----
+    /// Sender → coordinator: please sequence this message.
+    Submit {
+        conf: ConfId,
+        sender: NodeId,
+        local_seq: u64,
+        payload: Rc<dyn std::any::Any>,
+        size: u32,
+    },
+    /// Coordinator → members: message `seq` in the agreed order.
+    /// `stable_upto` piggybacks the current stability line.
+    Sequenced {
+        conf: ConfId,
+        stable_upto: u64,
+        msg: SequencedMsg,
+    },
+    /// Member → coordinator: I have received everything up to `upto`.
+    Ack {
+        conf: ConfId,
+        from: NodeId,
+        upto: u64,
+    },
+    /// Coordinator → members: every member has received everything up to
+    /// `upto` (the safe-delivery line).
+    Stable { conf: ConfId, upto: u64 },
+
+    // ----- membership -----
+    /// Gather phase: `from` proposes the membership `proposal`.
+    Join {
+        from: NodeId,
+        attempt: u64,
+        proposal: BTreeSet<NodeId>,
+    },
+    /// Flush phase: member → new coordinator, describing what the member
+    /// holds from its previous configuration.
+    FlushInfo {
+        from: NodeId,
+        /// The converged membership this flush belongs to.
+        membership: Vec<NodeId>,
+        /// The member's current (old) regular configuration.
+        old_conf: ConfId,
+        /// Highest contiguous sequence number received in `old_conf`.
+        have_upto: u64,
+        /// The member's local safe-delivery line in `old_conf`.
+        stable_upto: u64,
+        /// Highest configuration sequence number the member has seen
+        /// (input to the new configuration's id).
+        max_conf_seq: u64,
+    },
+    /// Coordinator → a member holding messages others lack: retransmit
+    /// `from_seq..=to_seq` of `old_conf` to `needy`.
+    RetransReq {
+        old_conf: ConfId,
+        from_seq: u64,
+        to_seq: u64,
+        needy: Vec<NodeId>,
+    },
+    /// Holder → needy member: the requested old-configuration messages.
+    Retrans {
+        old_conf: ConfId,
+        msgs: Vec<SequencedMsg>,
+    },
+    /// Coordinator → members: install `new_conf`. Members first deliver
+    /// their transitional configuration and remaining messages (per
+    /// their [`TransGroup`]), then the new regular configuration.
+    Install {
+        new_conf: Configuration,
+        groups: Vec<TransGroup>,
+    },
+}
+
+/// Modelled overhead of one EVS frame on the wire.
+pub(crate) const HEADER_BYTES: u32 = 48;
+
+impl EvsWire {
+    /// The node that produced this frame (for failure-detector
+    /// bookkeeping).
+    pub(crate) fn origin(&self) -> Option<NodeId> {
+        match self {
+            EvsWire::Heartbeat { from } => Some(*from),
+            EvsWire::Submit { sender, .. } => Some(*sender),
+            EvsWire::Ack { from, .. } => Some(*from),
+            EvsWire::Join { from, .. } => Some(*from),
+            EvsWire::FlushInfo { from, .. } => Some(*from),
+            // Sequenced/Stable/RetransReq/Install come from the
+            // coordinator; Retrans from the holder. The datagram source
+            // covers those cases.
+            _ => None,
+        }
+    }
+
+    /// Modelled wire size of the frame.
+    pub(crate) fn wire_size(&self) -> u32 {
+        match self {
+            EvsWire::Submit { size, .. } => HEADER_BYTES + size,
+            EvsWire::Sequenced { msg, .. } => HEADER_BYTES + msg.size,
+            EvsWire::Retrans { msgs, .. } => {
+                HEADER_BYTES + msgs.iter().map(|m| m.size + 16).sum::<u32>()
+            }
+            _ => HEADER_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn wire_size_includes_payload() {
+        let submit = EvsWire::Submit {
+            conf: ConfId::initial(n(0)),
+            sender: n(0),
+            local_seq: 1,
+            payload: Rc::new(()),
+            size: 200,
+        };
+        assert_eq!(submit.wire_size(), 248);
+        let hb = EvsWire::Heartbeat { from: n(0) };
+        assert_eq!(hb.wire_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn origin_identifies_sender_frames() {
+        let hb = EvsWire::Heartbeat { from: n(3) };
+        assert_eq!(hb.origin(), Some(n(3)));
+        let stable = EvsWire::Stable {
+            conf: ConfId::initial(n(0)),
+            upto: 4,
+        };
+        assert_eq!(stable.origin(), None);
+    }
+}

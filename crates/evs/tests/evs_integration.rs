@@ -1,0 +1,432 @@
+//! End-to-end tests of the EVS layer: membership convergence, agreed
+//! order, safe delivery, transitional configurations, virtual synchrony,
+//! partitions, merges, crashes.
+
+use std::rc::Rc;
+
+use todr_evs::{ConfId, Configuration, EvsCmd, EvsConfig, EvsDaemon, EvsEvent};
+use todr_net::{NetConfig, NetFabric, NetOp, NodeId};
+use todr_sim::{Actor, ActorId, Ctx, Payload, SimDuration, SimTime, World};
+
+/// Records every EVS upcall, with the payload decoded as `u64`.
+#[derive(Default)]
+struct AppSink {
+    reg_confs: Vec<Configuration>,
+    trans_confs: Vec<Configuration>,
+    deliveries: Vec<Rec>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Rec {
+    conf: ConfId,
+    seq: u64,
+    sender: NodeId,
+    value: u64,
+    in_transitional: bool,
+}
+
+impl Actor for AppSink {
+    fn handle(&mut self, _ctx: &mut Ctx<'_>, payload: Payload) {
+        match payload.downcast::<EvsEvent>() {
+            Some(EvsEvent::RegConf(c)) => self.reg_confs.push(c),
+            Some(EvsEvent::TransConf(c)) => self.trans_confs.push(c),
+            Some(EvsEvent::Deliver(d)) => self.deliveries.push(Rec {
+                conf: d.conf_id,
+                seq: d.seq,
+                sender: d.sender,
+                value: *d.payload.downcast_ref::<u64>().expect("u64 payload"),
+                in_transitional: d.in_transitional,
+            }),
+            None => panic!("sink got unknown payload"),
+        }
+    }
+}
+
+struct Cluster {
+    world: World,
+    fabric: ActorId,
+    nodes: Vec<NodeId>,
+    daemons: Vec<ActorId>,
+    sinks: Vec<ActorId>,
+}
+
+impl Cluster {
+    fn new(n: u32, seed: u64) -> Self {
+        let mut world = World::new(seed);
+        world.set_event_limit(5_000_000);
+        let fabric = world.add_actor("net", NetFabric::new(NetConfig::lan()));
+        let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let mut daemons = Vec::new();
+        let mut sinks = Vec::new();
+        for &node in &nodes {
+            let sink = world.add_actor(format!("app{node}"), AppSink::default());
+            let config = EvsConfig {
+                universe: nodes.clone(),
+                ..EvsConfig::default()
+            };
+            let daemon = world.add_actor(
+                format!("evs{node}"),
+                EvsDaemon::new(node, fabric, sink, config),
+            );
+            world.with_actor(fabric, |f: &mut NetFabric| f.register(node, daemon));
+            sinks.push(sink);
+            daemons.push(daemon);
+        }
+        for &daemon in &daemons {
+            world.schedule_now(daemon, EvsCmd::JoinGroup);
+        }
+        Cluster {
+            world,
+            fabric,
+            nodes,
+            daemons,
+            sinks,
+        }
+    }
+
+    fn send_from(&mut self, node_idx: usize, value: u64) {
+        self.world.schedule_now(
+            self.daemons[node_idx],
+            EvsCmd::Send {
+                payload: Rc::new(value),
+                size_bytes: 200,
+            },
+        );
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.world.now() + d;
+        self.world.run_until(deadline);
+    }
+
+    fn current_conf(&mut self, idx: usize) -> Option<Configuration> {
+        self.world
+            .with_actor(self.daemons[idx], |d: &mut EvsDaemon| {
+                d.current_conf().cloned()
+            })
+    }
+
+    fn deliveries(&mut self, idx: usize) -> Vec<Rec> {
+        self.world
+            .with_actor(self.sinks[idx], |s: &mut AppSink| s.deliveries.clone())
+    }
+
+    fn partition(&mut self, groups: &[Vec<NodeId>]) {
+        let groups = groups.to_vec();
+        self.world
+            .with_actor(self.fabric, move |f: &mut NetFabric| {
+                f.set_partition(&groups)
+            });
+    }
+
+    fn merge_all(&mut self) {
+        self.world
+            .with_actor(self.fabric, |f: &mut NetFabric| f.merge_all());
+    }
+}
+
+const SETTLE: SimDuration = SimDuration::from_millis(600);
+
+#[test]
+fn startup_converges_to_one_configuration() {
+    let mut c = Cluster::new(5, 1);
+    c.run_for(SETTLE);
+    let conf0 = c.current_conf(0).expect("installed");
+    assert_eq!(conf0.members, c.nodes);
+    for i in 1..5 {
+        assert_eq!(c.current_conf(i).expect("installed"), conf0);
+    }
+}
+
+#[test]
+fn total_order_is_identical_at_all_members() {
+    let mut c = Cluster::new(4, 2);
+    c.run_for(SETTLE);
+    for round in 0..10u64 {
+        for i in 0..4usize {
+            c.send_from(i, round * 10 + i as u64);
+        }
+    }
+    c.run_for(SimDuration::from_millis(300));
+    let reference = c.deliveries(0);
+    assert_eq!(reference.len(), 40, "all 40 messages delivered");
+    for i in 1..4 {
+        assert_eq!(c.deliveries(i), reference, "node {i} diverged");
+    }
+    // All safe (no membership change happened).
+    assert!(reference.iter().all(|r| !r.in_transitional));
+    // Sequence numbers are gapless and increasing.
+    let seqs: Vec<u64> = reference.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, (1..=40).collect::<Vec<_>>());
+}
+
+#[test]
+fn messages_submitted_before_convergence_reach_their_sender() {
+    // EVS scopes delivery to the configuration a message was sequenced
+    // in: a message sent while a daemon still sits in its singleton
+    // startup configuration is delivered there (to the sender alone) and
+    // does NOT leak into the merged configuration — propagating such
+    // messages across views is exactly the replication engine's job
+    // (action exchange). Here we verify the EVS-level contract: the
+    // sender delivers its own message, and no duplicate appears after
+    // the merge.
+    let mut c = Cluster::new(3, 3);
+    c.send_from(0, 111);
+    c.send_from(1, 222);
+    c.run_for(SETTLE);
+    let d0: Vec<u64> = c.deliveries(0).iter().map(|r| r.value).collect();
+    let d1: Vec<u64> = c.deliveries(1).iter().map(|r| r.value).collect();
+    assert_eq!(d0.iter().filter(|&&v| v == 111).count(), 1);
+    assert_eq!(d1.iter().filter(|&&v| v == 222).count(), 1);
+    // Messages sent after the merge reach everyone.
+    c.send_from(0, 333);
+    c.run_for(SimDuration::from_millis(300));
+    for i in 0..3 {
+        let values: Vec<u64> = c.deliveries(i).iter().map(|r| r.value).collect();
+        assert!(values.contains(&333), "node {i} missing 333");
+    }
+}
+
+#[test]
+fn partition_installs_separate_configurations() {
+    let mut c = Cluster::new(5, 4);
+    c.run_for(SETTLE);
+    let majority: Vec<NodeId> = c.nodes[..3].to_vec();
+    let minority: Vec<NodeId> = c.nodes[3..].to_vec();
+    c.partition(&[majority.clone(), minority.clone()]);
+    c.run_for(SETTLE);
+    assert_eq!(c.current_conf(0).unwrap().members, majority);
+    assert_eq!(c.current_conf(4).unwrap().members, minority);
+
+    // Post-partition traffic stays within each side.
+    c.send_from(0, 1000);
+    c.send_from(4, 2000);
+    c.run_for(SimDuration::from_millis(200));
+    let side_a: Vec<u64> = c.deliveries(1).iter().map(|r| r.value).collect();
+    let side_b: Vec<u64> = c.deliveries(3).iter().map(|r| r.value).collect();
+    assert!(side_a.contains(&1000));
+    assert!(!side_a.contains(&2000));
+    assert!(side_b.contains(&2000));
+    assert!(!side_b.contains(&1000));
+}
+
+#[test]
+fn virtual_synchrony_members_moving_together_deliver_same_set() {
+    let mut c = Cluster::new(5, 5);
+    c.run_for(SETTLE);
+    // Fire a burst and partition while it is in flight.
+    for i in 0..5usize {
+        for v in 0..5u64 {
+            c.send_from(i, (i as u64) * 100 + v);
+        }
+    }
+    c.run_for(SimDuration::from_micros(400)); // mid-flight
+    c.partition(&[c.nodes[..3].to_vec(), c.nodes[3..].to_vec()]);
+    c.run_for(SETTLE);
+
+    let old_conf = |r: &Rec| r.conf.seq; // group deliveries by conf
+                                         // Nodes 0,1,2 moved together: identical delivery records for every
+                                         // configuration.
+    let d0 = c.deliveries(0);
+    for i in 1..3 {
+        let di = c.deliveries(i);
+        // Compare the (conf, seq, sender, value) multiset — the safe/
+        // transitional flag may legitimately differ per member.
+        let key = |v: &Vec<Rec>| {
+            let mut k: Vec<(u64, u64, NodeId, u64)> = v
+                .iter()
+                .map(|r| (old_conf(r), r.seq, r.sender, r.value))
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&d0), key(&di), "node {i} saw a different set");
+    }
+}
+
+#[test]
+fn safe_delivery_trichotomy() {
+    // If any member delivered message m as safe in regular configuration
+    // C, every member of C delivers m (regular or transitional).
+    let mut c = Cluster::new(5, 6);
+    c.run_for(SETTLE);
+    for i in 0..5usize {
+        for v in 0..10u64 {
+            c.send_from(i, (i as u64) * 1000 + v);
+        }
+    }
+    c.run_for(SimDuration::from_micros(900));
+    c.partition(&[c.nodes[..2].to_vec(), c.nodes[2..].to_vec()]);
+    c.run_for(SETTLE);
+
+    let all: Vec<Vec<Rec>> = (0..5).map(|i| c.deliveries(i)).collect();
+    // Find the big configuration (all 5 members) from node 0's view.
+    let conf_of_interest = c
+        .world
+        .with_actor(c.sinks[0], |s: &mut AppSink| s.reg_confs[0].clone());
+    assert!(!conf_of_interest.members.is_empty());
+    for (i, di) in all.iter().enumerate() {
+        for r in di.iter().filter(|r| !r.in_transitional) {
+            // r delivered safe at node i: every other node must have it
+            // in some form for the same conf, or be outside that conf.
+            for (j, dj) in all.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let member_of_conf = true; // all 5 were members of the initial big conf
+                if member_of_conf && r.conf == conf_of_interest.id {
+                    assert!(
+                        dj.iter().any(|x| x.conf == r.conf && x.seq == r.seq),
+                        "node {j} never delivered ({}, seq {}) that node {i} saw as safe",
+                        r.conf,
+                        r.seq
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_reunifies_and_order_continues() {
+    let mut c = Cluster::new(4, 7);
+    c.run_for(SETTLE);
+    c.partition(&[c.nodes[..2].to_vec(), c.nodes[2..].to_vec()]);
+    c.run_for(SETTLE);
+    c.send_from(0, 10);
+    c.send_from(3, 20);
+    c.run_for(SimDuration::from_millis(200));
+    c.merge_all();
+    c.run_for(SETTLE);
+    let conf = c.current_conf(0).unwrap();
+    assert_eq!(conf.members, c.nodes);
+    for i in 1..4 {
+        assert_eq!(c.current_conf(i).unwrap(), conf);
+    }
+    // New messages reach everyone in the same order.
+    c.send_from(1, 30);
+    c.send_from(2, 40);
+    c.run_for(SimDuration::from_millis(300));
+    let tail = |recs: Vec<Rec>| -> Vec<u64> {
+        recs.iter()
+            .filter(|r| r.conf == conf.id)
+            .map(|r| r.value)
+            .collect()
+    };
+    let t0 = tail(c.deliveries(0));
+    assert!(t0.contains(&30) && t0.contains(&40));
+    for i in 1..4 {
+        assert_eq!(tail(c.deliveries(i)), t0);
+    }
+}
+
+#[test]
+fn crashed_node_is_excluded_and_rejoins_on_restart() {
+    let mut c = Cluster::new(3, 8);
+    c.run_for(SETTLE);
+    // Crash node 2: silence it at the fabric and wipe the daemon.
+    let n2 = c.nodes[2];
+    let fabric = c.fabric;
+    c.world.schedule_now(fabric, NetOp::Crash(n2));
+    let d2 = c.daemons[2];
+    c.world.schedule_now(d2, EvsCmd::Crash);
+    c.run_for(SETTLE);
+    assert_eq!(c.current_conf(0).unwrap().members, &c.nodes[..2]);
+
+    // Recover.
+    c.world.schedule_now(fabric, NetOp::Recover(n2));
+    c.world.schedule_now(d2, EvsCmd::Restart);
+    c.run_for(SETTLE);
+    let conf = c.current_conf(0).unwrap();
+    assert_eq!(conf.members, c.nodes);
+    assert_eq!(c.current_conf(2).unwrap(), conf);
+
+    // The rejoined node participates in ordering again.
+    c.send_from(2, 77);
+    c.run_for(SimDuration::from_millis(300));
+    for i in 0..3 {
+        assert!(c.deliveries(i).iter().any(|r| r.value == 77));
+    }
+}
+
+#[test]
+fn voluntary_leave_shrinks_configuration() {
+    let mut c = Cluster::new(3, 9);
+    c.run_for(SETTLE);
+    let d2 = c.daemons[2];
+    c.world.schedule_now(d2, EvsCmd::LeaveGroup);
+    c.run_for(SETTLE);
+    assert_eq!(c.current_conf(0).unwrap().members, &c.nodes[..2]);
+}
+
+#[test]
+fn deterministic_same_seed_same_outcome() {
+    let run = |seed: u64| -> (Vec<Rec>, Option<Configuration>, SimTime) {
+        let mut c = Cluster::new(4, seed);
+        c.run_for(SETTLE);
+        for i in 0..4usize {
+            c.send_from(i, i as u64);
+        }
+        c.run_for(SimDuration::from_millis(100));
+        c.partition(&[c.nodes[..2].to_vec(), c.nodes[2..].to_vec()]);
+        c.run_for(SETTLE);
+        let now = c.world.now();
+        (c.deliveries(0), c.current_conf(0), now)
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    let c_ = run(43);
+    // Different seed still converges, possibly along a different path.
+    assert!(c_.1.is_some());
+}
+
+#[test]
+fn cascading_partitions_settle() {
+    let mut c = Cluster::new(6, 10);
+    c.run_for(SETTLE);
+    // Three rapid re-partitions while traffic flows.
+    for i in 0..6usize {
+        c.send_from(i, i as u64);
+    }
+    c.partition(&[c.nodes[..4].to_vec(), c.nodes[4..].to_vec()]);
+    c.run_for(SimDuration::from_millis(120)); // mid-membership-round
+    c.partition(&[
+        c.nodes[..2].to_vec(),
+        c.nodes[2..4].to_vec(),
+        c.nodes[4..].to_vec(),
+    ]);
+    c.run_for(SimDuration::from_millis(120));
+    c.merge_all();
+    c.run_for(SimDuration::from_secs(2));
+    let conf = c.current_conf(0).unwrap();
+    assert_eq!(conf.members, c.nodes, "everyone reunified");
+    for i in 1..6 {
+        assert_eq!(c.current_conf(i).unwrap(), conf);
+    }
+    // Ordering still works afterwards.
+    c.send_from(0, 999);
+    c.run_for(SimDuration::from_millis(300));
+    for i in 0..6 {
+        assert!(c.deliveries(i).iter().any(|r| r.value == 999));
+    }
+}
+
+#[test]
+fn no_duplicate_deliveries_within_a_configuration() {
+    let mut c = Cluster::new(4, 11);
+    c.run_for(SETTLE);
+    for v in 0..20u64 {
+        c.send_from((v % 4) as usize, v);
+    }
+    c.run_for(SimDuration::from_millis(400));
+    for i in 0..4 {
+        let recs = c.deliveries(i);
+        let mut keys: Vec<(u64, u64)> = recs.iter().map(|r| (r.conf.seq, r.seq)).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate (conf, seq) at node {i}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Cross-replica safety checkers: executable versions of the paper's
+//! Theorems 1 and 2 plus the coloring invariants of §3.
+
+use std::collections::BTreeMap;
+
+use todr_core::{ActionId, EngineState};
+use todr_net::NodeId;
+
+use crate::cluster::Cluster;
+
+/// A snapshot of one replica's ordering state, for offline comparison.
+#[derive(Debug, Clone)]
+pub struct ReplicaView {
+    /// The server.
+    pub node: NodeId,
+    /// Its protocol state.
+    pub state: EngineState,
+    /// Green action count.
+    pub green_count: u64,
+    /// First green position with a retained id.
+    pub green_floor: u64,
+    /// Green ids from `green_floor` on.
+    pub green_tail: Vec<ActionId>,
+    /// Database digest.
+    pub db_digest: u64,
+    /// The white line (min green line over the server set).
+    pub white_line: u64,
+}
+
+/// Collects every live replica's view.
+pub fn collect_views(cluster: &mut Cluster) -> Vec<ReplicaView> {
+    (0..cluster.servers.len())
+        .map(|i| {
+            let node = cluster.servers[i].node;
+            cluster.with_engine(i, |e| ReplicaView {
+                node,
+                state: e.state(),
+                green_count: e.green_count(),
+                green_floor: e.green_floor(),
+                green_tail: e.green_tail().to_vec(),
+                db_digest: e.db_digest(),
+                white_line: e.white_line(),
+            })
+        })
+        .collect()
+}
+
+/// Theorem 1 (Global Total Order): if two servers both performed their
+/// `i`-th action, those actions are identical. Checked over the overlap
+/// of retained green ids.
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_total_order(views: &[ReplicaView]) {
+    for a in views {
+        for b in views {
+            if a.node >= b.node {
+                continue;
+            }
+            let lo = a.green_floor.max(b.green_floor);
+            let hi = a.green_count.min(b.green_count);
+            for pos in lo..hi {
+                let ia = a.green_tail[(pos - a.green_floor) as usize];
+                let ib = b.green_tail[(pos - b.green_floor) as usize];
+                assert_eq!(
+                    ia, ib,
+                    "total order violated at green position {pos}: {} has {ia}, {} has {ib}",
+                    a.node, b.node
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 2 (Global FIFO Order): within one server's green sequence,
+/// per-creator indices are strictly increasing and contiguous from the
+/// first retained occurrence.
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_fifo_order(views: &[ReplicaView]) {
+    for v in views {
+        let mut last: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for id in &v.green_tail {
+            if let Some(&prev) = last.get(&id.server) {
+                assert_eq!(
+                    prev + 1,
+                    id.index,
+                    "FIFO violated at {}: creator {} jumped {} -> {}",
+                    v.node,
+                    id.server,
+                    prev,
+                    id.index
+                );
+            }
+            last.insert(id.server, id.index);
+        }
+    }
+}
+
+/// Database determinism: two replicas with the same green count must
+/// hold databases with identical digests.
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_db_convergence(views: &[ReplicaView]) {
+    for a in views {
+        for b in views {
+            if a.node < b.node && a.green_count == b.green_count {
+                assert_eq!(
+                    a.db_digest, b.db_digest,
+                    "replicas {} and {} diverged at green count {}",
+                    a.node, b.node, a.green_count
+                );
+            }
+        }
+    }
+}
+
+/// At most one primary component: the set of servers believing they are
+/// in the primary must agree on a single primary index.
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_single_primary(cluster: &mut Cluster) {
+    let mut prim_indices: Vec<(NodeId, u64)> = Vec::new();
+    for i in 0..cluster.servers.len() {
+        let node = cluster.servers[i].node;
+        let (state, prim) = cluster.with_engine(i, |e| (e.state(), e.prim_component().prim_index));
+        if matches!(state, EngineState::RegPrim | EngineState::TransPrim) {
+            prim_indices.push((node, prim));
+        }
+    }
+    for window in prim_indices.windows(2) {
+        assert_eq!(
+            window[0].1, window[1].1,
+            "two primary components live at once: {:?}",
+            prim_indices
+        );
+    }
+}
+
+/// White-line sanity: no server's white line exceeds any server's green
+/// count (an action cannot be "green everywhere" if someone lacks it).
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_white_line(views: &[ReplicaView]) {
+    // The white line is computed from green *lines*, which are
+    // knowledge-lagged; it must never exceed the true minimum green
+    // count among live members of the server set. Views of crashed
+    // servers are excluded by the caller.
+    let min_green = views.iter().map(|v| v.green_count).min().unwrap_or(0);
+    for v in views {
+        assert!(
+            v.white_line <= min_green || views.len() < 2,
+            "{} computed white line {} above the minimum green count {min_green}",
+            v.node,
+            v.white_line
+        );
+    }
+}
+
+/// Runs every safety check against the live (non-crashed, non-joining)
+/// replicas of the cluster.
+///
+/// # Panics
+///
+/// Panics on the first violated invariant.
+pub fn check_consistency(cluster: &mut Cluster) {
+    let views: Vec<ReplicaView> = collect_views(cluster)
+        .into_iter()
+        .filter(|v| !matches!(v.state, EngineState::Down | EngineState::Joining))
+        .collect();
+    if views.is_empty() {
+        return;
+    }
+    check_total_order(&views);
+    check_fifo_order(&views);
+    check_db_convergence(&views);
+    check_single_primary(cluster);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(node: u32, floor: u64, tail: &[(u32, u64)]) -> ReplicaView {
+        ReplicaView {
+            node: NodeId::new(node),
+            state: EngineState::NonPrim,
+            green_count: floor + tail.len() as u64,
+            green_floor: floor,
+            green_tail: tail
+                .iter()
+                .map(|&(s, i)| ActionId {
+                    server: NodeId::new(s),
+                    index: i,
+                })
+                .collect(),
+            db_digest: 0,
+            white_line: 0,
+        }
+    }
+
+    #[test]
+    fn total_order_accepts_consistent_prefixes() {
+        let a = view(0, 0, &[(0, 1), (1, 1), (0, 2)]);
+        let b = view(1, 0, &[(0, 1), (1, 1)]);
+        check_total_order(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total order violated")]
+    fn total_order_rejects_divergence() {
+        let a = view(0, 0, &[(0, 1), (1, 1)]);
+        let b = view(1, 0, &[(1, 1), (0, 1)]);
+        check_total_order(&[a, b]);
+    }
+
+    #[test]
+    fn total_order_respects_floors() {
+        // b bootstrapped at position 2: only the overlap is compared.
+        let a = view(0, 0, &[(0, 1), (1, 1), (0, 2)]);
+        let b = view(1, 2, &[(0, 2)]);
+        check_total_order(&[a, b]);
+    }
+
+    #[test]
+    fn fifo_accepts_contiguous_creators() {
+        let v = view(0, 0, &[(0, 1), (1, 1), (0, 2), (1, 2)]);
+        check_fifo_order(&[v]);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO violated")]
+    fn fifo_rejects_gaps() {
+        let v = view(0, 0, &[(0, 1), (0, 3)]);
+        check_fifo_order(&[v]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn db_convergence_rejects_digest_mismatch() {
+        let mut a = view(0, 0, &[(0, 1)]);
+        let mut b = view(1, 0, &[(0, 1)]);
+        a.db_digest = 1;
+        b.db_digest = 2;
+        check_db_convergence(&[a, b]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Closed-loop clients, as in the paper's evaluation (§7): each client
+//! keeps exactly one request outstanding — "the next action from a
+//! client being introduced immediately after the previous action from
+//! that client is completed".
+
+use todr_core::{
+    ClientId, ClientReply, ClientRequest, QuerySemantics, RequestId, UpdateReplyPolicy,
+};
+use todr_db::{Op, Value};
+use todr_sim::{Actor, ActorId, Ctx, Payload, SimTime};
+
+use crate::metrics::LatencyStats;
+
+/// What kind of requests a client issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 200-byte update actions (the paper's workload: "each action is
+    /// contained in 200 bytes, e.g. an SQL statement").
+    Updates,
+    /// Commutative increments (for relaxed-semantics experiments).
+    Increments,
+    /// Timestamped puts (last-writer-wins).
+    TimestampPuts,
+}
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Request kind.
+    pub workload: Workload,
+    /// Reply policy passed to the engine.
+    pub reply_policy: UpdateReplyPolicy,
+    /// Samples recorded before this instant are discarded (warm-up).
+    pub record_from: SimTime,
+    /// Stop issuing after this many commits (`None` = run forever).
+    pub max_requests: Option<u64>,
+    /// Modelled action size in bytes.
+    pub action_bytes: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            workload: Workload::Updates,
+            reply_policy: UpdateReplyPolicy::OnGreen,
+            record_from: SimTime::ZERO,
+            max_requests: None,
+            action_bytes: 200,
+        }
+    }
+}
+
+/// Kick-off message for a client actor.
+pub struct StartClient;
+
+/// Aggregated view of one client's progress.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// Requests acknowledged as committed.
+    pub committed: u64,
+    /// Committed inside the recording window.
+    pub recorded: u64,
+    /// Requests rejected by the engine.
+    pub rejected: u64,
+    /// Latency samples (submit → commit), recording window only.
+    pub latency: LatencyStats,
+}
+
+/// A closed-loop client attached to one replication server.
+pub struct ClosedLoopClient {
+    id: ClientId,
+    engine: ActorId,
+    config: ClientConfig,
+    next_request: u64,
+    stats: ClientStats,
+    running: bool,
+}
+
+impl ClosedLoopClient {
+    /// Creates a client; send it [`StartClient`] to begin.
+    pub fn new(id: ClientId, engine: ActorId, config: ClientConfig) -> Self {
+        ClosedLoopClient {
+            id,
+            engine,
+            config,
+            next_request: 0,
+            stats: ClientStats::default(),
+            running: false,
+        }
+    }
+
+    /// Progress so far.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Stops the closed loop: no further requests are issued after the
+    /// one currently outstanding (used to quiesce a cluster before
+    /// convergence checks).
+    pub fn stop(&mut self) {
+        self.running = false;
+    }
+
+    fn build_update(&self) -> Op {
+        let key = format!("c{}-{}", self.id.0, self.next_request % 64);
+        match self.config.workload {
+            Workload::Updates => {
+                // Pad the value so the modelled 200-byte action carries
+                // a realistically sized payload.
+                Op::put("bench", key, Value::Bytes(vec![0xAB; 160]))
+            }
+            Workload::Increments => Op::incr("bench", key, 1),
+            Workload::TimestampPuts => Op::ts_put(
+                "bench",
+                key,
+                Value::Int(self.next_request as i64),
+                self.next_request,
+            ),
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(max) = self.config.max_requests {
+            if self.next_request >= max {
+                self.running = false;
+                return;
+            }
+        }
+        self.next_request += 1;
+        let req = ClientRequest {
+            request: RequestId(self.next_request),
+            client: self.id,
+            reply_to: ctx.self_id(),
+            query: None,
+            update: self.build_update(),
+            query_semantics: QuerySemantics::Strict,
+            reply_policy: self.config.reply_policy,
+            size_bytes: self.config.action_bytes,
+        };
+        ctx.send_now(self.engine, req);
+    }
+}
+
+impl Actor for ClosedLoopClient {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.try_downcast::<StartClient>() {
+            Ok(_) => {
+                if !self.running {
+                    self.running = true;
+                    self.issue(ctx);
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<ClientReply>() {
+            Some(ClientReply::Committed { submitted_at, .. }) => {
+                self.stats.committed += 1;
+                if submitted_at >= self.config.record_from {
+                    self.stats.recorded += 1;
+                    self.stats
+                        .latency
+                        .record(ctx.now().saturating_since(submitted_at));
+                }
+                if self.running {
+                    self.issue(ctx);
+                }
+            }
+            Some(ClientReply::QueryAnswer { .. }) => {
+                if self.running {
+                    self.issue(ctx);
+                }
+            }
+            Some(ClientReply::Rejected { .. }) => {
+                self.stats.rejected += 1;
+                // Closed loop ends on rejection; the harness restarts
+                // clients explicitly when that matters.
+                self.running = false;
+            }
+            None => panic!("client received an unknown payload type"),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClosedLoopClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosedLoopClient")
+            .field("id", &self.id)
+            .field("committed", &self.stats.committed)
+            .finish_non_exhaustive()
+    }
+}

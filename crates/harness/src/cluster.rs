@@ -1,0 +1,365 @@
+//! Builds and drives a full simulated deployment of the replication
+//! engine.
+
+use todr_core::{EngineConfig, EngineCtl, EngineState, ReplicationEngine};
+use todr_evs::{EvsCmd, EvsConfig, EvsDaemon};
+use todr_net::{NetConfig, NetFabric, NodeId};
+use todr_sim::{ActorId, SimDuration, SimTime, World};
+use todr_storage::{DiskActor, DiskMode, DiskOp};
+
+use crate::client::{ClientConfig, ClientStats, ClosedLoopClient, StartClient};
+
+/// Construction parameters for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of initial replicas.
+    pub n_servers: u32,
+    /// World seed.
+    pub seed: u64,
+    /// Disk mode for every server (forced vs delayed writes).
+    pub disk_mode: DiskMode,
+    /// Network profile.
+    pub net: NetConfig,
+    /// Per-action CPU cost at each replica.
+    pub cpu_per_action: SimDuration,
+    /// EVS heartbeat interval.
+    pub hb_interval: SimDuration,
+    /// EVS failure timeout.
+    pub fail_timeout: SimDuration,
+    /// EVS acknowledgement batching delay.
+    pub ack_delay: SimDuration,
+    /// Run the EVS daemons over per-peer reliable (ARQ) channels,
+    /// required whenever `net.loss_probability > 0`.
+    pub reliable_links: bool,
+    /// Dynamic-linear-voting weights by server index (absent => 1).
+    pub weights: std::collections::BTreeMap<u32, u64>,
+}
+
+impl ClusterConfig {
+    /// Defaults calibrated for the paper's LAN testbed (see DESIGN.md).
+    pub fn new(n_servers: u32, seed: u64) -> Self {
+        ClusterConfig {
+            n_servers,
+            seed,
+            disk_mode: DiskMode::Forced {
+                sync_latency: SimDuration::from_millis(10),
+            },
+            net: NetConfig::lan(),
+            cpu_per_action: SimDuration::from_micros(380),
+            hb_interval: SimDuration::from_millis(50),
+            fail_timeout: SimDuration::from_millis(200),
+            ack_delay: SimDuration::from_micros(300),
+            reliable_links: false,
+            weights: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Same cluster over a lossy network, with reliable links enabled.
+    pub fn lossy(mut self, loss_probability: f64) -> Self {
+        self.net.loss_probability = loss_probability;
+        self.reliable_links = true;
+        self
+    }
+
+    /// Same cluster with delayed (asynchronous) disk writes — the
+    /// configuration of Figure 5(b)'s upper curve.
+    pub fn delayed_writes(mut self) -> Self {
+        self.disk_mode = DiskMode::Delayed;
+        self
+    }
+}
+
+/// One server's actor handles.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerHandles {
+    /// The server's node id.
+    pub node: NodeId,
+    /// Its EVS daemon.
+    pub daemon: ActorId,
+    /// Its disk.
+    pub disk: ActorId,
+    /// Its replication engine.
+    pub engine: ActorId,
+}
+
+/// A fully wired simulated deployment: fabric, disks, EVS daemons,
+/// replication engines and (optionally) clients, all inside one
+/// deterministic [`World`].
+pub struct Cluster {
+    /// The simulation world (exposed for advanced scripting).
+    pub world: World,
+    /// The shared network fabric.
+    pub fabric: ActorId,
+    /// Per-server handles, indexed by server number.
+    pub servers: Vec<ServerHandles>,
+    config: ClusterConfig,
+    clients: Vec<ActorId>,
+}
+
+impl Cluster {
+    /// Builds the deployment and joins every server to the group (but
+    /// does not advance time — call [`Cluster::settle`]).
+    pub fn build(config: ClusterConfig) -> Self {
+        let mut world = World::new(config.seed);
+        world.set_event_limit(500_000_000);
+        let fabric = world.add_actor("net", NetFabric::new(config.net.clone()));
+        let nodes: Vec<NodeId> = (0..config.n_servers).map(NodeId::new).collect();
+        let mut servers = Vec::new();
+        for &node in &nodes {
+            let handles = Self::wire_server(&mut world, fabric, node, &nodes, &config, true);
+            servers.push(handles);
+        }
+        for server in &servers {
+            world.schedule_now(server.daemon, EvsCmd::JoinGroup);
+        }
+        Cluster {
+            world,
+            fabric,
+            servers,
+            config,
+            clients: Vec::new(),
+        }
+    }
+
+    fn wire_server(
+        world: &mut World,
+        fabric: ActorId,
+        node: NodeId,
+        server_set: &[NodeId],
+        config: &ClusterConfig,
+        initial_member: bool,
+    ) -> ServerHandles {
+        let disk = world.add_actor(format!("disk-{node}"), DiskActor::new(config.disk_mode));
+        // Daemon and engine reference each other; allocate the engine
+        // slot first by predicting its id is not possible, so wire via a
+        // two-step: create daemon with a placeholder app id, then the
+        // engine, then point the daemon at the engine.
+        let evs_config = EvsConfig {
+            universe: server_set.to_vec(),
+            hb_interval: config.hb_interval,
+            fail_timeout: config.fail_timeout,
+            ack_delay: config.ack_delay,
+            reliable_links: config.reliable_links,
+            ..EvsConfig::default()
+        };
+        let daemon = world.add_actor(
+            format!("evs-{node}"),
+            EvsDaemon::new(node, fabric, ActorId::from_raw(0), evs_config),
+        );
+        let mut engine_config = EngineConfig::new(node, server_set.to_vec());
+        engine_config.cpu_per_action = config.cpu_per_action;
+        engine_config.initial_member = initial_member;
+        engine_config.weights = config
+            .weights
+            .iter()
+            .map(|(&idx, &w)| (NodeId::new(idx), w))
+            .collect();
+        let engine = world.add_actor(
+            format!("engine-{node}"),
+            ReplicationEngine::new(engine_config, daemon, disk, fabric),
+        );
+        // Re-point the daemon's app at the real engine.
+        world.with_actor(daemon, |d: &mut EvsDaemon| d.set_app(engine));
+        world.with_actor(fabric, |f: &mut NetFabric| f.register(node, daemon));
+        ServerHandles {
+            node,
+            daemon,
+            disk,
+            engine,
+        }
+    }
+
+    /// Advances virtual time until the initial primary component forms
+    /// (bounded at 5 seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no primary forms — that indicates a protocol bug.
+    pub fn settle(&mut self) {
+        let deadline = self.world.now() + SimDuration::from_secs(5);
+        loop {
+            self.run_for(SimDuration::from_millis(100));
+            let in_prim = (0..self.servers.len())
+                .filter(|&i| self.engine_state(i) == EngineState::RegPrim)
+                .count();
+            if in_prim == self.servers.len() {
+                return;
+            }
+            assert!(
+                self.world.now() < deadline,
+                "primary component failed to form within 5s"
+            );
+        }
+    }
+
+    /// Runs the world for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.world.now() + d;
+        self.world.run_until(deadline);
+    }
+
+    /// Runs the world up to an absolute virtual instant.
+    pub fn run_until(&mut self, at: SimTime) {
+        self.world.run_until(at);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    // --------------------------------------------------------
+    // failure scripting
+    // --------------------------------------------------------
+
+    /// Splits connectivity into the given groups of server indices.
+    pub fn partition(&mut self, groups: &[Vec<usize>]) {
+        let node_groups: Vec<Vec<NodeId>> = groups
+            .iter()
+            .map(|g| g.iter().map(|&i| self.servers[i].node).collect())
+            .collect();
+        self.world
+            .with_actor(self.fabric, move |f: &mut NetFabric| {
+                f.set_partition(&node_groups)
+            });
+    }
+
+    /// Reconnects all partitions.
+    pub fn merge_all(&mut self) {
+        self.world
+            .with_actor(self.fabric, |f: &mut NetFabric| f.merge_all());
+    }
+
+    /// Crashes server `idx`: network silenced, daemon and engine wiped,
+    /// disk reset (in-flight syncs lost).
+    pub fn crash(&mut self, idx: usize) {
+        let s = self.servers[idx];
+        self.world
+            .with_actor(self.fabric, move |f: &mut NetFabric| f.crash(s.node));
+        self.world.schedule_now(s.daemon, EvsCmd::Crash);
+        self.world.schedule_now(s.engine, EngineCtl::Crash);
+        self.world.schedule_now(s.disk, DiskOp::Reset);
+    }
+
+    /// Recovers server `idx` from its stable storage.
+    pub fn recover(&mut self, idx: usize) {
+        let s = self.servers[idx];
+        self.world
+            .with_actor(self.fabric, move |f: &mut NetFabric| f.recover(s.node));
+        self.world.schedule_now(s.engine, EngineCtl::Recover);
+    }
+
+    /// Adds a brand-new replica that bootstraps online via
+    /// `PERSISTENT_JOIN` through server `via` (§5.1). Returns its index.
+    pub fn add_joiner(&mut self, via: usize) -> usize {
+        let node = NodeId::new(self.servers.len() as u32);
+        let known: Vec<NodeId> = self.servers.iter().map(|s| s.node).collect();
+        let handles = Self::wire_server(
+            &mut self.world,
+            self.fabric,
+            node,
+            &known,
+            &self.config.clone(),
+            false,
+        );
+        let via_node = self.servers[via].node;
+        self.world
+            .schedule_now(handles.engine, EngineCtl::StartJoin { via: via_node });
+        self.servers.push(handles);
+        self.servers.len() - 1
+    }
+
+    /// Initiates a voluntary permanent leave of server `idx`.
+    pub fn leave(&mut self, idx: usize) {
+        let engine = self.servers[idx].engine;
+        self.world.schedule_now(engine, EngineCtl::Leave);
+    }
+
+    /// Administratively removes (presumably dead) server `dead_idx` by
+    /// asking server `via` to broadcast a `PERSISTENT_LEAVE` on its
+    /// behalf (§5.1, footnote 3).
+    pub fn remove_replica(&mut self, via: usize, dead_idx: usize) {
+        let engine = self.servers[via].engine;
+        let dead = self.servers[dead_idx].node;
+        self.world
+            .schedule_now(engine, EngineCtl::RemoveReplica { dead });
+    }
+
+    // --------------------------------------------------------
+    // clients
+    // --------------------------------------------------------
+
+    /// Attaches a closed-loop client to server `idx` and starts it.
+    /// Returns a handle for [`Cluster::client_stats`].
+    pub fn attach_client(&mut self, idx: usize, config: ClientConfig) -> ActorId {
+        let engine = self.servers[idx].engine;
+        let id = todr_core::ClientId(self.clients.len() as u32 + 1);
+        let client = self.world.add_actor(
+            format!("client-{}", id.0),
+            ClosedLoopClient::new(id, engine, config),
+        );
+        self.world.schedule_now(client, StartClient);
+        self.clients.push(client);
+        client
+    }
+
+    /// A client's progress.
+    pub fn client_stats(&mut self, client: ActorId) -> ClientStats {
+        self.world
+            .with_actor(client, |c: &mut ClosedLoopClient| c.stats().clone())
+    }
+
+    /// All attached clients.
+    pub fn clients(&self) -> &[ActorId] {
+        &self.clients
+    }
+
+    // --------------------------------------------------------
+    // inspection
+    // --------------------------------------------------------
+
+    /// Runs `f` against the engine of server `idx`.
+    pub fn with_engine<R>(&mut self, idx: usize, f: impl FnOnce(&mut ReplicationEngine) -> R) -> R {
+        self.world.with_actor(self.servers[idx].engine, f)
+    }
+
+    /// Protocol state of server `idx`.
+    pub fn engine_state(&mut self, idx: usize) -> EngineState {
+        self.with_engine(idx, |e| e.state())
+    }
+
+    /// Green action count of server `idx`.
+    pub fn green_count(&mut self, idx: usize) -> u64 {
+        self.with_engine(idx, |e| e.green_count())
+    }
+
+    /// Database digest of server `idx`.
+    pub fn db_digest(&mut self, idx: usize) -> u64 {
+        self.with_engine(idx, |e| e.db_digest())
+    }
+
+    /// Asserts cross-replica safety invariants (see
+    /// [`crate::checkers::check_consistency`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_consistency(&mut self) {
+        crate::checkers::check_consistency(self);
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.servers.len())
+            .field("clients", &self.clients.len())
+            .field("now", &self.world.now())
+            .finish()
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 5(a): throughput that 14 replicas sustain as the number of
+//! closed-loop clients grows from 1 to 14, for the engine (forced
+//! writes), COReL and two-phase commit.
+//!
+//! Expected shape (paper §7): the engine sustains increasingly more
+//! throughput and does not reach its processing limit by 14 clients;
+//! COReL pays for the per-action end-to-end acknowledgement round (a
+//! forced write at *every* server sits in its critical path); 2PC pays
+//! for the extra forced write and sits lowest.
+
+use todr_sim::SimDuration;
+
+use super::{render_table, run_workload, Protocol, RunResult};
+
+/// One throughput curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Protocol of this curve.
+    pub protocol: Protocol,
+    /// `(clients, actions/second)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig5a {
+    /// Replicas deployed.
+    pub n_servers: u32,
+    /// Engine / COReL / 2PC curves.
+    pub curves: Vec<Curve>,
+}
+
+/// Runs the experiment. `client_counts` selects the x-axis samples
+/// (the paper sweeps 1..=14); `measure` is the virtual measurement
+/// window per point.
+pub fn run(n_servers: u32, client_counts: &[usize], measure: SimDuration, seed: u64) -> Fig5a {
+    let warmup = SimDuration::from_millis(500);
+    let protocols = [
+        Protocol::Engine {
+            delayed_writes: false,
+        },
+        Protocol::Corel,
+        Protocol::Tpc,
+    ];
+    let mut curves = Vec::new();
+    for protocol in protocols {
+        let mut points = Vec::new();
+        for &clients in client_counts {
+            let result: RunResult =
+                run_workload(protocol, n_servers, clients, warmup, measure, seed);
+            points.push((clients, result.throughput));
+        }
+        curves.push(Curve { protocol, points });
+    }
+    Fig5a { n_servers, curves }
+}
+
+impl Fig5a {
+    /// The figure as an aligned text table (one row per client count).
+    pub fn to_table(&self) -> String {
+        let headers: Vec<&str> = std::iter::once("clients")
+            .chain(self.curves.iter().map(|c| c.protocol.label()))
+            .collect();
+        let n_points = self.curves.first().map_or(0, |c| c.points.len());
+        let mut rows = Vec::new();
+        for i in 0..n_points {
+            let mut row = vec![self.curves[0].points[i].0.to_string()];
+            for curve in &self.curves {
+                row.push(format!("{:.0}", curve.points[i].1));
+            }
+            rows.push(row);
+        }
+        format!(
+            "Figure 5(a): throughput (actions/second), {} replicas\n{}",
+            self.n_servers,
+            render_table(&headers, &rows)
+        )
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 5(b): the impact of forced disk writes — the engine with
+//! delayed (asynchronous) writes against the engine with forced writes,
+//! 14 replicas, 1..=14 clients.
+//!
+//! Expected shape (paper §7): the delayed-writes engine "tops at
+//! processing ~2500 actions/second" — the CPU cost per action becomes
+//! the ceiling once the disk leaves the critical path — while the
+//! forced-writes engine tracks the group-commit disk pipeline.
+
+use todr_sim::SimDuration;
+
+use super::fig5a::Curve;
+use super::{render_table, run_workload, Protocol};
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig5b {
+    /// Replicas deployed.
+    pub n_servers: u32,
+    /// Delayed-writes and forced-writes curves.
+    pub curves: Vec<Curve>,
+}
+
+/// Runs the experiment.
+pub fn run(n_servers: u32, client_counts: &[usize], measure: SimDuration, seed: u64) -> Fig5b {
+    let warmup = SimDuration::from_millis(500);
+    let protocols = [
+        Protocol::Engine {
+            delayed_writes: true,
+        },
+        Protocol::Engine {
+            delayed_writes: false,
+        },
+    ];
+    let mut curves = Vec::new();
+    for protocol in protocols {
+        let mut points = Vec::new();
+        for &clients in client_counts {
+            let result = run_workload(protocol, n_servers, clients, warmup, measure, seed);
+            points.push((clients, result.throughput));
+        }
+        curves.push(Curve { protocol, points });
+    }
+    Fig5b { n_servers, curves }
+}
+
+impl Fig5b {
+    /// The figure as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let headers: Vec<&str> = std::iter::once("clients")
+            .chain(self.curves.iter().map(|c| c.protocol.label()))
+            .collect();
+        let n_points = self.curves.first().map_or(0, |c| c.points.len());
+        let mut rows = Vec::new();
+        for i in 0..n_points {
+            let mut row = vec![self.curves[0].points[i].0.to_string()];
+            for curve in &self.curves {
+                row.push(format!("{:.0}", curve.points[i].1));
+            }
+            rows.push(row);
+        }
+        format!(
+            "Figure 5(b): impact of forced disk writes (actions/second), {} replicas\n{}",
+            self.n_servers,
+            render_table(&headers, &rows)
+        )
+    }
+}

@@ -1,0 +1,110 @@
+//! Extension experiment A2: online instantiation of a new replica
+//! (§5.1) under load — how long the bootstrap takes and what it costs
+//! the running system.
+
+use todr_core::EngineState;
+use todr_sim::SimDuration;
+
+use crate::client::ClientConfig;
+use crate::cluster::{Cluster, ClusterConfig};
+
+use super::render_table;
+
+/// The experiment's data.
+#[derive(Debug, Clone)]
+pub struct JoinReport {
+    /// Replicas before the join.
+    pub n_servers: u32,
+    /// Green actions already ordered when the join started (database
+    /// size proxy).
+    pub green_at_join_start: u64,
+    /// Virtual time from `StartJoin` until the joiner reached the
+    /// primary component at the full green count.
+    pub time_to_full_member: SimDuration,
+    /// Throughput (actions/s) while the join was in progress.
+    pub throughput_during_join: f64,
+    /// Throughput (actions/s) before the join.
+    pub throughput_before: f64,
+}
+
+/// Runs the experiment.
+pub fn run(n_servers: u32, preload_secs: u64, seed: u64) -> JoinReport {
+    let mut cluster = Cluster::build(ClusterConfig::new(n_servers, seed));
+    cluster.settle();
+    let clients: Vec<_> = (0..n_servers as usize)
+        .map(|i| cluster.attach_client(i, ClientConfig::default()))
+        .collect();
+    let committed = |cluster: &mut Cluster, clients: &[todr_sim::ActorId]| -> u64 {
+        clients
+            .iter()
+            .map(|&c| cluster.client_stats(c).committed)
+            .sum()
+    };
+
+    // Preload: build up a database worth transferring.
+    cluster.run_for(SimDuration::from_secs(preload_secs));
+    let measure = SimDuration::from_secs(1);
+    let s = committed(&mut cluster, &clients);
+    cluster.run_for(measure);
+    let throughput_before = (committed(&mut cluster, &clients) - s) as f64 / measure.as_secs_f64();
+
+    let green_at_join_start = cluster.green_count(0);
+    let join_started = cluster.now();
+    let joiner = cluster.add_joiner(0);
+    let during_start = committed(&mut cluster, &clients);
+
+    // Wait for full membership.
+    let deadline = join_started + SimDuration::from_secs(20);
+    loop {
+        cluster.run_for(SimDuration::from_millis(20));
+        let ready = cluster.engine_state(joiner) == EngineState::RegPrim
+            && cluster.green_count(joiner) + 5 >= cluster.green_count(0);
+        if ready {
+            break;
+        }
+        assert!(cluster.now() < deadline, "joiner never became a member");
+    }
+    let time_to_full_member = cluster.now() - join_started;
+    let during_end = committed(&mut cluster, &clients);
+    let throughput_during_join =
+        (during_end - during_start) as f64 / time_to_full_member.as_secs_f64().max(1e-9);
+    cluster.check_consistency();
+
+    JoinReport {
+        n_servers,
+        green_at_join_start,
+        time_to_full_member,
+        throughput_during_join,
+        throughput_before,
+    }
+}
+
+impl JoinReport {
+    /// The report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let rows = vec![
+            vec![
+                "green actions at join start".to_string(),
+                self.green_at_join_start.to_string(),
+            ],
+            vec![
+                "time to full membership".to_string(),
+                format!("{}", self.time_to_full_member),
+            ],
+            vec![
+                "throughput before (actions/s)".to_string(),
+                format!("{:.0}", self.throughput_before),
+            ],
+            vec![
+                "throughput during join (actions/s)".to_string(),
+                format!("{:.0}", self.throughput_during_join),
+            ],
+        ];
+        format!(
+            "Online replica instantiation, {} -> {} replicas (extension A2)\n{}",
+            self.n_servers,
+            self.n_servers + 1,
+            render_table(&["metric", "value"], &rows)
+        )
+    }
+}

@@ -1,0 +1,83 @@
+//! Experiment drivers: one per table/figure of the paper's evaluation
+//! (§7), plus the extension experiments listed in DESIGN.md.
+//!
+//! | driver | reproduces |
+//! |---|---|
+//! | [`fig5a::run`] | Figure 5(a): throughput vs clients — engine (forced writes) vs COReL vs 2PC, 14 replicas |
+//! | [`fig5b::run`] | Figure 5(b): engine with delayed vs forced writes |
+//! | [`latency::run`] | §7 latency experiment: 1 client × 2000 sequential actions per protocol |
+//! | [`partition::run`] | extension A1: membership-change cost (end-to-end exchange only on view change) |
+//! | [`join::run`] | extension A2: online replica instantiation (§5.1) |
+//! | [`semantics::run`] | extension A3: relaxed query/update semantics under partition (§6) |
+//! | [`ablations`] | extensions A4–A6: loss sweep, LAN-vs-WAN latency, forced-write-latency sweep |
+//!
+//! All results are measured in **virtual time** on the calibrated
+//! simulated substrate (see DESIGN.md §2); the claims to compare against
+//! the paper are the *shapes* — who wins, by what factor, where the
+//! knees are — not absolute action counts.
+
+pub mod ablations;
+pub mod fig5a;
+pub mod fig5b;
+pub mod join;
+pub mod latency;
+pub mod partition;
+pub mod semantics;
+
+mod runner;
+
+pub use runner::{run_workload, Protocol, RunResult};
+
+/// Renders a sequence of rows as an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let out = render_table(
+            &["clients", "throughput"],
+            &[
+                vec!["1".into(), "95.2".into()],
+                vec!["14".into(), "871.4".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("clients"));
+        assert!(lines[3].contains("871.4"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Extension experiment A3: what the relaxed application semantics of
+//! §6 buy during a partition.
+//!
+//! A cluster is split; a client on the minority side issues each class
+//! of request. Strict updates stall until the merge; weak/dirty queries
+//! answer immediately; commutative updates acknowledged on red keep
+//! full throughput and converge after the heal.
+
+use todr_core::{
+    ClientId, ClientReply, ClientRequest, QuerySemantics, RequestId, UpdateReplyPolicy,
+};
+use todr_db::{Op, Query, Value};
+use todr_sim::{Actor, ActorId, Ctx, Payload, SimDuration};
+
+use crate::client::{ClientConfig, Workload};
+use crate::cluster::{Cluster, ClusterConfig};
+
+use super::render_table;
+
+/// Outcome of a single probing request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutcome {
+    /// Answered within the partition, with the given virtual latency.
+    Answered {
+        /// Response latency.
+        latency: SimDuration,
+        /// Whether red (uncommitted) actions were visible.
+        dirty: bool,
+    },
+    /// Still unanswered when the observation window closed.
+    Blocked,
+}
+
+/// The experiment's data.
+#[derive(Debug, Clone)]
+pub struct SemanticsReport {
+    /// Strict query issued in the minority.
+    pub strict_query: ProbeOutcome,
+    /// Weak query issued in the minority.
+    pub weak_query: ProbeOutcome,
+    /// Dirty query issued in the minority.
+    pub dirty_query: ProbeOutcome,
+    /// Strict (OnGreen) update issued in the minority.
+    pub strict_update: ProbeOutcome,
+    /// Commutative (OnRed) update issued in the minority.
+    pub commutative_update: ProbeOutcome,
+    /// Commutative updates per second sustained in the minority.
+    pub commutative_throughput: f64,
+    /// Whether all replicas converged to one digest after the merge.
+    pub converged_after_merge: bool,
+}
+
+/// A one-shot probe actor: sends a single request and records the reply.
+struct Probe {
+    engine: ActorId,
+    request: ClientRequest,
+    sent_at: Option<todr_sim::SimTime>,
+    outcome: Option<ProbeOutcome>,
+}
+
+struct FireProbe;
+
+impl Actor for Probe {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.try_downcast::<FireProbe>() {
+            Ok(_) => {
+                self.sent_at = Some(ctx.now());
+                let mut req = self.request.clone();
+                req.reply_to = ctx.self_id();
+                ctx.send_now(self.engine, req);
+                return;
+            }
+            Err(p) => p,
+        };
+        if let Some(reply) = payload.downcast::<ClientReply>() {
+            let latency = ctx
+                .now()
+                .saturating_since(self.sent_at.expect("probe sent"));
+            let outcome = match reply {
+                ClientReply::QueryAnswer { dirty, .. } => ProbeOutcome::Answered { latency, dirty },
+                ClientReply::Committed { .. } => ProbeOutcome::Answered {
+                    latency,
+                    dirty: false,
+                },
+                ClientReply::Rejected { .. } => ProbeOutcome::Blocked,
+            };
+            self.outcome = Some(outcome);
+        }
+    }
+}
+
+fn probe_request(
+    query: Option<Query>,
+    update: Op,
+    query_semantics: QuerySemantics,
+    reply_policy: UpdateReplyPolicy,
+) -> ClientRequest {
+    ClientRequest {
+        request: RequestId(1),
+        client: ClientId(999),
+        reply_to: ActorId::from_raw(0), // patched when fired
+        query,
+        update,
+        query_semantics,
+        reply_policy,
+        size_bytes: 200,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(n_servers: u32, seed: u64) -> SemanticsReport {
+    let mut cluster = Cluster::build(ClusterConfig::new(n_servers, seed));
+    cluster.settle();
+
+    // Seed some data and throughput on the full cluster.
+    let seed_client = cluster.attach_client(0, ClientConfig::default());
+    cluster.run_for(SimDuration::from_secs(1));
+    let _ = cluster.client_stats(seed_client);
+
+    // Partition; the last server lands in the minority.
+    let minority_idx = n_servers as usize - 1;
+    let majority: Vec<usize> = (0..n_servers as usize - 2).collect();
+    let minority: Vec<usize> = vec![n_servers as usize - 2, minority_idx];
+    cluster.partition(&[majority, minority]);
+    cluster.run_for(SimDuration::from_secs(1));
+
+    let engine = cluster.servers[minority_idx].engine;
+    let spawn_probe = |cluster: &mut Cluster, req: ClientRequest| -> ActorId {
+        let probe = cluster.world.add_actor(
+            "probe",
+            Probe {
+                engine,
+                request: req,
+                sent_at: None,
+                outcome: None,
+            },
+        );
+        cluster.world.schedule_now(probe, FireProbe);
+        probe
+    };
+
+    let strict_q = spawn_probe(
+        &mut cluster,
+        probe_request(
+            Some(Query::get("bench", "c1-0")),
+            Op::Noop,
+            QuerySemantics::Strict,
+            UpdateReplyPolicy::OnGreen,
+        ),
+    );
+    let weak_q = spawn_probe(
+        &mut cluster,
+        probe_request(
+            Some(Query::get("bench", "c1-0")),
+            Op::Noop,
+            QuerySemantics::Weak,
+            UpdateReplyPolicy::OnGreen,
+        ),
+    );
+    let dirty_q = spawn_probe(
+        &mut cluster,
+        probe_request(
+            Some(Query::get("bench", "c1-0")),
+            Op::Noop,
+            QuerySemantics::Dirty,
+            UpdateReplyPolicy::OnGreen,
+        ),
+    );
+    let strict_u = spawn_probe(
+        &mut cluster,
+        probe_request(
+            None,
+            Op::put("probe", "strict", Value::Int(1)),
+            QuerySemantics::Strict,
+            UpdateReplyPolicy::OnGreen,
+        ),
+    );
+    let commut_u = spawn_probe(
+        &mut cluster,
+        probe_request(
+            None,
+            Op::incr("probe", "counter", 1),
+            QuerySemantics::Strict,
+            UpdateReplyPolicy::OnRed,
+        ),
+    );
+
+    // Sustained commutative throughput in the minority.
+    let commut_client = cluster.attach_client(
+        minority_idx,
+        ClientConfig {
+            workload: Workload::Increments,
+            reply_policy: UpdateReplyPolicy::OnRed,
+            ..ClientConfig::default()
+        },
+    );
+    let window = SimDuration::from_secs(2);
+    cluster.run_for(window);
+    let commutative_throughput =
+        cluster.client_stats(commut_client).committed as f64 / window.as_secs_f64();
+
+    let outcome = |cluster: &mut Cluster, probe: ActorId| -> ProbeOutcome {
+        cluster
+            .world
+            .with_actor(probe, |p: &mut Probe| p.outcome.clone())
+            .unwrap_or(ProbeOutcome::Blocked)
+    };
+    let strict_query = outcome(&mut cluster, strict_q);
+    let weak_query = outcome(&mut cluster, weak_q);
+    let dirty_query = outcome(&mut cluster, dirty_q);
+    let strict_update = outcome(&mut cluster, strict_u);
+    let commutative_update = outcome(&mut cluster, commut_u);
+
+    // Heal and verify convergence.
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(3));
+    let g0 = cluster.green_count(0);
+    let converged_after_merge = (1..n_servers as usize)
+        .all(|i| cluster.green_count(i) == g0 && cluster.db_digest(i) == cluster.db_digest(0));
+    cluster.check_consistency();
+
+    SemanticsReport {
+        strict_query,
+        weak_query,
+        dirty_query,
+        strict_update,
+        commutative_update,
+        commutative_throughput,
+        converged_after_merge,
+    }
+}
+
+impl SemanticsReport {
+    /// The report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let fmt = |o: &ProbeOutcome| match o {
+            ProbeOutcome::Answered { latency, dirty } => {
+                if *dirty {
+                    format!("answered in {latency} (dirty)")
+                } else {
+                    format!("answered in {latency}")
+                }
+            }
+            ProbeOutcome::Blocked => "blocked until merge".to_string(),
+        };
+        let rows = vec![
+            vec!["strict query".to_string(), fmt(&self.strict_query)],
+            vec!["weak query".to_string(), fmt(&self.weak_query)],
+            vec!["dirty query".to_string(), fmt(&self.dirty_query)],
+            vec!["strict update".to_string(), fmt(&self.strict_update)],
+            vec![
+                "commutative update (OnRed)".to_string(),
+                fmt(&self.commutative_update),
+            ],
+            vec![
+                "commutative throughput in minority".to_string(),
+                format!("{:.0} actions/s", self.commutative_throughput),
+            ],
+            vec![
+                "converged after merge".to_string(),
+                self.converged_after_merge.to_string(),
+            ],
+        ];
+        format!(
+            "Relaxed semantics in a non-primary component (§6, extension A3)\n{}",
+            render_table(&["request class", "outcome in minority"], &rows)
+        )
+    }
+}

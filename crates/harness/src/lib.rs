@@ -1,0 +1,37 @@
+//! # todr-harness — clusters, workloads, metrics and the paper's
+//! experiments
+//!
+//! Everything needed to stand up a full simulated deployment — network
+//! fabric, disks, EVS daemons, replication engines (or baseline
+//! protocols), clients — script failures against it, measure throughput
+//! and latency in virtual time, and verify cross-replica consistency.
+//!
+//! The [`experiments`] module contains one driver per table/figure of
+//! the paper's evaluation (§7); `todr-bench` and the repository examples
+//! are thin wrappers around those drivers.
+//!
+//! ```
+//! use todr_harness::cluster::{Cluster, ClusterConfig};
+//! use todr_harness::client::ClientConfig;
+//! use todr_sim::SimDuration;
+//!
+//! let mut cluster = Cluster::build(ClusterConfig::new(5, 42));
+//! cluster.settle(); // form the initial primary component
+//! let client = cluster.attach_client(0, ClientConfig::default());
+//! cluster.run_for(SimDuration::from_secs(2));
+//! let stats = cluster.client_stats(client);
+//! assert!(stats.committed > 0);
+//! cluster.check_consistency();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod checkers;
+pub mod client;
+pub mod cluster;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod scenario;

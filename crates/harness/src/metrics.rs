@@ -1,0 +1,139 @@
+//! Latency and throughput accounting in virtual time.
+
+use todr_sim::{SimDuration, SimTime};
+
+/// A latency recorder with summary statistics.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples: Vec<SimDuration>,
+}
+
+impl LatencyStats {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.samples.iter().map(|d| d.as_nanos()).sum();
+        SimDuration::from_nanos(total / self.samples.len() as u64)
+    }
+
+    /// The `p`-th percentile (0-100), or zero if empty.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Maximum sample, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Throughput over a measured window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Operations completed inside the window.
+    pub operations: u64,
+    /// Window start.
+    pub from: SimTime,
+    /// Window end.
+    pub to: SimTime,
+}
+
+impl Throughput {
+    /// Operations per second of virtual time.
+    pub fn per_second(&self) -> f64 {
+        let span = (self.to - self.from).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut stats = LatencyStats::new();
+        for ms in [10u64, 20, 30, 40, 50] {
+            stats.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(stats.count(), 5);
+        assert_eq!(stats.mean(), SimDuration::from_millis(30));
+        assert_eq!(stats.percentile(0.0), SimDuration::from_millis(10));
+        assert_eq!(stats.percentile(50.0), SimDuration::from_millis(30));
+        assert_eq!(stats.percentile(100.0), SimDuration::from_millis(50));
+        assert_eq!(stats.max(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = LatencyStats::new();
+        assert_eq!(stats.mean(), SimDuration::ZERO);
+        assert_eq!(stats.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(SimDuration::from_millis(10));
+        let mut b = LatencyStats::new();
+        b.record(SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.mean(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn throughput_per_second() {
+        let t = Throughput {
+            operations: 500,
+            from: SimTime::from_secs(1),
+            to: SimTime::from_secs(3),
+        };
+        assert!((t.per_second() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_empty_window_is_zero() {
+        let t = Throughput {
+            operations: 5,
+            from: SimTime::from_secs(1),
+            to: SimTime::from_secs(1),
+        };
+        assert_eq!(t.per_second(), 0.0);
+    }
+}

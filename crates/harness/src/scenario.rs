@@ -1,0 +1,193 @@
+//! Declarative failure scripts: a [`Scenario`] is a timeline of
+//! connectivity and process events executed against a [`Cluster`],
+//! with safety checks between steps.
+//!
+//! ```
+//! use todr_harness::cluster::{Cluster, ClusterConfig};
+//! use todr_harness::scenario::Scenario;
+//! use todr_sim::SimDuration;
+//!
+//! let mut cluster = Cluster::build(ClusterConfig::new(4, 9));
+//! cluster.settle();
+//! Scenario::new()
+//!     .after_ms(200).partition(vec![vec![0, 1, 2], vec![3]])
+//!     .after_ms(800).crash(3)
+//!     .after_ms(500).recover(3)
+//!     .after_ms(200).merge_all()
+//!     .after_ms(2_000).done()
+//!     .run(&mut cluster);
+//! cluster.check_consistency();
+//! ```
+
+use todr_sim::SimDuration;
+
+use crate::cluster::Cluster;
+
+/// One scripted event.
+#[derive(Debug, Clone)]
+pub enum ScenarioOp {
+    /// Split connectivity into groups of server indices.
+    Partition(Vec<Vec<usize>>),
+    /// Reconnect everything.
+    MergeAll,
+    /// Crash a server.
+    Crash(usize),
+    /// Recover a crashed server from stable storage.
+    Recover(usize),
+    /// Bootstrap a brand-new replica through the given representative.
+    Join {
+        /// Index of the representative server.
+        via: usize,
+    },
+    /// Voluntary permanent leave.
+    Leave(usize),
+    /// Administrative removal of a (dead) replica.
+    RemoveReplica {
+        /// Server that broadcasts the removal.
+        via: usize,
+        /// The replica being removed.
+        dead: usize,
+    },
+    /// No event: just let time pass (the delay before `Done` matters).
+    Done,
+}
+
+/// A timeline of `(delay, op)` steps.
+///
+/// Built with the fluent API ([`Scenario::after_ms`] + an op method);
+/// executed with [`Scenario::run`], which advances virtual time by each
+/// delay, applies the op, and (by default) asserts the cross-replica
+/// safety invariants after every step.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    steps: Vec<(SimDuration, ScenarioOp)>,
+    pending_delay: Option<SimDuration>,
+    check_each_step: bool,
+}
+
+impl Scenario {
+    /// An empty scenario with per-step consistency checking enabled.
+    pub fn new() -> Self {
+        Scenario {
+            steps: Vec::new(),
+            pending_delay: None,
+            check_each_step: true,
+        }
+    }
+
+    /// Disables the per-step consistency checks (for benchmarks).
+    pub fn without_checks(mut self) -> Self {
+        self.check_each_step = false;
+        self
+    }
+
+    /// Sets the delay before the next op.
+    pub fn after_ms(mut self, ms: u64) -> Self {
+        self.pending_delay = Some(SimDuration::from_millis(ms));
+        self
+    }
+
+    fn push(mut self, op: ScenarioOp) -> Self {
+        let delay = self.pending_delay.take().unwrap_or(SimDuration::ZERO);
+        self.steps.push((delay, op));
+        self
+    }
+
+    /// Adds a partition step.
+    pub fn partition(self, groups: Vec<Vec<usize>>) -> Self {
+        self.push(ScenarioOp::Partition(groups))
+    }
+
+    /// Adds a merge step.
+    pub fn merge_all(self) -> Self {
+        self.push(ScenarioOp::MergeAll)
+    }
+
+    /// Adds a crash step.
+    pub fn crash(self, idx: usize) -> Self {
+        self.push(ScenarioOp::Crash(idx))
+    }
+
+    /// Adds a recovery step.
+    pub fn recover(self, idx: usize) -> Self {
+        self.push(ScenarioOp::Recover(idx))
+    }
+
+    /// Adds an online-join step.
+    pub fn join_via(self, via: usize) -> Self {
+        self.push(ScenarioOp::Join { via })
+    }
+
+    /// Adds a voluntary-leave step.
+    pub fn leave(self, idx: usize) -> Self {
+        self.push(ScenarioOp::Leave(idx))
+    }
+
+    /// Adds an administrative-removal step.
+    pub fn remove_replica(self, via: usize, dead: usize) -> Self {
+        self.push(ScenarioOp::RemoveReplica { via, dead })
+    }
+
+    /// Terminates the timeline (the preceding `after_ms` still elapses).
+    pub fn done(self) -> Self {
+        self.push(ScenarioOp::Done)
+    }
+
+    /// Executes the timeline against `cluster`. Returns the indices of
+    /// replicas added by [`ScenarioOp::Join`] steps, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a consistency check fails (when enabled) or an op
+    /// references an unknown server index.
+    pub fn run(&self, cluster: &mut Cluster) -> Vec<usize> {
+        let mut joined = Vec::new();
+        for (delay, op) in &self.steps {
+            cluster.run_for(*delay);
+            match op {
+                ScenarioOp::Partition(groups) => cluster.partition(groups),
+                ScenarioOp::MergeAll => cluster.merge_all(),
+                ScenarioOp::Crash(i) => cluster.crash(*i),
+                ScenarioOp::Recover(i) => cluster.recover(*i),
+                ScenarioOp::Join { via } => joined.push(cluster.add_joiner(*via)),
+                ScenarioOp::Leave(i) => cluster.leave(*i),
+                ScenarioOp::RemoveReplica { via, dead } => cluster.remove_replica(*via, *dead),
+                ScenarioOp::Done => {}
+            }
+            if self.check_each_step {
+                cluster.check_consistency();
+            }
+        }
+        joined
+    }
+
+    /// Number of steps in the timeline.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_steps_with_delays() {
+        let s = Scenario::new()
+            .after_ms(100)
+            .partition(vec![vec![0], vec![1]])
+            .merge_all() // no delay: immediate
+            .after_ms(50)
+            .done();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.steps[0].0, SimDuration::from_millis(100));
+        assert_eq!(s.steps[1].0, SimDuration::ZERO);
+        assert_eq!(s.steps[2].0, SimDuration::from_millis(50));
+    }
+}

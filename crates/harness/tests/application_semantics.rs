@@ -1,0 +1,207 @@
+//! §6 application semantics, end-to-end: active transactions (stored
+//! procedures at ordering time), the two-action interactive-transaction
+//! pattern, and deterministic aborts.
+
+use todr_core::{
+    ClientId, ClientReply, ClientRequest, QuerySemantics, RequestId, UpdateReplyPolicy,
+};
+use todr_db::{Op, Query, Value};
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::{Actor, ActorId, Ctx, Payload, SimDuration};
+
+struct OneShot {
+    engine: ActorId,
+    reply: Option<ClientReply>,
+}
+
+struct Fire(ClientRequest);
+
+impl Actor for OneShot {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.try_downcast::<Fire>() {
+            Ok(Fire(mut req)) => {
+                req.reply_to = ctx.self_id();
+                ctx.send_now(self.engine, req);
+                return;
+            }
+            Err(p) => p,
+        };
+        if let Some(reply) = payload.downcast::<ClientReply>() {
+            self.reply = Some(reply);
+        }
+    }
+}
+
+fn submit(cluster: &mut Cluster, server: usize, update: Op) -> ActorId {
+    let engine = cluster.servers[server].engine;
+    let probe = cluster.world.add_actor(
+        "probe",
+        OneShot {
+            engine,
+            reply: None,
+        },
+    );
+    cluster.world.schedule_now(
+        probe,
+        Fire(ClientRequest {
+            request: RequestId(1),
+            client: ClientId(5),
+            reply_to: ActorId::from_raw(0),
+            query: Some(Query::get("accounts", "a")),
+            update,
+            query_semantics: QuerySemantics::Strict,
+            reply_policy: UpdateReplyPolicy::OnGreen,
+            size_bytes: 200,
+        }),
+    );
+    probe
+}
+
+fn committed(cluster: &mut Cluster, probe: ActorId) -> bool {
+    matches!(
+        cluster
+            .world
+            .with_actor(probe, |p: &mut OneShot| p.reply.take()),
+        Some(ClientReply::Committed { .. })
+    )
+}
+
+fn balance(cluster: &mut Cluster, server: usize, key: &str) -> Option<i64> {
+    cluster.with_engine(server, |e| {
+        e.db().get("accounts", key).and_then(|v| v.as_int())
+    })
+}
+
+#[test]
+fn active_transactions_execute_at_ordering_time_on_all_replicas() {
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 81));
+    cluster.settle();
+    let p = submit(&mut cluster, 0, Op::put("accounts", "a", Value::Int(100)));
+    cluster.run_for(SimDuration::from_millis(50));
+    assert!(committed(&mut cluster, p));
+
+    // Sufficient funds: applies everywhere.
+    let p = submit(
+        &mut cluster,
+        1,
+        Op::proc("transfer", vec!["a".into(), "b".into(), Value::Int(60)]),
+    );
+    cluster.run_for(SimDuration::from_millis(50));
+    assert!(committed(&mut cluster, p));
+    for i in 0..4 {
+        assert_eq!(balance(&mut cluster, i, "a"), Some(40));
+        assert_eq!(balance(&mut cluster, i, "b"), Some(60));
+    }
+
+    // Insufficient funds: the action is ordered but aborts identically
+    // at every replica (it depends only on the replicated state).
+    let p = submit(
+        &mut cluster,
+        2,
+        Op::proc("transfer", vec!["a".into(), "b".into(), Value::Int(500)]),
+    );
+    cluster.run_for(SimDuration::from_millis(50));
+    assert!(
+        committed(&mut cluster, p),
+        "aborted actions still commit (as aborts)"
+    );
+    for i in 0..4 {
+        assert_eq!(
+            balance(&mut cluster, i, "a"),
+            Some(40),
+            "abort must not apply"
+        );
+        assert_eq!(balance(&mut cluster, i, "b"), Some(60));
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn interactive_transactions_abort_on_stale_reads_everywhere() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 82));
+    cluster.settle();
+    let p = submit(&mut cluster, 0, Op::put("accounts", "a", Value::Int(10)));
+    cluster.run_for(SimDuration::from_millis(50));
+    assert!(committed(&mut cluster, p));
+
+    // Two sessions read a=10 concurrently, then both try a checked
+    // update. The first wins; the second aborts at every replica.
+    let first = Op::Checked {
+        expect: vec![("accounts".into(), "a".into(), Some(Value::Int(10)))],
+        then: vec![Op::put("accounts", "a", Value::Int(11))],
+    };
+    let second = Op::Checked {
+        expect: vec![("accounts".into(), "a".into(), Some(Value::Int(10)))],
+        then: vec![Op::put("accounts", "a", Value::Int(99))],
+    };
+    let p1 = submit(&mut cluster, 1, first);
+    let p2 = submit(&mut cluster, 2, second);
+    cluster.run_for(SimDuration::from_millis(100));
+    assert!(committed(&mut cluster, p1));
+    assert!(committed(&mut cluster, p2));
+    // Which session wins is decided by the global order (the sequencer),
+    // not by submission timing — but exactly one applies, identically at
+    // every replica, and the loser's write never shows.
+    let winner = balance(&mut cluster, 0, "a");
+    assert!(
+        winner == Some(11) || winner == Some(99),
+        "one of the two checked updates must have applied, got {winner:?}"
+    );
+    for i in 1..3 {
+        assert_eq!(
+            balance(&mut cluster, i, "a"),
+            winner,
+            "replica {i} disagrees about the winning session"
+        );
+    }
+    // Database abort counters agree too.
+    let aborts: Vec<u64> = (0..3)
+        .map(|i| cluster.with_engine(i, |e| e.db().aborted_count()))
+        .collect();
+    assert!(aborts.iter().all(|&a| a == aborts[0]));
+    assert!(aborts[0] >= 1);
+    cluster.check_consistency();
+}
+
+#[test]
+fn query_part_answers_from_post_apply_state_at_origin() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 83));
+    cluster.settle();
+    let engine = cluster.servers[0].engine;
+    let probe = cluster.world.add_actor(
+        "probe",
+        OneShot {
+            engine,
+            reply: None,
+        },
+    );
+    cluster.world.schedule_now(
+        probe,
+        Fire(ClientRequest {
+            request: RequestId(9),
+            client: ClientId(5),
+            reply_to: ActorId::from_raw(0),
+            query: Some(Query::get("accounts", "a")),
+            update: Op::put("accounts", "a", Value::Int(777)),
+            query_semantics: QuerySemantics::Strict,
+            reply_policy: UpdateReplyPolicy::OnGreen,
+            size_bytes: 200,
+        }),
+    );
+    cluster.run_for(SimDuration::from_millis(50));
+    let reply = cluster
+        .world
+        .with_actor(probe, |p: &mut OneShot| p.reply.take());
+    let Some(ClientReply::Committed {
+        result: Some(result),
+        ..
+    }) = reply
+    else {
+        panic!("expected committed reply with query result");
+    };
+    assert_eq!(
+        result,
+        todr_db::QueryResult::Value(Some(Value::Int(777))),
+        "the query part evaluates after the update part applies"
+    );
+}

@@ -1,0 +1,198 @@
+//! Directed tests for the hardest transitions of Figure 4: membership
+//! changes that interrupt the CPC round (`Construct` → `No` → `Un`) and
+//! crashes while `vulnerable`. These windows are a few hundred
+//! microseconds wide, so the tests steer by observing engine states at
+//! fine granularity rather than by fixed timestamps.
+
+use todr_core::EngineState;
+use todr_harness::client::ClientConfig;
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::SimDuration;
+
+/// Advances in fine steps until `pred` holds; panics after `limit`.
+fn steer(
+    cluster: &mut Cluster,
+    limit: SimDuration,
+    mut pred: impl FnMut(&mut Cluster) -> bool,
+) -> bool {
+    let deadline = cluster.now() + limit;
+    while cluster.now() < deadline {
+        if pred(cluster) {
+            return true;
+        }
+        cluster.run_for(SimDuration::from_micros(200));
+    }
+    false
+}
+
+/// Quiesces all clients and lets the cluster settle.
+fn quiesce(cluster: &mut Cluster) {
+    for c in cluster.clients().to_vec() {
+        cluster
+            .world
+            .with_actor(c, |cl: &mut todr_harness::client::ClosedLoopClient| {
+                cl.stop()
+            });
+    }
+    cluster.run_for(SimDuration::from_secs(3));
+}
+
+fn assert_converged(cluster: &mut Cluster, n: usize) {
+    cluster.check_consistency();
+    let g0 = cluster.green_count(0);
+    for i in 1..n {
+        assert_eq!(cluster.green_count(i), g0, "server {i} did not converge");
+        assert_eq!(cluster.db_digest(i), cluster.db_digest(0));
+    }
+}
+
+#[test]
+fn partition_during_cpc_round_is_survived() {
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 31));
+    cluster.settle();
+    for i in 0..5 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_secs(1));
+
+    // Induce a view change, then catch the majority mid-CPC and cut it
+    // again — the cascade that drives servers through No/Un.
+    cluster.partition(&[vec![0, 1, 2, 3], vec![4]]);
+    let caught = steer(&mut cluster, SimDuration::from_secs(2), |c| {
+        (0..4).any(|i| c.engine_state(i) == EngineState::Construct)
+    });
+    assert!(caught, "never observed the Construct state");
+    // Second cut lands while CPC messages are in flight.
+    cluster.partition(&[vec![0, 1, 2], vec![3], vec![4]]);
+    cluster.run_for(SimDuration::from_secs(2));
+    // Safety all along.
+    cluster.check_consistency();
+
+    // {0,1,2} is a majority of whatever primary was last installed and
+    // must eventually re-form one.
+    assert_eq!(cluster.engine_state(0), EngineState::RegPrim);
+
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(3));
+    quiesce(&mut cluster);
+    assert_converged(&mut cluster, 5);
+}
+
+#[test]
+fn repeated_cuts_during_installation_attempts() {
+    // Hammer the installation window several times in a row; every
+    // attempt that is interrupted must leave the machines in a state
+    // from which the next attempt succeeds.
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 32));
+    cluster.settle();
+    for i in 0..5 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_millis(500));
+
+    for round in 0..4 {
+        cluster.partition(&[vec![0, 1, 2, 3], vec![4]]);
+        let caught = steer(&mut cluster, SimDuration::from_secs(2), |c| {
+            (0..4).any(|i| c.engine_state(i) == EngineState::Construct)
+        });
+        if caught {
+            // Alternate the second cut to vary which servers get caught
+            // in No/Un.
+            if round % 2 == 0 {
+                cluster.partition(&[vec![0, 1, 2], vec![3], vec![4]]);
+            } else {
+                cluster.partition(&[vec![0, 1], vec![2, 3], vec![4]]);
+            }
+        }
+        cluster.run_for(SimDuration::from_millis(600));
+        cluster.check_consistency();
+        cluster.merge_all();
+        cluster.run_for(SimDuration::from_secs(2));
+        cluster.check_consistency();
+    }
+    quiesce(&mut cluster);
+    assert_converged(&mut cluster, 5);
+}
+
+#[test]
+fn crash_while_vulnerable_recovers_safely() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 33));
+    cluster.settle();
+    for i in 0..3 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_secs(1));
+
+    // Cut {0,1} from {2}; catch server 0 inside the CPC round (it is
+    // vulnerable from the moment it persists the record until the view
+    // change after installation) and crash it there.
+    cluster.partition(&[vec![0, 1], vec![2]]);
+    let caught = steer(&mut cluster, SimDuration::from_secs(2), |c| {
+        c.engine_state(0) == EngineState::Construct
+    });
+    assert!(caught, "never observed Construct at server 0");
+    cluster.crash(0);
+    cluster.run_for(SimDuration::from_secs(1));
+
+    // Server 1 alone is not a quorum of anything.
+    assert_eq!(cluster.engine_state(1), EngineState::NonPrim);
+
+    // Recover server 0: the vulnerable record must have survived the
+    // crash (it was forced before the CPC was sent).
+    cluster.recover(0);
+    let vulnerable_on_recovery = cluster.with_engine(0, |e| e.is_vulnerable());
+    assert!(
+        vulnerable_on_recovery,
+        "the vulnerability record must survive the crash"
+    );
+
+    // The {0,1} exchange resolves the vulnerability (server 1 either
+    // installed — giving 0 the knowledge — or provably nobody did) and
+    // re-forms the primary.
+    cluster.run_for(SimDuration::from_secs(3));
+    assert_eq!(cluster.engine_state(0), EngineState::RegPrim);
+    assert_eq!(cluster.engine_state(1), EngineState::RegPrim);
+    // NB: a server inside a primary component is *always* vulnerable to
+    // that primary (the record clears on the next view change) — what
+    // matters is that the stale record from the interrupted attempt did
+    // not block the re-installation, which reaching RegPrim proves.
+
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(2));
+    quiesce(&mut cluster);
+    assert_converged(&mut cluster, 3);
+}
+
+#[test]
+fn vulnerable_server_blocks_quorum_until_resolved() {
+    // A component that contains an unresolved-vulnerable server must not
+    // install a primary (IsQuorum's first clause). We verify the
+    // *positive* contrapositive end-to-end: once the exchange resolves
+    // the record, installation proceeds — and safety held throughout.
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 34));
+    cluster.settle();
+    for i in 0..4 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_millis(500));
+
+    cluster.partition(&[vec![0, 1, 2], vec![3]]);
+    let caught = steer(&mut cluster, SimDuration::from_secs(2), |c| {
+        c.engine_state(1) == EngineState::Construct
+    });
+    assert!(caught);
+    cluster.crash(1);
+    cluster.run_for(SimDuration::from_secs(1));
+    cluster.recover(1);
+    assert!(cluster.with_engine(1, |e| e.is_vulnerable()));
+    cluster.run_for(SimDuration::from_secs(3));
+    // Resolution happened (or the installation completed and shared its
+    // knowledge) and the majority is primary again; the current-primary
+    // vulnerability that remains is by design.
+    assert_eq!(cluster.engine_state(1), EngineState::RegPrim);
+
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(2));
+    quiesce(&mut cluster);
+    assert_converged(&mut cluster, 4);
+}

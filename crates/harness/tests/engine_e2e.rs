@@ -1,0 +1,296 @@
+//! End-to-end tests of the replication engine over the full stack:
+//! clients → engine → EVS → simulated network/disks.
+
+use todr_core::{EngineState, UpdateReplyPolicy};
+use todr_harness::client::{ClientConfig, Workload};
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::SimDuration;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn ms(m: u64) -> SimDuration {
+    SimDuration::from_millis(m)
+}
+
+#[test]
+fn primary_forms_and_actions_commit() {
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 1));
+    cluster.settle();
+    for i in 0..5 {
+        assert_eq!(cluster.engine_state(i), EngineState::RegPrim);
+    }
+    let client = cluster.attach_client(0, ClientConfig::default());
+    cluster.run_for(secs(1));
+    let stats = cluster.client_stats(client);
+    assert!(stats.committed > 20, "only {} commits", stats.committed);
+    // Every replica applied the same actions.
+    let g0 = cluster.green_count(0);
+    assert!(g0 >= stats.committed);
+    for i in 1..5 {
+        assert_eq!(cluster.green_count(i), g0);
+        assert_eq!(cluster.db_digest(i), cluster.db_digest(0));
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn concurrent_clients_keep_one_order() {
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 2));
+    cluster.settle();
+    let clients: Vec<_> = (0..4)
+        .map(|i| cluster.attach_client(i, ClientConfig::default()))
+        .collect();
+    cluster.run_for(secs(2));
+    let total: u64 = clients
+        .iter()
+        .map(|&c| cluster.client_stats(c).committed)
+        .sum();
+    assert!(total > 100, "only {total} commits across 4 clients");
+    cluster.check_consistency();
+}
+
+#[test]
+fn majority_side_keeps_committing_after_partition() {
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 3));
+    cluster.settle();
+    let c_major = cluster.attach_client(0, ClientConfig::default());
+    let c_minor = cluster.attach_client(4, ClientConfig::default());
+    cluster.run_for(secs(1));
+    let major_before = cluster.client_stats(c_major).committed;
+    let minor_before = cluster.client_stats(c_minor).committed;
+
+    cluster.partition(&[vec![0, 1, 2], vec![3, 4]]);
+    cluster.run_for(secs(2));
+
+    // Majority formed a new primary and kept going.
+    assert_eq!(cluster.engine_state(0), EngineState::RegPrim);
+    let major_after = cluster.client_stats(c_major).committed;
+    assert!(
+        major_after > major_before + 20,
+        "majority stalled: {major_before} -> {major_after}"
+    );
+    // Minority is non-primary: no new green commits for its client.
+    assert_eq!(cluster.engine_state(4), EngineState::NonPrim);
+    let minor_after = cluster.client_stats(c_minor).committed;
+    assert!(
+        minor_after <= minor_before + 1,
+        "minority committed strictly: {minor_before} -> {minor_after}"
+    );
+    cluster.check_consistency();
+}
+
+#[test]
+fn merge_propagates_minority_actions() {
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 4));
+    cluster.settle();
+    cluster.partition(&[vec![0, 1, 2], vec![3, 4]]);
+    cluster.run_for(secs(1));
+
+    // A client on the minority side generates red actions.
+    let c_minor = cluster.attach_client(4, ClientConfig::default());
+    cluster.run_for(secs(1));
+    let red_at_4: usize = cluster.with_engine(4, |e| e.red_ids().len());
+    assert!(red_at_4 > 0, "minority generated no red actions");
+
+    cluster.merge_all();
+    cluster.run_for(secs(2));
+
+    // After the merge everything is green everywhere, including the
+    // minority's actions, and the client's request finally committed.
+    for i in 0..5 {
+        assert_eq!(cluster.engine_state(i), EngineState::RegPrim);
+        assert_eq!(cluster.with_engine(i, |e| e.red_ids().len()), 0);
+    }
+    let g0 = cluster.green_count(0);
+    for i in 1..5 {
+        assert_eq!(cluster.green_count(i), g0);
+    }
+    let minor_stats = cluster.client_stats(c_minor);
+    assert!(minor_stats.committed > 0, "minority action never committed");
+    cluster.check_consistency();
+}
+
+#[test]
+fn minority_cannot_form_primary() {
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 5));
+    cluster.settle();
+    // 2/4 is not a strict majority.
+    cluster.partition(&[vec![0, 1], vec![2, 3]]);
+    cluster.run_for(secs(2));
+    for i in 0..4 {
+        assert_eq!(
+            cluster.engine_state(i),
+            EngineState::NonPrim,
+            "server {i} formed a primary from half the votes"
+        );
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn crash_and_recovery_preserve_green_prefix() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 6));
+    cluster.settle();
+    let client = cluster.attach_client(0, ClientConfig::default());
+    cluster.run_for(secs(1));
+    let green_before_crash = cluster.green_count(2);
+    assert!(green_before_crash > 10);
+
+    cluster.crash(2);
+    cluster.run_for(secs(1));
+    // Survivors {0,1} hold a majority of the last primary {0,1,2} and
+    // keep committing.
+    assert_eq!(cluster.engine_state(0), EngineState::RegPrim);
+    let committed_while_down = cluster.client_stats(client).committed;
+    assert!(committed_while_down > 0);
+
+    cluster.recover(2);
+    cluster.run_for(secs(2));
+    assert_eq!(cluster.engine_state(2), EngineState::RegPrim);
+    let g2 = cluster.green_count(2);
+    let g0 = cluster.green_count(0);
+    assert_eq!(g2, g0, "recovered replica did not catch up");
+    assert!(g2 >= green_before_crash, "green prefix regressed");
+    cluster.check_consistency();
+}
+
+#[test]
+fn full_cluster_crash_recovers_from_stable_storage() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 7));
+    cluster.settle();
+    let client = cluster.attach_client(0, ClientConfig::default());
+    cluster.run_for(secs(1));
+    let committed = cluster.client_stats(client).committed;
+    assert!(committed > 10);
+
+    for i in 0..3 {
+        cluster.crash(i);
+    }
+    cluster.run_for(ms(500));
+    for i in 0..3 {
+        cluster.recover(i);
+    }
+    cluster.run_for(secs(3));
+    for i in 0..3 {
+        assert_eq!(cluster.engine_state(i), EngineState::RegPrim);
+    }
+    // Committed actions survived: the synced prefix is a lower bound on
+    // what recovery restores, and replicas agree.
+    let g0 = cluster.green_count(0);
+    assert!(g0 > 0, "no green actions after full-cluster recovery");
+    for i in 1..3 {
+        assert_eq!(cluster.green_count(i), g0);
+        assert_eq!(cluster.db_digest(i), cluster.db_digest(0));
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn relaxed_policy_commits_in_minority_and_converges() {
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 8));
+    cluster.settle();
+    cluster.partition(&[vec![0, 1, 2], vec![3, 4]]);
+    cluster.run_for(secs(1));
+
+    // A commutative-increment client on the minority side with OnRed
+    // acknowledgements keeps making progress while partitioned.
+    let config = ClientConfig {
+        workload: Workload::Increments,
+        reply_policy: UpdateReplyPolicy::OnRed,
+        ..ClientConfig::default()
+    };
+    let client = cluster.attach_client(4, config);
+    cluster.run_for(secs(1));
+    let stats = cluster.client_stats(client);
+    assert!(
+        stats.committed > 10,
+        "relaxed client made no progress in the minority: {}",
+        stats.committed
+    );
+
+    cluster.merge_all();
+    cluster.run_for(secs(2));
+    // After the heal all those increments are globally ordered.
+    let g0 = cluster.green_count(0);
+    for i in 1..5 {
+        assert_eq!(cluster.green_count(i), g0);
+        assert_eq!(cluster.db_digest(i), cluster.db_digest(0));
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn online_join_bootstraps_and_replicates() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 9));
+    cluster.settle();
+    // Bounded load so the cluster quiesces before we compare replicas.
+    let config = ClientConfig {
+        max_requests: Some(80),
+        ..ClientConfig::default()
+    };
+    let client = cluster.attach_client(0, config);
+    cluster.run_for(secs(1));
+
+    let joiner = cluster.add_joiner(1);
+    cluster.run_for(secs(3));
+
+    // The joiner is a full member: in the primary, same green count.
+    assert_eq!(cluster.engine_state(joiner), EngineState::RegPrim);
+    let g0 = cluster.green_count(0);
+    let gj = cluster.green_count(joiner);
+    assert_eq!(g0, gj, "joiner lags: {gj} vs {g0}");
+    assert_eq!(cluster.db_digest(joiner), cluster.db_digest(0));
+    // The server set grew everywhere.
+    for i in 0..3 {
+        assert_eq!(cluster.with_engine(i, |e| e.server_set().len()), 4);
+    }
+    // And it participates in ordering new work.
+    assert_eq!(cluster.client_stats(client).committed, 80);
+    let fresh = cluster.attach_client(joiner, ClientConfig::default());
+    cluster.run_for(secs(1));
+    assert!(cluster.client_stats(fresh).committed > 10);
+    cluster.check_consistency();
+}
+
+#[test]
+fn voluntary_leave_shrinks_the_replica_set() {
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 10));
+    cluster.settle();
+    cluster.leave(3);
+    cluster.run_for(secs(2));
+    for i in 0..3 {
+        assert_eq!(
+            cluster.with_engine(i, |e| e.server_set().len()),
+            3,
+            "server {i} still counts the departed replica"
+        );
+        assert_eq!(cluster.engine_state(i), EngineState::RegPrim);
+    }
+    assert_eq!(cluster.engine_state(3), EngineState::Down);
+    // The survivors keep serving.
+    let client = cluster.attach_client(0, ClientConfig::default());
+    cluster.run_for(secs(1));
+    assert!(cluster.client_stats(client).committed > 10);
+    cluster.check_consistency();
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = |seed: u64| {
+        let mut cluster = Cluster::build(ClusterConfig::new(4, seed));
+        cluster.settle();
+        let client = cluster.attach_client(0, ClientConfig::default());
+        cluster.partition(&[vec![0, 1, 2], vec![3]]);
+        cluster.run_for(secs(1));
+        cluster.merge_all();
+        cluster.run_for(secs(1));
+        (
+            cluster.client_stats(client).committed,
+            cluster.green_count(0),
+            cluster.db_digest(0),
+        )
+    };
+    assert_eq!(run(77), run(77));
+}

@@ -1,0 +1,120 @@
+//! The eventual-path property (§3.1): "our algorithm propagates
+//! information by means of eventual path ... all the components exhibit
+//! this behavior, whether they will form a primary or non-primary
+//! component. This allows the information to be disseminated even in
+//! non-primary components."
+//!
+//! Knowledge must flow through chains of non-primary meetings: a server
+//! that never met the primary component directly still learns its green
+//! actions through an intermediary.
+
+use todr_core::EngineState;
+use todr_harness::client::ClientConfig;
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::SimDuration;
+
+#[test]
+fn knowledge_flows_through_nonprimary_intermediaries() {
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 91));
+    cluster.settle();
+
+    // Phase 1: isolate 3 and 4 from the start; {0,1,2} is the primary
+    // and commits a pile of actions that 3 and 4 know nothing about.
+    cluster.partition(&[vec![0, 1, 2], vec![3], vec![4]]);
+    let client = cluster.attach_client(
+        0,
+        ClientConfig {
+            max_requests: Some(120),
+            ..ClientConfig::default()
+        },
+    );
+    cluster.run_for(SimDuration::from_secs(4));
+    assert_eq!(cluster.client_stats(client).committed, 120);
+    let primary_green = cluster.green_count(0);
+    assert!(cluster.green_count(3) < primary_green);
+    assert!(cluster.green_count(4) < primary_green);
+
+    // Phase 2: server 2 leaves the primary and meets server 3 — a
+    // NON-primary component (2/5 is no quorum). The exchange still
+    // equalizes their knowledge.
+    cluster.partition(&[vec![0, 1], vec![2, 3], vec![4]]);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(cluster.engine_state(3), EngineState::NonPrim);
+    assert_eq!(
+        cluster.green_count(3),
+        primary_green,
+        "server 3 must learn the primary's actions from server 2"
+    );
+
+    // Phase 3: server 3 meets server 4 — neither has EVER been in the
+    // primary component with those actions, yet 4 learns them too.
+    cluster.partition(&[vec![0, 1], vec![2], vec![3, 4]]);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(cluster.engine_state(4), EngineState::NonPrim);
+    assert_eq!(
+        cluster.green_count(4),
+        primary_green,
+        "server 4 must learn the primary's actions via the 2→3→4 eventual path"
+    );
+    assert_eq!(cluster.db_digest(4), cluster.db_digest(3));
+    cluster.check_consistency();
+
+    // And the paper's payoff: when 4 finally joins the primary, the
+    // exchange is cheap because it is already up to date.
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(2));
+    for i in 0..5 {
+        assert_eq!(cluster.engine_state(i), EngineState::RegPrim);
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn red_actions_also_ride_the_eventual_path() {
+    // Red (unordered) actions propagate through non-primary meetings
+    // just like green ones — §3.1 makes no distinction.
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 92));
+    cluster.settle();
+
+    cluster.partition(&[vec![0, 1, 2], vec![3], vec![4]]);
+    cluster.run_for(SimDuration::from_secs(1));
+    // Server 3, alone, creates red actions.
+    let client = cluster.attach_client(
+        3,
+        ClientConfig {
+            reply_policy: todr_core::UpdateReplyPolicy::OnRed,
+            max_requests: Some(10),
+            ..ClientConfig::default()
+        },
+    );
+    cluster.run_for(SimDuration::from_secs(1));
+    assert_eq!(cluster.client_stats(client).committed, 10);
+    assert_eq!(cluster.with_engine(3, |e| e.red_ids().len()), 10);
+
+    // 3 meets 4 (still non-primary): the reds propagate.
+    cluster.partition(&[vec![0, 1, 2], vec![3, 4]]);
+    cluster.run_for(SimDuration::from_secs(1));
+    assert_eq!(
+        cluster.with_engine(4, |e| e.red_ids().len()),
+        10,
+        "red actions must spread through non-primary exchanges"
+    );
+
+    // 4 re-joins the primary side WITHOUT 3: the reds arrive with it
+    // and get globally ordered even though their creator is detached.
+    cluster.partition(&[vec![0, 1, 2, 4], vec![3]]);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(cluster.engine_state(4), EngineState::RegPrim);
+    assert_eq!(
+        cluster.with_engine(0, |e| e.red_ids().len()),
+        0,
+        "the detached creator's actions reached the global order"
+    );
+    // The creator's own actions are now green at the primary...
+    let g0 = cluster.green_count(0);
+    // ...and after the full heal, at the creator too.
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(2));
+    assert!(cluster.green_count(3) >= g0);
+    cluster.check_consistency();
+}

@@ -1,0 +1,138 @@
+//! Smoke tests for the experiment drivers: small virtual windows, but
+//! the qualitative shapes of the paper's results must already hold.
+
+use todr_harness::experiments::Protocol;
+use todr_harness::experiments::{fig5a, fig5b, join, latency, partition, semantics};
+use todr_sim::SimDuration;
+
+#[test]
+fn latency_table_matches_paper_shape() {
+    // 1 client, sequential actions: engine ≈ COReL ≈ one forced write;
+    // 2PC ≈ two forced writes (paper: 11.4 / 11.4 / 19.3 ms).
+    let table = latency::run(5, 200, 42);
+    println!("{}", table.to_table());
+    let mean = |p: Protocol| -> f64 {
+        table
+            .rows
+            .iter()
+            .find(|r| r.protocol == p)
+            .expect("row present")
+            .latency
+            .mean()
+            .as_millis_f64()
+    };
+    let engine = mean(Protocol::Engine {
+        delayed_writes: false,
+    });
+    let corel = mean(Protocol::Corel);
+    let tpc = mean(Protocol::Tpc);
+    assert!(
+        (9.0..15.0).contains(&engine),
+        "engine latency {engine} ms outside the one-forced-write band"
+    );
+    assert!(
+        (9.0..15.0).contains(&corel),
+        "corel latency {corel} ms outside the one-forced-write band"
+    );
+    assert!(
+        (17.0..26.0).contains(&tpc),
+        "2pc latency {tpc} ms outside the two-forced-write band"
+    );
+    assert!(
+        (corel - engine).abs() < 3.0,
+        "engine and COReL should sit together"
+    );
+    assert!(tpc > engine + 5.0, "2PC must pay the extra forced write");
+}
+
+#[test]
+fn fig5a_ordering_engine_over_corel_over_tpc() {
+    let fig = fig5a::run(8, &[2, 8], SimDuration::from_secs(2), 42);
+    println!("{}", fig.to_table());
+    let at = |p: Protocol, clients: usize| -> f64 {
+        fig.curves
+            .iter()
+            .find(|c| c.protocol == p)
+            .expect("curve present")
+            .points
+            .iter()
+            .find(|&&(c, _)| c == clients)
+            .expect("point present")
+            .1
+    };
+    let engine = Protocol::Engine {
+        delayed_writes: false,
+    };
+    // Throughput grows with clients for every protocol.
+    assert!(at(engine, 8) > at(engine, 2));
+    assert!(at(Protocol::Corel, 8) > at(Protocol::Corel, 2));
+    // Ordering at high load: engine > COReL > 2PC.
+    assert!(
+        at(engine, 8) > at(Protocol::Corel, 8),
+        "engine {} <= corel {}",
+        at(engine, 8),
+        at(Protocol::Corel, 8)
+    );
+    assert!(
+        at(Protocol::Corel, 8) > at(Protocol::Tpc, 8),
+        "corel {} <= tpc {}",
+        at(Protocol::Corel, 8),
+        at(Protocol::Tpc, 8)
+    );
+}
+
+#[test]
+fn fig5b_delayed_writes_beat_forced_writes() {
+    let fig = fig5b::run(8, &[2, 8], SimDuration::from_secs(2), 42);
+    println!("{}", fig.to_table());
+    let delayed = &fig.curves[0].points;
+    let forced = &fig.curves[1].points;
+    for (d, f) in delayed.iter().zip(forced.iter()) {
+        assert!(
+            d.1 > f.1 * 2.0,
+            "delayed writes ({}) should far outrun forced writes ({}) at {} clients",
+            d.1,
+            f.1,
+            d.0
+        );
+    }
+}
+
+#[test]
+fn partition_report_is_sane() {
+    let report = partition::run(5, 42);
+    println!("{}", report.to_table());
+    assert!(report.throughput_before > 50.0);
+    assert!(report.throughput_during > 20.0);
+    assert!(report.reprimary_after_partition < SimDuration::from_secs(3));
+    assert!(report.convergence_after_merge < SimDuration::from_secs(5));
+}
+
+#[test]
+fn join_report_is_sane() {
+    let report = join::run(4, 1, 42);
+    println!("{}", report.to_table());
+    assert!(report.green_at_join_start > 50);
+    assert!(report.time_to_full_member < SimDuration::from_secs(10));
+    assert!(report.throughput_during_join > 20.0);
+}
+
+#[test]
+fn semantics_report_matches_section6() {
+    let report = semantics::run(5, 42);
+    println!("{}", report.to_table());
+    use semantics::ProbeOutcome;
+    assert_eq!(report.strict_query, ProbeOutcome::Blocked);
+    assert!(matches!(
+        report.weak_query,
+        ProbeOutcome::Answered { dirty: false, .. }
+    ));
+    assert!(matches!(report.dirty_query, ProbeOutcome::Answered { .. }));
+    assert_eq!(report.strict_update, ProbeOutcome::Blocked);
+    assert!(matches!(
+        report.commutative_update,
+        ProbeOutcome::Answered { .. }
+    ));
+    assert!(report.commutative_throughput > 20.0);
+    assert!(report.converged_after_merge);
+}

@@ -1,0 +1,129 @@
+//! Weighted dynamic linear voting and administrative replica removal
+//! (§3.1 quorums, §5.1 PERSISTENT_LEAVE).
+
+use todr_core::EngineState;
+use todr_harness::client::ClientConfig;
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::SimDuration;
+
+#[test]
+fn weighted_voting_lets_a_heavy_server_carry_the_quorum() {
+    // Server 0 weighs 3; servers 1,2 weigh 1 each (total 5).
+    let mut config = ClusterConfig::new(3, 21);
+    config.weights.insert(0, 3);
+    let mut cluster = Cluster::build(config);
+    cluster.settle();
+
+    // {0} alone holds 3/5 — a strict majority.
+    cluster.partition(&[vec![0], vec![1, 2]]);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        cluster.engine_state(0),
+        EngineState::RegPrim,
+        "the weighted server must form a primary alone"
+    );
+    assert_eq!(cluster.engine_state(1), EngineState::NonPrim);
+    assert_eq!(cluster.engine_state(2), EngineState::NonPrim);
+
+    // And it keeps serving clients.
+    let client = cluster.attach_client(0, ClientConfig::default());
+    cluster.run_for(SimDuration::from_secs(1));
+    assert!(cluster.client_stats(client).committed > 10);
+    cluster.check_consistency();
+}
+
+#[test]
+fn unweighted_singleton_cannot_form_primary() {
+    // Control for the test above: without weights, {0} is 1/3.
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 22));
+    cluster.settle();
+    cluster.partition(&[vec![0], vec![1, 2]]);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(cluster.engine_state(0), EngineState::NonPrim);
+    // The 2/3 side does form one.
+    assert_eq!(cluster.engine_state(1), EngineState::RegPrim);
+    cluster.check_consistency();
+}
+
+#[test]
+fn dynamic_linear_voting_walks_with_installed_primaries() {
+    // 5 servers. Crash two; the remaining 3/5 install a new primary
+    // whose member set is now the quorum base — so losing one more
+    // (leaving 2, a majority of 3) still yields a primary, even though
+    // 2/5 of the original set would not.
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 23));
+    cluster.settle();
+    cluster.crash(3);
+    cluster.crash(4);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(cluster.engine_state(0), EngineState::RegPrim);
+
+    cluster.crash(2);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        cluster.engine_state(0),
+        EngineState::RegPrim,
+        "2 of the last primary's 3 members must re-form"
+    );
+    assert_eq!(cluster.engine_state(1), EngineState::RegPrim);
+    cluster.check_consistency();
+}
+
+#[test]
+fn administrative_removal_unblocks_white_line_gc() {
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 24));
+    cluster.settle();
+    for i in 0..4 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_secs(2));
+
+    // Server 3 dies permanently; its frozen green line pins the white
+    // line forever...
+    cluster.crash(3);
+    cluster.run_for(SimDuration::from_secs(2));
+    let white_stuck = cluster.with_engine(0, |e| e.white_line());
+    cluster.run_for(SimDuration::from_secs(2));
+    let white_later = cluster.with_engine(0, |e| e.white_line());
+    assert_eq!(
+        white_stuck, white_later,
+        "white line should be pinned by the dead replica"
+    );
+
+    // ...until an administrator removes the dead replica (§5.1 footnote
+    // 3): the PERSISTENT_LEAVE is ordered like any action, the server
+    // set shrinks, and garbage collection resumes.
+    cluster.remove_replica(0, 3);
+    cluster.run_for(SimDuration::from_secs(3));
+    for i in 0..3 {
+        assert_eq!(
+            cluster.with_engine(i, |e| e.server_set().len()),
+            3,
+            "server {i} still counts the removed replica"
+        );
+    }
+    let white_after = cluster.with_engine(0, |e| e.white_line());
+    assert!(
+        white_after > white_stuck,
+        "white line must advance after removal: {white_stuck} -> {white_after}"
+    );
+    cluster.check_consistency();
+}
+
+#[test]
+fn removed_replica_cannot_rejoin_as_itself() {
+    // After a PERSISTENT_LEAVE is ordered, the departed server's engine
+    // refuses to recover into the system (a fresh replica must use the
+    // §5.1 join path instead).
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 25));
+    cluster.settle();
+    cluster.leave(2);
+    cluster.run_for(SimDuration::from_secs(2));
+    assert_eq!(cluster.engine_state(2), EngineState::Down);
+
+    // Attempting to "recover" the departed engine is a no-op.
+    cluster.recover(2);
+    cluster.run_for(SimDuration::from_secs(1));
+    assert_eq!(cluster.engine_state(2), EngineState::Down);
+    cluster.check_consistency();
+}

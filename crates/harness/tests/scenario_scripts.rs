@@ -1,0 +1,116 @@
+//! Scenario-scripted end-to-end runs: the declarative timelines drive
+//! the same invariant checks as the hand-written tests.
+
+use todr_core::EngineState;
+use todr_harness::client::ClientConfig;
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_harness::scenario::Scenario;
+use todr_sim::SimDuration;
+
+#[test]
+fn scripted_partition_heal_cycle() {
+    let mut cluster = Cluster::build(ClusterConfig::new(5, 41));
+    cluster.settle();
+    for i in 0..5 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    Scenario::new()
+        .after_ms(500)
+        .partition(vec![vec![0, 1, 2], vec![3, 4]])
+        .after_ms(800)
+        .partition(vec![vec![0, 1], vec![2, 3, 4]])
+        .after_ms(800)
+        .merge_all()
+        .after_ms(2_000)
+        .done()
+        .run(&mut cluster);
+    for i in 0..5 {
+        assert_eq!(cluster.engine_state(i), EngineState::RegPrim);
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn scripted_rolling_crash_recovery() {
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 42));
+    cluster.settle();
+    for i in 0..4 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    Scenario::new()
+        .after_ms(400)
+        .crash(0)
+        .after_ms(600)
+        .recover(0)
+        .after_ms(400)
+        .crash(1)
+        .after_ms(600)
+        .recover(1)
+        .after_ms(400)
+        .crash(2)
+        .after_ms(600)
+        .recover(2)
+        .after_ms(2_000)
+        .done()
+        .run(&mut cluster);
+    for i in 0..4 {
+        assert_eq!(cluster.engine_state(i), EngineState::RegPrim, "server {i}");
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn scripted_join_and_leave() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 43));
+    cluster.settle();
+    cluster.attach_client(0, ClientConfig::default());
+    let joined = Scenario::new()
+        .after_ms(500)
+        .join_via(1)
+        .after_ms(2_000)
+        .leave(2)
+        .after_ms(2_000)
+        .done()
+        .run(&mut cluster);
+    assert_eq!(joined.len(), 1);
+    let joiner = joined[0];
+    assert_eq!(cluster.engine_state(joiner), EngineState::RegPrim);
+    assert_eq!(cluster.engine_state(2), EngineState::Down);
+    // Set is {0, 1, joiner}.
+    assert_eq!(cluster.with_engine(0, |e| e.server_set().len()), 3);
+    cluster.check_consistency();
+}
+
+#[test]
+fn scripted_join_during_partition_via_non_primary() {
+    // §5.1: "It can even be the case that a new site is accepted into
+    // the system without ever being connected to the primary component"
+    // — here the joiner bootstraps through the majority side while a
+    // minority is detached, then everyone converges after the heal.
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 44));
+    cluster.settle();
+    cluster.attach_client(0, ClientConfig::default());
+    cluster.run_for(SimDuration::from_millis(500));
+    cluster.partition(&[vec![0, 1, 2], vec![3]]);
+    cluster.run_for(SimDuration::from_millis(500));
+    let joiner = cluster.add_joiner(0);
+    cluster.run_for(SimDuration::from_secs(3));
+    assert_eq!(cluster.engine_state(joiner), EngineState::RegPrim);
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(3));
+    // Quiesce and verify everyone (including the once-detached 3 and
+    // the joiner) agrees.
+    for c in cluster.clients().to_vec() {
+        cluster
+            .world
+            .with_actor(c, |cl: &mut todr_harness::client::ClosedLoopClient| {
+                cl.stop()
+            });
+    }
+    cluster.run_for(SimDuration::from_secs(2));
+    let g0 = cluster.green_count(0);
+    for i in 1..cluster.servers.len() {
+        assert_eq!(cluster.green_count(i), g0, "server {i}");
+    }
+    cluster.check_consistency();
+}

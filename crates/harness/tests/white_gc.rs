@@ -1,0 +1,132 @@
+//! White-line garbage collection (§3): actions known green everywhere
+//! are discarded from memory and the persisted log is compacted —
+//! without ever breaking exchange retransmission or crash recovery.
+
+use todr_harness::client::ClientConfig;
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::SimDuration;
+
+#[test]
+fn white_line_advances_and_bodies_are_pruned() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 1));
+    cluster.settle();
+    // Green lines are advertised on created actions (the paper's
+    // `green_line` field), so every server gets a client.
+    let clients: Vec<_> = (0..3)
+        .map(|i| cluster.attach_client(i, ClientConfig::default()))
+        .collect();
+    // Commit well past the default checkpoint interval (1024).
+    cluster.run_for(SimDuration::from_secs(8));
+    let committed: u64 = clients
+        .iter()
+        .map(|&c| cluster.client_stats(c).committed)
+        .sum();
+    assert!(committed > 1100, "need > interval commits, got {committed}");
+
+    for i in 0..3 {
+        let (white, floor, green, retained) = cluster.with_engine(i, |e| {
+            (
+                e.white_line(),
+                e.green_floor(),
+                e.green_count(),
+                e.retained_bodies(),
+            )
+        });
+        assert!(white > 1000, "white line stuck at {white} on server {i}");
+        assert!(floor > 0, "server {i} never pruned (floor {floor})");
+        assert!(floor <= white);
+        // Retained bodies are bounded by the un-white tail, not the
+        // whole history.
+        assert!(
+            (retained as u64) <= green - floor + 64,
+            "server {i} retains {retained} bodies for a tail of {}",
+            green - floor
+        );
+    }
+    cluster.check_consistency();
+}
+
+#[test]
+fn exchange_still_works_after_pruning() {
+    let mut cluster = Cluster::build(ClusterConfig::new(4, 2));
+    cluster.settle();
+    let clients: Vec<_> = (0..4)
+        .map(|i| cluster.attach_client(i, ClientConfig::default()))
+        .collect();
+    cluster.run_for(SimDuration::from_secs(6)); // several checkpoints
+    let floor0 = cluster.with_engine(0, |e| e.green_floor());
+    assert!(floor0 > 0, "no pruning happened");
+
+    // A partition + merge forces an exchange whose green retransmission
+    // must respect the pruned floors.
+    cluster.partition(&[vec![0, 1, 2], vec![3]]);
+    cluster.run_for(SimDuration::from_secs(2));
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(3));
+    let g0 = cluster.green_count(0);
+    for i in 1..4 {
+        assert_eq!(cluster.green_count(i), g0);
+    }
+    cluster.check_consistency();
+    let committed: u64 = clients
+        .iter()
+        .map(|&c| cluster.client_stats(c).committed)
+        .sum();
+    assert!(committed > 1000);
+}
+
+#[test]
+fn recovery_from_compacted_log() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 3));
+    cluster.settle();
+    for i in 0..3 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_secs(6));
+    let floor2 = cluster.with_engine(2, |e| e.green_floor());
+    assert!(floor2 > 0, "server 2 never checkpointed");
+
+    // Crash a server whose log has been compacted; it must recover from
+    // the checkpoint base and catch up through the exchange.
+    cluster.crash(2);
+    cluster.run_for(SimDuration::from_secs(1));
+    cluster.recover(2);
+    cluster.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        cluster.engine_state(2),
+        todr_core::EngineState::RegPrim,
+        "recovered server did not rejoin the primary"
+    );
+    // Quiesce before comparing.
+    let clients = cluster.clients().to_vec();
+    for c in clients {
+        cluster
+            .world
+            .with_actor(c, |cl: &mut todr_harness::client::ClosedLoopClient| {
+                cl.stop()
+            });
+    }
+    cluster.run_for(SimDuration::from_secs(2));
+    let g0 = cluster.green_count(0);
+    assert_eq!(cluster.green_count(2), g0);
+    assert_eq!(cluster.db_digest(2), cluster.db_digest(0));
+    cluster.check_consistency();
+}
+
+#[test]
+fn manual_checkpoint_reports_pruned_count() {
+    let mut cluster = Cluster::build(ClusterConfig::new(3, 4));
+    cluster.settle();
+    for i in 0..3 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_secs(3));
+    // Green lines propagate with ordinary traffic (piggybacked
+    // `green_line` fields), so the white line trails the green count by
+    // only the in-flight window.
+    let pruned = cluster.with_engine(0, |e| e.checkpoint());
+    let floor = cluster.with_engine(0, |e| e.green_floor());
+    assert!(pruned > 0, "manual checkpoint pruned nothing");
+    assert!(floor > 0);
+    cluster.check_consistency();
+}

@@ -1,0 +1,581 @@
+//! The network fabric actor: applies partitions, loss, latency; delivers
+//! datagrams to endpoint actors.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use todr_sim::{Actor, ActorId, Ctx, Payload, SimTime};
+
+use crate::latency::LatencyModel;
+use crate::node::NodeId;
+use crate::partition::PartitionMap;
+use crate::stats::NetStats;
+
+/// A type-erased, reference-counted message body.
+///
+/// The fabric never inspects payloads; multicast shares one allocation
+/// across all destinations. Receivers downcast with
+/// `payload.downcast_ref::<T>()`.
+pub type NetPayload = Rc<dyn std::any::Any>;
+
+/// A message as delivered to an endpoint actor.
+#[derive(Clone)]
+pub struct Datagram {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node (the one whose endpoint this was delivered to).
+    pub dst: NodeId,
+    /// Message body.
+    pub payload: NetPayload,
+    /// Modelled wire size in bytes (headers included by the caller).
+    pub size_bytes: u32,
+    /// Virtual time at which the message entered the fabric.
+    pub sent_at: SimTime,
+}
+
+impl std::fmt::Debug for Datagram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Datagram")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("size_bytes", &self.size_bytes)
+            .field("sent_at", &self.sent_at)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Commands accepted by the [`NetFabric`] actor.
+///
+/// Transmissions are sent by endpoint actors with `ctx.send_now(fabric,
+/// op)`; control commands can additionally be scheduled at future virtual
+/// times by experiment scripts.
+pub enum NetOp {
+    /// Transmit `payload` from `src` to each node in `dsts`.
+    Send {
+        /// Sending node.
+        src: NodeId,
+        /// Destination nodes. Destinations equal to `src` loop back with
+        /// zero network latency.
+        dsts: Vec<NodeId>,
+        /// Message body.
+        payload: NetPayload,
+        /// Modelled wire size in bytes.
+        size_bytes: u32,
+    },
+    /// Re-partition the universe (see [`PartitionMap::split`]).
+    SetPartition(Vec<Vec<NodeId>>),
+    /// Reconnect all components.
+    MergeAll,
+    /// Mark a node crashed: all its traffic is dropped.
+    Crash(NodeId),
+    /// Mark a crashed node as recovered.
+    Recover(NodeId),
+}
+
+impl NetOp {
+    /// Convenience constructor for a single-destination send.
+    pub fn unicast(src: NodeId, dst: NodeId, payload: NetPayload, size_bytes: u32) -> Self {
+        NetOp::Send {
+            src,
+            dsts: vec![dst],
+            payload,
+            size_bytes,
+        }
+    }
+
+    /// Convenience constructor for a multi-destination send.
+    pub fn multicast(src: NodeId, dsts: Vec<NodeId>, payload: NetPayload, size_bytes: u32) -> Self {
+        NetOp::Send {
+            src,
+            dsts,
+            payload,
+            size_bytes,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetOp::Send {
+                src,
+                dsts,
+                size_bytes,
+                ..
+            } => f
+                .debug_struct("Send")
+                .field("src", src)
+                .field("dsts", dsts)
+                .field("size_bytes", size_bytes)
+                .finish_non_exhaustive(),
+            NetOp::SetPartition(groups) => f.debug_tuple("SetPartition").field(groups).finish(),
+            NetOp::MergeAll => f.write_str("MergeAll"),
+            NetOp::Crash(n) => f.debug_tuple("Crash").field(n).finish(),
+            NetOp::Recover(n) => f.debug_tuple("Recover").field(n).finish(),
+        }
+    }
+}
+
+/// Internal: a datagram in flight, scheduled back to the fabric so that
+/// partition/crash conditions are re-checked at delivery time.
+struct InFlight {
+    dgram: Datagram,
+}
+
+/// Configuration of the fabric.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-hop latency model.
+    pub latency: LatencyModel,
+    /// Probability in `[0, 1]` that any given transmission is silently
+    /// lost (in addition to partition/crash drops).
+    pub loss_probability: f64,
+    /// Latency applied to loopback (self-addressed) messages.
+    pub loopback: LatencyModel,
+}
+
+impl NetConfig {
+    /// LAN profile with no random loss.
+    pub fn lan() -> Self {
+        NetConfig {
+            latency: LatencyModel::lan(),
+            loss_probability: 0.0,
+            loopback: LatencyModel::constant(todr_sim::SimDuration::from_micros(5)),
+        }
+    }
+
+    /// WAN profile with the given random loss probability.
+    pub fn wan(loss_probability: f64) -> Self {
+        NetConfig {
+            latency: LatencyModel::wan(),
+            loss_probability,
+            loopback: LatencyModel::constant(todr_sim::SimDuration::from_micros(5)),
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::lan()
+    }
+}
+
+/// The network fabric: one per [`World`](todr_sim::World).
+///
+/// Endpoints are registered with [`NetFabric::register`]; the experiment
+/// scripts partitions and crashes either directly (via
+/// [`World::with_actor`](todr_sim::World::with_actor)) or by scheduling
+/// [`NetOp`] control events.
+pub struct NetFabric {
+    config: NetConfig,
+    endpoints: BTreeMap<NodeId, ActorId>,
+    partitions: PartitionMap,
+    crashed: BTreeSet<NodeId>,
+    last_arrival: BTreeMap<(NodeId, NodeId), SimTime>,
+    stats: NetStats,
+}
+
+impl NetFabric {
+    /// Creates a fabric with no endpoints.
+    pub fn new(config: NetConfig) -> Self {
+        NetFabric {
+            config,
+            endpoints: BTreeMap::new(),
+            partitions: PartitionMap::default(),
+            crashed: BTreeSet::new(),
+            last_arrival: BTreeMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Registers (or re-points) the endpoint actor for `node`. New nodes
+    /// join the fully-connected component.
+    pub fn register(&mut self, node: NodeId, endpoint: ActorId) {
+        self.endpoints.insert(node, endpoint);
+        self.partitions.add_node(node);
+    }
+
+    /// The registered endpoint for `node`, if any.
+    pub fn endpoint(&self, node: NodeId) -> Option<ActorId> {
+        self.endpoints.get(&node).copied()
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Resets traffic counters (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Re-partitions connectivity (see [`PartitionMap::split`]).
+    pub fn set_partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.partitions.split(groups);
+    }
+
+    /// Reconnects all components.
+    pub fn merge_all(&mut self) {
+        self.partitions.merge_all();
+    }
+
+    /// Read access to the current partition map.
+    pub fn partitions(&self) -> &PartitionMap {
+        &self.partitions
+    }
+
+    /// Marks `node` crashed.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Clears the crashed mark for `node`.
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Whether `node` is currently marked crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Whether `a` and `b` can currently communicate.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        !self.crashed.contains(&a)
+            && !self.crashed.contains(&b)
+            && self.partitions.contains(a)
+            && self.partitions.contains(b)
+            && self.partitions.connected(a, b)
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, src: NodeId, dst: NodeId, dgram: Datagram) {
+        self.stats.sent += 1;
+        if self.crashed.contains(&src) || self.crashed.contains(&dst) {
+            self.stats.dropped_crashed += 1;
+            return;
+        }
+        if !self.partitions.connected(src, dst) {
+            self.stats.dropped_partition += 1;
+            return;
+        }
+        // Loopback is in-process: it cannot be lost.
+        if src != dst
+            && self.config.loss_probability > 0.0
+            && ctx.rng().gen_bool(self.config.loss_probability)
+        {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        let model = if src == dst {
+            &self.config.loopback
+        } else {
+            &self.config.latency
+        };
+        let delay = model.sample(ctx.rng(), dgram.size_bytes);
+        // Enforce per-(src,dst) FIFO: never deliver earlier than a
+        // previously scheduled arrival on the same ordered pair.
+        let mut at = ctx.now() + delay;
+        let key = (src, dst);
+        if let Some(&prev) = self.last_arrival.get(&key) {
+            if at <= prev {
+                at = prev + todr_sim::SimDuration::from_nanos(1);
+            }
+        }
+        self.last_arrival.insert(key, at);
+        let self_id = ctx.self_id();
+        ctx.send_at(at, self_id, InFlight { dgram });
+    }
+
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        // Re-check conditions at arrival time: a partition or crash that
+        // happened while the message was in flight drops it.
+        if self.crashed.contains(&dgram.src) || self.crashed.contains(&dgram.dst) {
+            self.stats.dropped_crashed += 1;
+            return;
+        }
+        if !self.partitions.connected(dgram.src, dgram.dst) {
+            self.stats.dropped_partition += 1;
+            return;
+        }
+        let Some(&endpoint) = self.endpoints.get(&dgram.dst) else {
+            self.stats.dropped_crashed += 1;
+            return;
+        };
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += dgram.size_bytes as u64;
+        ctx.send_now(endpoint, dgram);
+    }
+}
+
+impl Actor for NetFabric {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.try_downcast::<InFlight>() {
+            Ok(in_flight) => {
+                self.deliver(ctx, in_flight.dgram);
+                return;
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<NetOp>() {
+            Some(NetOp::Send {
+                src,
+                dsts,
+                payload,
+                size_bytes,
+            }) => {
+                for dst in dsts {
+                    let dgram = Datagram {
+                        src,
+                        dst,
+                        payload: Rc::clone(&payload),
+                        size_bytes,
+                        sent_at: ctx.now(),
+                    };
+                    self.transmit(ctx, src, dst, dgram);
+                }
+            }
+            Some(NetOp::SetPartition(groups)) => {
+                ctx.trace("net", format!("partition -> {groups:?}"));
+                self.set_partition(&groups);
+            }
+            Some(NetOp::MergeAll) => {
+                ctx.trace("net", "merge all components");
+                self.merge_all();
+            }
+            Some(NetOp::Crash(n)) => {
+                ctx.trace("net", format!("crash {n}"));
+                self.crash(n);
+            }
+            Some(NetOp::Recover(n)) => {
+                ctx.trace("net", format!("recover {n}"));
+                self.recover(n);
+            }
+            None => panic!("NetFabric received an unknown payload type"),
+        }
+    }
+}
+
+impl std::fmt::Debug for NetFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetFabric")
+            .field("endpoints", &self.endpoints.len())
+            .field("crashed", &self.crashed)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use todr_sim::World;
+
+    struct Sink {
+        got: Vec<(NodeId, u32, SimTime)>,
+    }
+
+    impl Actor for Sink {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            if let Some(d) = payload.downcast_ref::<Datagram>() {
+                let val = *d.payload.downcast_ref::<u32>().unwrap();
+                self.got.push((d.src, val, ctx.now()));
+            }
+        }
+    }
+
+    fn setup(n: u32) -> (World, ActorId, Vec<NodeId>, Vec<ActorId>) {
+        let mut world = World::new(7);
+        let fabric = world.add_actor("net", NetFabric::new(NetConfig::lan()));
+        let mut nodes = Vec::new();
+        let mut sinks = Vec::new();
+        for i in 0..n {
+            let node = NodeId::new(i);
+            let sink = world.add_actor(format!("sink{i}"), Sink { got: vec![] });
+            world.with_actor(fabric, |f: &mut NetFabric| f.register(node, sink));
+            nodes.push(node);
+            sinks.push(sink);
+        }
+        (world, fabric, nodes, sinks)
+    }
+
+    #[test]
+    fn unicast_delivers_with_latency() {
+        let (mut world, fabric, nodes, sinks) = setup(2);
+        world.schedule_now(
+            fabric,
+            NetOp::unicast(nodes[0], nodes[1], Rc::new(9u32), 200),
+        );
+        world.run_to_quiescence();
+        world.with_actor(sinks[1], |s: &mut Sink| {
+            assert_eq!(s.got.len(), 1);
+            let (src, val, at) = s.got[0];
+            assert_eq!(src, nodes[0]);
+            assert_eq!(val, 9);
+            assert!(at >= SimTime::from_micros(100)); // base latency
+        });
+    }
+
+    #[test]
+    fn multicast_reaches_all_destinations() {
+        let (mut world, fabric, nodes, sinks) = setup(4);
+        world.schedule_now(
+            fabric,
+            NetOp::multicast(nodes[0], nodes.clone(), Rc::new(5u32), 100),
+        );
+        world.run_to_quiescence();
+        for sink in &sinks {
+            world.with_actor(*sink, |s: &mut Sink| assert_eq!(s.got.len(), 1));
+        }
+    }
+
+    #[test]
+    fn partition_drops_cross_component_traffic() {
+        let (mut world, fabric, nodes, sinks) = setup(4);
+        world.with_actor(fabric, |f: &mut NetFabric| {
+            f.set_partition(&[vec![nodes[0], nodes[1]], vec![nodes[2], nodes[3]]]);
+        });
+        world.schedule_now(
+            fabric,
+            NetOp::multicast(nodes[0], nodes.clone(), Rc::new(1u32), 100),
+        );
+        world.run_to_quiescence();
+        world.with_actor(sinks[1], |s: &mut Sink| assert_eq!(s.got.len(), 1));
+        world.with_actor(sinks[2], |s: &mut Sink| assert!(s.got.is_empty()));
+        world.with_actor(sinks[3], |s: &mut Sink| assert!(s.got.is_empty()));
+        let stats = world.with_actor(fabric, |f: &mut NetFabric| f.stats());
+        assert_eq!(stats.dropped_partition, 2);
+    }
+
+    #[test]
+    fn partition_formed_mid_flight_drops_message() {
+        let (mut world, fabric, nodes, sinks) = setup(2);
+        world.schedule_now(
+            fabric,
+            NetOp::unicast(nodes[0], nodes[1], Rc::new(1u32), 100),
+        );
+        // The partition lands before the ~140 µs delivery completes.
+        world.schedule(
+            SimTime::from_micros(10),
+            fabric,
+            NetOp::SetPartition(vec![vec![nodes[0]], vec![nodes[1]]]),
+        );
+        world.run_to_quiescence();
+        world.with_actor(sinks[1], |s: &mut Sink| assert!(s.got.is_empty()));
+    }
+
+    #[test]
+    fn crashed_node_receives_and_sends_nothing() {
+        let (mut world, fabric, nodes, sinks) = setup(2);
+        world.with_actor(fabric, |f: &mut NetFabric| f.crash(nodes[1]));
+        world.schedule_now(
+            fabric,
+            NetOp::unicast(nodes[0], nodes[1], Rc::new(1u32), 100),
+        );
+        world.schedule_now(
+            fabric,
+            NetOp::unicast(nodes[1], nodes[0], Rc::new(2u32), 100),
+        );
+        world.run_to_quiescence();
+        world.with_actor(sinks[0], |s: &mut Sink| assert!(s.got.is_empty()));
+        world.with_actor(sinks[1], |s: &mut Sink| assert!(s.got.is_empty()));
+        // Recovery restores traffic.
+        world.with_actor(fabric, |f: &mut NetFabric| f.recover(nodes[1]));
+        world.schedule_now(
+            fabric,
+            NetOp::unicast(nodes[0], nodes[1], Rc::new(3u32), 100),
+        );
+        world.run_to_quiescence();
+        world.with_actor(sinks[1], |s: &mut Sink| assert_eq!(s.got.len(), 1));
+    }
+
+    #[test]
+    fn per_pair_fifo_is_preserved() {
+        let (mut world, fabric, nodes, sinks) = setup(2);
+        for i in 0..50u32 {
+            world.schedule_now(fabric, NetOp::unicast(nodes[0], nodes[1], Rc::new(i), 100));
+        }
+        world.run_to_quiescence();
+        world.with_actor(sinks[1], |s: &mut Sink| {
+            let vals: Vec<u32> = s.got.iter().map(|&(_, v, _)| v).collect();
+            assert_eq!(vals, (0..50).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn loopback_is_fast_and_reliable() {
+        let (mut world, fabric, nodes, sinks) = setup(1);
+        world.schedule_now(
+            fabric,
+            NetOp::unicast(nodes[0], nodes[0], Rc::new(1u32), 100),
+        );
+        world.run_to_quiescence();
+        world.with_actor(sinks[0], |s: &mut Sink| {
+            assert_eq!(s.got.len(), 1);
+            assert!(s.got[0].2 <= SimTime::from_micros(20));
+        });
+    }
+
+    #[test]
+    fn random_loss_drops_some_messages() {
+        let mut world = World::new(11);
+        let mut cfg = NetConfig::lan();
+        cfg.loss_probability = 0.5;
+        let fabric = world.add_actor("net", NetFabric::new(cfg));
+        let sink = world.add_actor("sink", Sink { got: vec![] });
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        world.with_actor(fabric, |f: &mut NetFabric| {
+            f.register(a, sink);
+            f.register(b, sink);
+        });
+        for i in 0..200u32 {
+            world.schedule_now(fabric, NetOp::unicast(a, b, Rc::new(i), 100));
+        }
+        world.run_to_quiescence();
+        let n = world.with_actor(sink, |s: &mut Sink| s.got.len());
+        assert!(n > 40 && n < 160, "loss rate wildly off: {n}/200 delivered");
+        let stats = world.with_actor(fabric, |f: &mut NetFabric| f.stats());
+        assert_eq!(stats.dropped_loss as usize + n, 200);
+    }
+
+    #[test]
+    fn merge_all_restores_traffic() {
+        let (mut world, fabric, nodes, sinks) = setup(2);
+        world.schedule_now(
+            fabric,
+            NetOp::SetPartition(vec![vec![nodes[0]], vec![nodes[1]]]),
+        );
+        world.schedule(
+            SimTime::from_millis(1),
+            fabric,
+            NetOp::unicast(nodes[0], nodes[1], Rc::new(1u32), 100),
+        );
+        world.schedule(SimTime::from_millis(2), fabric, NetOp::MergeAll);
+        world.schedule(
+            SimTime::from_millis(3),
+            fabric,
+            NetOp::unicast(nodes[0], nodes[1], Rc::new(2u32), 100),
+        );
+        world.run_to_quiescence();
+        world.with_actor(sinks[1], |s: &mut Sink| {
+            let vals: Vec<u32> = s.got.iter().map(|&(_, v, _)| v).collect();
+            assert_eq!(vals, vec![2]);
+        });
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let (mut world, fabric, nodes, _sinks) = setup(2);
+        world.schedule_now(
+            fabric,
+            NetOp::unicast(nodes[0], nodes[1], Rc::new(1u32), 256),
+        );
+        world.run_to_quiescence();
+        let stats = world.with_actor(fabric, |f: &mut NetFabric| f.stats());
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.bytes_delivered, 256);
+    }
+}

@@ -1,0 +1,140 @@
+//! Link latency and serialization modelling.
+
+use serde::{Deserialize, Serialize};
+use todr_sim::{SimDuration, SimRng};
+
+/// Latency model for one network hop.
+///
+/// Total per-message delay = `base` + uniform jitter in `[0, jitter]` +
+/// serialization time (`size_bytes × 8 / bandwidth`). The defaults in
+/// [`LatencyModel::lan`] approximate the switched 100 Mbit/s LAN used in
+/// the paper's evaluation (§7).
+///
+/// ```
+/// use todr_net::LatencyModel;
+/// use todr_sim::{SimDuration, SimRng};
+///
+/// let model = LatencyModel::lan();
+/// let mut rng = SimRng::new(1);
+/// let d = model.sample(&mut rng, 200);
+/// assert!(d >= model.base());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed one-way propagation + switching delay.
+    base: SimDuration,
+    /// Upper bound of uniformly distributed extra delay.
+    jitter: SimDuration,
+    /// Link bandwidth in bits per second; `None` disables serialization
+    /// delay.
+    bandwidth_bps: Option<u64>,
+}
+
+impl LatencyModel {
+    /// A constant-delay model with no jitter and infinite bandwidth.
+    pub const fn constant(base: SimDuration) -> Self {
+        LatencyModel {
+            base,
+            jitter: SimDuration::ZERO,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// Creates a model with explicit parameters.
+    pub const fn new(base: SimDuration, jitter: SimDuration, bandwidth_bps: Option<u64>) -> Self {
+        LatencyModel {
+            base,
+            jitter,
+            bandwidth_bps,
+        }
+    }
+
+    /// Switched 100 Mbit/s LAN: 100 µs one-way base, 40 µs jitter.
+    pub const fn lan() -> Self {
+        LatencyModel {
+            base: SimDuration::from_micros(100),
+            jitter: SimDuration::from_micros(40),
+            bandwidth_bps: Some(100_000_000),
+        }
+    }
+
+    /// A wide-area profile: 20 ms one-way base, 4 ms jitter, 10 Mbit/s.
+    pub const fn wan() -> Self {
+        LatencyModel {
+            base: SimDuration::from_millis(20),
+            jitter: SimDuration::from_millis(4),
+            bandwidth_bps: Some(10_000_000),
+        }
+    }
+
+    /// The fixed base delay.
+    pub const fn base(&self) -> SimDuration {
+        self.base
+    }
+
+    /// Samples the one-way delay for a message of `size_bytes`.
+    pub fn sample(&self, rng: &mut SimRng, size_bytes: u32) -> SimDuration {
+        let mut d = self.base;
+        if self.jitter > SimDuration::ZERO {
+            d += SimDuration::from_nanos(rng.gen_range(self.jitter.as_nanos() + 1));
+        }
+        if let Some(bps) = self.bandwidth_bps {
+            let bits = size_bytes as u64 * 8;
+            d += SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / bps);
+        }
+        d
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_has_no_variance() {
+        let m = LatencyModel::constant(SimDuration::from_micros(500));
+        let mut rng = SimRng::new(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng, 10_000), SimDuration::from_micros(500));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let m = LatencyModel::new(
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(50),
+            None,
+        );
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng, 0);
+            assert!(d >= SimDuration::from_micros(100));
+            assert!(d <= SimDuration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn serialization_scales_with_size() {
+        // 100 Mbit/s: 1250 bytes = 100 µs on the wire.
+        let m = LatencyModel::new(SimDuration::ZERO, SimDuration::ZERO, Some(100_000_000));
+        let mut rng = SimRng::new(4);
+        assert_eq!(m.sample(&mut rng, 1250), SimDuration::from_micros(100));
+        assert_eq!(m.sample(&mut rng, 2500), SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn lan_profile_is_sub_millisecond_for_small_messages() {
+        let m = LatencyModel::lan();
+        let mut rng = SimRng::new(5);
+        for _ in 0..100 {
+            assert!(m.sample(&mut rng, 200) < SimDuration::from_millis(1));
+        }
+    }
+}

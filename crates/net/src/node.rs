@@ -1,0 +1,58 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (a server machine) in the simulated network.
+///
+/// Node ids are small integers chosen by the experiment. They are distinct
+/// from [`todr_sim::ActorId`]s: a node is a *location* in the network; the
+/// fabric maps each node to the endpoint actor that receives its traffic.
+///
+/// ```
+/// use todr_net::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// assert!(NodeId::new(1) < NodeId::new(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        assert_eq!(NodeId::new(7).index(), 7);
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        let mut v = vec![NodeId::new(3), NodeId::new(1), NodeId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Traffic accounting for the fabric.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by [`NetFabric`](crate::NetFabric).
+///
+/// `sent` counts point-to-point transmissions: a multicast to `k`
+/// destinations counts `k` times.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Point-to-point messages handed to the fabric.
+    pub sent: u64,
+    /// Messages actually delivered to an endpoint.
+    pub delivered: u64,
+    /// Messages dropped because source and destination were in different
+    /// partition components (at send or delivery time).
+    pub dropped_partition: u64,
+    /// Messages dropped by the random-loss model.
+    pub dropped_loss: u64,
+    /// Messages dropped because an endpoint was crashed.
+    pub dropped_crashed: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl NetStats {
+    /// Total drops across all causes.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_partition + self.dropped_loss + self.dropped_crashed
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_sums_causes() {
+        let s = NetStats {
+            dropped_partition: 2,
+            dropped_loss: 3,
+            dropped_crashed: 4,
+            ..NetStats::default()
+        };
+        assert_eq!(s.dropped(), 9);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = NetStats {
+            sent: 10,
+            ..NetStats::default()
+        };
+        s.reset();
+        assert_eq!(s, NetStats::default());
+    }
+}

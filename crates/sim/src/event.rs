@@ -1,0 +1,181 @@
+//! Event payloads and the internal queue entry type.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// A type-erased event payload delivered to an [`Actor`](crate::Actor).
+///
+/// Layers exchange strongly typed messages; the kernel erases them to move
+/// them through the shared queue. Receivers recover the concrete type with
+/// [`Payload::downcast`] (consuming) or [`Payload::downcast_ref`]
+/// (inspecting):
+///
+/// ```
+/// use todr_sim::Payload;
+///
+/// struct Ping(u32);
+///
+/// let p = Payload::new(Ping(7));
+/// assert!(p.is::<Ping>());
+/// let ping = p.downcast::<Ping>().unwrap();
+/// assert_eq!(ping.0, 7);
+/// ```
+pub struct Payload {
+    inner: Box<dyn Any>,
+}
+
+impl Payload {
+    /// Wraps a concrete message.
+    ///
+    /// Wrapping an existing `Payload` is the identity: payloads never
+    /// nest.
+    pub fn new<T: 'static>(value: T) -> Self {
+        let boxed: Box<dyn Any> = Box::new(value);
+        match boxed.downcast::<Payload>() {
+            Ok(p) => *p,
+            Err(inner) => Payload { inner },
+        }
+    }
+
+    /// Whether the payload holds a `T`.
+    pub fn is<T: 'static>(&self) -> bool {
+        self.inner.is::<T>()
+    }
+
+    /// Recovers the concrete message, consuming the payload.
+    ///
+    /// Returns `None` (dropping the payload) if the payload is not a `T`;
+    /// use [`Payload::try_downcast`] to keep it on mismatch.
+    pub fn downcast<T: 'static>(self) -> Option<T> {
+        self.inner.downcast::<T>().ok().map(|b| *b)
+    }
+
+    /// Recovers the concrete message, or returns `self` unchanged when the
+    /// payload is of a different type — useful for dispatch chains.
+    pub fn try_downcast<T: 'static>(self) -> Result<T, Payload> {
+        match self.inner.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(inner) => Err(Payload { inner }),
+        }
+    }
+
+    /// Borrows the concrete message without consuming.
+    pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
+        self.inner.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Payload").finish_non_exhaustive()
+    }
+}
+
+/// Conversion into a [`Payload`]; implemented for every `'static` type.
+///
+/// This is the bound used by the scheduling methods on
+/// [`Ctx`](crate::Ctx) and [`World`](crate::World), letting call sites
+/// pass concrete messages and pre-erased payloads interchangeably.
+pub trait IntoPayload {
+    /// Erases `self` into a [`Payload`].
+    fn into_payload(self) -> Payload;
+}
+
+impl<T: 'static> IntoPayload for T {
+    fn into_payload(self) -> Payload {
+        Payload::new(self)
+    }
+}
+
+/// A scheduled event in the world's queue.
+///
+/// Ordering is `(at, seq)`: strictly increasing `seq` values break ties
+/// between events scheduled for the same instant, which makes the execution
+/// order total and deterministic.
+pub(crate) struct QueuedEvent {
+    pub at: SimTime,
+    pub seq: u64,
+    pub target: ActorId,
+    pub payload: Payload,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn payload_downcast_roundtrip() {
+        let p = Payload::new(41u32);
+        assert!(p.is::<u32>());
+        assert!(!p.is::<u64>());
+        assert_eq!(p.downcast::<u32>(), Some(41));
+    }
+
+    #[test]
+    fn payload_downcast_wrong_type_is_none() {
+        let p = Payload::new("hello");
+        assert_eq!(p.downcast::<u32>(), None);
+    }
+
+    #[test]
+    fn payload_try_downcast_preserves_on_miss() {
+        let p = Payload::new(3.5f64);
+        let p = match p.try_downcast::<u32>() {
+            Ok(_) => panic!("should not downcast"),
+            Err(p) => p,
+        };
+        assert_eq!(p.downcast::<f64>(), Some(3.5));
+    }
+
+    #[test]
+    fn payload_downcast_ref() {
+        let p = Payload::new(vec![1, 2, 3]);
+        assert_eq!(p.downcast_ref::<Vec<i32>>().unwrap().len(), 3);
+        assert!(p.downcast_ref::<String>().is_none());
+    }
+
+    #[test]
+    fn queue_orders_by_time_then_seq() {
+        let mut heap = BinaryHeap::new();
+        let ev = |at_ms, seq| QueuedEvent {
+            at: SimTime::from_millis(at_ms),
+            seq,
+            target: ActorId::from_raw(0),
+            payload: Payload::new(()),
+        };
+        heap.push(ev(5, 2));
+        heap.push(ev(1, 3));
+        heap.push(ev(5, 1));
+        heap.push(ev(0, 4));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at.as_millis(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(0, 4), (1, 3), (5, 1), (5, 2)]);
+    }
+}

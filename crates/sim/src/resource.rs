@@ -1,0 +1,127 @@
+//! Single-server FIFO resource occupancy, used to model per-node CPU cost.
+//!
+//! Event handlers in a discrete-event simulation execute in zero virtual
+//! time; to charge processing cost (e.g. "handling one replicated action
+//! costs 380 µs of CPU") an actor consults a [`CpuMeter`]: the meter tracks
+//! when the modelled processor becomes free and answers, for work arriving
+//! *now*, when that work would complete.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Models a single FIFO processor with a service time per job.
+///
+/// ```
+/// use todr_sim::{CpuMeter, SimDuration, SimTime};
+///
+/// let mut cpu = CpuMeter::new();
+/// let t0 = SimTime::from_millis(10);
+/// // Two jobs arrive at the same instant; they serialize.
+/// let done1 = cpu.charge(t0, SimDuration::from_micros(400));
+/// let done2 = cpu.charge(t0, SimDuration::from_micros(400));
+/// assert_eq!(done1, t0 + SimDuration::from_micros(400));
+/// assert_eq!(done2, t0 + SimDuration::from_micros(800));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuMeter {
+    busy_until: SimTime,
+    busy_time: SimDuration,
+    jobs: u64,
+}
+
+impl CpuMeter {
+    /// A meter for an idle processor.
+    pub fn new() -> Self {
+        CpuMeter::default()
+    }
+
+    /// Charges a job arriving at `now` with the given `cost`, returning
+    /// the virtual time at which the job completes (after queueing behind
+    /// earlier jobs).
+    pub fn charge(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + cost;
+        self.busy_time += cost;
+        self.jobs += 1;
+        self.busy_until
+    }
+
+    /// When the processor becomes free (may be in the past).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total processing time charged so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Number of jobs charged.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilisation over the window `[SimTime::ZERO, now]`, in `[0, 1]`.
+    pub fn utilisation(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_nanos() as f64 / now.as_nanos() as f64).min(1.0)
+    }
+
+    /// Forgets all accumulated state (e.g. on simulated node crash).
+    pub fn reset(&mut self) {
+        *self = CpuMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_processor_starts_immediately() {
+        let mut cpu = CpuMeter::new();
+        let done = cpu.charge(SimTime::from_millis(5), SimDuration::from_millis(1));
+        assert_eq!(done, SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn back_to_back_jobs_queue() {
+        let mut cpu = CpuMeter::new();
+        let t = SimTime::from_millis(0);
+        let d1 = cpu.charge(t, SimDuration::from_millis(2));
+        let d2 = cpu.charge(t, SimDuration::from_millis(3));
+        assert_eq!(d1, SimTime::from_millis(2));
+        assert_eq!(d2, SimTime::from_millis(5));
+        assert_eq!(cpu.jobs(), 2);
+    }
+
+    #[test]
+    fn gap_resets_start_time() {
+        let mut cpu = CpuMeter::new();
+        cpu.charge(SimTime::from_millis(0), SimDuration::from_millis(1));
+        let done = cpu.charge(SimTime::from_millis(10), SimDuration::from_millis(1));
+        assert_eq!(done, SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn utilisation_accounts_busy_fraction() {
+        let mut cpu = CpuMeter::new();
+        cpu.charge(SimTime::ZERO, SimDuration::from_millis(5));
+        let u = cpu.utilisation(SimTime::from_millis(10));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(cpu.utilisation(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut cpu = CpuMeter::new();
+        cpu.charge(SimTime::ZERO, SimDuration::from_millis(5));
+        cpu.reset();
+        assert_eq!(cpu.busy_until(), SimTime::ZERO);
+        assert_eq!(cpu.jobs(), 0);
+        assert_eq!(cpu.busy_time(), SimDuration::ZERO);
+    }
+}

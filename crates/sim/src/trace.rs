@@ -1,0 +1,231 @@
+//! A lightweight, in-memory trace of protocol events.
+//!
+//! Tracing exists for two audiences: humans debugging a protocol run
+//! (`echo` mode prints entries as they happen) and tests asserting that a
+//! particular protocol step occurred (the retained ring buffer).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// Verbosity of a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Fine-grained protocol internals.
+    Debug,
+    /// Normal protocol milestones (view installed, action ordered...).
+    Info,
+    /// Unexpected-but-handled situations.
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One retained trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Virtual time at which the entry was emitted.
+    pub at: SimTime,
+    /// Emitting actor.
+    pub actor: ActorId,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Subsystem tag, e.g. `"evs"`, `"engine"`, `"net"`.
+    pub category: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {} {}] {}",
+            self.at, self.level, self.actor, self.category, self.message
+        )
+    }
+}
+
+/// Ring buffer of recent [`TraceEntry`] records with optional stdout echo.
+#[derive(Debug)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    min_level: TraceLevel,
+    echo: bool,
+}
+
+impl Trace {
+    /// Creates a trace retaining up to `capacity` entries at
+    /// [`TraceLevel::Info`] and above.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            min_level: TraceLevel::Info,
+            echo: false,
+        }
+    }
+
+    /// Sets the minimum retained level.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Enables or disables echoing entries to stdout as they are recorded.
+    pub fn set_echo(&mut self, echo: bool) {
+        self.echo = echo;
+    }
+
+    /// Records an entry (dropping it if below the minimum level).
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        actor: ActorId,
+        level: TraceLevel,
+        category: &'static str,
+        message: String,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        let entry = TraceEntry {
+            at,
+            actor,
+            level,
+            category,
+            message,
+        };
+        if self.echo {
+            println!("{entry}");
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all retained entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Convenience for tests: whether any retained entry in `category`
+    /// contains `needle`.
+    pub fn contains(&self, category: &str, needle: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.category == category && e.message.contains(needle))
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace: &mut Trace, level: TraceLevel, msg: &str) {
+        trace.record(
+            SimTime::ZERO,
+            ActorId::from_raw(0),
+            level,
+            "test",
+            msg.to_string(),
+        );
+    }
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut t = Trace::new(10);
+        entry(&mut t, TraceLevel::Info, "a");
+        entry(&mut t, TraceLevel::Warn, "b");
+        let msgs: Vec<&str> = t.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn drops_below_min_level() {
+        let mut t = Trace::new(10);
+        entry(&mut t, TraceLevel::Debug, "hidden");
+        assert!(t.is_empty());
+        t.set_min_level(TraceLevel::Debug);
+        entry(&mut t, TraceLevel::Debug, "visible");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(2);
+        entry(&mut t, TraceLevel::Info, "one");
+        entry(&mut t, TraceLevel::Info, "two");
+        entry(&mut t, TraceLevel::Info, "three");
+        let msgs: Vec<&str> = t.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["two", "three"]);
+    }
+
+    #[test]
+    fn contains_matches_category_and_substring() {
+        let mut t = Trace::new(4);
+        entry(&mut t, TraceLevel::Info, "view installed {1,2,3}");
+        assert!(t.contains("test", "view installed"));
+        assert!(!t.contains("other", "view installed"));
+        assert!(!t.contains("test", "no such"));
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let mut t = Trace::new(0);
+        entry(&mut t, TraceLevel::Warn, "x");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn entry_display_is_informative() {
+        let e = TraceEntry {
+            at: SimTime::from_millis(5),
+            actor: ActorId::from_raw(2),
+            level: TraceLevel::Info,
+            category: "evs",
+            message: "hello".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("INFO"));
+        assert!(s.contains("actor#2"));
+        assert!(s.contains("evs"));
+        assert!(s.contains("hello"));
+    }
+}

@@ -1,0 +1,583 @@
+//! The [`World`]: actor registry, event queue and virtual clock.
+
+use std::any::Any;
+use std::collections::BinaryHeap;
+
+use crate::actor::{Actor, ActorId};
+use crate::event::{IntoPayload, Payload, QueuedEvent};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceLevel};
+
+/// The execution context handed to an [`Actor`] while it processes an
+/// event.
+///
+/// All actor side effects flow through the context: scheduling future
+/// events ([`Ctx::send_after`]), randomness ([`Ctx::rng`]) and tracing
+/// ([`Ctx::trace`]). Effects are buffered and applied by the [`World`]
+/// after the handler returns, which keeps event execution atomic.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: ActorId,
+    rng: &'a mut SimRng,
+    trace: &'a mut Trace,
+    pending: Vec<(SimTime, ActorId, Payload)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor currently executing.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Schedules `payload` for `target` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn send_at<P: IntoPayload>(&mut self, at: SimTime, target: ActorId, payload: P) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.pending.push((at, target, payload.into_payload()));
+    }
+
+    /// Schedules `payload` for `target` after `delay`.
+    pub fn send_after<P: IntoPayload>(&mut self, delay: SimDuration, target: ActorId, payload: P) {
+        self.pending
+            .push((self.now + delay, target, payload.into_payload()));
+    }
+
+    /// Schedules `payload` for `target` at the current instant (it runs
+    /// after the current handler returns, before time advances).
+    pub fn send_now<P: IntoPayload>(&mut self, target: ActorId, payload: P) {
+        self.pending
+            .push((self.now, target, payload.into_payload()));
+    }
+
+    /// Schedules `payload` for the executing actor after `delay` — the
+    /// idiom for timers.
+    pub fn send_self_after<P: IntoPayload>(&mut self, delay: SimDuration, payload: P) {
+        let id = self.self_id;
+        self.send_after(delay, id, payload);
+    }
+
+    /// Schedules `payload` for the executing actor at the current instant.
+    pub fn send_self_now<P: IntoPayload>(&mut self, payload: P) {
+        let id = self.self_id;
+        self.send_now(id, payload);
+    }
+
+    /// The world's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Records an info-level trace entry.
+    pub fn trace(&mut self, category: &'static str, message: impl Into<String>) {
+        self.trace_at(TraceLevel::Info, category, message);
+    }
+
+    /// Records a trace entry at an explicit level.
+    pub fn trace_at(
+        &mut self,
+        level: TraceLevel,
+        category: &'static str,
+        message: impl Into<String>,
+    ) {
+        self.trace
+            .record(self.now, self.self_id, level, category, message.into());
+    }
+}
+
+struct Slot {
+    name: String,
+    actor: Option<Box<dyn Actor>>,
+}
+
+/// The simulation world: owns the clock, the event queue, the RNG, the
+/// trace, and every registered actor.
+///
+/// A typical run builds the world, registers the actors bottom-up (network
+/// fabric, then protocol daemons, then clients), injects the initial
+/// events and calls [`World::run_until`] or [`World::run_to_quiescence`].
+pub struct World {
+    now: SimTime,
+    queue: BinaryHeap<QueuedEvent>,
+    actors: Vec<Slot>,
+    rng: SimRng,
+    trace: Trace,
+    next_seq: u64,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl World {
+    /// Creates an empty world whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            rng: SimRng::new(seed),
+            trace: Trace::default(),
+            next_seq: 0,
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Caps the total number of events the world will process; exceeding
+    /// the cap panics. Guards tests against protocol livelock.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Registers an actor and returns its id.
+    pub fn add_actor<A: Actor>(&mut self, name: impl Into<String>, actor: A) -> ActorId {
+        let id = ActorId::from_raw(u32::try_from(self.actors.len()).expect("too many actors"));
+        self.actors.push(Slot {
+            name: name.into(),
+            actor: Some(Box::new(actor)),
+        });
+        id
+    }
+
+    /// The name an actor was registered under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`World::add_actor`].
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.actors[id.as_raw() as usize].name
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Runs a closure against a concrete actor, e.g. to script a network
+    /// partition or read out metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor is not of type `A` or is currently executing.
+    pub fn with_actor<A: Actor, R>(&mut self, id: ActorId, f: impl FnOnce(&mut A) -> R) -> R {
+        let slot = &mut self.actors[id.as_raw() as usize];
+        let actor = slot
+            .actor
+            .as_mut()
+            .expect("actor is currently executing (re-entrant with_actor)");
+        let any: &mut dyn Any = actor.as_mut();
+        let concrete = any
+            .downcast_mut::<A>()
+            .unwrap_or_else(|| panic!("actor {} is not a {}", id, std::any::type_name::<A>()));
+        f(concrete)
+    }
+
+    /// Immutable variant of [`World::with_actor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor is not of type `A` or is currently executing.
+    pub fn with_actor_ref<A: Actor, R>(&self, id: ActorId, f: impl FnOnce(&A) -> R) -> R {
+        let slot = &self.actors[id.as_raw() as usize];
+        let actor = slot
+            .actor
+            .as_ref()
+            .expect("actor is currently executing (re-entrant with_actor_ref)");
+        let any: &dyn Any = actor.as_ref();
+        let concrete = any
+            .downcast_ref::<A>()
+            .unwrap_or_else(|| panic!("actor {} is not a {}", id, std::any::type_name::<A>()));
+        f(concrete)
+    }
+
+    /// Schedules `payload` for `target` at absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before [`World::now`].
+    pub fn schedule<P: IntoPayload>(&mut self, at: SimTime, target: ActorId, payload: P) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueuedEvent {
+            at,
+            seq,
+            target,
+            payload: payload.into_payload(),
+        });
+    }
+
+    /// Schedules `payload` for `target` at the current instant.
+    pub fn schedule_now<P: IntoPayload>(&mut self, target: ActorId, payload: P) {
+        let now = self.now;
+        self.schedule(now, target, payload);
+    }
+
+    /// Schedules `payload` for `target` after `delay`.
+    pub fn schedule_after<P: IntoPayload>(
+        &mut self,
+        delay: SimDuration,
+        target: ActorId,
+        payload: P,
+    ) {
+        let at = self.now + delay;
+        self.schedule(at, target, payload);
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event limit (see [`World::set_event_limit`]) is
+    /// exceeded.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "event from the past");
+        self.now = event.at;
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.event_limit,
+            "event limit {} exceeded at {} — livelock?",
+            self.event_limit,
+            self.now
+        );
+
+        let idx = event.target.as_raw() as usize;
+        let mut actor = self.actors[idx]
+            .actor
+            .take()
+            .expect("event delivered to an executing actor");
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: event.target,
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+            pending: Vec::new(),
+        };
+        actor.handle(&mut ctx, event.payload);
+        let pending = ctx.pending;
+        self.actors[idx].actor = Some(actor);
+        for (at, target, payload) in pending {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(QueuedEvent {
+                at,
+                seq,
+                target,
+                payload,
+            });
+        }
+        true
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue empties. The clock is
+    /// advanced to `deadline` even if the queue empties earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(next) = self.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `duration` of virtual time from now.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// The world's trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace buffer (to adjust level / echo).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The world's RNG (e.g. for workload generation outside actors).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Whether any events remain queued.
+    pub fn has_pending_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// The time of the next queued event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.at)
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("actors", &self.actors.len())
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        count: u32,
+        received_at: Vec<SimTime>,
+    }
+
+    struct Bump;
+
+    impl Actor for Counter {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            if payload.is::<Bump>() {
+                self.count += 1;
+                self.received_at.push(ctx.now());
+            }
+        }
+    }
+
+    fn counter() -> Counter {
+        Counter {
+            count: 0,
+            received_at: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut w = World::new(0);
+        let a = w.add_actor("a", counter());
+        w.schedule(SimTime::from_millis(20), a, Bump);
+        w.schedule(SimTime::from_millis(10), a, Bump);
+        w.run_to_quiescence();
+        w.with_actor(a, |c: &mut Counter| {
+            assert_eq!(c.count, 2);
+            assert_eq!(
+                c.received_at,
+                vec![SimTime::from_millis(10), SimTime::from_millis(20)]
+            );
+        });
+        assert_eq!(w.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn same_time_events_fifo_by_insertion() {
+        struct Recorder {
+            seen: Vec<u32>,
+        }
+        struct Tag(u32);
+        impl Actor for Recorder {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, payload: Payload) {
+                if let Some(Tag(n)) = payload.downcast::<Tag>() {
+                    self.seen.push(n);
+                }
+            }
+        }
+        let mut w = World::new(0);
+        let r = w.add_actor("r", Recorder { seen: vec![] });
+        for i in 0..5 {
+            w.schedule(SimTime::from_millis(1), r, Tag(i));
+        }
+        w.run_to_quiescence();
+        w.with_actor(r, |rec: &mut Recorder| {
+            assert_eq!(rec.seen, vec![0, 1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn actors_can_message_each_other() {
+        struct PingPong {
+            peer: Option<ActorId>,
+            remaining: u32,
+            bounces: u32,
+        }
+        struct Ball;
+        impl Actor for PingPong {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+                if payload.is::<Ball>() {
+                    self.bounces += 1;
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        ctx.send_after(SimDuration::from_micros(100), self.peer.unwrap(), Ball);
+                    }
+                }
+            }
+        }
+        let mut w = World::new(0);
+        let a = w.add_actor(
+            "a",
+            PingPong {
+                peer: None,
+                remaining: 3,
+                bounces: 0,
+            },
+        );
+        let b = w.add_actor(
+            "b",
+            PingPong {
+                peer: None,
+                remaining: 3,
+                bounces: 0,
+            },
+        );
+        w.with_actor(a, |p: &mut PingPong| p.peer = Some(b));
+        w.with_actor(b, |p: &mut PingPong| p.peer = Some(a));
+        w.schedule_now(a, Ball);
+        w.run_to_quiescence();
+        let ba = w.with_actor(a, |p: &mut PingPong| p.bounces);
+        let bb = w.with_actor(b, |p: &mut PingPong| p.bounces);
+        assert_eq!(ba + bb, 7); // initial + 6 returns
+        assert_eq!(w.now(), SimTime::from_micros(600));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut w = World::new(0);
+        let a = w.add_actor("a", counter());
+        w.schedule(SimTime::from_millis(5), a, Bump);
+        w.schedule(SimTime::from_millis(15), a, Bump);
+        w.run_until(SimTime::from_millis(10));
+        w.with_actor(a, |c: &mut Counter| assert_eq!(c.count, 1));
+        assert_eq!(w.now(), SimTime::from_millis(10));
+        assert!(w.has_pending_events());
+        w.run_to_quiescence();
+        w.with_actor(a, |c: &mut Counter| assert_eq!(c.count, 2));
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut w = World::new(0);
+        w.run_until(SimTime::from_secs(3));
+        assert_eq!(w.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn send_now_runs_before_time_advances() {
+        struct Chain {
+            hops: u32,
+        }
+        struct Hop;
+        impl Actor for Chain {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+                if payload.is::<Hop>() && self.hops < 3 {
+                    self.hops += 1;
+                    ctx.send_self_now(Hop);
+                }
+            }
+        }
+        let mut w = World::new(0);
+        let a = w.add_actor("a", Chain { hops: 0 });
+        w.schedule_now(a, Hop);
+        w.run_to_quiescence();
+        assert_eq!(w.now(), SimTime::ZERO);
+        w.with_actor(a, |c: &mut Chain| assert_eq!(c.hops, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut w = World::new(0);
+        let a = w.add_actor("a", counter());
+        w.schedule(SimTime::from_millis(10), a, Bump);
+        w.run_to_quiescence();
+        w.schedule(SimTime::from_millis(5), a, Bump);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_livelock() {
+        struct Loopy;
+        struct Go;
+        impl Actor for Loopy {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _payload: Payload) {
+                ctx.send_self_after(SimDuration::from_nanos(1), Go);
+            }
+        }
+        let mut w = World::new(0);
+        w.set_event_limit(100);
+        let a = w.add_actor("loopy", Loopy);
+        w.schedule_now(a, Go);
+        w.run_to_quiescence();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trajectory() {
+        fn run(seed: u64) -> (u64, SimTime) {
+            struct Jitter {
+                remaining: u32,
+            }
+            struct T;
+            impl Actor for Jitter {
+                fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Payload) {
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        let d = SimDuration::from_nanos(ctx.rng().gen_range(1000) + 1);
+                        ctx.send_self_after(d, T);
+                    }
+                }
+            }
+            let mut w = World::new(seed);
+            let a = w.add_actor("j", Jitter { remaining: 50 });
+            w.schedule_now(a, T);
+            w.run_to_quiescence();
+            (w.events_processed(), w.now())
+        }
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77).1, run(78).1);
+    }
+
+    #[test]
+    fn with_actor_ref_reads_state() {
+        let mut w = World::new(0);
+        let a = w.add_actor("a", counter());
+        w.schedule_now(a, Bump);
+        w.run_to_quiescence();
+        let n = w.with_actor_ref(a, |c: &Counter| c.count);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn actor_names_are_kept() {
+        let mut w = World::new(0);
+        let a = w.add_actor("server-3", counter());
+        assert_eq!(w.actor_name(a), "server-3");
+        assert_eq!(w.actor_count(), 1);
+    }
+}

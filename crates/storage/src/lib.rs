@@ -1,0 +1,36 @@
+//! # todr-storage — simulated stable storage
+//!
+//! The replication algorithms in this repository are specified (Appendix A
+//! of the paper) with explicit `** sync to disk` points: a server must not
+//! proceed past such a point until the named state is durable, because the
+//! correctness argument for recovery (the `vulnerable` record, the
+//! `ongoingQueue`) relies on what survives a crash. This crate provides
+//! the two halves of that mechanism:
+//!
+//! * [`StableStore`] — a typed record store plus append-only log with
+//!   **staged/persisted** semantics. Mutations go to a staging area
+//!   immediately; [`StableStore::commit_staged`] moves them to the
+//!   persisted image (invoked when the simulated platter write completes),
+//!   and [`StableStore::crash`] discards the staging area — exactly what a
+//!   power failure does to an OS page cache.
+//! * [`DiskActor`] — an actor charging virtual-time latency for forced
+//!   writes, with **group commit**: every sync request that arrives while
+//!   a platter write is in progress joins the next batch and completes
+//!   with a single additional sync. Group commit is what lets the paper's
+//!   engine sustain hundreds of actions per second through one disk
+//!   (Figure 5(a)) while a single sequential client sees the full ~10 ms
+//!   forced-write latency (§7 latency experiment).
+//!
+//! In `Delayed` mode ([`DiskMode::Delayed`]) sync requests complete
+//! immediately, reproducing the paper's "engine with delayed writes"
+//! configuration (Figure 5(b)); durability is traded away, which the
+//! store models by committing staged data on acknowledgement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod store;
+
+pub use disk::{DiskActor, DiskDone, DiskMode, DiskOp, DiskStats, SyncToken};
+pub use store::{StableStore, StorageError};

@@ -1,0 +1,27 @@
+//! Ablation experiments over the substrate parameters (extensions
+//! A4–A6): message-loss sweep, the §7 WAN prediction, and the
+//! forced-write-latency sweep.
+//!
+//! ```sh
+//! cargo run --release --example ablations
+//! ```
+
+use todr::harness::experiments::ablations;
+use todr::sim::SimDuration;
+
+fn main() {
+    let points = ablations::loss_sweep(
+        8,
+        8,
+        &[0.0, 0.01, 0.05, 0.10, 0.20],
+        SimDuration::from_secs(2),
+        42,
+    );
+    println!("{}", ablations::loss_sweep_table(&points, 8, 8));
+
+    let rows = ablations::wan_latency(8, 200, 42);
+    println!("{}", ablations::wan_latency_table(&rows, 8));
+
+    let points = ablations::fsync_sweep(8, 8, &[1, 5, 10, 20, 40], SimDuration::from_secs(2), 42);
+    println!("{}", ablations::fsync_sweep_table(&points, 8, 8));
+}

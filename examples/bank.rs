@@ -1,0 +1,271 @@
+//! A survivable bank on the replication engine, exercising the §6
+//! application-semantics toolbox end-to-end:
+//!
+//! * **active transactions** — the `transfer` stored procedure executes
+//!   *at ordering time* on every replica, so "insufficient funds" aborts
+//!   deterministically everywhere;
+//! * **interactive transactions** — the two-action pattern: read a
+//!   balance, let "the user" decide, then submit a checked update that
+//!   aborts everywhere if the read value changed in between;
+//! * **dirty queries** — a branch cut off from the primary still answers
+//!   balance lookups from its red-augmented state;
+//! * **partition survival** — the majority side keeps clearing
+//!   transfers; after the heal every replica agrees on every balance.
+//!
+//! ```sh
+//! cargo run --example bank
+//! ```
+
+use std::rc::Rc;
+
+use todr::core::{
+    ClientId, ClientReply, ClientRequest, QuerySemantics, RequestId, UpdateReplyPolicy,
+};
+use todr::db::{Op, Query, QueryResult, Value};
+use todr::harness::cluster::{Cluster, ClusterConfig};
+use todr::sim::{Actor, ActorId, Ctx, Payload, SimDuration};
+
+/// A tiny scripted client: sends one request, remembers one reply.
+struct OneShot {
+    engine: ActorId,
+    reply: Option<ClientReply>,
+}
+
+struct Fire(ClientRequest);
+
+impl Actor for OneShot {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.try_downcast::<Fire>() {
+            Ok(Fire(mut req)) => {
+                req.reply_to = ctx.self_id();
+                ctx.send_now(self.engine, req);
+                return;
+            }
+            Err(p) => p,
+        };
+        if let Some(reply) = payload.downcast::<ClientReply>() {
+            self.reply = Some(reply);
+        }
+    }
+}
+
+fn request(update: Op, query: Option<Query>, semantics: QuerySemantics) -> ClientRequest {
+    ClientRequest {
+        request: RequestId(1),
+        client: ClientId(7),
+        reply_to: todr::sim::ActorId::from_raw(0),
+        query,
+        update,
+        query_semantics: semantics,
+        reply_policy: UpdateReplyPolicy::OnGreen,
+        size_bytes: 200,
+    }
+}
+
+fn submit(cluster: &mut Cluster, server: usize, req: ClientRequest) -> ActorId {
+    let engine = cluster.servers[server].engine;
+    let probe = cluster.world.add_actor(
+        "bank-client",
+        OneShot {
+            engine,
+            reply: None,
+        },
+    );
+    cluster.world.schedule_now(probe, Fire(req));
+    probe
+}
+
+fn reply_of(cluster: &mut Cluster, probe: ActorId) -> Option<ClientReply> {
+    cluster
+        .world
+        .with_actor(probe, |p: &mut OneShot| p.reply.take())
+}
+
+fn balance(cluster: &mut Cluster, server: usize, key: &str) -> Option<i64> {
+    cluster.with_engine(server, |e| {
+        e.db().get("accounts", key).and_then(|v| v.as_int())
+    })
+}
+
+fn main() {
+    let mut bank = Cluster::build(ClusterConfig::new(5, 2026));
+    bank.settle();
+    println!("bank open: 5 replicated branches");
+
+    // ---- open accounts -------------------------------------------------
+    for (who, amount) in [("alice", 1000i64), ("bob", 300), ("carol", 50)] {
+        let p = submit(
+            &mut bank,
+            0,
+            request(
+                Op::put("accounts", who, Value::Int(amount)),
+                None,
+                QuerySemantics::Strict,
+            ),
+        );
+        bank.run_for(SimDuration::from_millis(50));
+        assert!(matches!(
+            reply_of(&mut bank, p),
+            Some(ClientReply::Committed { .. })
+        ));
+    }
+    println!(
+        "accounts opened: alice={:?} bob={:?} carol={:?}",
+        balance(&mut bank, 4, "alice"),
+        balance(&mut bank, 4, "bob"),
+        balance(&mut bank, 4, "carol"),
+    );
+
+    // ---- active transaction: transfer with sufficient funds ------------
+    let p = submit(
+        &mut bank,
+        1,
+        request(
+            Op::proc(
+                "transfer",
+                vec!["alice".into(), "bob".into(), Value::Int(400)],
+            ),
+            Some(Query::get("accounts", "alice")),
+            QuerySemantics::Strict,
+        ),
+    );
+    bank.run_for(SimDuration::from_millis(50));
+    if let Some(ClientReply::Committed { result, .. }) = reply_of(&mut bank, p) {
+        println!("transfer alice->bob 400 committed; alice now {result:?}");
+    }
+    assert_eq!(balance(&mut bank, 3, "alice"), Some(600));
+    assert_eq!(balance(&mut bank, 3, "bob"), Some(700));
+
+    // ---- active transaction: overdraft aborts everywhere ---------------
+    let p = submit(
+        &mut bank,
+        2,
+        request(
+            Op::proc(
+                "transfer",
+                vec!["carol".into(), "bob".into(), Value::Int(9999)],
+            ),
+            None,
+            QuerySemantics::Strict,
+        ),
+    );
+    bank.run_for(SimDuration::from_millis(50));
+    let _ = reply_of(&mut bank, p); // ordered (and deterministically aborted)
+    assert_eq!(
+        balance(&mut bank, 0, "carol"),
+        Some(50),
+        "overdraft must not apply"
+    );
+    println!("overdraft attempt carol->bob 9999: aborted on every replica");
+
+    // ---- interactive transaction: read, decide, checked update ---------
+    // Step 1: the "user" reads alice's balance.
+    let read = balance(&mut bank, 0, "alice").expect("alice exists");
+    // Step 2: the decision (say, withdraw half) goes in as a checked
+    // update that aborts if the read is stale.
+    let p = submit(
+        &mut bank,
+        0,
+        request(
+            Op::Checked {
+                expect: vec![("accounts".into(), "alice".into(), Some(Value::Int(read)))],
+                then: vec![Op::put("accounts", "alice", Value::Int(read / 2))],
+            },
+            None,
+            QuerySemantics::Strict,
+        ),
+    );
+    bank.run_for(SimDuration::from_millis(50));
+    assert!(matches!(
+        reply_of(&mut bank, p),
+        Some(ClientReply::Committed { .. })
+    ));
+    assert_eq!(balance(&mut bank, 2, "alice"), Some(read / 2));
+    println!("interactive withdrawal: read {read}, wrote {}", read / 2);
+
+    // A conflicting interactive transaction (stale read) aborts.
+    let p = submit(
+        &mut bank,
+        1,
+        request(
+            Op::Checked {
+                expect: vec![("accounts".into(), "alice".into(), Some(Value::Int(read)))], // stale!
+                then: vec![Op::put("accounts", "alice", Value::Int(0))],
+            },
+            None,
+            QuerySemantics::Strict,
+        ),
+    );
+    bank.run_for(SimDuration::from_millis(50));
+    let _ = reply_of(&mut bank, p);
+    assert_eq!(
+        balance(&mut bank, 0, "alice"),
+        Some(read / 2),
+        "stale interactive transaction must abort"
+    );
+    println!("stale interactive transaction: aborted, balance unchanged");
+
+    // ---- partition: branch 4 is cut off ---------------------------------
+    bank.partition(&[vec![0, 1, 2], vec![3, 4]]);
+    bank.run_for(SimDuration::from_secs(1));
+
+    // The primary side keeps clearing transfers.
+    let p = submit(
+        &mut bank,
+        0,
+        request(
+            Op::proc(
+                "transfer",
+                vec!["bob".into(), "carol".into(), Value::Int(100)],
+            ),
+            None,
+            QuerySemantics::Strict,
+        ),
+    );
+    bank.run_for(SimDuration::from_millis(100));
+    assert!(matches!(
+        reply_of(&mut bank, p),
+        Some(ClientReply::Committed { .. })
+    ));
+    println!("partitioned: majority cleared bob->carol 100");
+
+    // The cut-off branch still answers dirty balance queries instantly.
+    let p = submit(
+        &mut bank,
+        4,
+        request(
+            Op::Noop,
+            Some(Query::get("accounts", "bob")),
+            QuerySemantics::Dirty,
+        ),
+    );
+    bank.run_for(SimDuration::from_millis(10));
+    if let Some(ClientReply::QueryAnswer { result, dirty, .. }) = reply_of(&mut bank, p) {
+        let QueryResult::Value(v) = result else {
+            unreachable!()
+        };
+        println!(
+            "partitioned: branch 4 answers dirty read bob={:?} (dirty={dirty}, pre-partition state)",
+            v.and_then(|v| v.as_int())
+        );
+    }
+
+    // ---- heal and verify ------------------------------------------------
+    bank.merge_all();
+    bank.run_for(SimDuration::from_secs(2));
+    bank.check_consistency();
+    let alice = balance(&mut bank, 4, "alice");
+    let bob = balance(&mut bank, 4, "bob");
+    let carol = balance(&mut bank, 4, "carol");
+    for i in 0..5 {
+        assert_eq!(balance(&mut bank, i, "alice"), alice);
+        assert_eq!(balance(&mut bank, i, "bob"), bob);
+        assert_eq!(balance(&mut bank, i, "carol"), carol);
+    }
+    println!("healed: every branch agrees — alice={alice:?} bob={bob:?} carol={carol:?}");
+    // Money is conserved: 1000 + 300 + 50 minus alice's withdrawal.
+    let total = alice.unwrap() + bob.unwrap() + carol.unwrap();
+    assert_eq!(total, 1000 + 300 + 50 - 300);
+    println!("ledger balanced: total {total}");
+    let _ = Rc::new(()); // keep Rc import for the doc pattern
+}

@@ -1,0 +1,15 @@
+//! Extension A2: online instantiation of a completely new replica
+//! (§5.1). A 14-replica cluster runs under load for a few seconds, then
+//! a 15th replica bootstraps via PERSISTENT_JOIN and a database
+//! transfer, and becomes a full member of the primary component.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_join
+//! ```
+
+use todr::harness::experiments::join;
+
+fn main() {
+    let report = join::run(14, 3, 42);
+    println!("{}", report.to_table());
+}

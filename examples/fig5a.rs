@@ -1,0 +1,19 @@
+//! Reproduces Figure 5(a): throughput vs number of clients (1..14) for
+//! the engine with forced writes, COReL, and two-phase commit, on 14
+//! replicas.
+//!
+//! ```sh
+//! cargo run --release --example fig5a
+//! ```
+
+use todr::harness::experiments::fig5a;
+use todr::sim::SimDuration;
+
+fn main() {
+    let clients: Vec<usize> = vec![1, 2, 4, 6, 8, 10, 12, 14];
+    let fig = fig5a::run(14, &clients, SimDuration::from_secs(3), 42);
+    println!("{}", fig.to_table());
+    println!("paper §7: the engine sustains increasingly more throughput; COReL and");
+    println!("2PC pay for extra communication and disk writes; the extra disk write");
+    println!("separates 2PC from COReL.");
+}

@@ -1,0 +1,15 @@
+//! Extension A1: membership-change cost. Partitions a loaded 14-replica
+//! cluster, heals it, and reports how quickly the engine re-forms a
+//! primary and converges — the "one end-to-end exchange per membership
+//! change" property in action.
+//!
+//! ```sh
+//! cargo run --release --example partition_demo
+//! ```
+
+use todr::harness::experiments::partition;
+
+fn main() {
+    let report = partition::run(14, 42);
+    println!("{}", report.to_table());
+}

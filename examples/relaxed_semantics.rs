@@ -1,0 +1,16 @@
+//! Extension A3: the application semantics of §6 under a partition. A
+//! client stranded in a non-primary component probes each request
+//! class: strict queries and updates block until the merge; weak and
+//! dirty queries answer immediately; commutative updates acknowledged
+//! on local (red) ordering keep committing and converge after the heal.
+//!
+//! ```sh
+//! cargo run --release --example relaxed_semantics
+//! ```
+
+use todr::harness::experiments::semantics;
+
+fn main() {
+    let report = semantics::run(14, 42);
+    println!("{}", report.to_table());
+}

@@ -1,0 +1,54 @@
+//! # todr — From Total Order to Database Replication
+//!
+//! A Rust reproduction of Amir & Tutu's partition-aware database
+//! replication engine (Johns Hopkins CNDS-2001-6 / ICDCS 2002),
+//! including every substrate it runs on: a deterministic discrete-event
+//! simulator, a partitionable network, an Extended Virtual Synchrony
+//! group-communication stack, simulated stable storage with group
+//! commit, a deterministic database, the replication engine itself, the
+//! COReL and two-phase-commit baselines, and the experiment harness that
+//! regenerates the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members under one name;
+//! see the individual crates for full documentation:
+//!
+//! * [`sim`] — virtual time, actors, deterministic RNG
+//! * [`net`] — partitionable network fabric
+//! * [`evs`] — Extended Virtual Synchrony group communication
+//! * [`storage`] — stable store + forced-write disk model
+//! * [`db`] — deterministic state-machine database
+//! * [`core`] — **the replication engine** (the paper's contribution)
+//! * [`baselines`] — COReL and 2PC
+//! * [`harness`] — clusters, workloads, checkers, experiments
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use todr::harness::cluster::{Cluster, ClusterConfig};
+//! use todr::harness::client::ClientConfig;
+//! use todr::sim::SimDuration;
+//!
+//! // Five replicas on a simulated LAN with 10 ms forced writes.
+//! let mut cluster = Cluster::build(ClusterConfig::new(5, 7));
+//! cluster.settle(); // form the initial primary component
+//!
+//! // A closed-loop client committing 200-byte actions.
+//! let client = cluster.attach_client(0, ClientConfig::default());
+//! cluster.run_for(SimDuration::from_secs(1));
+//! assert!(cluster.client_stats(client).committed > 0);
+//!
+//! // Partition-safe: verify the paper's safety theorems held.
+//! cluster.check_consistency();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use todr_baselines as baselines;
+pub use todr_core as core;
+pub use todr_db as db;
+pub use todr_evs as evs;
+pub use todr_harness as harness;
+pub use todr_net as net;
+pub use todr_sim as sim;
+pub use todr_storage as storage;

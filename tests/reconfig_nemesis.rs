@@ -1,0 +1,178 @@
+//! Nemesis testing with the §5.1 dynamic-reconfiguration operations in
+//! the mix: random schedules of partitions, merges, crashes, recoveries,
+//! **online joins and permanent leaves**, under client load. Safety must
+//! hold at every step; after the heal, every replica still in the system
+//! must converge.
+
+use proptest::prelude::*;
+
+use todr::core::EngineState;
+use todr::harness::client::ClientConfig;
+use todr::harness::cluster::{Cluster, ClusterConfig};
+use todr::sim::SimDuration;
+
+const N: usize = 5;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Split(usize),
+    Merge,
+    Crash(usize),
+    Recover(usize),
+    Join(usize),
+    Leave(usize),
+    Quiet,
+}
+
+fn step_strategy() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        3 => (1..N).prop_map(Step::Split),
+        3 => Just(Step::Merge),
+        2 => (0..N).prop_map(Step::Crash),
+        2 => (0..N).prop_map(Step::Recover),
+        2 => (0..N).prop_map(Step::Join),
+        1 => (0..N).prop_map(Step::Leave),
+        2 => Just(Step::Quiet),
+    ];
+    proptest::collection::vec(step, 1..7)
+}
+
+fn run_schedule(seed: u64, schedule: &[Step]) {
+    let mut cluster = Cluster::build(ClusterConfig::new(N as u32, seed));
+    cluster.settle();
+    for i in 0..N {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_millis(400));
+
+    let mut crashed = [false; N];
+    let mut joins = 0usize;
+    let mut leaves = 0usize;
+    let mut left = [false; N];
+
+    for step in schedule {
+        match step {
+            Step::Split(cut) => {
+                // Partition only the original indices; later joiners ride
+                // with the first group.
+                let mut a: Vec<usize> = (0..*cut).collect();
+                a.extend(N..cluster.servers.len());
+                let b: Vec<usize> = (*cut..N).collect();
+                cluster.partition(&[a, b]);
+            }
+            Step::Merge => cluster.merge_all(),
+            Step::Crash(i) => {
+                if !crashed[*i] && !left[*i] {
+                    crashed[*i] = true;
+                    cluster.crash(*i);
+                }
+            }
+            Step::Recover(i) => {
+                if crashed[*i] {
+                    crashed[*i] = false;
+                    cluster.recover(*i);
+                }
+            }
+            Step::Join(via) => {
+                // At most 2 joiners; the representative must be healthy.
+                if joins < 2 && !crashed[*via] && !left[*via] {
+                    cluster.add_joiner(*via);
+                    joins += 1;
+                }
+            }
+            Step::Leave(i) => {
+                // At most one permanent leave, and never of a crashed
+                // server (administrative removal is tested elsewhere).
+                if leaves == 0 && !crashed[*i] && !left[*i] {
+                    left[*i] = true;
+                    leaves += 1;
+                    cluster.leave(*i);
+                }
+            }
+            Step::Quiet => {}
+        }
+        cluster.run_for(SimDuration::from_millis(400));
+        cluster.check_consistency();
+    }
+
+    // Heal: reconnect and recover everyone who is entitled to return.
+    cluster.merge_all();
+    for (i, c) in crashed.iter().enumerate() {
+        if *c && !left[i] {
+            cluster.recover(i);
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(6));
+    for c in cluster.clients().to_vec() {
+        cluster
+            .world
+            .with_actor(c, |cl: &mut todr::harness::client::ClosedLoopClient| {
+                cl.stop()
+            });
+    }
+    cluster.run_for(SimDuration::from_secs(4));
+    cluster.check_consistency();
+
+    // Liveness over the surviving membership: every non-departed server
+    // is a primary member with the same green sequence and database.
+    let survivors: Vec<usize> = (0..cluster.servers.len())
+        .filter(|&i| cluster.engine_state(i) != EngineState::Down)
+        .collect();
+    assert!(
+        survivors.len() >= 2,
+        "schedule {schedule:?} left fewer than 2 survivors"
+    );
+    let g0 = cluster.green_count(survivors[0]);
+    for &i in &survivors {
+        assert_eq!(
+            cluster.engine_state(i),
+            EngineState::RegPrim,
+            "survivor {i} not primary after heal ({schedule:?})"
+        );
+        assert_eq!(
+            cluster.green_count(i),
+            g0,
+            "survivor {i} did not converge ({schedule:?})"
+        );
+        assert_eq!(
+            cluster.db_digest(i),
+            cluster.db_digest(survivors[0]),
+            "survivor {i} database diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 32,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn reconfiguration_under_random_nemesis(
+        seed in 0u64..1_000_000,
+        schedule in step_strategy(),
+    ) {
+        run_schedule(seed, &schedule);
+    }
+}
+
+#[test]
+fn regression_join_then_partition_then_leave() {
+    run_schedule(
+        7,
+        &[
+            Step::Join(0),
+            Step::Split(3),
+            Step::Leave(4),
+            Step::Merge,
+            Step::Join(1),
+        ],
+    );
+}
+
+#[test]
+fn regression_crash_representative_mid_join() {
+    run_schedule(8, &[Step::Join(2), Step::Crash(2), Step::Recover(2)]);
+}
