@@ -8,7 +8,10 @@ use std::rc::Rc;
 use todr_db::{Database, Op, Query};
 use todr_evs::{ConfId, Configuration, EvsCmd, EvsEvent};
 use todr_net::{Datagram, NetOp, NodeId};
-use todr_sim::{Actor, ActorId, CpuMeter, Ctx, Payload, SimDuration, SimTime, TraceLevel};
+use todr_sim::{
+    Actor, ActorId, CpuMeter, Ctx, EventColor, Payload, ProtocolEvent, SimDuration, SimTime,
+    TraceLevel,
+};
 use todr_storage::{DiskDone, DiskOp, StableStore, SyncToken};
 
 use crate::action::{Action, ActionId, ActionKind, ClientId};
@@ -169,6 +172,9 @@ pub struct ReplicationEngine {
     conf_epoch: u64,
     state_msgs: BTreeMap<NodeId, StateMsg>,
     plan: Option<RetransPlan>,
+    /// Actions received via retransmission since the exchange began;
+    /// reported in the `SyncCompleted` observability event.
+    recovered_this_exchange: u64,
     retrans_done: BTreeSet<NodeId>,
     cpc_received: BTreeSet<NodeId>,
 
@@ -234,6 +240,7 @@ impl ReplicationEngine {
             conf_epoch: 0,
             state_msgs: BTreeMap::new(),
             plan: None,
+            recovered_this_exchange: 0,
             retrans_done: BTreeSet::new(),
             cpc_received: BTreeSet::new(),
             pending_replies: BTreeMap::new(),
@@ -414,6 +421,7 @@ impl ReplicationEngine {
         let token = SyncToken(self.next_sync_token);
         self.pending_syncs.insert(token, after);
         self.stats.syncs_requested += 1;
+        ctx.metrics().incr("engine.syncs_requested", 1);
         let me = ctx.self_id();
         ctx.send_now(
             self.disk,
@@ -456,6 +464,7 @@ impl ReplicationEngine {
 
     fn reply(&mut self, ctx: &mut Ctx<'_>, at: SimTime, to: ActorId, reply: ClientReply) {
         self.stats.replies_sent += 1;
+        ctx.metrics().incr("engine.replies_sent", 1);
         ctx.send_at(at.max(ctx.now()), to, reply);
     }
 
@@ -515,6 +524,17 @@ impl ReplicationEngine {
             .append_log_typed(&PersistEntry::Accepted(action.clone()))
             .expect("serialize action");
         self.stats.marked_red += 1;
+        ctx.metrics().incr("engine.marked_red", 1);
+        ctx.emit(ProtocolEvent::ActionOrdered {
+            node: self.cfg.me.index(),
+            creator: id.server.index(),
+            action_seq: id.index,
+            color: EventColor::Red,
+        });
+        ctx.emit(ProtocolEvent::RedLineAdvance {
+            node: self.cfg.me.index(),
+            red: self.stats.marked_red,
+        });
         self.dirty_db = None;
         if id.server == self.cfg.me {
             self.ongoing.retain(|a| a.id != id);
@@ -523,6 +543,12 @@ impl ReplicationEngine {
             if let Some(p) = self.pending_replies.get(&id) {
                 if p.policy == UpdateReplyPolicy::OnRed {
                     let p = self.pending_replies.remove(&id).expect("just checked");
+                    let latency = ctx.now().saturating_since(p.submitted_at);
+                    ctx.metrics().observe("engine.ordering_latency", latency);
+                    ctx.emit(ProtocolEvent::ClientCommit {
+                        client: action.client.0 as u64,
+                        latency_nanos: latency.as_nanos(),
+                    });
                     let result = p.query.as_ref().map(|q| self.dirty_view().query(q));
                     let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action);
                     self.reply(
@@ -548,6 +574,13 @@ impl ReplicationEngine {
         if self.actions.contains_key(&action.id) && !self.yellow.set.contains(&action.id) {
             self.yellow.set.push(action.id);
             self.stats.marked_yellow += 1;
+            ctx.metrics().incr("engine.marked_yellow", 1);
+            ctx.emit(ProtocolEvent::ActionOrdered {
+                node: self.cfg.me.index(),
+                creator: action.id.server.index(),
+                action_seq: action.id.index,
+                color: EventColor::Yellow,
+            });
             self.store
                 .put_record(persist::K_YELLOW, &self.yellow)
                 .expect("serialize yellow");
@@ -579,6 +612,17 @@ impl ReplicationEngine {
             .append_log_typed(&PersistEntry::Green(id))
             .expect("serialize green mark");
         self.stats.marked_green += 1;
+        ctx.metrics().incr("engine.marked_green", 1);
+        ctx.emit(ProtocolEvent::ActionOrdered {
+            node: self.cfg.me.index(),
+            creator: id.server.index(),
+            action_seq: id.index,
+            color: EventColor::Green,
+        });
+        ctx.emit(ProtocolEvent::GreenLineAdvance {
+            node: self.cfg.me.index(),
+            green: self.green_count,
+        });
         self.dirty_db = None;
 
         // Apply to the database / membership structures.
@@ -601,6 +645,12 @@ impl ReplicationEngine {
         let done_at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action);
         if let Some(p) = self.pending_replies.remove(&id) {
             if p.policy == UpdateReplyPolicy::OnGreen {
+                let latency = ctx.now().saturating_since(p.submitted_at);
+                ctx.metrics().observe("engine.ordering_latency", latency);
+                ctx.emit(ProtocolEvent::ClientCommit {
+                    client: action.client.0 as u64,
+                    latency_nanos: latency.as_nanos(),
+                });
                 let result = p.query.as_ref().map(|q| self.db.query(q));
                 self.reply(
                     ctx,
@@ -738,6 +788,11 @@ impl ReplicationEngine {
             size_bytes: req.size_bytes,
         };
         self.stats.actions_created += 1;
+        ctx.metrics().incr("engine.actions_created", 1);
+        ctx.emit(ProtocolEvent::ActionCreated {
+            node: self.cfg.me.index(),
+            action_seq: action.id.index,
+        });
         self.ongoing.push(action.clone());
         self.persist_ongoing();
         self.pending_replies.insert(
@@ -962,6 +1017,7 @@ impl ReplicationEngine {
                     let action = self.actions.get(&id).expect("green body retained").clone();
                     let size = action.size_bytes + 16;
                     self.stats.retransmitted += 1;
+                    ctx.metrics().incr("engine.retransmitted", 1);
                     self.send_group(
                         ctx,
                         EngineMsg::Retrans {
@@ -999,6 +1055,7 @@ impl ReplicationEngine {
                 let action = self.actions.get(&id).expect("red body present").clone();
                 let size = action.size_bytes + 16;
                 self.stats.retransmitted += 1;
+                ctx.metrics().incr("engine.retransmitted", 1);
                 self.send_group(
                     ctx,
                     EngineMsg::Retrans {
@@ -1019,6 +1076,7 @@ impl ReplicationEngine {
     }
 
     fn on_retrans(&mut self, ctx: &mut Ctx<'_>, action: Action, green_pos: Option<u64>) {
+        self.recovered_this_exchange += 1;
         match green_pos {
             Some(pos) => {
                 if pos < self.green_count {
@@ -1125,6 +1183,12 @@ impl ReplicationEngine {
     /// `IsQuorum` (A.8).
     fn end_of_retrans(&mut self, ctx: &mut Ctx<'_>) {
         self.stats.exchanges_completed += 1;
+        ctx.metrics().incr("engine.exchanges_completed", 1);
+        ctx.emit(ProtocolEvent::SyncCompleted {
+            node: self.cfg.me.index(),
+            actions_recovered: self.recovered_this_exchange,
+        });
+        self.recovered_this_exchange = 0;
         // Incorporate green lines from the state messages.
         for sm in self.state_msgs.values() {
             let entry = self.green_lines.entry(sm.server).or_insert(0);
@@ -1263,6 +1327,7 @@ impl ReplicationEngine {
             self.mark_green(ctx, &action);
         }
         self.stats.primaries_installed += 1;
+        ctx.metrics().incr("engine.primaries_installed", 1);
         self.persist_membership_records();
         ctx.trace(
             "engine",
@@ -1467,6 +1532,11 @@ impl ReplicationEngine {
             size_bytes: 64,
         };
         self.stats.actions_created += 1;
+        ctx.metrics().incr("engine.actions_created", 1);
+        ctx.emit(ProtocolEvent::ActionCreated {
+            node: self.cfg.me.index(),
+            action_seq: action.id.index,
+        });
         self.ongoing.push(action.clone());
         self.persist_ongoing();
         self.request_sync(ctx, AfterSync::Submit(vec![action]));

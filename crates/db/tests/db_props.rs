@@ -1,157 +1,208 @@
-//! Property-based tests of the database substrate: the state-machine
-//! property (determinism) the whole replication scheme rests on, and
-//! the algebraic claims behind the §6 relaxed-semantics classes.
+//! Randomized (seeded, deterministic) tests of the database substrate:
+//! the state-machine property (determinism) the whole replication scheme
+//! rests on, and the algebraic claims behind the §6 relaxed-semantics
+//! classes.
 
-use proptest::prelude::*;
 use todr_db::{ApplyOutcome, Database, Op, Query, QueryResult, Value};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        "[a-z]{0,12}".prop_map(Value::Text),
-        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
-    ]
+/// A tiny self-contained splitmix64 generator, so these tests need no
+/// dependency beyond `todr-db` itself.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
-fn key() -> impl Strategy<Value = String> {
-    "[a-d][0-9]" // small keyspace to force collisions
+fn gen_value(rng: &mut Rng) -> Value {
+    match rng.below(5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::Int(rng.next() as i64),
+        3 => {
+            let len = rng.below(13) as usize;
+            Value::Text(
+                (0..len)
+                    .map(|_| (b'a' + rng.below(26) as u8) as char)
+                    .collect(),
+            )
+        }
+        _ => Value::Bytes((0..rng.below(16)).map(|_| rng.next() as u8).collect()),
+    }
 }
 
-fn table() -> impl Strategy<Value = String> {
-    "[tu]"
+/// Small keyspace to force collisions.
+fn gen_key(rng: &mut Rng) -> String {
+    format!(
+        "{}{}",
+        (b'a' + rng.below(4) as u8) as char,
+        (b'0' + rng.below(10) as u8) as char
+    )
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (table(), key(), arb_value()).prop_map(|(t, k, v)| Op::Put {
-            table: t,
-            key: k,
-            value: v
-        }),
-        (table(), key()).prop_map(|(t, k)| Op::Delete { table: t, key: k }),
-        (table(), key(), any::<i32>()).prop_map(|(t, k, d)| Op::Incr {
-            table: t,
-            key: k,
-            delta: d as i64
-        }),
-        (table(), key(), arb_value(), any::<u32>()).prop_map(|(t, k, v, ts)| Op::TsPut {
-            table: t,
-            key: k,
-            value: v,
-            ts: ts as u64
-        }),
-        (key(), 0i64..500).prop_map(|(k, amt)| Op::proc(
+fn gen_table(rng: &mut Rng) -> String {
+    if rng.below(2) == 0 {
+        "t".into()
+    } else {
+        "u".into()
+    }
+}
+
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.below(7) {
+        0 => Op::Put {
+            table: gen_table(rng),
+            key: gen_key(rng),
+            value: gen_value(rng),
+        },
+        1 => Op::Delete {
+            table: gen_table(rng),
+            key: gen_key(rng),
+        },
+        2 => Op::Incr {
+            table: gen_table(rng),
+            key: gen_key(rng),
+            delta: rng.next() as i32 as i64,
+        },
+        3 => Op::TsPut {
+            table: gen_table(rng),
+            key: gen_key(rng),
+            value: gen_value(rng),
+            ts: rng.below(1 << 32),
+        },
+        4 => Op::proc(
             "debit_if_sufficient",
-            vec![Value::Text(k), Value::Int(amt)]
-        )),
-        proptest::collection::vec(
-            (table(), key(), arb_value()).prop_map(|(t, k, v)| Op::Put {
-                table: t,
-                key: k,
-                value: v
-            }),
-            0..3
-        )
-        .prop_map(Op::Batch),
-        Just(Op::Noop),
-    ]
+            vec![Value::Text(gen_key(rng)), Value::Int(rng.below(500) as i64)],
+        ),
+        5 => Op::Batch(
+            (0..rng.below(3))
+                .map(|_| Op::Put {
+                    table: gen_table(rng),
+                    key: gen_key(rng),
+                    value: gen_value(rng),
+                })
+                .collect(),
+        ),
+        _ => Op::Noop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_ops(rng: &mut Rng, max: u64) -> Vec<Op> {
+    (0..rng.below(max)).map(|_| gen_op(rng)).collect()
+}
 
-    /// The state-machine property: identical op sequences from identical
-    /// states produce identical databases (digest, content, outcomes).
-    #[test]
-    fn apply_is_deterministic(ops in proptest::collection::vec(arb_op(), 0..60)) {
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// The state-machine property: identical op sequences from identical
+/// states produce identical databases (digest, content, outcomes).
+#[test]
+fn apply_is_deterministic() {
+    let mut rng = Rng(0xdb01);
+    for _ in 0..256 {
+        let ops = gen_ops(&mut rng, 60);
         let mut a = Database::new();
         let mut b = Database::new();
         for op in &ops {
             let ra = a.apply(op);
             let rb = b.apply(op);
-            prop_assert_eq!(ra, rb);
+            assert_eq!(ra, rb);
         }
-        prop_assert_eq!(a.digest(), b.digest());
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(&a, &b);
     }
+}
 
-    /// Commutative class (§6): increments converge under any permutation.
-    #[test]
-    fn increments_commute(
-        deltas in proptest::collection::vec((key(), -100i64..100), 1..30),
-        seed in any::<u64>(),
-    ) {
+/// Commutative class (§6): increments converge under any permutation.
+#[test]
+fn increments_commute() {
+    let mut rng = Rng(0xdb02);
+    for _ in 0..256 {
+        let deltas: Vec<(String, i64)> = (0..1 + rng.below(29))
+            .map(|_| (gen_key(&mut rng), rng.below(200) as i64 - 100))
+            .collect();
         let mut forward = Database::new();
         for (k, d) in &deltas {
             forward.apply(&Op::incr("t", k.clone(), *d));
         }
-        // A deterministic shuffle derived from the seed.
         let mut shuffled = deltas.clone();
-        let mut state = seed | 1;
-        for i in (1..shuffled.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
-            shuffled.swap(i, j);
-        }
+        let seed = rng.next();
+        shuffle(&mut shuffled, seed);
         let mut backward = Database::new();
         for (k, d) in &shuffled {
             backward.apply(&Op::incr("t", k.clone(), *d));
         }
-        prop_assert_eq!(forward.digest(), backward.digest());
+        assert_eq!(forward.digest(), backward.digest());
     }
+}
 
-    /// Timestamp class (§6): last-writer-wins converges under any
-    /// permutation when timestamps are distinct.
-    #[test]
-    fn timestamped_puts_converge(
-        entries in proptest::collection::vec((key(), any::<i64>()), 1..20),
-        seed in any::<u64>(),
-    ) {
+/// Timestamp class (§6): last-writer-wins converges under any
+/// permutation when timestamps are distinct.
+#[test]
+fn timestamped_puts_converge() {
+    let mut rng = Rng(0xdb03);
+    for _ in 0..256 {
         // Distinct timestamps by construction.
-        let stamped: Vec<(String, i64, u64)> = entries
-            .into_iter()
+        let stamped: Vec<(String, i64, u64)> = (0..1 + rng.below(19))
             .enumerate()
-            .map(|(i, (k, v))| (k, v, i as u64 + 1))
+            .map(|(i, _)| (gen_key(&mut rng), rng.next() as i64, i as u64 + 1))
             .collect();
         let mut forward = Database::new();
         for (k, v, ts) in &stamped {
             forward.apply(&Op::ts_put("t", k.clone(), Value::Int(*v), *ts));
         }
         let mut shuffled = stamped.clone();
-        let mut state = seed | 1;
-        for i in (1..shuffled.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
-            shuffled.swap(i, j);
-        }
+        let seed = rng.next();
+        shuffle(&mut shuffled, seed);
         let mut backward = Database::new();
         for (k, v, ts) in &shuffled {
             backward.apply(&Op::ts_put("t", k.clone(), Value::Int(*v), *ts));
         }
-        prop_assert_eq!(forward.digest(), backward.digest());
+        assert_eq!(forward.digest(), backward.digest());
     }
+}
 
-    /// Digests distinguish states: a put of a fresh value to a fresh key
-    /// always changes the digest.
-    #[test]
-    fn digest_changes_on_new_data(ops in proptest::collection::vec(arb_op(), 0..30)) {
+/// Digests distinguish states: a put of a fresh value to a fresh key
+/// always changes the digest.
+#[test]
+fn digest_changes_on_new_data() {
+    let mut rng = Rng(0xdb04);
+    for _ in 0..128 {
         let mut db = Database::new();
-        for op in &ops {
+        for op in &gen_ops(&mut rng, 30) {
             db.apply(op);
         }
         let before = db.digest();
         db.apply(&Op::put("fresh_table", "fresh_key", Value::Int(424242)));
-        prop_assert_ne!(before, db.digest());
+        assert_ne!(before, db.digest());
     }
+}
 
-    /// Aborted ops leave no trace: a Checked op with a failing
-    /// expectation never changes the digest.
-    #[test]
-    fn aborts_are_clean(ops in proptest::collection::vec(arb_op(), 0..30)) {
+/// Aborted ops leave no trace: a Checked op with a failing
+/// expectation never changes the digest.
+#[test]
+fn aborts_are_clean() {
+    let mut rng = Rng(0xdb05);
+    for _ in 0..128 {
         let mut db = Database::new();
-        for op in &ops {
+        for op in &gen_ops(&mut rng, 30) {
             db.apply(op);
         }
         let before = db.digest();
@@ -163,17 +214,19 @@ proptest! {
             )],
             then: vec![Op::put("t", "x", Value::Int(1))],
         });
-        prop_assert_eq!(outcome, ApplyOutcome::Aborted);
-        prop_assert_eq!(before, db.digest());
+        assert_eq!(outcome, ApplyOutcome::Aborted);
+        assert_eq!(before, db.digest());
     }
+}
 
-    /// Snapshots are faithful: applying the same suffix to a snapshot
-    /// and to the original yields identical states.
-    #[test]
-    fn snapshots_are_faithful(
-        prefix in proptest::collection::vec(arb_op(), 0..20),
-        suffix in proptest::collection::vec(arb_op(), 0..20),
-    ) {
+/// Snapshots are faithful: applying the same suffix to a snapshot
+/// and to the original yields identical states.
+#[test]
+fn snapshots_are_faithful() {
+    let mut rng = Rng(0xdb06);
+    for _ in 0..128 {
+        let prefix = gen_ops(&mut rng, 20);
+        let suffix = gen_ops(&mut rng, 20);
         let mut original = Database::new();
         for op in &prefix {
             original.apply(op);
@@ -183,26 +236,27 @@ proptest! {
             original.apply(op);
             snap.apply(op);
         }
-        prop_assert_eq!(original.digest(), snap.digest());
+        assert_eq!(original.digest(), snap.digest());
     }
+}
 
-    /// Query evaluation never mutates.
-    #[test]
-    fn queries_are_pure(
-        ops in proptest::collection::vec(arb_op(), 0..25),
-        t in table(),
-        k in key(),
-    ) {
+/// Query evaluation never mutates.
+#[test]
+fn queries_are_pure() {
+    let mut rng = Rng(0xdb07);
+    for _ in 0..128 {
         let mut db = Database::new();
-        for op in &ops {
+        for op in &gen_ops(&mut rng, 25) {
             db.apply(op);
         }
+        let t = gen_table(&mut rng);
+        let k = gen_key(&mut rng);
         let before = db.digest();
         let _ = db.query(&Query::get(t.clone(), k.clone()));
         let _ = db.query(&Query::scan(t.clone(), ""));
         let _ = db.query(&Query::Count { table: t });
         let _ = db.query(&Query::Digest);
-        prop_assert_eq!(before, db.digest());
+        assert_eq!(before, db.digest());
     }
 }
 

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 use todr_net::{Datagram, NetOp, NodeId};
-use todr_sim::{Actor, ActorId, Ctx, Payload, SimDuration, TraceLevel};
+use todr_sim::{Actor, ActorId, Ctx, Payload, ProtocolEvent, SimDuration, TraceLevel};
 
 use crate::channel::{LinkFrame, LinkLayer};
 use crate::fd::FailureDetector;
@@ -296,6 +296,14 @@ impl EvsDaemon {
         let reachable = self.fd.reachable(ctx.now());
         let retx = self.link.retransmissions(&|p| reachable.contains(&p));
         let sent_any = !retx.is_empty();
+        if sent_any {
+            let burst = retx.len() as u64;
+            ctx.metrics().incr("evs.link_retransmitted", burst);
+            ctx.emit(ProtocolEvent::Retransmit {
+                node: self.me.index(),
+                count: burst,
+            });
+        }
         for (peer, frame, size) in retx {
             ctx.send_now(
                 self.fabric,
@@ -349,15 +357,29 @@ impl EvsDaemon {
             EvsEvent::Deliver(d) => {
                 if d.in_transitional {
                     self.stats.delivered_trans += 1;
+                    ctx.metrics().incr("evs.delivered_trans", 1);
                 } else {
                     self.stats.delivered_safe += 1;
+                    ctx.metrics().incr("evs.delivered_safe", 1);
                 }
             }
             EvsEvent::RegConf(c) => {
                 ctx.trace("evs", format!("install {c}"));
+                ctx.metrics().incr("evs.views_installed", 1);
+                ctx.emit(ProtocolEvent::ViewInstalled {
+                    node: self.me.index(),
+                    conf_seq: c.id.seq,
+                    coordinator: c.id.coordinator.index(),
+                    members: c.members.len() as u32,
+                });
             }
             EvsEvent::TransConf(c) => {
                 ctx.trace_at(TraceLevel::Debug, "evs", format!("transitional {c}"));
+                ctx.metrics().incr("evs.transitional_confs", 1);
+                ctx.emit(ProtocolEvent::TransitionalConfig {
+                    node: self.me.index(),
+                    conf_seq: c.id.seq,
+                });
             }
         }
         ctx.send_now(self.app, event);
@@ -370,6 +392,7 @@ impl EvsDaemon {
     fn start_gather(&mut self, ctx: &mut Ctx<'_>) {
         self.attempt += 1;
         self.stats.gathers_started += 1;
+        ctx.metrics().incr("evs.gathers_started", 1);
         let proposal = self.fd.reachable(ctx.now());
         ctx.trace_at(
             TraceLevel::Debug,
@@ -427,6 +450,7 @@ impl EvsDaemon {
             }
         });
         let coordinator = flush.coordinator;
+        ctx.metrics().incr("evs.flush_rounds", 1);
         self.phase = Phase::Flush(flush);
         let info = self.my_flush_info(membership);
         self.send_wire_one(ctx, coordinator, info);
@@ -555,6 +579,7 @@ impl EvsDaemon {
             return;
         }
         self.stats.submitted += 1;
+        ctx.metrics().incr("evs.submitted", 1);
         let ordering = self.ordering.as_mut().expect("checked above");
         let coordinator = ordering.coordinator();
         let conf = ordering.conf().id;
@@ -632,6 +657,7 @@ impl EvsDaemon {
                         let msg = ordering.sequence(*sender, *local_seq, Rc::clone(payload), *size);
                         let stable_upto = ordering.announced_stable();
                         self.stats.sequenced += 1;
+                        ctx.metrics().incr("evs.sequenced", 1);
                         let members = self.members();
                         self.send_wire_to(
                             ctx,
@@ -752,7 +778,15 @@ impl EvsDaemon {
                     return;
                 }
                 let msgs = ordering.msgs_range(*from_seq, *to_seq);
-                self.stats.retransmitted += msgs.len() as u64 * needy.len() as u64;
+                let burst = msgs.len() as u64 * needy.len() as u64;
+                self.stats.retransmitted += burst;
+                if burst > 0 {
+                    ctx.metrics().incr("evs.retransmitted", burst);
+                    ctx.emit(ProtocolEvent::Retransmit {
+                        node: self.me.index(),
+                        count: burst,
+                    });
+                }
                 for &dst in needy {
                     self.send_wire_one(
                         ctx,
@@ -947,6 +981,7 @@ impl EvsDaemon {
         let have = ordering.have_upto();
         if have > self.last_acked {
             self.last_acked = have;
+            ctx.metrics().incr("evs.acks_sent", 1);
             let conf = ordering.conf().id;
             let coordinator = ordering.coordinator();
             self.send_wire_one(

@@ -1,11 +1,10 @@
-//! Property-based EVS tests: random cluster sizes, traffic patterns and
-//! partition timings; the ordering and safe-delivery invariants must
-//! hold in every execution.
+//! Randomized (seeded, deterministic) EVS tests: random cluster sizes,
+//! traffic patterns and partition timings; the ordering and
+//! safe-delivery invariants must hold in every execution.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use todr_evs::{ConfId, EvsCmd, EvsConfig, EvsDaemon, EvsEvent};
 use todr_net::{NetConfig, NetFabric, NodeId};
 use todr_sim::{Actor, ActorId, Ctx, Payload, SimDuration, World};
@@ -179,31 +178,29 @@ fn scenario(n: u32, seed: u64, loss: f64, msgs_per_node: u64, cut: usize, cut_de
     check_invariants(&mut setup);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 20,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn ordering_invariants_hold_under_random_cuts(
-        n in 2u32..6,
-        seed in 0u64..100_000,
-        msgs in 1u64..12,
-        cut in 0usize..6,
-        cut_delay_us in 0u64..2_000,
-    ) {
-        scenario(n, seed, 0.0, msgs, cut % n as usize, cut_delay_us);
+#[test]
+fn ordering_invariants_hold_under_random_cuts() {
+    let mut rng = todr_sim::SimRng::new(0xe5c7);
+    for case in 0..24 {
+        let n = (2 + rng.gen_range(4)) as u32;
+        let seed = rng.gen_range(100_000);
+        let msgs = 1 + rng.gen_range(11);
+        let cut = rng.gen_range(6) as usize % n as usize;
+        let cut_delay_us = rng.gen_range(2_000);
+        eprintln!("case {case}: n={n} seed={seed} msgs={msgs} cut={cut} delay={cut_delay_us}us");
+        scenario(n, seed, 0.0, msgs, cut, cut_delay_us);
     }
+}
 
-    #[test]
-    fn ordering_invariants_hold_under_loss(
-        n in 2u32..5,
-        seed in 0u64..100_000,
-        msgs in 1u64..8,
-        loss in 0.01f64..0.15,
-    ) {
+#[test]
+fn ordering_invariants_hold_under_loss() {
+    let mut rng = todr_sim::SimRng::new(0x1055);
+    for case in 0..24 {
+        let n = (2 + rng.gen_range(3)) as u32;
+        let seed = rng.gen_range(100_000);
+        let msgs = 1 + rng.gen_range(7);
+        let loss = 0.01 + rng.next_f64() * 0.14;
+        eprintln!("case {case}: n={n} seed={seed} msgs={msgs} loss={loss:.3}");
         scenario(n, seed, loss, msgs, 0, 0);
     }
 }

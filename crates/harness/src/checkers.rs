@@ -1,10 +1,20 @@
 //! Cross-replica safety checkers: executable versions of the paper's
 //! Theorems 1 and 2 plus the coloring invariants of §3.
+//!
+//! Every invariant has a fallible `verify_*` form returning a typed
+//! [`ConsistencyError`], and a panicking `check_*` wrapper for tests
+//! that want the violation to abort immediately. The cluster-level
+//! entry point is [`try_check_consistency`], which on failure attaches
+//! the tail of the world's typed [`ProtocolEvent`](todr_sim::ProtocolEvent)
+//! log so a violation report shows *what the protocol did* leading up
+//! to the bad state, not just the bad state itself.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use todr_core::{ActionId, EngineState};
 use todr_net::NodeId;
+use todr_sim::RecordedEvent;
 
 use crate::cluster::Cluster;
 
@@ -27,6 +37,140 @@ pub struct ReplicaView {
     pub white_line: u64,
 }
 
+/// A violated safety invariant, as structured data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyError {
+    /// Theorem 1: two replicas disagree on the action at one green
+    /// position.
+    TotalOrder {
+        /// The green position in dispute.
+        position: u64,
+        /// First replica and the id it holds there.
+        a: (NodeId, ActionId),
+        /// Second replica and the id it holds there.
+        b: (NodeId, ActionId),
+    },
+    /// Theorem 2: a creator's indices jumped inside one green sequence.
+    FifoOrder {
+        /// The replica whose green sequence has the gap.
+        node: NodeId,
+        /// The creator whose indices jumped.
+        creator: NodeId,
+        /// Last index seen before the jump.
+        prev: u64,
+        /// The index that followed it.
+        next: u64,
+    },
+    /// Two replicas at the same green count hold different databases.
+    DbDivergence {
+        /// First replica and its digest.
+        a: (NodeId, u64),
+        /// Second replica and its digest.
+        b: (NodeId, u64),
+        /// The shared green count.
+        green_count: u64,
+    },
+    /// Two primary components are live at once.
+    SplitBrain {
+        /// Every replica claiming primary membership, with its primary
+        /// index.
+        claims: Vec<(NodeId, u64)>,
+    },
+    /// A white line ran ahead of the minimum green count.
+    WhiteLine {
+        /// The offending replica.
+        node: NodeId,
+        /// Its white line.
+        white_line: u64,
+        /// The true minimum green count.
+        min_green: u64,
+    },
+}
+
+impl fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyError::TotalOrder { position, a, b } => write!(
+                f,
+                "total order violated at green position {position}: {} has {}, {} has {}",
+                a.0, a.1, b.0, b.1
+            ),
+            ConsistencyError::FifoOrder {
+                node,
+                creator,
+                prev,
+                next,
+            } => write!(
+                f,
+                "FIFO violated at {node}: creator {creator} jumped {prev} -> {next}"
+            ),
+            ConsistencyError::DbDivergence { a, b, green_count } => write!(
+                f,
+                "replicas {} and {} diverged at green count {green_count}",
+                a.0, b.0
+            ),
+            ConsistencyError::SplitBrain { claims } => {
+                write!(f, "two primary components live at once: {claims:?}")
+            }
+            ConsistencyError::WhiteLine {
+                node,
+                white_line,
+                min_green,
+            } => write!(
+                f,
+                "{node} computed white line {white_line} above the minimum green count {min_green}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
+
+/// A [`ConsistencyError`] packaged with protocol context: the tail of
+/// the typed event log at the moment the violation was detected.
+#[derive(Debug, Clone)]
+pub struct ConsistencyViolation {
+    /// The violated invariant.
+    pub error: ConsistencyError,
+    /// The most recent typed protocol events (up to
+    /// [`ConsistencyViolation::EVENT_TAIL`]), oldest first.
+    pub recent_events: Vec<RecordedEvent>,
+}
+
+impl ConsistencyViolation {
+    /// How many trailing events a violation carries.
+    pub const EVENT_TAIL: usize = 32;
+}
+
+impl fmt::Display for ConsistencyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.error)?;
+        if !self.recent_events.is_empty() {
+            write!(f, "; last {} protocol events:", self.recent_events.len())?;
+            for e in &self.recent_events {
+                write!(f, "\n  [{} ns] {:?}", e.at_nanos, e.event)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ConsistencyViolation {}
+
+/// What a passing consistency check covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// Live replicas compared.
+    pub replicas_checked: usize,
+    /// Smallest green count among them.
+    pub min_green: u64,
+    /// Largest green count among them.
+    pub max_green: u64,
+    /// Green positions actually compared pairwise (overlap of retained
+    /// tails).
+    pub positions_compared: u64,
+}
+
 /// Collects every live replica's view.
 pub fn collect_views(cluster: &mut Cluster) -> Vec<ReplicaView> {
     (0..cluster.servers.len())
@@ -47,12 +191,9 @@ pub fn collect_views(cluster: &mut Cluster) -> Vec<ReplicaView> {
 
 /// Theorem 1 (Global Total Order): if two servers both performed their
 /// `i`-th action, those actions are identical. Checked over the overlap
-/// of retained green ids.
-///
-/// # Panics
-///
-/// Panics on the first violation.
-pub fn check_total_order(views: &[ReplicaView]) {
+/// of retained green ids. Returns how many positions were compared.
+pub fn verify_total_order(views: &[ReplicaView]) -> Result<u64, ConsistencyError> {
+    let mut compared = 0;
     for a in views {
         for b in views {
             if a.node >= b.node {
@@ -63,70 +204,63 @@ pub fn check_total_order(views: &[ReplicaView]) {
             for pos in lo..hi {
                 let ia = a.green_tail[(pos - a.green_floor) as usize];
                 let ib = b.green_tail[(pos - b.green_floor) as usize];
-                assert_eq!(
-                    ia, ib,
-                    "total order violated at green position {pos}: {} has {ia}, {} has {ib}",
-                    a.node, b.node
-                );
+                if ia != ib {
+                    return Err(ConsistencyError::TotalOrder {
+                        position: pos,
+                        a: (a.node, ia),
+                        b: (b.node, ib),
+                    });
+                }
+                compared += 1;
             }
         }
     }
+    Ok(compared)
 }
 
 /// Theorem 2 (Global FIFO Order): within one server's green sequence,
 /// per-creator indices are strictly increasing and contiguous from the
 /// first retained occurrence.
-///
-/// # Panics
-///
-/// Panics on the first violation.
-pub fn check_fifo_order(views: &[ReplicaView]) {
+pub fn verify_fifo_order(views: &[ReplicaView]) -> Result<(), ConsistencyError> {
     for v in views {
         let mut last: BTreeMap<NodeId, u64> = BTreeMap::new();
         for id in &v.green_tail {
             if let Some(&prev) = last.get(&id.server) {
-                assert_eq!(
-                    prev + 1,
-                    id.index,
-                    "FIFO violated at {}: creator {} jumped {} -> {}",
-                    v.node,
-                    id.server,
-                    prev,
-                    id.index
-                );
+                if prev + 1 != id.index {
+                    return Err(ConsistencyError::FifoOrder {
+                        node: v.node,
+                        creator: id.server,
+                        prev,
+                        next: id.index,
+                    });
+                }
             }
             last.insert(id.server, id.index);
         }
     }
+    Ok(())
 }
 
 /// Database determinism: two replicas with the same green count must
 /// hold databases with identical digests.
-///
-/// # Panics
-///
-/// Panics on the first violation.
-pub fn check_db_convergence(views: &[ReplicaView]) {
+pub fn verify_db_convergence(views: &[ReplicaView]) -> Result<(), ConsistencyError> {
     for a in views {
         for b in views {
-            if a.node < b.node && a.green_count == b.green_count {
-                assert_eq!(
-                    a.db_digest, b.db_digest,
-                    "replicas {} and {} diverged at green count {}",
-                    a.node, b.node, a.green_count
-                );
+            if a.node < b.node && a.green_count == b.green_count && a.db_digest != b.db_digest {
+                return Err(ConsistencyError::DbDivergence {
+                    a: (a.node, a.db_digest),
+                    b: (b.node, b.db_digest),
+                    green_count: a.green_count,
+                });
             }
         }
     }
+    Ok(())
 }
 
 /// At most one primary component: the set of servers believing they are
 /// in the primary must agree on a single primary index.
-///
-/// # Panics
-///
-/// Panics on the first violation.
-pub fn check_single_primary(cluster: &mut Cluster) {
+pub fn verify_single_primary(cluster: &mut Cluster) -> Result<(), ConsistencyError> {
     let mut prim_indices: Vec<(NodeId, u64)> = Vec::new();
     for i in 0..cluster.servers.len() {
         let node = cluster.servers[i].node;
@@ -136,54 +270,144 @@ pub fn check_single_primary(cluster: &mut Cluster) {
         }
     }
     for window in prim_indices.windows(2) {
-        assert_eq!(
-            window[0].1, window[1].1,
-            "two primary components live at once: {:?}",
-            prim_indices
-        );
+        if window[0].1 != window[1].1 {
+            return Err(ConsistencyError::SplitBrain {
+                claims: prim_indices,
+            });
+        }
     }
+    Ok(())
 }
 
 /// White-line sanity: no server's white line exceeds any server's green
 /// count (an action cannot be "green everywhere" if someone lacks it).
-///
-/// # Panics
-///
-/// Panics on the first violation.
-pub fn check_white_line(views: &[ReplicaView]) {
+pub fn verify_white_line(views: &[ReplicaView]) -> Result<(), ConsistencyError> {
     // The white line is computed from green *lines*, which are
     // knowledge-lagged; it must never exceed the true minimum green
     // count among live members of the server set. Views of crashed
     // servers are excluded by the caller.
     let min_green = views.iter().map(|v| v.green_count).min().unwrap_or(0);
     for v in views {
-        assert!(
-            v.white_line <= min_green || views.len() < 2,
-            "{} computed white line {} above the minimum green count {min_green}",
-            v.node,
-            v.white_line
-        );
+        if v.white_line > min_green && views.len() >= 2 {
+            return Err(ConsistencyError::WhiteLine {
+                node: v.node,
+                white_line: v.white_line,
+                min_green,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`verify_total_order`].
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_total_order(views: &[ReplicaView]) {
+    if let Err(e) = verify_total_order(views) {
+        panic!("{e}");
+    }
+}
+
+/// Panicking wrapper over [`verify_fifo_order`].
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_fifo_order(views: &[ReplicaView]) {
+    if let Err(e) = verify_fifo_order(views) {
+        panic!("{e}");
+    }
+}
+
+/// Panicking wrapper over [`verify_db_convergence`].
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_db_convergence(views: &[ReplicaView]) {
+    if let Err(e) = verify_db_convergence(views) {
+        panic!("{e}");
+    }
+}
+
+/// Panicking wrapper over [`verify_single_primary`].
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_single_primary(cluster: &mut Cluster) {
+    if let Err(e) = verify_single_primary(cluster) {
+        panic!("{e}");
+    }
+}
+
+/// Panicking wrapper over [`verify_white_line`].
+///
+/// # Panics
+///
+/// Panics on the first violation.
+pub fn check_white_line(views: &[ReplicaView]) {
+    if let Err(e) = verify_white_line(views) {
+        panic!("{e}");
     }
 }
 
 /// Runs every safety check against the live (non-crashed, non-joining)
-/// replicas of the cluster.
-///
-/// # Panics
-///
-/// Panics on the first violated invariant.
-pub fn check_consistency(cluster: &mut Cluster) {
+/// replicas of the cluster, returning what was covered or a violation
+/// carrying the recent typed protocol events.
+pub fn try_check_consistency(
+    cluster: &mut Cluster,
+) -> Result<ConsistencyReport, Box<ConsistencyViolation>> {
     let views: Vec<ReplicaView> = collect_views(cluster)
         .into_iter()
         .filter(|v| !matches!(v.state, EngineState::Down | EngineState::Joining))
         .collect();
     if views.is_empty() {
-        return;
+        return Ok(ConsistencyReport {
+            replicas_checked: 0,
+            min_green: 0,
+            max_green: 0,
+            positions_compared: 0,
+        });
     }
-    check_total_order(&views);
-    check_fifo_order(&views);
-    check_db_convergence(&views);
-    check_single_primary(cluster);
+    let run = |cluster: &mut Cluster, views: &[ReplicaView]| -> Result<u64, ConsistencyError> {
+        let compared = verify_total_order(views)?;
+        verify_fifo_order(views)?;
+        verify_db_convergence(views)?;
+        verify_single_primary(cluster)?;
+        Ok(compared)
+    };
+    match run(cluster, &views) {
+        Ok(positions_compared) => Ok(ConsistencyReport {
+            replicas_checked: views.len(),
+            min_green: views.iter().map(|v| v.green_count).min().unwrap_or(0),
+            max_green: views.iter().map(|v| v.green_count).max().unwrap_or(0),
+            positions_compared,
+        }),
+        Err(error) => {
+            let events = cluster.world.metrics().events();
+            let tail_from = events
+                .len()
+                .saturating_sub(ConsistencyViolation::EVENT_TAIL);
+            Err(Box::new(ConsistencyViolation {
+                error,
+                recent_events: events[tail_from..].to_vec(),
+            }))
+        }
+    }
+}
+
+/// Panicking wrapper over [`try_check_consistency`].
+///
+/// # Panics
+///
+/// Panics on the first violated invariant.
+pub fn check_consistency(cluster: &mut Cluster) {
+    if let Err(v) = try_check_consistency(cluster) {
+        panic!("{v}");
+    }
 }
 
 #[cfg(test)]
@@ -224,11 +448,27 @@ mod tests {
     }
 
     #[test]
+    fn total_order_violation_is_structured() {
+        let a = view(0, 0, &[(0, 1), (1, 1)]);
+        let b = view(1, 0, &[(1, 1), (0, 1)]);
+        let err = verify_total_order(&[a, b]).unwrap_err();
+        match err {
+            ConsistencyError::TotalOrder { position, a, b } => {
+                assert_eq!(position, 0);
+                assert_eq!(a.0, NodeId::new(0));
+                assert_eq!(b.0, NodeId::new(1));
+                assert_ne!(a.1, b.1);
+            }
+            other => panic!("wrong error kind: {other:?}"),
+        }
+    }
+
+    #[test]
     fn total_order_respects_floors() {
         // b bootstrapped at position 2: only the overlap is compared.
         let a = view(0, 0, &[(0, 1), (1, 1), (0, 2)]);
         let b = view(1, 2, &[(0, 2)]);
-        check_total_order(&[a, b]);
+        assert_eq!(verify_total_order(&[a, b]), Ok(1));
     }
 
     #[test]
@@ -252,5 +492,25 @@ mod tests {
         a.db_digest = 1;
         b.db_digest = 2;
         check_db_convergence(&[a, b]);
+    }
+
+    #[test]
+    fn violation_display_includes_events() {
+        use todr_sim::ProtocolEvent;
+        let v = ConsistencyViolation {
+            error: ConsistencyError::DbDivergence {
+                a: (NodeId::new(0), 1),
+                b: (NodeId::new(1), 2),
+                green_count: 7,
+            },
+            recent_events: vec![RecordedEvent {
+                at_nanos: 42,
+                actor: 3,
+                event: ProtocolEvent::GreenLineAdvance { node: 0, green: 7 },
+            }],
+        };
+        let rendered = v.to_string();
+        assert!(rendered.contains("diverged at green count 7"));
+        assert!(rendered.contains("GreenLineAdvance"));
     }
 }

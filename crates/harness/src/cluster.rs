@@ -54,6 +54,13 @@ impl ClusterConfig {
         }
     }
 
+    /// A validating fluent builder starting from the LAN defaults.
+    pub fn builder(n_servers: u32, seed: u64) -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig::new(n_servers, seed),
+        }
+    }
+
     /// Same cluster over a lossy network, with reliable links enabled.
     pub fn lossy(mut self, loss_probability: f64) -> Self {
         self.net.loss_probability = loss_probability;
@@ -67,7 +74,186 @@ impl ClusterConfig {
         self.disk_mode = DiskMode::Delayed;
         self
     }
+
+    /// Checks internal coherence; [`ClusterConfigBuilder::build`]
+    /// delegates here.
+    pub fn validate(&self) -> Result<(), InvalidClusterConfig> {
+        if self.n_servers == 0 {
+            return Err(InvalidClusterConfig(
+                "a cluster needs at least one server".into(),
+            ));
+        }
+        let loss = self.net.loss_probability;
+        if !(0.0..1.0).contains(&loss) {
+            return Err(InvalidClusterConfig(format!(
+                "loss_probability {loss} outside [0, 1)"
+            )));
+        }
+        if loss > 0.0 && !self.reliable_links {
+            return Err(InvalidClusterConfig(format!(
+                "loss_probability {loss} requires reliable_links: without per-peer \
+                 ARQ channels the EVS daemons assume loss-free FIFO links and \
+                 a dropped frame wedges the protocol"
+            )));
+        }
+        if let Some(&w) = self.weights.values().find(|&&w| w == 0) {
+            return Err(InvalidClusterConfig(format!(
+                "voting weight {w} must be positive"
+            )));
+        }
+        Ok(())
+    }
 }
+
+/// A rejected [`ClusterConfig`], with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidClusterConfig(pub String);
+
+impl std::fmt::Display for InvalidClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid cluster config: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidClusterConfig {}
+
+/// Fluent, validating construction of a [`ClusterConfig`].
+///
+/// Unlike hand-mutating the config struct, [`build`](Self::build)
+/// rejects incoherent combinations (most importantly a lossy network
+/// without reliable links) *before* a multi-second simulation silently
+/// wedges.
+///
+/// ```
+/// use todr_harness::cluster::ClusterConfig;
+///
+/// let cfg = ClusterConfig::builder(5, 42)
+///     .loss_probability(0.05)
+///     .reliable_links(true)
+///     .build()
+///     .expect("coherent config");
+/// assert_eq!(cfg.n_servers, 5);
+///
+/// // A lossy fabric without ARQ links is rejected at build time.
+/// assert!(ClusterConfig::builder(5, 42)
+///     .loss_probability(0.05)
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the disk mode for every server.
+    pub fn disk_mode(mut self, mode: DiskMode) -> Self {
+        self.cfg.disk_mode = mode;
+        self
+    }
+
+    /// Switches every disk to delayed (asynchronous) writes.
+    pub fn delayed_writes(mut self) -> Self {
+        self.cfg.disk_mode = DiskMode::Delayed;
+        self
+    }
+
+    /// Replaces the whole network profile.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Sets the per-datagram loss probability (validated in
+    /// [`build`](Self::build) against [`reliable_links`](Self::reliable_links)).
+    pub fn loss_probability(mut self, p: f64) -> Self {
+        self.cfg.net.loss_probability = p;
+        self
+    }
+
+    /// Enables or disables per-peer reliable (ARQ) channels in the EVS
+    /// daemons.
+    pub fn reliable_links(mut self, on: bool) -> Self {
+        self.cfg.reliable_links = on;
+        self
+    }
+
+    /// Sets the per-action CPU cost at each replica.
+    pub fn cpu_per_action(mut self, d: SimDuration) -> Self {
+        self.cfg.cpu_per_action = d;
+        self
+    }
+
+    /// Sets the EVS heartbeat interval.
+    pub fn hb_interval(mut self, d: SimDuration) -> Self {
+        self.cfg.hb_interval = d;
+        self
+    }
+
+    /// Sets the EVS failure timeout.
+    pub fn fail_timeout(mut self, d: SimDuration) -> Self {
+        self.cfg.fail_timeout = d;
+        self
+    }
+
+    /// Sets the EVS acknowledgement batching delay.
+    pub fn ack_delay(mut self, d: SimDuration) -> Self {
+        self.cfg.ack_delay = d;
+        self
+    }
+
+    /// Assigns a dynamic-linear-voting weight to server `idx`.
+    pub fn weight(mut self, idx: u32, weight: u64) -> Self {
+        self.cfg.weights.insert(idx, weight);
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<ClusterConfig, InvalidClusterConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// An opaque handle to a client attached via
+/// [`Cluster::attach_client`]; pass it back to
+/// [`Cluster::client_stats`]. The newtype prevents the old footgun of
+/// handing an arbitrary [`ActorId`] (a server's engine, a disk) to the
+/// stats accessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientHandle(ActorId);
+
+impl ClientHandle {
+    /// The underlying actor id, for advanced scripting against
+    /// [`Cluster::world`].
+    pub fn actor_id(self) -> ActorId {
+        self.0
+    }
+}
+
+/// [`Cluster::try_settle`]'s failure: no primary component formed
+/// inside the bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettleTimeout {
+    /// How long the cluster was given.
+    pub waited: SimDuration,
+    /// Servers that did reach the primary state.
+    pub in_prim: usize,
+    /// Total servers expected in the primary.
+    pub servers: usize,
+}
+
+impl std::fmt::Display for SettleTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "primary component failed to form within {} ({}/{} servers in primary)",
+            self.waited, self.in_prim, self.servers
+        )
+    }
+}
+
+impl std::error::Error for SettleTimeout {}
 
 /// One server's actor handles.
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +279,7 @@ pub struct Cluster {
     /// Per-server handles, indexed by server number.
     pub servers: Vec<ServerHandles>,
     config: ClusterConfig,
-    clients: Vec<ActorId>,
+    clients: Vec<ClientHandle>,
 }
 
 impl Cluster {
@@ -170,25 +356,36 @@ impl Cluster {
     }
 
     /// Advances virtual time until the initial primary component forms
-    /// (bounded at 5 seconds).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no primary forms — that indicates a protocol bug.
-    pub fn settle(&mut self) {
-        let deadline = self.world.now() + SimDuration::from_secs(5);
+    /// (bounded at 5 seconds), or reports how far the cluster got.
+    pub fn try_settle(&mut self) -> Result<(), SettleTimeout> {
+        let bound = SimDuration::from_secs(5);
+        let deadline = self.world.now() + bound;
         loop {
             self.run_for(SimDuration::from_millis(100));
             let in_prim = (0..self.servers.len())
                 .filter(|&i| self.engine_state(i) == EngineState::RegPrim)
                 .count();
             if in_prim == self.servers.len() {
-                return;
+                return Ok(());
             }
-            assert!(
-                self.world.now() < deadline,
-                "primary component failed to form within 5s"
-            );
+            if self.world.now() >= deadline {
+                return Err(SettleTimeout {
+                    waited: bound,
+                    in_prim,
+                    servers: self.servers.len(),
+                });
+            }
+        }
+    }
+
+    /// Panicking wrapper over [`Cluster::try_settle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no primary forms — that indicates a protocol bug.
+    pub fn settle(&mut self) {
+        if let Err(e) = self.try_settle() {
+            panic!("{e}");
         }
     }
 
@@ -296,7 +493,7 @@ impl Cluster {
 
     /// Attaches a closed-loop client to server `idx` and starts it.
     /// Returns a handle for [`Cluster::client_stats`].
-    pub fn attach_client(&mut self, idx: usize, config: ClientConfig) -> ActorId {
+    pub fn attach_client(&mut self, idx: usize, config: ClientConfig) -> ClientHandle {
         let engine = self.servers[idx].engine;
         let id = todr_core::ClientId(self.clients.len() as u32 + 1);
         let client = self.world.add_actor(
@@ -304,18 +501,19 @@ impl Cluster {
             ClosedLoopClient::new(id, engine, config),
         );
         self.world.schedule_now(client, StartClient);
-        self.clients.push(client);
-        client
+        let handle = ClientHandle(client);
+        self.clients.push(handle);
+        handle
     }
 
     /// A client's progress.
-    pub fn client_stats(&mut self, client: ActorId) -> ClientStats {
+    pub fn client_stats(&mut self, client: ClientHandle) -> ClientStats {
         self.world
-            .with_actor(client, |c: &mut ClosedLoopClient| c.stats().clone())
+            .with_actor(client.0, |c: &mut ClosedLoopClient| c.stats().clone())
     }
 
     /// All attached clients.
-    pub fn clients(&self) -> &[ActorId] {
+    pub fn clients(&self) -> &[ClientHandle] {
         &self.clients
     }
 
@@ -343,14 +541,31 @@ impl Cluster {
         self.with_engine(idx, |e| e.db_digest())
     }
 
-    /// Asserts cross-replica safety invariants (see
-    /// [`crate::checkers::check_consistency`]).
+    /// Verifies cross-replica safety invariants (see
+    /// [`crate::checkers`]); a violation carries the recent typed
+    /// protocol events as context.
+    pub fn try_check_consistency(
+        &mut self,
+    ) -> Result<crate::checkers::ConsistencyReport, Box<crate::checkers::ConsistencyViolation>>
+    {
+        crate::checkers::try_check_consistency(self)
+    }
+
+    /// Asserts cross-replica safety invariants (panicking wrapper over
+    /// [`Cluster::try_check_consistency`]).
     ///
     /// # Panics
     ///
     /// Panics if any invariant is violated.
     pub fn check_consistency(&mut self) {
         crate::checkers::check_consistency(self);
+    }
+
+    /// Deterministic JSON snapshot of the world's typed observability
+    /// bus: every counter and latency histogram recorded by the net,
+    /// EVS, storage and engine layers.
+    pub fn metrics_export(&self) -> todr_sim::MetricsExport {
+        self.world.metrics().export()
     }
 }
 

@@ -34,7 +34,7 @@ pub fn run(n_servers: u32, preload_secs: u64, seed: u64) -> JoinReport {
     let clients: Vec<_> = (0..n_servers as usize)
         .map(|i| cluster.attach_client(i, ClientConfig::default()))
         .collect();
-    let committed = |cluster: &mut Cluster, clients: &[todr_sim::ActorId]| -> u64 {
+    let committed = |cluster: &mut Cluster, clients: &[crate::cluster::ClientHandle]| -> u64 {
         clients
             .iter()
             .map(|&c| cluster.client_stats(c).committed)

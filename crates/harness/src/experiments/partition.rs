@@ -59,7 +59,7 @@ pub fn run(n_servers: u32, seed: u64) -> PartitionReport {
         .map(|i| cluster.attach_client(i, ClientConfig::default()))
         .collect();
     let measure = SimDuration::from_secs(2);
-    let committed_at = |cluster: &mut Cluster, clients: &[todr_sim::ActorId]| -> u64 {
+    let committed_at = |cluster: &mut Cluster, clients: &[crate::cluster::ClientHandle]| -> u64 {
         clients
             .iter()
             .map(|&c| cluster.client_stats(c).committed)

@@ -63,17 +63,19 @@ impl RunResult {
 /// The operations the measurement loop needs from any deployment — the
 /// engine cluster and both baseline clusters expose the same surface.
 trait Deployment {
-    fn attach(&mut self, idx: usize, config: ClientConfig) -> ActorId;
-    fn stats(&mut self, client: ActorId) -> ClientStats;
+    type Handle: Copy;
+    fn attach(&mut self, idx: usize, config: ClientConfig) -> Self::Handle;
+    fn stats(&mut self, client: Self::Handle) -> ClientStats;
     fn advance(&mut self, d: SimDuration);
     fn now(&self) -> SimTime;
 }
 
 impl Deployment for Cluster {
-    fn attach(&mut self, idx: usize, config: ClientConfig) -> ActorId {
+    type Handle = crate::cluster::ClientHandle;
+    fn attach(&mut self, idx: usize, config: ClientConfig) -> Self::Handle {
         self.attach_client(idx, config)
     }
-    fn stats(&mut self, client: ActorId) -> ClientStats {
+    fn stats(&mut self, client: Self::Handle) -> ClientStats {
         self.client_stats(client)
     }
     fn advance(&mut self, d: SimDuration) {
@@ -85,6 +87,7 @@ impl Deployment for Cluster {
 }
 
 impl Deployment for CorelCluster {
+    type Handle = ActorId;
     fn attach(&mut self, idx: usize, config: ClientConfig) -> ActorId {
         self.attach_client(idx, config)
     }
@@ -100,6 +103,7 @@ impl Deployment for CorelCluster {
 }
 
 impl Deployment for TpcCluster {
+    type Handle = ActorId;
     fn attach(&mut self, idx: usize, config: ClientConfig) -> ActorId {
         self.attach_client(idx, config)
     }
@@ -126,7 +130,7 @@ fn measure<D: Deployment>(
         record_from,
         ..ClientConfig::default()
     };
-    let handles: Vec<ActorId> = (0..clients)
+    let handles: Vec<D::Handle> = (0..clients)
         .map(|i| deployment.attach(i % n_servers as usize, client_config.clone()))
         .collect();
     deployment.advance(warmup + measure);

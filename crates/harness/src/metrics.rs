@@ -1,11 +1,19 @@
 //! Latency and throughput accounting in virtual time.
+//!
+//! [`LatencyStats`] is a thin [`SimDuration`]-typed facade over the
+//! kernel's fixed-bucket [`Histogram`]: O(1) insert, O(64) percentile
+//! queries, no sample vector to sort. Percentiles are therefore bucket
+//! upper bounds (a ≤2× overestimate, clamped to the exact maximum) —
+//! the right bias for latency budgets, and cheap enough to query inside
+//! hot experiment loops.
 
-use todr_sim::{SimDuration, SimTime};
+use todr_sim::{Histogram, HistogramSummary, SimDuration, SimTime};
 
-/// A latency recorder with summary statistics.
+/// A latency recorder with summary statistics, backed by a log₂-bucket
+/// histogram.
 #[derive(Debug, Default, Clone)]
 pub struct LatencyStats {
-    samples: Vec<SimDuration>,
+    hist: Histogram,
 }
 
 impl LatencyStats {
@@ -16,46 +24,44 @@ impl LatencyStats {
 
     /// Records one sample.
     pub fn record(&mut self, sample: SimDuration) {
-        self.samples.push(sample);
+        self.hist.record_duration(sample);
     }
 
     /// Number of samples.
-    pub fn count(&self) -> usize {
-        self.samples.len()
+    pub fn count(&self) -> u64 {
+        self.hist.count()
     }
 
-    /// Arithmetic mean, or zero if empty.
+    /// Arithmetic mean (exact), or zero if empty.
     pub fn mean(&self) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let total: u64 = self.samples.iter().map(|d| d.as_nanos()).sum();
-        SimDuration::from_nanos(total / self.samples.len() as u64)
+        SimDuration::from_nanos(self.hist.mean_nanos())
     }
 
-    /// The `p`-th percentile (0-100), or zero if empty.
+    /// The `p`-th percentile (0-100) as the upper bound of the bucket
+    /// holding that rank, clamped to the exact maximum; zero if empty.
     pub fn percentile(&self, p: f64) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        SimDuration::from_nanos(self.hist.quantile_nanos(p / 100.0))
     }
 
-    /// Maximum sample, or zero if empty.
+    /// Maximum sample (exact), or zero if empty.
     pub fn max(&self) -> SimDuration {
-        self.samples
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimDuration::ZERO)
+        SimDuration::from_nanos(self.hist.max_nanos())
     }
 
     /// Merges another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.samples.extend_from_slice(&other.samples);
+        self.hist.merge(&other.hist);
+    }
+
+    /// The `count / mean / p50 / p95 / p99 / max` summary used in
+    /// metric exports.
+    pub fn summary(&self) -> HistogramSummary {
+        self.hist.summary()
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
     }
 }
 
@@ -87,17 +93,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn mean_and_percentiles() {
+    fn mean_is_exact_and_percentiles_are_bucketed() {
         let mut stats = LatencyStats::new();
         for ms in [10u64, 20, 30, 40, 50] {
             stats.record(SimDuration::from_millis(ms));
         }
         assert_eq!(stats.count(), 5);
+        // Mean and max are tracked exactly.
         assert_eq!(stats.mean(), SimDuration::from_millis(30));
-        assert_eq!(stats.percentile(0.0), SimDuration::from_millis(10));
-        assert_eq!(stats.percentile(50.0), SimDuration::from_millis(30));
-        assert_eq!(stats.percentile(100.0), SimDuration::from_millis(50));
         assert_eq!(stats.max(), SimDuration::from_millis(50));
+        // Percentiles report the bucket upper bound: never below the
+        // true value, at most 2× above it.
+        for (p, exact_ms) in [(10.0, 10u64), (50.0, 30), (99.0, 50)] {
+            let exact = SimDuration::from_millis(exact_ms);
+            let got = stats.percentile(p);
+            assert!(got >= exact, "p{p} = {got} below the true value {exact}");
+            assert!(
+                got.as_nanos() <= exact.as_nanos() * 2,
+                "p{p} = {got} more than 2x the true value {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_units_are_preserved() {
+        // A regression guard for unit mix-ups: a 10 ms sample must
+        // produce millisecond-scale percentiles, not micro or seconds.
+        let mut stats = LatencyStats::new();
+        stats.record(SimDuration::from_millis(10));
+        let p99 = stats.percentile(99.0);
+        assert_eq!(p99, SimDuration::from_millis(10), "single sample is exact");
+        assert!((p99.as_millis_f64() - 10.0).abs() < 1e-9);
     }
 
     #[test]
@@ -114,7 +140,21 @@ mod tests {
         let mut b = LatencyStats::new();
         b.record(SimDuration::from_millis(30));
         a.merge(&b);
+        assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn summary_matches_accessors() {
+        let mut stats = LatencyStats::new();
+        for ms in [5u64, 10, 15] {
+            stats.record(SimDuration::from_millis(ms));
+        }
+        let s = stats.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean_nanos, stats.mean().as_nanos());
+        assert_eq!(s.max_nanos, stats.max().as_nanos());
+        assert_eq!(s.p50_nanos, stats.percentile(50.0).as_nanos());
     }
 
     #[test]

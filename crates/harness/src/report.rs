@@ -8,7 +8,7 @@ use std::fmt;
 use todr_core::{EngineState, EngineStats};
 use todr_evs::EvsStats;
 use todr_net::{NetFabric, NetStats, NodeId};
-use todr_sim::SimTime;
+use todr_sim::{MetricsExport, SimTime};
 use todr_storage::{DiskActor, DiskStats};
 
 use crate::cluster::Cluster;
@@ -39,6 +39,10 @@ pub struct ClusterReport {
     pub net: NetStats,
     /// Per-server rows.
     pub servers: Vec<ServerReport>,
+    /// The world's typed observability bus: every counter and latency
+    /// histogram recorded across net / EVS / storage / engine, plus the
+    /// typed-event tallies. Deterministic for a fixed seed.
+    pub metrics: MetricsExport,
 }
 
 impl ClusterReport {
@@ -72,7 +76,14 @@ impl ClusterReport {
             at: cluster.now(),
             net,
             servers,
+            metrics: cluster.metrics_export(),
         }
+    }
+
+    /// The observability bus as deterministic, pretty-printed JSON —
+    /// two runs with the same seed produce byte-identical output.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json_pretty()
     }
 
     /// Total forced-write requests across the cluster.

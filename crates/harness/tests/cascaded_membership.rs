@@ -28,11 +28,10 @@ fn steer(
 /// Quiesces all clients and lets the cluster settle.
 fn quiesce(cluster: &mut Cluster) {
     for c in cluster.clients().to_vec() {
-        cluster
-            .world
-            .with_actor(c, |cl: &mut todr_harness::client::ClosedLoopClient| {
-                cl.stop()
-            });
+        cluster.world.with_actor(
+            c.actor_id(),
+            |cl: &mut todr_harness::client::ClosedLoopClient| cl.stop(),
+        );
     }
     cluster.run_for(SimDuration::from_secs(3));
 }

@@ -39,11 +39,10 @@ fn partition_merge_crash_cycle_over_lossy_network() {
     cluster.run_for(SimDuration::from_secs(4));
     // Quiesce, then require convergence despite the loss.
     for c in cluster.clients().to_vec() {
-        cluster
-            .world
-            .with_actor(c, |cl: &mut todr_harness::client::ClosedLoopClient| {
-                cl.stop()
-            });
+        cluster.world.with_actor(
+            c.actor_id(),
+            |cl: &mut todr_harness::client::ClosedLoopClient| cl.stop(),
+        );
     }
     cluster.run_for(SimDuration::from_secs(3));
     cluster.check_consistency();

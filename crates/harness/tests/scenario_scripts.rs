@@ -101,11 +101,10 @@ fn scripted_join_during_partition_via_non_primary() {
     // Quiesce and verify everyone (including the once-detached 3 and
     // the joiner) agrees.
     for c in cluster.clients().to_vec() {
-        cluster
-            .world
-            .with_actor(c, |cl: &mut todr_harness::client::ClosedLoopClient| {
-                cl.stop()
-            });
+        cluster.world.with_actor(
+            c.actor_id(),
+            |cl: &mut todr_harness::client::ClosedLoopClient| cl.stop(),
+        );
     }
     cluster.run_for(SimDuration::from_secs(2));
     let g0 = cluster.green_count(0);

@@ -100,11 +100,10 @@ fn recovery_from_compacted_log() {
     // Quiesce before comparing.
     let clients = cluster.clients().to_vec();
     for c in clients {
-        cluster
-            .world
-            .with_actor(c, |cl: &mut todr_harness::client::ClosedLoopClient| {
-                cl.stop()
-            });
+        cluster.world.with_actor(
+            c.actor_id(),
+            |cl: &mut todr_harness::client::ClosedLoopClient| cl.stop(),
+        );
     }
     cluster.run_for(SimDuration::from_secs(2));
     let g0 = cluster.green_count(0);

@@ -252,12 +252,15 @@ impl NetFabric {
 
     fn transmit(&mut self, ctx: &mut Ctx<'_>, src: NodeId, dst: NodeId, dgram: Datagram) {
         self.stats.sent += 1;
+        ctx.metrics().incr("net.sent", 1);
         if self.crashed.contains(&src) || self.crashed.contains(&dst) {
             self.stats.dropped_crashed += 1;
+            ctx.metrics().incr("net.dropped_crashed", 1);
             return;
         }
         if !self.partitions.connected(src, dst) {
             self.stats.dropped_partition += 1;
+            ctx.metrics().incr("net.dropped_partition", 1);
             return;
         }
         // Loopback is in-process: it cannot be lost.
@@ -266,6 +269,7 @@ impl NetFabric {
             && ctx.rng().gen_bool(self.config.loss_probability)
         {
             self.stats.dropped_loss += 1;
+            ctx.metrics().incr("net.dropped_loss", 1);
             return;
         }
         let model = if src == dst {
@@ -293,18 +297,26 @@ impl NetFabric {
         // happened while the message was in flight drops it.
         if self.crashed.contains(&dgram.src) || self.crashed.contains(&dgram.dst) {
             self.stats.dropped_crashed += 1;
+            ctx.metrics().incr("net.dropped_crashed", 1);
             return;
         }
         if !self.partitions.connected(dgram.src, dgram.dst) {
             self.stats.dropped_partition += 1;
+            ctx.metrics().incr("net.dropped_partition", 1);
             return;
         }
         let Some(&endpoint) = self.endpoints.get(&dgram.dst) else {
             self.stats.dropped_crashed += 1;
+            ctx.metrics().incr("net.dropped_crashed", 1);
             return;
         };
         self.stats.delivered += 1;
         self.stats.bytes_delivered += dgram.size_bytes as u64;
+        let transit = ctx.now().saturating_since(dgram.sent_at);
+        ctx.metrics().incr("net.delivered", 1);
+        ctx.metrics()
+            .incr("net.bytes_delivered", dgram.size_bytes as u64);
+        ctx.metrics().observe("net.transit_latency", transit);
         ctx.send_now(endpoint, dgram);
     }
 }
@@ -338,10 +350,12 @@ impl Actor for NetFabric {
             }
             Some(NetOp::SetPartition(groups)) => {
                 ctx.trace("net", format!("partition -> {groups:?}"));
+                ctx.metrics().incr("net.partition_transitions", 1);
                 self.set_partition(&groups);
             }
             Some(NetOp::MergeAll) => {
                 ctx.trace("net", "merge all components");
+                ctx.metrics().incr("net.partition_transitions", 1);
                 self.merge_all();
             }
             Some(NetOp::Crash(n)) => {

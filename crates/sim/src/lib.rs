@@ -16,7 +16,11 @@
 //!   is an [`Actor`] that receives typed payloads through [`Ctx`];
 //! * a **seeded RNG** ([`SimRng`]) so that stochastic workloads and network
 //!   jitter are reproducible from a single `u64` seed;
-//! * a lightweight **trace** facility for debugging protocol runs.
+//! * a lightweight **trace** facility for debugging protocol runs;
+//! * a typed **observability bus** ([`MetricsHub`]): named counters,
+//!   fixed-bucket latency histograms and structured [`ProtocolEvent`]s
+//!   that every protocol layer reports into, exportable as
+//!   deterministic JSON ([`MetricsExport`]).
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@
 
 mod actor;
 mod event;
+pub mod metrics;
 mod resource;
 mod rng;
 mod time;
@@ -60,6 +65,10 @@ mod world;
 
 pub use actor::{Actor, ActorId};
 pub use event::{IntoPayload, Payload};
+pub use metrics::{
+    EventColor, Histogram, HistogramSummary, MetricsExport, MetricsHub, ProtocolEvent,
+    RecordedEvent,
+};
 pub use resource::CpuMeter;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

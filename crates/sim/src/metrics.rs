@@ -1,0 +1,549 @@
+//! Typed observability: protocol events, named counters and fixed-bucket
+//! latency histograms.
+//!
+//! Every [`World`](crate::World) owns a [`MetricsHub`]. Actors reach it
+//! through [`Ctx::metrics`](crate::Ctx::metrics) and
+//! [`Ctx::emit`](crate::Ctx::emit); harness code reads it back through
+//! [`World::metrics`](crate::World::metrics). Three kinds of data live
+//! here:
+//!
+//! * **[`ProtocolEvent`]s** — a typed, timestamped log of the protocol
+//!   transitions that matter to the paper (view installations, action
+//!   coloring, green/red line movement, synchronization, client
+//!   commits). Checkers assert on these instead of grepping the
+//!   free-text trace.
+//! * **Counters** — named monotone `u64`s (`"net.sent"`,
+//!   `"evs.retransmitted"`, ...), keyed by a dotted
+//!   `subsystem.metric` convention.
+//! * **Histograms** — fixed log₂-bucket latency distributions with O(1)
+//!   insert and O(#buckets) percentile queries; no per-sample storage
+//!   and no sort-on-query.
+//!
+//! Everything in the hub is a pure function of the simulation's event
+//! sequence, so for a fixed seed the [`MetricsExport`] (and its JSON
+//! rendering) is byte-identical across runs.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::actor::ActorId;
+use crate::time::{SimDuration, SimTime};
+
+/// Knowledge level of an action as it moves through the engine; mirrors
+/// `todr_core::Color` with primitive spelling so the kernel does not
+/// depend on upper layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventColor {
+    /// Ordered within the local component only.
+    Red,
+    /// Globally ordered, next-primary knowledge uncertain.
+    Yellow,
+    /// Global order known; applied to the database.
+    Green,
+    /// Known green everywhere; discardable.
+    White,
+}
+
+/// A typed protocol transition, emitted by the instrumented subsystems
+/// alongside (not instead of) the free-text trace.
+///
+/// Fields are primitives (`u32` node ids, `u64` sequence numbers) so the
+/// kernel stays dependency-free; the emitting layer converts its own
+/// ids. `node` is always the *reporting* replica.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolEvent {
+    /// A group-communication daemon installed a regular configuration.
+    ViewInstalled {
+        /// Reporting replica.
+        node: u32,
+        /// Configuration sequence number.
+        conf_seq: u64,
+        /// Coordinator that installed the configuration.
+        coordinator: u32,
+        /// Number of members in the new configuration.
+        members: u32,
+    },
+    /// A daemon delivered a transitional configuration (the EVS signal
+    /// that membership is about to change).
+    TransitionalConfig {
+        /// Reporting replica.
+        node: u32,
+        /// Configuration sequence number being left.
+        conf_seq: u64,
+    },
+    /// The engine created a new action from a client request.
+    ActionCreated {
+        /// Creating replica.
+        node: u32,
+        /// Action sequence local to the creator (red counter).
+        action_seq: u64,
+    },
+    /// An action reached a (new) color at this replica.
+    ActionOrdered {
+        /// Reporting replica.
+        node: u32,
+        /// Creator of the action.
+        creator: u32,
+        /// Creator-local action sequence.
+        action_seq: u64,
+        /// The color the action reached.
+        color: EventColor,
+    },
+    /// The green line (global persistent order prefix) advanced.
+    GreenLineAdvance {
+        /// Reporting replica.
+        node: u32,
+        /// New green line position (actions applied).
+        green: u64,
+    },
+    /// The red line (locally ordered prefix) advanced.
+    RedLineAdvance {
+        /// Reporting replica.
+        node: u32,
+        /// New red line position.
+        red: u64,
+    },
+    /// A state-transfer / exchange round completed at this replica.
+    SyncCompleted {
+        /// Reporting replica.
+        node: u32,
+        /// Actions obtained during the exchange.
+        actions_recovered: u64,
+    },
+    /// A message was retransmitted (EVS reliable-link or engine-level).
+    Retransmit {
+        /// Reporting replica.
+        node: u32,
+        /// Messages retransmitted in this burst.
+        count: u64,
+    },
+    /// A client observed a committed update.
+    ClientCommit {
+        /// Client identifier.
+        client: u64,
+        /// Commit latency in virtual nanoseconds.
+        latency_nanos: u64,
+    },
+}
+
+impl ProtocolEvent {
+    /// Stable kebab-case name of the event kind (used as a grouping key
+    /// in exports and assertions).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolEvent::ViewInstalled { .. } => "view-installed",
+            ProtocolEvent::TransitionalConfig { .. } => "transitional-config",
+            ProtocolEvent::ActionCreated { .. } => "action-created",
+            ProtocolEvent::ActionOrdered { .. } => "action-ordered",
+            ProtocolEvent::GreenLineAdvance { .. } => "green-line-advance",
+            ProtocolEvent::RedLineAdvance { .. } => "red-line-advance",
+            ProtocolEvent::SyncCompleted { .. } => "sync-completed",
+            ProtocolEvent::Retransmit { .. } => "retransmit",
+            ProtocolEvent::ClientCommit { .. } => "client-commit",
+        }
+    }
+}
+
+/// A [`ProtocolEvent`] plus its emission context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordedEvent {
+    /// Virtual time of emission, in nanoseconds.
+    pub at_nanos: u64,
+    /// Raw id of the emitting actor.
+    pub actor: u32,
+    /// The event itself.
+    pub event: ProtocolEvent,
+}
+
+/// A fixed-bucket latency histogram over `u64` nanosecond samples.
+///
+/// Bucket `i` holds samples whose value has its highest set bit at
+/// position `i` (i.e. log₂-spaced buckets), so insert is O(1) and a
+/// percentile query walks at most 64 counters. The reported percentile
+/// value is the *upper bound* of the bucket the rank falls in — a ≤2×
+/// overestimate, which is the right bias for latency budgets. The exact
+/// maximum is tracked separately.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    const BUCKETS: usize = 64;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        (63 - value.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one sample (nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; Self::BUCKETS];
+        }
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`SimDuration`] sample.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples in nanoseconds (0 if empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Exact maximum recorded sample in nanoseconds.
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in [0, 1], as the upper bound of the
+    /// bucket containing that rank (clamped to the exact max).
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) - 1.
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; Self::BUCKETS];
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The summary quadruple used in exports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean_nanos: self.mean_nanos(),
+            p50_nanos: self.quantile_nanos(0.50),
+            p95_nanos: self.quantile_nanos(0.95),
+            p99_nanos: self.quantile_nanos(0.99),
+            max_nanos: self.max,
+        }
+    }
+}
+
+/// Percentile summary of one histogram, in nanoseconds of virtual time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample.
+    pub mean_nanos: u64,
+    /// Median (bucket upper bound).
+    pub p50_nanos: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95_nanos: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_nanos: u64,
+    /// Exact maximum.
+    pub max_nanos: u64,
+}
+
+/// The hub collecting counters, histograms and typed events for one
+/// [`World`](crate::World).
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    events: Vec<RecordedEvent>,
+    record_events: bool,
+}
+
+impl MetricsHub {
+    /// Creates an empty hub with event recording enabled.
+    pub fn new() -> Self {
+        MetricsHub {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            events: Vec::new(),
+            record_events: true,
+        }
+    }
+
+    /// Disables (or re-enables) storage of [`ProtocolEvent`]s; counters
+    /// and histograms are unaffected. Long soak runs can turn the log
+    /// off to bound memory.
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Adds `n` to the named counter, creating it at zero.
+    ///
+    /// Names follow a dotted `subsystem.metric` convention
+    /// (`"net.sent"`, `"storage.forced_writes"`); keeping them
+    /// `&'static str` makes call sites cheap and typo-diffable.
+    pub fn incr(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Records a nanosecond sample into the named histogram.
+    pub fn observe_nanos(&mut self, name: &'static str, nanos: u64) {
+        self.histograms.entry(name).or_default().record(nanos);
+    }
+
+    /// Records a [`SimDuration`] sample into the named histogram.
+    pub fn observe(&mut self, name: &'static str, d: SimDuration) {
+        self.observe_nanos(name, d.as_nanos());
+    }
+
+    /// Records a unit-free sample (a batch size, a queue depth) into the
+    /// named histogram. Identical mechanics to [`Self::observe_nanos`];
+    /// the separate name keeps call sites honest about units.
+    pub fn record_value(&mut self, name: &'static str, value: u64) {
+        self.observe_nanos(name, value);
+    }
+
+    /// The named histogram, if any sample was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Appends a typed event (no-op when recording is off).
+    pub fn emit(&mut self, at: SimTime, actor: ActorId, event: ProtocolEvent) {
+        if self.record_events {
+            self.events.push(RecordedEvent {
+                at_nanos: at.as_nanos(),
+                actor: actor.as_raw(),
+                event,
+            });
+        }
+    }
+
+    /// The full recorded event log, in emission order.
+    pub fn events(&self) -> &[RecordedEvent] {
+        &self.events
+    }
+
+    /// Iterates the events matching a predicate.
+    pub fn events_where<'a, F>(&'a self, mut pred: F) -> impl Iterator<Item = &'a RecordedEvent>
+    where
+        F: FnMut(&ProtocolEvent) -> bool + 'a,
+    {
+        self.events.iter().filter(move |r| pred(&r.event))
+    }
+
+    /// Number of recorded events of the given [`ProtocolEvent::kind`].
+    pub fn count_events(&self, kind: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|r| r.event.kind() == kind)
+            .count() as u64
+    }
+
+    /// Snapshots the hub into the serializable export form.
+    pub fn export(&self) -> MetricsExport {
+        MetricsExport {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.summary()))
+                .collect(),
+            event_counts: {
+                let mut m: BTreeMap<String, u64> = BTreeMap::new();
+                for r in &self.events {
+                    *m.entry(r.event.kind().to_string()).or_insert(0) += 1;
+                }
+                m
+            },
+            events_recorded: self.events.len() as u64,
+        }
+    }
+}
+
+/// Serializable snapshot of a [`MetricsHub`]; deterministic for a fixed
+/// seed (sorted keys, virtual-time samples only).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsExport {
+    /// All counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Percentile summaries of all histograms by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Number of recorded events per [`ProtocolEvent::kind`].
+    pub event_counts: BTreeMap<String, u64>,
+    /// Total events in the log.
+    pub events_recorded: u64,
+}
+
+impl MetricsExport {
+    /// Compact deterministic JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self).expect("metrics export is always serializable")
+    }
+
+    /// Pretty-printed deterministic JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde::json::to_string_pretty(self).expect("metrics export is always serializable")
+    }
+
+    /// Parses an export back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut hub = MetricsHub::new();
+        assert_eq!(hub.counter("net.sent"), 0);
+        hub.incr("net.sent", 2);
+        hub.incr("net.sent", 3);
+        assert_eq!(hub.counter("net.sent"), 5);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max_nanos(), 1_000_000);
+        let p50 = h.quantile_nanos(0.50);
+        let p99 = h.quantile_nanos(0.99);
+        // Bucket upper bounds: within 2x above the true percentile,
+        // never below it.
+        assert!((500_000..=1_048_575).contains(&p50), "p50={p50}");
+        assert!((990_000..=1_048_575).contains(&p99), "p99={p99}");
+        assert!(h.quantile_nanos(1.0) <= h.max_nanos());
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in [5u64, 100, 9_000, 77] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [1u64, 1_000_000] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn events_are_recorded_and_countable() {
+        let mut hub = MetricsHub::new();
+        hub.emit(
+            SimTime::from_millis(1),
+            ActorId::from_raw(3),
+            ProtocolEvent::GreenLineAdvance { node: 0, green: 7 },
+        );
+        hub.emit(
+            SimTime::from_millis(2),
+            ActorId::from_raw(3),
+            ProtocolEvent::Retransmit { node: 0, count: 2 },
+        );
+        assert_eq!(hub.events().len(), 2);
+        assert_eq!(hub.count_events("retransmit"), 1);
+        assert_eq!(
+            hub.events_where(
+                |e| matches!(e, ProtocolEvent::GreenLineAdvance { green, .. } if *green == 7)
+            )
+            .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn export_round_trips_through_json() {
+        let mut hub = MetricsHub::new();
+        hub.incr("net.sent", 42);
+        hub.observe_nanos("engine.ordering_latency", 12_345);
+        hub.emit(
+            SimTime::ZERO,
+            ActorId::from_raw(0),
+            ProtocolEvent::ClientCommit {
+                client: 9,
+                latency_nanos: 1234,
+            },
+        );
+        let export = hub.export();
+        let text = export.to_json_pretty();
+        let back = MetricsExport::from_json(&text).unwrap();
+        assert_eq!(back, export);
+    }
+
+    #[test]
+    fn disabled_event_log_still_counts_metrics() {
+        let mut hub = MetricsHub::new();
+        hub.set_record_events(false);
+        hub.emit(
+            SimTime::ZERO,
+            ActorId::from_raw(0),
+            ProtocolEvent::RedLineAdvance { node: 1, red: 3 },
+        );
+        hub.incr("x", 1);
+        assert!(hub.events().is_empty());
+        assert_eq!(hub.counter("x"), 1);
+    }
+}

@@ -1,12 +1,9 @@
 //! Deterministic random number generation.
 //!
 //! The kernel ships its own small generator (xoshiro256** seeded through
-//! SplitMix64) rather than relying on `rand`'s default generators, so that
-//! simulation results are bit-for-bit stable regardless of `rand` version
-//! bumps. [`SimRng`] also implements [`rand::RngCore`], so `rand`
-//! distributions can be layered on top when convenient.
-
-use rand::RngCore;
+//! SplitMix64) rather than relying on external generator crates, so that
+//! simulation results are bit-for-bit stable regardless of dependency
+//! version bumps.
 
 /// A deterministic, seedable pseudo-random number generator
 /// (xoshiro256**).
@@ -138,27 +135,13 @@ impl SimRng {
     pub fn fork(&mut self) -> SimRng {
         SimRng::new(self.next_u64())
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        SimRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills a byte slice with pseudo-random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 
 use crate::actor::{Actor, ActorId};
 use crate::event::{IntoPayload, Payload, QueuedEvent};
+use crate::metrics::{MetricsHub, ProtocolEvent};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceLevel};
@@ -21,6 +22,7 @@ pub struct Ctx<'a> {
     self_id: ActorId,
     rng: &'a mut SimRng,
     trace: &'a mut Trace,
+    metrics: &'a mut MetricsHub,
     pending: Vec<(SimTime, ActorId, Payload)>,
 }
 
@@ -91,6 +93,17 @@ impl<'a> Ctx<'a> {
         self.trace
             .record(self.now, self.self_id, level, category, message.into());
     }
+
+    /// The world's metrics hub (counters and histograms).
+    pub fn metrics(&mut self) -> &mut MetricsHub {
+        self.metrics
+    }
+
+    /// Emits a typed [`ProtocolEvent`], stamped with the current virtual
+    /// time and the executing actor.
+    pub fn emit(&mut self, event: ProtocolEvent) {
+        self.metrics.emit(self.now, self.self_id, event);
+    }
 }
 
 struct Slot {
@@ -110,6 +123,7 @@ pub struct World {
     actors: Vec<Slot>,
     rng: SimRng,
     trace: Trace,
+    metrics: MetricsHub,
     next_seq: u64,
     events_processed: u64,
     event_limit: u64,
@@ -124,6 +138,7 @@ impl World {
             actors: Vec::new(),
             rng: SimRng::new(seed),
             trace: Trace::default(),
+            metrics: MetricsHub::new(),
             next_seq: 0,
             events_processed: 0,
             event_limit: u64::MAX,
@@ -272,6 +287,7 @@ impl World {
             self_id: event.target,
             rng: &mut self.rng,
             trace: &mut self.trace,
+            metrics: &mut self.metrics,
             pending: Vec::new(),
         };
         actor.handle(&mut ctx, event.payload);
@@ -329,6 +345,17 @@ impl World {
     /// The world's RNG (e.g. for workload generation outside actors).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// The world's metrics hub: typed events, counters and histograms.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics hub (e.g. to disable event
+    /// recording, or for harness code to record its own samples).
+    pub fn metrics_mut(&mut self) -> &mut MetricsHub {
+        &mut self.metrics
     }
 
     /// Whether any events remain queued.

@@ -135,6 +135,9 @@ impl DiskActor {
         self.busy = true;
         self.in_flight = self.queued.drain(..).collect();
         self.stats.syncs_performed += 1;
+        ctx.metrics().incr("storage.forced_writes", 1);
+        ctx.metrics()
+            .record_value("storage.group_commit_batch", self.in_flight.len() as u64);
         ctx.send_self_after(sync_latency, PlatterDone { epoch: self.epoch });
     }
 }
@@ -160,6 +163,7 @@ impl Actor for DiskActor {
         match payload.downcast::<DiskOp>() {
             Some(DiskOp::Sync { token, reply_to }) => {
                 self.stats.sync_requests += 1;
+                ctx.metrics().incr("storage.sync_requests", 1);
                 match self.mode {
                     DiskMode::Delayed => {
                         ctx.send_now(reply_to, DiskDone { token });

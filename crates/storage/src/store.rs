@@ -208,1122 +208,24 @@ impl StableStore {
     }
 }
 
-/// A minimal self-describing binary codec over serde.
+/// A minimal self-describing codec over the vendored serde facade.
 ///
-/// We deliberately avoid pulling in a full serialization crate: records
-/// are small control structures, and keeping the codec local makes the
-/// workspace dependency-light. The format is a compact tagged encoding
-/// sufficient for the types the engine persists.
+/// Records are small control structures, so readability and determinism
+/// beat compactness: values are rendered as deterministic JSON text
+/// (struct fields in declaration order, maps in iteration order).
 mod codec {
     use serde::de::DeserializeOwned;
     use serde::Serialize;
 
-    /// Serializes using the JSON-like text representation produced by
-    /// `serde`'s derived impls via our tiny writer.
+    /// Serializes a value to deterministic JSON bytes via the vendored
+    /// `serde` value tree.
     pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, String> {
-        let mut out = Vec::new();
-        let mut ser = json::Serializer { out: &mut out };
-        value.serialize(&mut ser).map_err(|e| e.0)?;
-        Ok(out)
+        serde::json::to_vec(value).map_err(|e| e.0)
     }
 
     /// Deserializes bytes produced by [`to_bytes`].
     pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, String> {
-        let mut de = json::Deserializer::new(bytes)?;
-        let value = T::deserialize(&mut de).map_err(|e| e.0)?;
-        de.end()?;
-        Ok(value)
-    }
-
-    /// An intentionally small JSON implementation (serializer +
-    /// deserializer) covering the subset of the serde data model used by
-    /// this workspace: primitives, strings, byte arrays (as arrays),
-    /// options, units, sequences, maps, structs and enums.
-    mod json {
-        use std::fmt::Write as _;
-
-        use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
-        use serde::ser::{self, Serialize};
-
-        #[derive(Debug)]
-        pub struct Error(pub String);
-
-        impl std::fmt::Display for Error {
-            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-                f.write_str(&self.0)
-            }
-        }
-
-        impl std::error::Error for Error {}
-
-        impl ser::Error for Error {
-            fn custom<T: std::fmt::Display>(msg: T) -> Self {
-                Error(msg.to_string())
-            }
-        }
-
-        impl de::Error for Error {
-            fn custom<T: std::fmt::Display>(msg: T) -> Self {
-                Error(msg.to_string())
-            }
-        }
-
-        pub struct Serializer<'a> {
-            pub out: &'a mut Vec<u8>,
-        }
-
-        impl<'a> Serializer<'a> {
-            fn push_str(&mut self, s: &str) {
-                self.out.extend_from_slice(s.as_bytes());
-            }
-
-            fn push_json_string(&mut self, s: &str) {
-                self.out.push(b'"');
-                for c in s.chars() {
-                    match c {
-                        '"' => self.push_str("\\\""),
-                        '\\' => self.push_str("\\\\"),
-                        '\n' => self.push_str("\\n"),
-                        '\r' => self.push_str("\\r"),
-                        '\t' => self.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let mut buf = String::new();
-                            write!(buf, "\\u{:04x}", c as u32).unwrap();
-                            self.push_str(&buf);
-                        }
-                        c => {
-                            let mut buf = [0u8; 4];
-                            self.push_str(c.encode_utf8(&mut buf));
-                        }
-                    }
-                }
-                self.out.push(b'"');
-            }
-        }
-
-        pub struct Compound<'a, 'b> {
-            ser: &'b mut Serializer<'a>,
-            first: bool,
-            end: &'static str,
-        }
-
-        impl<'a, 'b> Compound<'a, 'b> {
-            fn sep(&mut self) {
-                if self.first {
-                    self.first = false;
-                } else {
-                    self.ser.out.push(b',');
-                }
-            }
-        }
-
-        macro_rules! ser_int {
-            ($($m:ident: $t:ty),*) => {$(
-                fn $m(self, v: $t) -> Result<(), Error> {
-                    let mut s = String::new();
-                    write!(s, "{v}").unwrap();
-                    self.push_str(&s);
-                    Ok(())
-                }
-            )*}
-        }
-
-        impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
-            type Ok = ();
-            type Error = Error;
-            type SerializeSeq = Compound<'a, 'b>;
-            type SerializeTuple = Compound<'a, 'b>;
-            type SerializeTupleStruct = Compound<'a, 'b>;
-            type SerializeTupleVariant = Compound<'a, 'b>;
-            type SerializeMap = Compound<'a, 'b>;
-            type SerializeStruct = Compound<'a, 'b>;
-            type SerializeStructVariant = Compound<'a, 'b>;
-
-            ser_int!(
-                serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
-                serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64
-            );
-
-            fn serialize_bool(self, v: bool) -> Result<(), Error> {
-                self.push_str(if v { "true" } else { "false" });
-                Ok(())
-            }
-
-            fn serialize_f32(self, v: f32) -> Result<(), Error> {
-                self.serialize_f64(v as f64)
-            }
-
-            fn serialize_f64(self, v: f64) -> Result<(), Error> {
-                if !v.is_finite() {
-                    return Err(ser::Error::custom("non-finite float"));
-                }
-                let mut s = String::new();
-                // Keep enough precision to round-trip f64 exactly.
-                write!(s, "{v:?}").unwrap();
-                self.push_str(&s);
-                Ok(())
-            }
-
-            fn serialize_char(self, v: char) -> Result<(), Error> {
-                let mut buf = [0u8; 4];
-                self.push_json_string(v.encode_utf8(&mut buf));
-                Ok(())
-            }
-
-            fn serialize_str(self, v: &str) -> Result<(), Error> {
-                self.push_json_string(v);
-                Ok(())
-            }
-
-            fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
-                use serde::ser::SerializeSeq as _;
-                let mut seq = self.serialize_seq(Some(v.len()))?;
-                for b in v {
-                    seq.serialize_element(b)?;
-                }
-                seq.end()
-            }
-
-            fn serialize_none(self) -> Result<(), Error> {
-                self.push_str("null");
-                Ok(())
-            }
-
-            fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
-                // Wrap in a 1-element array so Some(None) != None.
-                self.out.push(b'[');
-                value.serialize(&mut *self)?;
-                self.out.push(b']');
-                Ok(())
-            }
-
-            fn serialize_unit(self) -> Result<(), Error> {
-                self.push_str("null");
-                Ok(())
-            }
-
-            fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
-                self.serialize_unit()
-            }
-
-            fn serialize_unit_variant(
-                self,
-                _name: &'static str,
-                _index: u32,
-                variant: &'static str,
-            ) -> Result<(), Error> {
-                self.push_json_string(variant);
-                Ok(())
-            }
-
-            fn serialize_newtype_struct<T: Serialize + ?Sized>(
-                self,
-                _name: &'static str,
-                value: &T,
-            ) -> Result<(), Error> {
-                value.serialize(self)
-            }
-
-            fn serialize_newtype_variant<T: Serialize + ?Sized>(
-                self,
-                _name: &'static str,
-                _index: u32,
-                variant: &'static str,
-                value: &T,
-            ) -> Result<(), Error> {
-                self.out.push(b'{');
-                self.push_json_string(variant);
-                self.out.push(b':');
-                value.serialize(&mut *self)?;
-                self.out.push(b'}');
-                Ok(())
-            }
-
-            fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Error> {
-                self.out.push(b'[');
-                Ok(Compound {
-                    ser: self,
-                    first: true,
-                    end: "]",
-                })
-            }
-
-            fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Error> {
-                self.serialize_seq(Some(len))
-            }
-
-            fn serialize_tuple_struct(
-                self,
-                _name: &'static str,
-                len: usize,
-            ) -> Result<Self::SerializeTupleStruct, Error> {
-                self.serialize_seq(Some(len))
-            }
-
-            fn serialize_tuple_variant(
-                self,
-                _name: &'static str,
-                _index: u32,
-                variant: &'static str,
-                _len: usize,
-            ) -> Result<Self::SerializeTupleVariant, Error> {
-                self.out.push(b'{');
-                self.push_json_string(variant);
-                self.out.push(b':');
-                self.out.push(b'[');
-                Ok(Compound {
-                    ser: self,
-                    first: true,
-                    end: "]}",
-                })
-            }
-
-            fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Error> {
-                self.out.push(b'{');
-                Ok(Compound {
-                    ser: self,
-                    first: true,
-                    end: "}",
-                })
-            }
-
-            fn serialize_struct(
-                self,
-                _name: &'static str,
-                _len: usize,
-            ) -> Result<Self::SerializeStruct, Error> {
-                self.serialize_map(None)
-            }
-
-            fn serialize_struct_variant(
-                self,
-                _name: &'static str,
-                _index: u32,
-                variant: &'static str,
-                _len: usize,
-            ) -> Result<Self::SerializeStructVariant, Error> {
-                self.out.push(b'{');
-                self.push_json_string(variant);
-                self.out.push(b':');
-                self.out.push(b'{');
-                Ok(Compound {
-                    ser: self,
-                    first: true,
-                    end: "}}",
-                })
-            }
-        }
-
-        impl<'a, 'b> ser::SerializeSeq for Compound<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
-                self.sep();
-                value.serialize(&mut *self.ser)
-            }
-            fn end(self) -> Result<(), Error> {
-                self.ser.push_str(self.end);
-                Ok(())
-            }
-        }
-
-        impl<'a, 'b> ser::SerializeTuple for Compound<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
-                ser::SerializeSeq::serialize_element(self, value)
-            }
-            fn end(self) -> Result<(), Error> {
-                ser::SerializeSeq::end(self)
-            }
-        }
-
-        impl<'a, 'b> ser::SerializeTupleStruct for Compound<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
-                ser::SerializeSeq::serialize_element(self, value)
-            }
-            fn end(self) -> Result<(), Error> {
-                ser::SerializeSeq::end(self)
-            }
-        }
-
-        impl<'a, 'b> ser::SerializeTupleVariant for Compound<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
-                ser::SerializeSeq::serialize_element(self, value)
-            }
-            fn end(self) -> Result<(), Error> {
-                ser::SerializeSeq::end(self)
-            }
-        }
-
-        impl<'a, 'b> ser::SerializeMap for Compound<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
-                self.sep();
-                // JSON keys must be strings; serialize non-strings through
-                // a key adapter that stringifies primitives.
-                key.serialize(MapKeySerializer {
-                    ser: &mut *self.ser,
-                })
-            }
-            fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
-                self.ser.out.push(b':');
-                value.serialize(&mut *self.ser)
-            }
-            fn end(self) -> Result<(), Error> {
-                self.ser.push_str(self.end);
-                Ok(())
-            }
-        }
-
-        impl<'a, 'b> ser::SerializeStruct for Compound<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            fn serialize_field<T: Serialize + ?Sized>(
-                &mut self,
-                key: &'static str,
-                value: &T,
-            ) -> Result<(), Error> {
-                self.sep();
-                self.ser.push_json_string(key);
-                self.ser.out.push(b':');
-                value.serialize(&mut *self.ser)
-            }
-            fn end(self) -> Result<(), Error> {
-                self.ser.push_str(self.end);
-                Ok(())
-            }
-        }
-
-        impl<'a, 'b> ser::SerializeStructVariant for Compound<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            fn serialize_field<T: Serialize + ?Sized>(
-                &mut self,
-                key: &'static str,
-                value: &T,
-            ) -> Result<(), Error> {
-                ser::SerializeStruct::serialize_field(self, key, value)
-            }
-            fn end(self) -> Result<(), Error> {
-                ser::SerializeStruct::end(self)
-            }
-        }
-
-        /// Serializes map keys: strings pass through, integers/chars are
-        /// stringified, everything else is rejected.
-        struct MapKeySerializer<'a, 'b> {
-            ser: &'b mut Serializer<'a>,
-        }
-
-        macro_rules! key_int {
-            ($($m:ident: $t:ty),*) => {$(
-                fn $m(self, v: $t) -> Result<(), Error> {
-                    self.ser.push_json_string(&v.to_string());
-                    Ok(())
-                }
-            )*}
-        }
-
-        impl<'a, 'b> ser::Serializer for MapKeySerializer<'a, 'b> {
-            type Ok = ();
-            type Error = Error;
-            type SerializeSeq = ser::Impossible<(), Error>;
-            type SerializeTuple = ser::Impossible<(), Error>;
-            type SerializeTupleStruct = ser::Impossible<(), Error>;
-            type SerializeTupleVariant = ser::Impossible<(), Error>;
-            type SerializeMap = ser::Impossible<(), Error>;
-            type SerializeStruct = ser::Impossible<(), Error>;
-            type SerializeStructVariant = ser::Impossible<(), Error>;
-
-            key_int!(
-                serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
-                serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64
-            );
-
-            fn serialize_str(self, v: &str) -> Result<(), Error> {
-                self.ser.push_json_string(v);
-                Ok(())
-            }
-
-            fn serialize_char(self, v: char) -> Result<(), Error> {
-                self.ser.push_json_string(&v.to_string());
-                Ok(())
-            }
-
-            fn serialize_bool(self, _: bool) -> Result<(), Error> {
-                Err(ser::Error::custom("bool map keys unsupported"))
-            }
-            fn serialize_f32(self, _: f32) -> Result<(), Error> {
-                Err(ser::Error::custom("float map keys unsupported"))
-            }
-            fn serialize_f64(self, _: f64) -> Result<(), Error> {
-                Err(ser::Error::custom("float map keys unsupported"))
-            }
-            fn serialize_bytes(self, _: &[u8]) -> Result<(), Error> {
-                Err(ser::Error::custom("bytes map keys unsupported"))
-            }
-            fn serialize_none(self) -> Result<(), Error> {
-                Err(ser::Error::custom("option map keys unsupported"))
-            }
-            fn serialize_some<T: Serialize + ?Sized>(self, _: &T) -> Result<(), Error> {
-                Err(ser::Error::custom("option map keys unsupported"))
-            }
-            fn serialize_unit(self) -> Result<(), Error> {
-                Err(ser::Error::custom("unit map keys unsupported"))
-            }
-            fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
-                Err(ser::Error::custom("unit map keys unsupported"))
-            }
-            fn serialize_unit_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                variant: &'static str,
-            ) -> Result<(), Error> {
-                self.ser.push_json_string(variant);
-                Ok(())
-            }
-            fn serialize_newtype_struct<T: Serialize + ?Sized>(
-                self,
-                _: &'static str,
-                value: &T,
-            ) -> Result<(), Error> {
-                value.serialize(self)
-            }
-            fn serialize_newtype_variant<T: Serialize + ?Sized>(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: &T,
-            ) -> Result<(), Error> {
-                Err(ser::Error::custom("variant map keys unsupported"))
-            }
-            fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Error> {
-                Err(ser::Error::custom("seq map keys unsupported"))
-            }
-            fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Error> {
-                Err(ser::Error::custom("tuple map keys unsupported"))
-            }
-            fn serialize_tuple_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleStruct, Error> {
-                Err(ser::Error::custom("tuple map keys unsupported"))
-            }
-            fn serialize_tuple_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleVariant, Error> {
-                Err(ser::Error::custom("tuple map keys unsupported"))
-            }
-            fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Error> {
-                Err(ser::Error::custom("map map keys unsupported"))
-            }
-            fn serialize_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStruct, Error> {
-                Err(ser::Error::custom("struct map keys unsupported"))
-            }
-            fn serialize_struct_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStructVariant, Error> {
-                Err(ser::Error::custom("struct map keys unsupported"))
-            }
-        }
-
-        // ------------------------------------------------------------
-        // Deserializer
-        // ------------------------------------------------------------
-
-        pub struct Deserializer<'de> {
-            input: &'de [u8],
-            pos: usize,
-        }
-
-        impl<'de> Deserializer<'de> {
-            pub fn new(input: &'de [u8]) -> Result<Self, String> {
-                Ok(Deserializer { input, pos: 0 })
-            }
-
-            pub fn end(&mut self) -> Result<(), String> {
-                self.skip_ws();
-                if self.pos != self.input.len() {
-                    return Err(format!("trailing bytes at {}", self.pos));
-                }
-                Ok(())
-            }
-
-            fn skip_ws(&mut self) {
-                while let Some(&b) = self.input.get(self.pos) {
-                    if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                        self.pos += 1;
-                    } else {
-                        break;
-                    }
-                }
-            }
-
-            fn peek(&mut self) -> Result<u8, Error> {
-                self.skip_ws();
-                self.input
-                    .get(self.pos)
-                    .copied()
-                    .ok_or_else(|| Error("unexpected end of input".into()))
-            }
-
-            fn next_byte(&mut self) -> Result<u8, Error> {
-                let b = self.peek()?;
-                self.pos += 1;
-                Ok(b)
-            }
-
-            fn expect(&mut self, b: u8) -> Result<(), Error> {
-                let got = self.next_byte()?;
-                if got != b {
-                    return Err(Error(format!(
-                        "expected '{}', got '{}' at {}",
-                        b as char, got as char, self.pos
-                    )));
-                }
-                Ok(())
-            }
-
-            fn parse_literal(&mut self, lit: &str) -> Result<(), Error> {
-                self.skip_ws();
-                if self.input[self.pos..].starts_with(lit.as_bytes()) {
-                    self.pos += lit.len();
-                    Ok(())
-                } else {
-                    Err(Error(format!("expected literal '{lit}' at {}", self.pos)))
-                }
-            }
-
-            fn parse_string(&mut self) -> Result<String, Error> {
-                self.expect(b'"')?;
-                let mut out = String::new();
-                loop {
-                    let b = self
-                        .input
-                        .get(self.pos)
-                        .copied()
-                        .ok_or_else(|| Error("unterminated string".into()))?;
-                    self.pos += 1;
-                    match b {
-                        b'"' => return Ok(out),
-                        b'\\' => {
-                            let esc = self
-                                .input
-                                .get(self.pos)
-                                .copied()
-                                .ok_or_else(|| Error("unterminated escape".into()))?;
-                            self.pos += 1;
-                            match esc {
-                                b'"' => out.push('"'),
-                                b'\\' => out.push('\\'),
-                                b'/' => out.push('/'),
-                                b'n' => out.push('\n'),
-                                b'r' => out.push('\r'),
-                                b't' => out.push('\t'),
-                                b'u' => {
-                                    let hex = self
-                                        .input
-                                        .get(self.pos..self.pos + 4)
-                                        .ok_or_else(|| Error("short \\u escape".into()))?;
-                                    self.pos += 4;
-                                    let code = u32::from_str_radix(
-                                        std::str::from_utf8(hex)
-                                            .map_err(|_| Error("bad \\u escape".into()))?,
-                                        16,
-                                    )
-                                    .map_err(|_| Error("bad \\u escape".into()))?;
-                                    out.push(
-                                        char::from_u32(code)
-                                            .ok_or_else(|| Error("bad codepoint".into()))?,
-                                    );
-                                }
-                                other => {
-                                    return Err(Error(format!(
-                                        "unknown escape '\\{}'",
-                                        other as char
-                                    )))
-                                }
-                            }
-                        }
-                        _ => {
-                            // Re-decode multi-byte UTF-8 sequences.
-                            let start = self.pos - 1;
-                            let len = utf8_len(b);
-                            let end = start + len;
-                            let slice = self
-                                .input
-                                .get(start..end)
-                                .ok_or_else(|| Error("truncated utf-8".into()))?;
-                            let s = std::str::from_utf8(slice)
-                                .map_err(|_| Error("invalid utf-8".into()))?;
-                            out.push_str(s);
-                            self.pos = end;
-                        }
-                    }
-                }
-            }
-
-            fn parse_number_slice(&mut self) -> Result<&'de str, Error> {
-                self.skip_ws();
-                let start = self.pos;
-                while let Some(&b) = self.input.get(self.pos) {
-                    if b.is_ascii_digit()
-                        || b == b'-'
-                        || b == b'+'
-                        || b == b'.'
-                        || b == b'e'
-                        || b == b'E'
-                    {
-                        self.pos += 1;
-                    } else {
-                        break;
-                    }
-                }
-                if start == self.pos {
-                    return Err(Error(format!("expected number at {start}")));
-                }
-                std::str::from_utf8(&self.input[start..self.pos])
-                    .map_err(|_| Error("invalid number bytes".into()))
-            }
-
-            fn parse_i64(&mut self) -> Result<i64, Error> {
-                self.parse_number_slice()?
-                    .parse()
-                    .map_err(|e| Error(format!("bad integer: {e}")))
-            }
-
-            fn parse_u64(&mut self) -> Result<u64, Error> {
-                self.parse_number_slice()?
-                    .parse()
-                    .map_err(|e| Error(format!("bad integer: {e}")))
-            }
-
-            fn parse_f64(&mut self) -> Result<f64, Error> {
-                self.parse_number_slice()?
-                    .parse()
-                    .map_err(|e| Error(format!("bad float: {e}")))
-            }
-        }
-
-        fn utf8_len(first: u8) -> usize {
-            match first {
-                0x00..=0x7F => 1,
-                0xC0..=0xDF => 2,
-                0xE0..=0xEF => 3,
-                _ => 4,
-            }
-        }
-
-        macro_rules! de_int {
-            ($($m:ident => $visit:ident, $t:ty, $parse:ident);*) => {$(
-                fn $m<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                    let n = self.$parse()?;
-                    visitor.$visit(n as $t)
-                }
-            )*}
-        }
-
-        impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
-            type Error = Error;
-
-            fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                match self.peek()? {
-                    b'n' => {
-                        self.parse_literal("null")?;
-                        visitor.visit_unit()
-                    }
-                    b't' => {
-                        self.parse_literal("true")?;
-                        visitor.visit_bool(true)
-                    }
-                    b'f' => {
-                        self.parse_literal("false")?;
-                        visitor.visit_bool(false)
-                    }
-                    b'"' => visitor.visit_string(self.parse_string()?),
-                    b'[' => self.deserialize_seq(visitor),
-                    b'{' => self.deserialize_map(visitor),
-                    b'-' => visitor.visit_i64(self.parse_i64()?),
-                    _ => {
-                        let s = self.parse_number_slice()?;
-                        if s.contains(['.', 'e', 'E']) {
-                            visitor.visit_f64(s.parse().map_err(|e| Error(format!("{e}")))?)
-                        } else {
-                            visitor.visit_u64(s.parse().map_err(|e| Error(format!("{e}")))?)
-                        }
-                    }
-                }
-            }
-
-            de_int!(
-                deserialize_i8 => visit_i8, i8, parse_i64;
-                deserialize_i16 => visit_i16, i16, parse_i64;
-                deserialize_i32 => visit_i32, i32, parse_i64;
-                deserialize_i64 => visit_i64, i64, parse_i64;
-                deserialize_u8 => visit_u8, u8, parse_u64;
-                deserialize_u16 => visit_u16, u16, parse_u64;
-                deserialize_u32 => visit_u32, u32, parse_u64;
-                deserialize_u64 => visit_u64, u64, parse_u64
-            );
-
-            fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                match self.peek()? {
-                    b't' => {
-                        self.parse_literal("true")?;
-                        visitor.visit_bool(true)
-                    }
-                    _ => {
-                        self.parse_literal("false")?;
-                        visitor.visit_bool(false)
-                    }
-                }
-            }
-
-            fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                visitor.visit_f32(self.parse_f64()? as f32)
-            }
-
-            fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                visitor.visit_f64(self.parse_f64()?)
-            }
-
-            fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                let s = self.parse_string()?;
-                let mut chars = s.chars();
-                let c = chars.next().ok_or_else(|| Error("empty char".into()))?;
-                if chars.next().is_some() {
-                    return Err(Error("char with more than one codepoint".into()));
-                }
-                visitor.visit_char(c)
-            }
-
-            fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                visitor.visit_string(self.parse_string()?)
-            }
-
-            fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                visitor.visit_string(self.parse_string()?)
-            }
-
-            fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                let mut bytes = Vec::new();
-                self.expect(b'[')?;
-                if self.peek()? == b']' {
-                    self.next_byte()?;
-                } else {
-                    loop {
-                        bytes.push(self.parse_u64()? as u8);
-                        match self.next_byte()? {
-                            b',' => continue,
-                            b']' => break,
-                            other => {
-                                return Err(Error(format!("bad byte seq char '{}'", other as char)))
-                            }
-                        }
-                    }
-                }
-                visitor.visit_byte_buf(bytes)
-            }
-
-            fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                self.deserialize_bytes(visitor)
-            }
-
-            fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                if self.peek()? == b'n' {
-                    self.parse_literal("null")?;
-                    visitor.visit_none()
-                } else {
-                    self.expect(b'[')?;
-                    let v = visitor.visit_some(&mut *self)?;
-                    self.expect(b']')?;
-                    Ok(v)
-                }
-            }
-
-            fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                self.parse_literal("null")?;
-                visitor.visit_unit()
-            }
-
-            fn deserialize_unit_struct<V: Visitor<'de>>(
-                self,
-                _name: &'static str,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                self.deserialize_unit(visitor)
-            }
-
-            fn deserialize_newtype_struct<V: Visitor<'de>>(
-                self,
-                _name: &'static str,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                visitor.visit_newtype_struct(self)
-            }
-
-            fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                self.expect(b'[')?;
-                let value = visitor.visit_seq(SeqAccess {
-                    de: &mut *self,
-                    first: true,
-                })?;
-                self.expect(b']')?;
-                Ok(value)
-            }
-
-            fn deserialize_tuple<V: Visitor<'de>>(
-                self,
-                _len: usize,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                self.deserialize_seq(visitor)
-            }
-
-            fn deserialize_tuple_struct<V: Visitor<'de>>(
-                self,
-                _name: &'static str,
-                _len: usize,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                self.deserialize_seq(visitor)
-            }
-
-            fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                self.expect(b'{')?;
-                let value = visitor.visit_map(MapAccess {
-                    de: &mut *self,
-                    first: true,
-                })?;
-                self.expect(b'}')?;
-                Ok(value)
-            }
-
-            fn deserialize_struct<V: Visitor<'de>>(
-                self,
-                _name: &'static str,
-                _fields: &'static [&'static str],
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                self.deserialize_map(visitor)
-            }
-
-            fn deserialize_enum<V: Visitor<'de>>(
-                self,
-                _name: &'static str,
-                _variants: &'static [&'static str],
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                if self.peek()? == b'"' {
-                    // Unit variant encoded as a bare string.
-                    let variant = self.parse_string()?;
-                    visitor.visit_enum(variant.into_deserializer())
-                } else {
-                    self.expect(b'{')?;
-                    let value = visitor.visit_enum(EnumAccess { de: &mut *self })?;
-                    self.expect(b'}')?;
-                    Ok(value)
-                }
-            }
-
-            fn deserialize_identifier<V: Visitor<'de>>(
-                self,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                self.deserialize_str(visitor)
-            }
-
-            fn deserialize_ignored_any<V: Visitor<'de>>(
-                self,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                self.deserialize_any(visitor)
-            }
-        }
-
-        struct SeqAccess<'a, 'de> {
-            de: &'a mut Deserializer<'de>,
-            first: bool,
-        }
-
-        impl<'de, 'a> de::SeqAccess<'de> for SeqAccess<'a, 'de> {
-            type Error = Error;
-            fn next_element_seed<T: DeserializeSeed<'de>>(
-                &mut self,
-                seed: T,
-            ) -> Result<Option<T::Value>, Error> {
-                if self.de.peek()? == b']' {
-                    return Ok(None);
-                }
-                if !self.first {
-                    self.de.expect(b',')?;
-                }
-                self.first = false;
-                seed.deserialize(&mut *self.de).map(Some)
-            }
-        }
-
-        struct MapAccess<'a, 'de> {
-            de: &'a mut Deserializer<'de>,
-            first: bool,
-        }
-
-        impl<'de, 'a> de::MapAccess<'de> for MapAccess<'a, 'de> {
-            type Error = Error;
-            fn next_key_seed<K: DeserializeSeed<'de>>(
-                &mut self,
-                seed: K,
-            ) -> Result<Option<K::Value>, Error> {
-                if self.de.peek()? == b'}' {
-                    return Ok(None);
-                }
-                if !self.first {
-                    self.de.expect(b',')?;
-                }
-                self.first = false;
-                seed.deserialize(MapKeyDeserializer { de: &mut *self.de })
-                    .map(Some)
-            }
-            fn next_value_seed<V: DeserializeSeed<'de>>(
-                &mut self,
-                seed: V,
-            ) -> Result<V::Value, Error> {
-                self.de.expect(b':')?;
-                seed.deserialize(&mut *self.de)
-            }
-        }
-
-        /// Keys arrive as JSON strings but may denote integers (we
-        /// stringify integer keys on the way out); this adapter parses
-        /// them back into whatever the target type asks for.
-        struct MapKeyDeserializer<'a, 'de> {
-            de: &'a mut Deserializer<'de>,
-        }
-
-        macro_rules! key_de_int {
-            ($($m:ident => $visit:ident: $t:ty),*) => {$(
-                fn $m<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                    let s = self.de.parse_string()?;
-                    let n = s.parse::<$t>().map_err(|e| Error(format!("bad int key: {e}")))?;
-                    visitor.$visit(n)
-                }
-            )*}
-        }
-
-        impl<'de, 'a> de::Deserializer<'de> for MapKeyDeserializer<'a, 'de> {
-            type Error = Error;
-
-            key_de_int!(
-                deserialize_i8 => visit_i8: i8,
-                deserialize_i16 => visit_i16: i16,
-                deserialize_i32 => visit_i32: i32,
-                deserialize_i64 => visit_i64: i64,
-                deserialize_u8 => visit_u8: u8,
-                deserialize_u16 => visit_u16: u16,
-                deserialize_u32 => visit_u32: u32,
-                deserialize_u64 => visit_u64: u64
-            );
-
-            fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-                visitor.visit_string(self.de.parse_string()?)
-            }
-
-            fn deserialize_newtype_struct<V: Visitor<'de>>(
-                self,
-                _name: &'static str,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                visitor.visit_newtype_struct(self)
-            }
-
-            fn deserialize_enum<V: Visitor<'de>>(
-                self,
-                _name: &'static str,
-                _variants: &'static [&'static str],
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                let variant = self.de.parse_string()?;
-                visitor.visit_enum(variant.into_deserializer())
-            }
-
-            serde::forward_to_deserialize_any! {
-                bool f32 f64 char str string bytes byte_buf option unit
-                unit_struct seq tuple tuple_struct map struct identifier
-                ignored_any
-            }
-        }
-
-        struct EnumAccess<'a, 'de> {
-            de: &'a mut Deserializer<'de>,
-        }
-
-        impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
-            type Error = Error;
-            type Variant = VariantAccess<'a, 'de>;
-            fn variant_seed<V: DeserializeSeed<'de>>(
-                self,
-                seed: V,
-            ) -> Result<(V::Value, Self::Variant), Error> {
-                let variant = self.de.parse_string()?;
-                self.de.expect(b':')?;
-                let value = seed.deserialize(variant.clone().into_deserializer())?;
-                Ok((value, VariantAccess { de: self.de }))
-            }
-        }
-
-        struct VariantAccess<'a, 'de> {
-            de: &'a mut Deserializer<'de>,
-        }
-
-        impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
-            type Error = Error;
-            fn unit_variant(self) -> Result<(), Error> {
-                self.de
-                    .parse_literal("null")
-                    .map_err(|_| Error("expected null for unit variant".into()))
-            }
-            fn newtype_variant_seed<T: DeserializeSeed<'de>>(
-                self,
-                seed: T,
-            ) -> Result<T::Value, Error> {
-                seed.deserialize(&mut *self.de)
-            }
-            fn tuple_variant<V: Visitor<'de>>(
-                self,
-                _len: usize,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                de::Deserializer::deserialize_seq(&mut *self.de, visitor)
-            }
-            fn struct_variant<V: Visitor<'de>>(
-                self,
-                _fields: &'static [&'static str],
-                visitor: V,
-            ) -> Result<V::Value, Error> {
-                de::Deserializer::deserialize_map(&mut *self.de, visitor)
-            }
-        }
+        serde::json::from_slice(bytes).map_err(|e| e.0)
     }
 }
 

@@ -1,15 +1,15 @@
-//! Property-based tests of the record codec and the staged/persisted
-//! crash semantics: arbitrary data must round-trip exactly, and a crash
-//! must behave exactly like "everything since the last completed sync
-//! never happened".
+//! Randomized (seeded, deterministic) tests of the record codec and the
+//! staged/persisted crash semantics: generated data must round-trip
+//! exactly, and a crash must behave exactly like "everything since the
+//! last completed sync never happened".
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
+use todr_sim::SimRng;
 use todr_storage::StableStore;
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, proptest_derive::Arbitrary)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Leaf {
     Unit,
     Flag(bool),
@@ -20,7 +20,7 @@ enum Leaf {
     Labeled { tag: String, value: i32 },
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, proptest_derive::Arbitrary)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Doc {
     id: u64,
     name: String,
@@ -32,96 +32,193 @@ struct Doc {
     bytes: Vec<u8>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Generates a string mixing ASCII, escapes, control chars and unicode.
+fn gen_string(rng: &mut SimRng) -> String {
+    const ALPHABET: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '\n',
+        '\t',
+        '\r',
+        '\u{0007}',
+        '/',
+        '{',
+        '}',
+        '[',
+        ']',
+        ':',
+        ',',
+        '☃',
+        'é',
+        '中',
+        '\u{1F600}',
+    ];
+    let len = rng.gen_range(12) as usize;
+    (0..len).map(|_| *rng.choose(ALPHABET).unwrap()).collect()
+}
 
-    /// Any serde-representable document survives a record round trip.
-    #[test]
-    fn records_round_trip(doc: Doc) {
+fn gen_leaf(rng: &mut SimRng) -> Leaf {
+    match rng.gen_range(7) {
+        0 => Leaf::Unit,
+        1 => Leaf::Flag(rng.gen_bool(0.5)),
+        2 => Leaf::Number(rng.next_u64() as i64),
+        3 => Leaf::Big(rng.next_u64()),
+        4 => Leaf::Text(gen_string(rng)),
+        5 => Leaf::Pair(rng.next_u64() as u32, gen_string(rng)),
+        _ => Leaf::Labeled {
+            tag: gen_string(rng),
+            value: rng.next_u64() as i32,
+        },
+    }
+}
+
+fn gen_doc(rng: &mut SimRng) -> Doc {
+    Doc {
+        id: rng.next_u64(),
+        name: gen_string(rng),
+        opt: if rng.gen_bool(0.5) {
+            Some(rng.next_u64() as i64)
+        } else {
+            None
+        },
+        nested_opt: match rng.gen_range(3) {
+            0 => None,
+            1 => Some(None),
+            _ => Some(Some(rng.gen_bool(0.5))),
+        },
+        leaves: (0..rng.gen_range(6)).map(|_| gen_leaf(rng)).collect(),
+        map: (0..rng.gen_range(5))
+            .map(|_| (rng.next_u64() as u32, gen_string(rng)))
+            .collect(),
+        text_map: (0..rng.gen_range(5))
+            .map(|_| (gen_string(rng), rng.next_u64() as i64))
+            .collect(),
+        bytes: (0..rng.gen_range(16))
+            .map(|_| rng.next_u64() as u8)
+            .collect(),
+    }
+}
+
+/// Any serde-representable document survives a record round trip.
+#[test]
+fn records_round_trip() {
+    let mut rng = SimRng::new(0x5ea1);
+    for _ in 0..256 {
+        let doc = gen_doc(&mut rng);
         let mut store = StableStore::new();
         store.put_record("doc", &doc).unwrap();
         let back: Doc = store.get_record("doc").unwrap().expect("present");
-        prop_assert_eq!(back, doc);
+        assert_eq!(back, doc);
     }
+}
 
-    /// Log entries round-trip in order.
-    #[test]
-    fn log_round_trips(docs in proptest::collection::vec(any::<Leaf>(), 0..20)) {
+/// Log entries round-trip in order.
+#[test]
+fn log_round_trips() {
+    let mut rng = SimRng::new(0x106);
+    for _ in 0..64 {
+        let docs: Vec<Leaf> = (0..rng.gen_range(20)).map(|_| gen_leaf(&mut rng)).collect();
         let mut store = StableStore::new();
         for d in &docs {
             store.append_log_typed(d).unwrap();
         }
         let back: Vec<Leaf> = store.log_iter_typed().unwrap();
-        prop_assert_eq!(back, docs);
+        assert_eq!(back, docs);
     }
+}
 
-    /// Strings with every kind of awkward content survive (escapes,
-    /// unicode, control characters).
-    #[test]
-    fn strings_round_trip(s in "\\PC*") {
+/// Strings with every kind of awkward content survive (escapes,
+/// unicode, control characters).
+#[test]
+fn strings_round_trip() {
+    let mut rng = SimRng::new(0x57f1);
+    for _ in 0..256 {
+        let s = gen_string(&mut rng);
         let mut store = StableStore::new();
         store.put_record("s", &s).unwrap();
         let back: String = store.get_record("s").unwrap().expect("present");
-        prop_assert_eq!(back, s);
+        assert_eq!(back, s);
     }
+}
 
-    /// Crash = revert to the last committed image, no matter how writes,
-    /// commits and crashes interleave.
-    #[test]
-    fn crash_reverts_to_last_commit(
-        script in proptest::collection::vec(
-            prop_oneof![
-                (0u8..4, any::<i64>()).prop_map(|(k, v)| ("put", k, v)),
-                Just(("commit", 0, 0)),
-                Just(("crash", 0, 0)),
-            ],
-            0..40,
-        )
-    ) {
+/// Crash = revert to the last committed image, no matter how writes,
+/// commits and crashes interleave.
+#[test]
+fn crash_reverts_to_last_commit() {
+    let mut rng = SimRng::new(0xc4a5);
+    for _ in 0..128 {
         let mut store = StableStore::new();
         // The reference model: what a perfect device would hold.
         let mut committed: BTreeMap<u8, i64> = BTreeMap::new();
         let mut staged: BTreeMap<u8, i64> = BTreeMap::new();
-        for (op, k, v) in script {
-            match op {
-                "put" => {
+        for _ in 0..rng.gen_range(40) {
+            match rng.gen_range(4) {
+                0 | 1 => {
+                    let k = rng.gen_range(4) as u8;
+                    let v = rng.next_u64() as i64;
                     store.put_record(&format!("k{k}"), &v).unwrap();
                     staged.insert(k, v);
                 }
-                "commit" => {
+                2 => {
                     store.commit_staged();
                     committed.extend(std::mem::take(&mut staged));
                 }
-                "crash" => {
+                _ => {
                     store.crash();
                     staged.clear();
                 }
-                _ => unreachable!(),
             }
             // The store always reads as committed ⊕ staged.
             for key in 0u8..4 {
                 let expect = staged.get(&key).or_else(|| committed.get(&key));
                 let got: Option<i64> = store.get_record(&format!("k{key}")).unwrap();
-                prop_assert_eq!(got.as_ref(), expect);
+                assert_eq!(got.as_ref(), expect);
             }
         }
     }
+}
 
-    /// Integer keys in maps survive the string-key encoding.
-    #[test]
-    fn integer_keyed_maps_round_trip(map in proptest::collection::btree_map(any::<u64>(), any::<i32>(), 0..16)) {
+/// Integer keys in maps survive the string-key encoding.
+#[test]
+fn integer_keyed_maps_round_trip() {
+    let mut rng = SimRng::new(0x1e4e);
+    for _ in 0..128 {
+        let map: BTreeMap<u64, i32> = (0..rng.gen_range(16))
+            .map(|_| (rng.next_u64(), rng.next_u64() as i32))
+            .collect();
         let mut store = StableStore::new();
         store.put_record("m", &map).unwrap();
         let back: BTreeMap<u64, i32> = store.get_record("m").unwrap().expect("present");
-        prop_assert_eq!(back, map);
+        assert_eq!(back, map);
     }
+}
 
-    /// Floats round-trip exactly (the codec prints with full precision).
-    #[test]
-    fn floats_round_trip(x in proptest::num::f64::NORMAL | proptest::num::f64::ZERO | proptest::num::f64::SUBNORMAL) {
+/// Floats round-trip exactly (the codec prints with full precision).
+#[test]
+fn floats_round_trip() {
+    let mut rng = SimRng::new(0xf10a7);
+    let specials = [
+        0.0f64,
+        -0.0,
+        f64::MIN_POSITIVE,
+        1e-310,
+        1e300,
+        -2.5e-10,
+        0.1,
+    ];
+    for i in 0..256 {
+        let x = if i < specials.len() {
+            specials[i]
+        } else {
+            f64::from_bits(rng.next_u64() & !(0x7ffu64 << 52) | ((1 + rng.gen_range(2045)) << 52))
+        };
         let mut store = StableStore::new();
         store.put_record("f", &x).unwrap();
         let back: f64 = store.get_record("f").unwrap().expect("present");
-        prop_assert_eq!(back.to_bits(), x.to_bits());
+        assert_eq!(back.to_bits(), x.to_bits());
     }
 }

@@ -28,17 +28,29 @@
 //! use todr::harness::client::ClientConfig;
 //! use todr::sim::SimDuration;
 //!
-//! // Five replicas on a simulated LAN with 10 ms forced writes.
-//! let mut cluster = Cluster::build(ClusterConfig::new(5, 7));
-//! cluster.settle(); // form the initial primary component
+//! // Five replicas on a simulated LAN with 10 ms forced writes; the
+//! // builder validates the config (e.g. a lossy fabric without
+//! // reliable links is rejected before the run, not 5 minutes into it).
+//! let config = ClusterConfig::builder(5, 7).build().expect("coherent");
+//! let mut cluster = Cluster::build(config);
+//! cluster.try_settle().expect("initial primary forms");
 //!
 //! // A closed-loop client committing 200-byte actions.
 //! let client = cluster.attach_client(0, ClientConfig::default());
 //! cluster.run_for(SimDuration::from_secs(1));
 //! assert!(cluster.client_stats(client).committed > 0);
 //!
-//! // Partition-safe: verify the paper's safety theorems held.
-//! cluster.check_consistency();
+//! // Partition-safe: verify the paper's safety theorems held. A
+//! // violation would carry the recent typed protocol events.
+//! let checked = cluster.try_check_consistency().expect("invariants hold");
+//! assert_eq!(checked.replicas_checked, 5);
+//!
+//! // Every layer reports into a typed observability bus: counters,
+//! // latency histograms and protocol events, exportable as
+//! // deterministic JSON (byte-identical for a fixed seed).
+//! let metrics = cluster.metrics_export();
+//! assert!(metrics.counters["engine.marked_green"] > 0);
+//! assert!(metrics.histograms["engine.ordering_latency"].p99_nanos > 0);
 //! ```
 
 #![forbid(unsafe_code)]

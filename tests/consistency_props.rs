@@ -1,10 +1,9 @@
-//! Property-based "nemesis" testing: random schedules of partitions,
-//! merges, crashes and recoveries are thrown at a loaded cluster, and
-//! the paper's safety theorems must hold at every observation point;
-//! after the schedule heals, liveness (Theorem 3) must bring every
-//! replica to the same green sequence and database state.
-
-use proptest::prelude::*;
+//! Randomized "nemesis" testing: seeded, deterministic random schedules
+//! of partitions, merges, crashes and recoveries are thrown at a loaded
+//! cluster, and the paper's safety theorems must hold at every
+//! observation point; after the schedule heals, liveness (Theorem 3)
+//! must bring every replica to the same green sequence and database
+//! state.
 
 use todr::harness::client::ClientConfig;
 use todr::harness::cluster::{Cluster, ClusterConfig};
@@ -29,16 +28,18 @@ enum Nemesis {
     Quiet,
 }
 
-fn nemesis_strategy() -> impl Strategy<Value = Vec<Nemesis>> {
-    let step = prop_oneof![
-        (1..N).prop_map(Nemesis::Split),
-        Just(Nemesis::ThreeWay),
-        Just(Nemesis::Merge),
-        (0..N).prop_map(Nemesis::Crash),
-        (0..N).prop_map(Nemesis::Recover),
-        Just(Nemesis::Quiet),
-    ];
-    proptest::collection::vec(step, 1..8)
+fn gen_schedule(rng: &mut todr::sim::SimRng) -> Vec<Nemesis> {
+    let len = (1 + rng.gen_range(7)) as usize;
+    (0..len)
+        .map(|_| match rng.gen_range(6) {
+            0 => Nemesis::Split((1 + rng.gen_range(N as u64 - 1)) as usize),
+            1 => Nemesis::ThreeWay,
+            2 => Nemesis::Merge,
+            3 => Nemesis::Crash(rng.gen_range(N as u64) as usize),
+            4 => Nemesis::Recover(rng.gen_range(N as u64) as usize),
+            _ => Nemesis::Quiet,
+        })
+        .collect()
 }
 
 fn apply_schedule(seed: u64, schedule: &[Nemesis]) {
@@ -92,11 +93,10 @@ fn apply_schedule(seed: u64, schedule: &[Nemesis]) {
     // Quiesce the workload so the convergence assertions are not racing
     // in-flight commits.
     for &client in cluster.clients().to_vec().iter() {
-        cluster
-            .world
-            .with_actor(client, |c: &mut todr::harness::client::ClosedLoopClient| {
-                c.stop()
-            });
+        cluster.world.with_actor(
+            client.actor_id(),
+            |c: &mut todr::harness::client::ClosedLoopClient| c.stop(),
+        );
     }
     cluster.run_for(SimDuration::from_secs(3));
     cluster.check_consistency();
@@ -124,18 +124,13 @@ fn apply_schedule(seed: u64, schedule: &[Nemesis]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 20,
-        max_shrink_iters: 40,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn safety_and_liveness_under_random_nemesis(
-        seed in 0u64..1_000_000,
-        schedule in nemesis_strategy(),
-    ) {
+#[test]
+fn safety_and_liveness_under_random_nemesis() {
+    let mut rng = todr::sim::SimRng::new(0x4e4e);
+    for case in 0..20 {
+        let seed = rng.gen_range(1_000_000);
+        let schedule = gen_schedule(&mut rng);
+        eprintln!("case {case}: seed={seed} schedule={schedule:?}");
         apply_schedule(seed, &schedule);
     }
 }

@@ -1,0 +1,476 @@
+//! Deterministic JSON rendering and parsing for [`Value`].
+//!
+//! Encoding conventions (chosen so every [`Value`] survives a round
+//! trip, at the cost of not matching real serde_json exactly):
+//!
+//! - `Unit` → `null`
+//! - `Variant("Name", Unit)` → `"Name"`; `Variant("Name", p)` → `{"Name": p}`
+//! - `Option(None)` → `null`; `Option(Some(x))` → `[x]` (one-element
+//!   array wrap, so `Some(None)` stays distinct from `None`)
+//! - map keys are rendered as JSON strings (integers stringified)
+//! - floats print via `{:?}`, which round-trips exactly
+
+use crate::{Error, Serialize, Value};
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Serializes to pretty-printed JSON (two-space indents).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render_pretty(&value.to_value(), 0, &mut out)?;
+    Ok(out)
+}
+
+/// Parses JSON bytes into any [`Deserialize`](crate::Deserialize) type.
+pub fn from_slice<T: crate::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(Error::custom)?;
+    from_str(text)
+}
+
+/// Parses a JSON string into any [`Deserialize`](crate::Deserialize) type.
+pub fn from_str<T: crate::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+/// Renders a value usable as a JSON object key.
+pub fn render_key(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::UInt(n) => Ok(n.to_string()),
+        Value::Int(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error(format!("unrepresentable JSON map key {other:?}"))),
+    }
+}
+
+fn render(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => render_float(*x, out)?,
+        Value::Str(s) => render_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(&render_key(k)?, out);
+                out.push(':');
+                render(val, out)?;
+            }
+            out.push('}');
+        }
+        Value::Record(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(k, out);
+                out.push(':');
+                render(val, out)?;
+            }
+            out.push('}');
+        }
+        Value::Variant(name, payload) => match payload.as_ref() {
+            Value::Unit => render_string(name, out),
+            payload => {
+                out.push('{');
+                render_string(name, out);
+                out.push(':');
+                render(payload, out)?;
+                out.push('}');
+            }
+        },
+        Value::Option(None) => out.push_str("null"),
+        Value::Option(Some(inner)) => {
+            out.push('[');
+            render(inner, out)?;
+            out.push(']');
+        }
+    }
+    Ok(())
+}
+
+fn render_pretty(v: &Value, indent: usize, out: &mut String) -> Result<(), Error> {
+    let pad = |out: &mut String, n: usize| {
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    };
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                render_pretty(item, indent + 1, out)?;
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                render_string(&render_key(k)?, out);
+                out.push_str(": ");
+                render_pretty(val, indent + 1, out)?;
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push('}');
+        }
+        Value::Record(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                render_string(k, out);
+                out.push_str(": ");
+                render_pretty(val, indent + 1, out)?;
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push('}');
+        }
+        Value::Variant(name, payload) if !matches!(payload.as_ref(), Value::Unit) => {
+            out.push_str("{\n");
+            pad(out, indent + 1);
+            render_string(name, out);
+            out.push_str(": ");
+            render_pretty(payload, indent + 1, out)?;
+            out.push('\n');
+            pad(out, indent);
+            out.push('}');
+        }
+        other => render(other, out)?,
+    }
+    Ok(())
+}
+
+fn render_float(x: f64, out: &mut String) -> Result<(), Error> {
+    if !x.is_finite() {
+        return Err(Error(format!("non-finite float {x} is not valid JSON")));
+    }
+    // `{:?}` prints the shortest string that round-trips exactly.
+    out.push_str(&format!("{x:?}"));
+    Ok(())
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Result<u8, Error> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.pos,
+                self.peek().unwrap() as char
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Unit),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            b => Err(Error(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                b => {
+                    return Err(Error(format!(
+                        "expected `,` or `]` at byte {}, found `{}`",
+                        self.pos, b as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((Value::Str(key), val));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                b => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at byte {}, found `{}`",
+                        self.pos, b as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over plain (non-escape, non-quote) bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::custom)?);
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek()?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex).map_err(Error::custom)?;
+                            let code = u32::from_str_radix(hex, 16).map_err(Error::custom)?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // workspace's data; reject rather than corrupt.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error(format!("invalid \\u{hex} escape")))?;
+                            out.push(c);
+                        }
+                        b => return Err(Error(format!("invalid escape `\\{}`", b as char))),
+                    }
+                }
+                _ => unreachable!("scan loop stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek()? == b'-' {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::custom)?;
+        if is_float {
+            text.parse::<f64>().map(Value::Float).map_err(Error::custom)
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Value::Int).map_err(Error::custom)
+        } else {
+            text.parse::<u64>().map(Value::UInt).map_err(Error::custom)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn renders_compact_json_deterministically() {
+        let mut m = BTreeMap::new();
+        m.insert(2u32, "b".to_string());
+        m.insert(1u32, "a".to_string());
+        assert_eq!(to_string(&m).unwrap(), r#"{"1":"a","2":"b"}"#);
+    }
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let v: Vec<(u32, Option<String>)> = vec![(1, Some("x".into())), (2, None)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(u32, Option<String>)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn round_trips_awkward_floats_and_strings() {
+        let vals = vec![0.1f64, -2.5e-10, 1e300, 0.0];
+        let back: Vec<f64> = from_str(&to_string(&vals).unwrap()).unwrap();
+        assert_eq!(back, vals);
+
+        let s = "quote \" slash \\ newline \n tab \t unicode ☃".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn some_none_distinct_after_json() {
+        let v: Vec<Option<Option<u8>>> = vec![None, Some(None), Some(Some(3))];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[null,[null],[[3]]]");
+        let back: Vec<Option<Option<u8>>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(from_str::<u64>("\"hello\"").is_err());
+    }
+}

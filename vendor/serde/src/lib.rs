@@ -1,0 +1,584 @@
+//! A minimal, dependency-free serialization facade with the same
+//! spelling as the real `serde` crate, built around an explicit value
+//! tree instead of the streaming serializer/deserializer data model.
+//!
+//! `#[derive(Serialize, Deserialize)]` (re-exported from the vendored
+//! `serde_derive`) generates conversions to and from [`Value`]; the
+//! [`json`] module renders a [`Value`] to deterministic JSON text and
+//! parses it back. Determinism matters here: the simulation uses
+//! serialized metrics exports as regression oracles, so struct fields
+//! always serialize in declaration order and map entries in the order
+//! the map iterates (sorted, for `BTreeMap`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The universal value tree every serializable type converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `()`, unit structs, JSON `null`.
+    Unit,
+    /// Booleans.
+    Bool(bool),
+    /// Unsigned integers.
+    UInt(u64),
+    /// Signed (negative) integers.
+    Int(i64),
+    /// Floating point numbers.
+    Float(f64),
+    /// Strings and chars.
+    Str(String),
+    /// Sequences: `Vec<T>`, tuples, tuple structs.
+    Seq(Vec<Value>),
+    /// Keyed maps (`BTreeMap`, `HashMap`); keys must render as strings.
+    Map(Vec<(Value, Value)>),
+    /// Named-field structs: fields in declaration order.
+    Record(Vec<(String, Value)>),
+    /// Enum variants; unit variants carry [`Value::Unit`].
+    Variant(String, Box<Value>),
+    /// Explicit option (so `Some(None)` survives a round trip).
+    Option(Option<Box<Value>>),
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree (possibly one that round-tripped
+    /// through JSON, where e.g. options and enums arrive in their JSON
+    /// spellings).
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Marker mirroring `serde::de::DeserializeOwned`; trivially satisfied
+/// because this facade has no borrowed deserialization.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned, Error};
+}
+
+/// Mirrors `serde::ser` far enough for `use serde::ser::Error`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*}
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+    )*}
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        Value::Option(self.as_ref().map(|v| Box::new(v.to_value())))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // HashMap iteration order is unstable; sort rendered keys so the
+        // output stays deterministic.
+        let mut entries: Vec<(String, (Value, Value))> = self
+            .iter()
+            .map(|(k, v)| {
+                let kv = k.to_value();
+                (
+                    json::render_key(&kv).unwrap_or_default(),
+                    (kv, v.to_value()),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries.into_iter().map(|(_, e)| e).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*}
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------
+
+fn unexpected(expected: &str, got: &Value) -> Error {
+    Error(format!("expected {expected}, got {got:?}"))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    // Integer map keys arrive as JSON strings.
+                    Value::Str(s) => s.parse().map_err(Error::custom)?,
+                    other => return Err(unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*}
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n).map_err(Error::custom)?,
+                    Value::Str(s) => s.parse().map_err(Error::custom)?,
+                    other => return Err(unexpected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*}
+}
+de_int!(i8, i16, i32, isize);
+
+impl Deserialize for i64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => i64::try_from(*n).map_err(Error::custom),
+            Value::Str(s) => s.parse().map_err(Error::custom),
+            other => Err(unexpected("integer", other)),
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(unexpected("float", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(Error::custom("expected single-char string")),
+                }
+            }
+            other => Err(unexpected("char", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Unit => Ok(()),
+            other => Err(unexpected("unit", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Option(None) | Value::Unit => Ok(None),
+            Value::Option(Some(inner)) => T::from_value(inner).map(Some),
+            // The JSON form of Some(x) is the 1-element array [x].
+            Value::Seq(items) if items.len() == 1 => T::from_value(&items[0]).map(Some),
+            other => Err(unexpected("option", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+                .collect(),
+            Value::Record(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?)))
+                .collect(),
+            other => Err(unexpected("map", other)),
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let tree: Vec<(K, V)> = match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+                .collect::<Result<_, Error>>()?,
+            other => return Err(unexpected("map", other)),
+        };
+        Ok(tree.into_iter().collect())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(unexpected(concat!($len, "-tuple"), other)),
+                }
+            }
+        }
+    )*}
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+    (5: 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------
+// Helpers the derive macro generates calls to
+// ---------------------------------------------------------------
+
+/// Support routines used by `#[derive(Serialize, Deserialize)]`
+/// expansions. Not part of the public API surface.
+pub mod derive_support {
+    use super::{Error, Value};
+
+    /// Views a value as named fields (a struct that may have round-tripped
+    /// through JSON, where records come back as maps).
+    pub fn fields<'a>(v: &'a Value, type_name: &str) -> Result<Vec<(&'a str, &'a Value)>, Error> {
+        match v {
+            Value::Record(fields) => Ok(fields.iter().map(|(k, x)| (k.as_str(), x)).collect()),
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, x)| match k {
+                    Value::Str(s) => Ok((s.as_str(), x)),
+                    other => Err(Error(format!("non-string field key {other:?}"))),
+                })
+                .collect(),
+            other => Err(Error(format!("expected {type_name} record, got {other:?}"))),
+        }
+    }
+
+    /// Looks up a mandatory field.
+    pub fn field<'a>(
+        fields: &[(&str, &'a Value)],
+        name: &str,
+        type_name: &str,
+    ) -> Result<&'a Value, Error> {
+        fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| Error(format!("missing field `{name}` in {type_name}")))
+    }
+
+    /// Views a value as an enum variant: either the native
+    /// [`Value::Variant`] form or its JSON spellings (a bare string for
+    /// unit variants, a single-entry object otherwise).
+    pub fn variant<'a>(v: &'a Value, type_name: &str) -> Result<(&'a str, &'a Value), Error> {
+        const UNIT: &Value = &Value::Unit;
+        match v {
+            Value::Variant(name, payload) => Ok((name.as_str(), payload)),
+            Value::Str(name) => Ok((name.as_str(), UNIT)),
+            Value::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Value::Str(name), payload) => Ok((name.as_str(), payload)),
+                (other, _) => Err(Error(format!("non-string variant tag {other:?}"))),
+            },
+            Value::Record(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
+            other => Err(Error(format!(
+                "expected {type_name} variant, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Views a variant payload as a sequence of exactly `len` elements.
+    pub fn tuple(v: &Value, len: usize, ctx: &str) -> Result<Vec<Value>, Error> {
+        match v {
+            Value::Seq(items) if items.len() == len => Ok(items.clone()),
+            other => Err(Error(format!(
+                "expected {len}-tuple for {ctx}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Checks a unit payload (tolerating JSON `null` round trips).
+    pub fn unit(v: &Value, ctx: &str) -> Result<(), Error> {
+        match v {
+            Value::Unit | Value::Option(None) => Ok(()),
+            other => Err(Error(format!("expected unit for {ctx}, got {other:?}"))),
+        }
+    }
+}
+
+pub mod json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"x".to_string().to_value()).unwrap(),
+            "x"
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&Some(7u8).to_value()).unwrap(),
+            Some(7)
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn nested_option_distinguishes_some_none() {
+        let v: Option<Option<u8>> = Some(None);
+        let round = Option::<Option<u8>>::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, Some(None));
+    }
+
+    #[test]
+    fn integer_keyed_map_round_trips() {
+        let m: BTreeMap<u32, String> = [(3, "c".into()), (1, "a".into())].into();
+        let round = BTreeMap::<u32, String>::from_value(&m.to_value()).unwrap();
+        assert_eq!(round, m);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(u64::from_value(&Value::Bool(true)).is_err());
+        assert!(String::from_value(&Value::UInt(1)).is_err());
+        assert!(bool::from_value(&Value::Str("true".into())).is_err());
+    }
+}

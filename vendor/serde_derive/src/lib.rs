@@ -1,0 +1,366 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` facade. No `syn`/`quote` — the input token stream is
+//! walked directly, which works because this workspace derives only on
+//! non-generic structs and enums without `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a deriving type.
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(T, ...)` with the arity.
+    TupleStruct(usize),
+    /// `struct S { a: A, ... }` with the field names.
+    NamedStruct(Vec<String>),
+    /// `enum E { ... }` with each variant's shape.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = match &shape {
+        Shape::UnitStruct => "::serde::Value::Unit".to_string(),
+        Shape::TupleStruct(1) => {
+            // Newtypes pass through to the inner value.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Record(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, vshape)| match vshape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Variant(\"{vname}\".to_string(), \
+                         Box::new(::serde::Value::Unit)),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{vname}(x0) => ::serde::Value::Variant(\"{vname}\".to_string(), \
+                         Box::new(::serde::Serialize::to_value(x0))),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({binds}) => \
+                             ::serde::Value::Variant(\"{vname}\".to_string(), \
+                             Box::new(::serde::Value::Seq(vec![{items}]))),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => \
+                             ::serde::Value::Variant(\"{vname}\".to_string(), \
+                             Box::new(::serde::Value::Record(vec![{items}]))),",
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = match &shape {
+        Shape::UnitStruct => format!("::serde::derive_support::unit(v, \"{name}\")?;\nOk({name})"),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::derive_support::tuple(v, {n}, \"{name}\")?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::derive_support::field(&fields, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = ::serde::derive_support::fields(v, \"{name}\")?;\n\
+                 Ok({name} {{\n{}\n}})",
+                items.join("\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, vshape)| match vshape {
+                    VariantShape::Unit => format!(
+                        "\"{vname}\" => {{\n\
+                         ::serde::derive_support::unit(payload, \"{name}::{vname}\")?;\n\
+                         Ok({name}::{vname})\n}}"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(payload)?)),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{vname}\" => {{\n\
+                             let items = ::serde::derive_support::tuple(\
+                             payload, {n}, \"{name}::{vname}\")?;\n\
+                             Ok({name}::{vname}({}))\n}}",
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::derive_support::field(\
+                                     &fields, \"{f}\", \"{name}::{vname}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{vname}\" => {{\n\
+                             let fields = ::serde::derive_support::fields(\
+                             payload, \"{name}::{vname}\")?;\n\
+                             Ok({name}::{vname} {{\n{}\n}})\n}}",
+                            items.join("\n")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "let (tag, payload) = ::serde::derive_support::variant(v, \"{name}\")?;\n\
+                 match tag {{\n{}\n\
+                 other => Err(::serde::Error(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated impl must parse")
+}
+
+// ---------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            // `struct S;`
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            None => Shape::UnitStruct,
+            // `struct S { ... }`
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            // `struct S( ... );`
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("derive({name}): unexpected token {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive({name}): expected enum body, found {other:?}"),
+        },
+        other => panic!("derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a type expression up to a top-level `,`, tracking `<`/`>` depth
+/// (generic argument commas are not grouped at the token level).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected field name, found {other}"),
+        };
+        i += 1; // name
+        i += 1; // `:`
+        skip_type(&tokens, &mut i);
+        i += 1; // `,` (or past-the-end)
+        fields.push(fname);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // `,`
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        i += 1; // `,`
+        variants.push((vname, shape));
+    }
+    variants
+}
