@@ -1,0 +1,65 @@
+//! # todr-check — deterministic schedule exploration, trace checking and
+//! counterexample shrinking
+//!
+//! The checking subsystem of the `todr` stack. Three cooperating parts:
+//!
+//! * **[`explorer`]** — sweeps `(seed, perturbation)` pairs: each seed
+//!   draws one randomized fault schedule (splits, merges, crashes,
+//!   recoveries, online joins, permanent leaves), and each perturbation
+//!   index selects a distinct same-instant event interleaving via the
+//!   simulator's [`TieBreak`](todr_sim::TieBreak) hook — index 0 is the
+//!   historical FIFO order, every other index a seeded permutation that
+//!   only exercises *legal* asynchronous-system freedoms (per-target
+//!   FIFO delivery is preserved).
+//! * **[`oracle`]** — replays the typed
+//!   [`ProtocolEvent`](todr_sim::ProtocolEvent) log of a finished run
+//!   and checks the paper's service properties over the *whole history*:
+//!   agreed-order prefix agreement at every green position (Theorem 1),
+//!   color monotonicity (§3), strictly-growing green lines, crash/
+//!   recovery sanity, safe-delivery ⇒ eventual-green at survivors
+//!   (§4.3) and EVS agreed-order delivery agreement. State-at-quiescence
+//!   checks (identical committed prefixes, digests, single primary)
+//!   reuse [`todr_harness::checkers`] through the [`runner`].
+//! * **[`shrink`]** — delta-debugs ([`ddmin`]) a failing
+//!   schedule to a 1-minimal counterexample, which [`artifact`] packages
+//!   as replayable JSON (seed + schedule + event tail + metrics).
+//!
+//! Everything is deterministic end to end: the same
+//! `(seed, perturbation, schedule)` replays to byte-identical replica
+//! digests and metrics exports, so a counterexample found in CI
+//! reproduces exactly on a laptop.
+//!
+//! ```
+//! use todr_check::{explore, ExploreConfig};
+//!
+//! let report = explore(
+//!     &ExploreConfig {
+//!         seed_start: 0,
+//!         seed_count: 1,
+//!         perturbations: 1,
+//!         ..ExploreConfig::default()
+//!     },
+//!     |_, _, _| {},
+//! );
+//! assert_eq!(report.cases_run, 1);
+//! assert!(report.all_passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod explorer;
+pub mod oracle;
+pub mod runner;
+pub mod schedule;
+pub mod shrink;
+
+pub use artifact::Counterexample;
+pub use explorer::{explore, ExploreConfig, ExploreReport};
+pub use oracle::{check_trace, TraceStats, TraceViolation};
+pub use runner::{
+    run_case, tie_break_for, CaseFailure, CasePass, CaseSpec, FailureKind, RunOptions,
+};
+pub use schedule::{generate_schedule, Step};
+pub use shrink::{ddmin, shrink_case};

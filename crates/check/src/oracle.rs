@@ -1,0 +1,585 @@
+//! Trace oracles: the paper's service properties checked over the typed
+//! [`ProtocolEvent`] log of a finished run.
+//!
+//! Where [`todr_harness::checkers`] compares *final states* of live
+//! replicas, these oracles replay the *whole history* and catch
+//! violations that final-state comparison can miss (a green line that
+//! regressed mid-run and recovered, two nodes that disagreed on a green
+//! position that was later garbage-collected, a recovery that restored
+//! more state than was ever persisted). Each oracle maps to a property
+//! of the paper — see the per-variant documentation on
+//! [`TraceViolation`] and DESIGN.md's "Checking" section.
+//!
+//! [`check_trace`] is a pure function of the event slice, so it can run
+//! against a live world, a replayed counterexample, or a deserialized
+//! event tail with identical results.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use todr_sim::{EventColor, ProtocolEvent, RecordedEvent};
+
+/// A violated trace property.
+///
+/// `node`, `creator`, `sender` values are raw replica indices as carried
+/// by [`ProtocolEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceViolation {
+    /// Theorem 1 over the history: two replicas greened *different*
+    /// actions at the same global green position.
+    GreenOrderConflict {
+        /// The disputed green position (0-based).
+        position: u64,
+        /// First replica and the `(creator, action_seq)` it greened.
+        a: (u32, (u32, u64)),
+        /// Second replica and the `(creator, action_seq)` it greened.
+        b: (u32, (u32, u64)),
+    },
+    /// An action's color moved backwards (e.g. green, then re-announced
+    /// yellow) within one engine incarnation — §3's knowledge levels
+    /// only ever increase.
+    ColorRegression {
+        /// Reporting replica.
+        node: u32,
+        /// Creator of the action.
+        creator: u32,
+        /// Creator-local action sequence.
+        action_seq: u64,
+        /// The color the action had already reached.
+        had: EventColor,
+        /// The lower color announced later.
+        got: EventColor,
+    },
+    /// A green line moved backwards (or stalled on a re-announcement)
+    /// within one engine incarnation — the global persistent order is a
+    /// strictly growing prefix.
+    GreenLineRegression {
+        /// Reporting replica.
+        node: u32,
+        /// The green line it had reached.
+        from: u64,
+        /// The non-increasing value announced later.
+        to: u64,
+    },
+    /// A red line moved backwards within one engine incarnation.
+    RedLineRegression {
+        /// Reporting replica.
+        node: u32,
+        /// The red line it had reached.
+        from: u64,
+        /// The smaller value announced later.
+        to: u64,
+    },
+    /// A recovery restored a green count *larger* than the green line
+    /// the replica had ever announced before crashing — stable storage
+    /// cannot know more than the live engine did.
+    RecoveryOvershoot {
+        /// The recovering replica.
+        node: u32,
+        /// The green count it reloaded from disk.
+        restored: u64,
+        /// The largest green line it announced before the crash.
+        last_seen: u64,
+    },
+    /// Safe delivery ⇒ eventual green (§4.3): a surviving replica ended
+    /// the run with an action stuck at yellow after the heal-and-drain
+    /// window, i.e. a globally ordered action never reached the global
+    /// persistent order.
+    UnresolvedYellow {
+        /// The surviving replica.
+        node: u32,
+        /// Creator of the stuck action.
+        creator: u32,
+        /// Creator-local action sequence.
+        action_seq: u64,
+    },
+    /// EVS agreed order: two replicas delivered *different senders* at
+    /// the same `(configuration, slot)`.
+    DeliveryMismatch {
+        /// Sequence number of the configuration.
+        conf_seq: u64,
+        /// Coordinator of the configuration.
+        coordinator: u32,
+        /// The agreed-order slot in dispute.
+        seq: u64,
+        /// First replica and the sender it delivered.
+        a: (u32, u32),
+        /// Second replica and the sender it delivered.
+        b: (u32, u32),
+    },
+    /// EVS agreed order: one replica's delivery slots within a single
+    /// configuration did not strictly increase.
+    DeliverySeqRegression {
+        /// Reporting replica.
+        node: u32,
+        /// Sequence number of the configuration.
+        conf_seq: u64,
+        /// Coordinator of the configuration.
+        coordinator: u32,
+        /// The slot it had reached.
+        from: u64,
+        /// The non-increasing slot announced later.
+        to: u64,
+    },
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceViolation::GreenOrderConflict { position, a, b } => write!(
+                f,
+                "green order conflict at position {position}: node {} greened \
+                 ({}, {}), node {} greened ({}, {})",
+                a.0, a.1 .0, a.1 .1, b.0, b.1 .0, b.1 .1
+            ),
+            TraceViolation::ColorRegression {
+                node,
+                creator,
+                action_seq,
+                had,
+                got,
+            } => write!(
+                f,
+                "color regression at node {node}: action ({creator}, {action_seq}) \
+                 was {had:?}, later announced {got:?}"
+            ),
+            TraceViolation::GreenLineRegression { node, from, to } => {
+                write!(f, "green line at node {node} went {from} -> {to}")
+            }
+            TraceViolation::RedLineRegression { node, from, to } => {
+                write!(f, "red line at node {node} went {from} -> {to}")
+            }
+            TraceViolation::RecoveryOvershoot {
+                node,
+                restored,
+                last_seen,
+            } => write!(
+                f,
+                "node {node} recovered green count {restored} but had only \
+                 announced {last_seen} before crashing"
+            ),
+            TraceViolation::UnresolvedYellow {
+                node,
+                creator,
+                action_seq,
+            } => write!(
+                f,
+                "action ({creator}, {action_seq}) still yellow at surviving \
+                 node {node} at quiescence"
+            ),
+            TraceViolation::DeliveryMismatch {
+                conf_seq,
+                coordinator,
+                seq,
+                a,
+                b,
+            } => write!(
+                f,
+                "delivery mismatch in conf ({conf_seq}, {coordinator}) slot {seq}: \
+                 node {} delivered sender {}, node {} delivered sender {}",
+                a.0, a.1, b.0, b.1
+            ),
+            TraceViolation::DeliverySeqRegression {
+                node,
+                conf_seq,
+                coordinator,
+                from,
+                to,
+            } => write!(
+                f,
+                "delivery slots at node {node} in conf ({conf_seq}, {coordinator}) \
+                 went {from} -> {to}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// What a passing [`check_trace`] covered, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Events walked.
+    pub events: u64,
+    /// Green positions cross-checked between at least two replicas.
+    pub green_positions_agreed: u64,
+    /// Agreed-order delivery slots cross-checked between at least two
+    /// replicas.
+    pub deliveries_agreed: u64,
+}
+
+fn rank(c: EventColor) -> u8 {
+    match c {
+        EventColor::Red => 0,
+        EventColor::Yellow => 1,
+        EventColor::Green => 2,
+        EventColor::White => 3,
+    }
+}
+
+/// Replays the typed event log and checks every trace oracle.
+///
+/// `survivors` are the raw node indices still in the system at the end
+/// of the run (non-crashed, non-departed); the eventual-green oracle
+/// only applies to them — a departed or down replica is allowed to take
+/// unresolved yellows to its grave.
+///
+/// Per-incarnation state (colors, green/red lines, delivery slots) is
+/// reset at each [`ProtocolEvent::EngineCrashed`], because a recovering
+/// engine legitimately re-announces persisted actions from red upwards.
+/// The cross-replica green-position map is **never** reset: a green mark
+/// is a claim about the global order, and the global order has no
+/// incarnations.
+pub fn check_trace(
+    events: &[RecordedEvent],
+    survivors: &BTreeSet<u32>,
+) -> Result<TraceStats, TraceViolation> {
+    let mut stats = TraceStats::default();
+
+    // position -> (first claiming node, (creator, action_seq))
+    let mut global_green: BTreeMap<u64, (u32, (u32, u64))> = BTreeMap::new();
+    // node -> (creator, action_seq) of the last green mark awaiting its
+    // GreenLineAdvance (emitted back-to-back by the engine).
+    let mut pending_green: BTreeMap<u32, (u32, u64)> = BTreeMap::new();
+    // node -> action -> highest color this incarnation
+    let mut colors: BTreeMap<u32, BTreeMap<(u32, u64), EventColor>> = BTreeMap::new();
+    // node -> last announced green/red line this incarnation
+    let mut green_line: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut red_line: BTreeMap<u32, u64> = BTreeMap::new();
+    // node -> largest green line ever announced (across incarnations)
+    let mut best_green: BTreeMap<u32, u64> = BTreeMap::new();
+    // (conf_seq, coordinator, slot) -> (first delivering node, sender)
+    let mut deliveries: BTreeMap<(u64, u32, u64), (u32, u32)> = BTreeMap::new();
+    // (node, conf_seq, coordinator) -> last delivered slot
+    let mut deliv_seq: BTreeMap<(u32, u64, u32), u64> = BTreeMap::new();
+
+    for rec in events {
+        stats.events += 1;
+        match rec.event {
+            ProtocolEvent::ActionOrdered {
+                node,
+                creator,
+                action_seq,
+                color,
+            } => {
+                let per_node = colors.entry(node).or_default();
+                let entry = per_node.entry((creator, action_seq)).or_insert(color);
+                if rank(color) < rank(*entry) {
+                    return Err(TraceViolation::ColorRegression {
+                        node,
+                        creator,
+                        action_seq,
+                        had: *entry,
+                        got: color,
+                    });
+                }
+                *entry = color;
+                if color == EventColor::Green {
+                    pending_green.insert(node, (creator, action_seq));
+                }
+            }
+            ProtocolEvent::GreenLineAdvance { node, green } => {
+                if let Some(&prev) = green_line.get(&node) {
+                    if green <= prev {
+                        return Err(TraceViolation::GreenLineRegression {
+                            node,
+                            from: prev,
+                            to: green,
+                        });
+                    }
+                }
+                green_line.insert(node, green);
+                let best = best_green.entry(node).or_insert(0);
+                *best = (*best).max(green);
+                if let Some(id) = pending_green.remove(&node) {
+                    let position = green - 1;
+                    match global_green.get(&position) {
+                        None => {
+                            global_green.insert(position, (node, id));
+                        }
+                        Some(&(first_node, first_id)) => {
+                            if first_id != id {
+                                return Err(TraceViolation::GreenOrderConflict {
+                                    position,
+                                    a: (first_node, first_id),
+                                    b: (node, id),
+                                });
+                            }
+                            stats.green_positions_agreed += 1;
+                        }
+                    }
+                }
+            }
+            ProtocolEvent::RedLineAdvance { node, red } => {
+                if let Some(&prev) = red_line.get(&node) {
+                    if red < prev {
+                        return Err(TraceViolation::RedLineRegression {
+                            node,
+                            from: prev,
+                            to: red,
+                        });
+                    }
+                }
+                red_line.insert(node, red);
+            }
+            ProtocolEvent::EngineCrashed { node } => {
+                colors.remove(&node);
+                pending_green.remove(&node);
+                green_line.remove(&node);
+                red_line.remove(&node);
+                deliv_seq.retain(|&(n, _, _), _| n != node);
+            }
+            ProtocolEvent::EngineRecovered { node, green } => {
+                if let Some(&best) = best_green.get(&node) {
+                    if green > best {
+                        return Err(TraceViolation::RecoveryOvershoot {
+                            node,
+                            restored: green,
+                            last_seen: best,
+                        });
+                    }
+                }
+                // The restored green count is the floor for this
+                // incarnation's strictly-increasing advances.
+                if green > 0 {
+                    green_line.insert(node, green);
+                }
+            }
+            ProtocolEvent::Delivered {
+                node,
+                conf_seq,
+                coordinator,
+                seq,
+                sender,
+                in_transitional: _,
+            } => {
+                match deliveries.get(&(conf_seq, coordinator, seq)) {
+                    None => {
+                        deliveries.insert((conf_seq, coordinator, seq), (node, sender));
+                    }
+                    Some(&(first_node, first_sender)) => {
+                        if first_sender != sender {
+                            return Err(TraceViolation::DeliveryMismatch {
+                                conf_seq,
+                                coordinator,
+                                seq,
+                                a: (first_node, first_sender),
+                                b: (node, sender),
+                            });
+                        }
+                        stats.deliveries_agreed += 1;
+                    }
+                }
+                if let Some(&prev) = deliv_seq.get(&(node, conf_seq, coordinator)) {
+                    if seq <= prev {
+                        return Err(TraceViolation::DeliverySeqRegression {
+                            node,
+                            conf_seq,
+                            coordinator,
+                            from: prev,
+                            to: seq,
+                        });
+                    }
+                }
+                deliv_seq.insert((node, conf_seq, coordinator), seq);
+            }
+            _ => {}
+        }
+    }
+
+    // Safe delivery ⇒ eventual green, over the surviving membership.
+    for (&node, per_node) in &colors {
+        if !survivors.contains(&node) {
+            continue;
+        }
+        for (&(creator, action_seq), &color) in per_node {
+            if color == EventColor::Yellow {
+                return Err(TraceViolation::UnresolvedYellow {
+                    node,
+                    creator,
+                    action_seq,
+                });
+            }
+        }
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use todr_sim::ProtocolEvent as E;
+
+    fn rec(event: E) -> RecordedEvent {
+        RecordedEvent {
+            at_nanos: 0,
+            actor: 0,
+            event,
+        }
+    }
+
+    fn green_mark(node: u32, creator: u32, action_seq: u64, green: u64) -> Vec<RecordedEvent> {
+        vec![
+            rec(E::ActionOrdered {
+                node,
+                creator,
+                action_seq,
+                color: EventColor::Green,
+            }),
+            rec(E::GreenLineAdvance { node, green }),
+        ]
+    }
+
+    #[test]
+    fn agreeing_histories_pass() {
+        let mut events = Vec::new();
+        for node in 0..3 {
+            events.extend(green_mark(node, 0, 1, 1));
+            events.extend(green_mark(node, 1, 1, 2));
+        }
+        let survivors: BTreeSet<u32> = (0..3).collect();
+        let stats = check_trace(&events, &survivors).unwrap();
+        assert_eq!(stats.green_positions_agreed, 4);
+    }
+
+    #[test]
+    fn conflicting_green_positions_are_caught() {
+        let mut events = Vec::new();
+        events.extend(green_mark(0, 0, 1, 1));
+        events.extend(green_mark(1, 2, 5, 1)); // different action at position 0
+        let err = check_trace(&events, &BTreeSet::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceViolation::GreenOrderConflict { position: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn green_line_must_strictly_increase_within_incarnation() {
+        let events = vec![
+            rec(E::GreenLineAdvance { node: 0, green: 5 }),
+            rec(E::GreenLineAdvance { node: 0, green: 5 }),
+        ];
+        let err = check_trace(&events, &BTreeSet::new()).unwrap_err();
+        assert!(matches!(err, TraceViolation::GreenLineRegression { .. }));
+    }
+
+    #[test]
+    fn crash_resets_incarnation_state() {
+        // Green line drops across a crash/recovery: legal.
+        let events = vec![
+            rec(E::GreenLineAdvance { node: 0, green: 5 }),
+            rec(E::EngineCrashed { node: 0 }),
+            rec(E::EngineRecovered { node: 0, green: 3 }),
+            rec(E::GreenLineAdvance { node: 0, green: 4 }),
+        ];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn recovery_cannot_restore_more_than_was_announced() {
+        let events = vec![
+            rec(E::GreenLineAdvance { node: 0, green: 5 }),
+            rec(E::EngineCrashed { node: 0 }),
+            rec(E::EngineRecovered { node: 0, green: 9 }),
+        ];
+        let err = check_trace(&events, &BTreeSet::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceViolation::RecoveryOvershoot {
+                restored: 9,
+                last_seen: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn color_regression_is_caught_and_reset_by_crash() {
+        let regress = vec![
+            rec(E::ActionOrdered {
+                node: 0,
+                creator: 1,
+                action_seq: 1,
+                color: EventColor::Green,
+            }),
+            rec(E::ActionOrdered {
+                node: 0,
+                creator: 1,
+                action_seq: 1,
+                color: EventColor::Red,
+            }),
+        ];
+        assert!(matches!(
+            check_trace(&regress, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::ColorRegression { .. }
+        ));
+
+        // The same re-announcement after a crash is a legal replay.
+        let with_crash = vec![
+            regress[0].clone(),
+            rec(E::EngineCrashed { node: 0 }),
+            regress[1].clone(),
+        ];
+        check_trace(&with_crash, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn unresolved_yellow_flagged_only_for_survivors() {
+        let events = vec![rec(E::ActionOrdered {
+            node: 2,
+            creator: 0,
+            action_seq: 7,
+            color: EventColor::Yellow,
+        })];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+        let survivors: BTreeSet<u32> = [2].into_iter().collect();
+        assert!(matches!(
+            check_trace(&events, &survivors).unwrap_err(),
+            TraceViolation::UnresolvedYellow {
+                node: 2,
+                creator: 0,
+                action_seq: 7
+            }
+        ));
+    }
+
+    #[test]
+    fn delivery_sender_mismatch_is_caught() {
+        let d = |node, sender| {
+            rec(E::Delivered {
+                node,
+                conf_seq: 3,
+                coordinator: 0,
+                seq: 10,
+                sender,
+                in_transitional: false,
+            })
+        };
+        check_trace(&[d(0, 4), d(1, 4)], &BTreeSet::new()).unwrap();
+        assert!(matches!(
+            check_trace(&[d(0, 4), d(1, 2)], &BTreeSet::new()).unwrap_err(),
+            TraceViolation::DeliveryMismatch { seq: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn delivery_slots_strictly_increase_per_node_and_conf() {
+        let d = |seq| {
+            rec(E::Delivered {
+                node: 0,
+                conf_seq: 3,
+                coordinator: 0,
+                seq,
+                sender: 1,
+                in_transitional: false,
+            })
+        };
+        check_trace(&[d(1), d(2), d(5)], &BTreeSet::new()).unwrap();
+        assert!(matches!(
+            check_trace(&[d(2), d(2)], &BTreeSet::new()).unwrap_err(),
+            TraceViolation::DeliverySeqRegression { .. }
+        ));
+    }
+}

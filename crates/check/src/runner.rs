@@ -1,0 +1,340 @@
+//! Executes one `(seed, perturbation, schedule)` case and classifies the
+//! outcome.
+//!
+//! The run protocol is a faithful port of the original
+//! `reconfig_nemesis` test driver — settle, attach one closed-loop
+//! client per replica, apply one [`Step`] per 400 ms, check safety after
+//! every step, heal, drain, then check convergence — but every assertion
+//! is converted into a typed [`CaseFailure`] so the Explorer can collect
+//! and the Shrinker can minimize failing cases instead of aborting the
+//! process. Engine panics (a protocol-internal `assert!` firing deep in
+//! a handler) are caught and classified as [`FailureKind::Panic`]: for a
+//! checking tool a panic is a *finding*, not a crash.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::{Deserialize, Serialize};
+use todr_core::EngineState;
+use todr_harness::checkers::ConsistencyViolation;
+use todr_harness::client::{ClientConfig, ClosedLoopClient};
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::{MetricsExport, RecordedEvent, SimDuration, TieBreak};
+
+use crate::oracle::{self, TraceStats};
+use crate::schedule::Step;
+
+/// Everything needed to reproduce one case bit-for-bit: the world seed,
+/// the same-instant perturbation index and the fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// The [`todr_sim::World`] seed.
+    pub seed: u64,
+    /// Perturbation index: `0` runs the historical FIFO tie-break,
+    /// `n > 0` runs [`TieBreak::Seeded`]`(n)` — a distinct, replayable
+    /// same-instant interleaving per index.
+    pub perturbation: u64,
+    /// The fault schedule.
+    pub schedule: Vec<Step>,
+}
+
+/// The tie-break policy a perturbation index denotes.
+pub fn tie_break_for(perturbation: u64) -> TieBreak {
+    if perturbation == 0 {
+        TieBreak::Fifo
+    } else {
+        TieBreak::Seeded(perturbation)
+    }
+}
+
+/// Knobs shared by every case of an exploration.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Number of initial replicas.
+    pub n_servers: usize,
+    /// The deliberate engine invariant breakage to inject
+    /// (`chaos-mutations` builds only; used by the mutation self-test).
+    #[cfg(feature = "chaos-mutations")]
+    pub chaos: Option<todr_core::ChaosMutation>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            n_servers: 5,
+            #[cfg(feature = "chaos-mutations")]
+            chaos: None,
+        }
+    }
+}
+
+/// What a passing case established. For a fixed [`CaseSpec`] this struct
+/// (including the serialized metrics) is byte-identical across runs —
+/// the determinism contract the replay tests pin down.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CasePass {
+    /// Raw node indices of the surviving replicas.
+    pub survivors: Vec<u32>,
+    /// The green count every survivor converged to.
+    pub green_count: u64,
+    /// The database digest every survivor converged to.
+    pub db_digest: u64,
+    /// Green positions the trace oracle cross-checked.
+    pub green_positions_agreed: u64,
+    /// Compact deterministic JSON of the world's metrics export.
+    pub metrics_json: String,
+}
+
+/// Classification of a failing case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The initial primary component never formed.
+    Settle,
+    /// A step-by-step state invariant broke
+    /// ([`todr_harness::checkers`]).
+    Consistency,
+    /// A whole-history property broke ([`crate::oracle`]).
+    TraceOracle,
+    /// The healed cluster did not converge (survivor count, primary
+    /// membership, green counts or database digests).
+    Convergence,
+    /// A protocol-internal assertion fired (engine/EVS panic).
+    Panic,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::Settle => "settle",
+            FailureKind::Consistency => "consistency",
+            FailureKind::TraceOracle => "trace-oracle",
+            FailureKind::Convergence => "convergence",
+            FailureKind::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failing case: what broke, plus enough context to debug it.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// What class of property broke.
+    pub kind: FailureKind,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The most recent typed protocol events, oldest first (empty when
+    /// the failure was a panic that consumed the world).
+    pub event_tail: Vec<RecordedEvent>,
+    /// The metrics export at failure time, when the world survived long
+    /// enough to snapshot it.
+    pub metrics: Option<MetricsExport>,
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+/// How many trailing protocol events a [`CaseFailure`] carries.
+pub const EVENT_TAIL: usize = 32;
+
+fn fail(cluster: &Cluster, kind: FailureKind, message: String) -> Box<CaseFailure> {
+    let events = cluster.world.metrics().events();
+    let tail_from = events.len().saturating_sub(EVENT_TAIL);
+    Box::new(CaseFailure {
+        kind,
+        message,
+        event_tail: events[tail_from..].to_vec(),
+        metrics: Some(cluster.metrics_export()),
+    })
+}
+
+fn consistency_fail(cluster: &Cluster, v: ConsistencyViolation) -> Box<CaseFailure> {
+    Box::new(CaseFailure {
+        kind: FailureKind::Consistency,
+        message: v.error.to_string(),
+        event_tail: v.recent_events,
+        metrics: Some(cluster.metrics_export()),
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one case to completion, converting every property violation —
+/// including protocol-internal panics — into a [`CaseFailure`].
+///
+/// Deterministic: the same `(spec, options)` always produces the same
+/// result, byte for byte.
+pub fn run_case(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box<CaseFailure>> {
+    match catch_unwind(AssertUnwindSafe(|| run_case_inner(spec, options))) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(Box::new(CaseFailure {
+            kind: FailureKind::Panic,
+            message: panic_message(payload),
+            event_tail: Vec::new(),
+            metrics: None,
+        })),
+    }
+}
+
+fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box<CaseFailure>> {
+    let n = options.n_servers;
+    let builder =
+        ClusterConfig::builder(n as u32, spec.seed).tie_break(tie_break_for(spec.perturbation));
+    #[cfg(feature = "chaos-mutations")]
+    let builder = builder.chaos(options.chaos);
+    let config = builder.build().expect("runner config is coherent");
+    let mut cluster = Cluster::build(config);
+    if let Err(e) = cluster.try_settle() {
+        return Err(fail(&cluster, FailureKind::Settle, e.to_string()));
+    }
+    for i in 0..n {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_millis(400));
+
+    // Legality guards, re-applied here (not trusted from the generator)
+    // so arbitrary subsequences and deserialized schedules stay valid.
+    let mut crashed = vec![false; n];
+    let mut left = vec![false; n];
+    let mut joins = 0usize;
+    let mut leaves = 0usize;
+
+    for step in &spec.schedule {
+        match *step {
+            Step::Split { cut } => {
+                let cut = cut.clamp(1, n.saturating_sub(1));
+                // Partition only the original indices; later joiners
+                // ride with the first group.
+                let mut a: Vec<usize> = (0..cut).collect();
+                a.extend(n..cluster.servers.len());
+                let b: Vec<usize> = (cut..n).collect();
+                cluster.partition(&[a, b]);
+            }
+            Step::Merge => cluster.merge_all(),
+            Step::Crash { server } => {
+                if server < n && !crashed[server] && !left[server] {
+                    crashed[server] = true;
+                    cluster.crash(server);
+                }
+            }
+            Step::Recover { server } => {
+                if server < n && crashed[server] {
+                    crashed[server] = false;
+                    cluster.recover(server);
+                }
+            }
+            Step::Join { via } => {
+                // At most 2 joiners; the representative must be healthy.
+                if via < n && joins < 2 && !crashed[via] && !left[via] {
+                    cluster.add_joiner(via);
+                    joins += 1;
+                }
+            }
+            Step::Leave { server } => {
+                // At most one permanent leave, and never of a crashed
+                // server (administrative removal is tested elsewhere).
+                if server < n && leaves == 0 && !crashed[server] && !left[server] {
+                    left[server] = true;
+                    leaves += 1;
+                    cluster.leave(server);
+                }
+            }
+            Step::Quiet => {}
+        }
+        cluster.run_for(SimDuration::from_millis(400));
+        if let Err(v) = cluster.try_check_consistency() {
+            return Err(consistency_fail(&cluster, *v));
+        }
+    }
+
+    // Heal: reconnect and recover everyone entitled to return.
+    cluster.merge_all();
+    for i in 0..n {
+        if crashed[i] && !left[i] {
+            cluster.recover(i);
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(6));
+    for c in cluster.clients().to_vec() {
+        cluster
+            .world
+            .with_actor(c.actor_id(), |cl: &mut ClosedLoopClient| cl.stop());
+    }
+    cluster.run_for(SimDuration::from_secs(4));
+    if let Err(v) = cluster.try_check_consistency() {
+        return Err(consistency_fail(&cluster, *v));
+    }
+
+    // Convergence over the surviving membership: every non-departed
+    // server is a primary member with the same green sequence and
+    // database.
+    let survivors: Vec<usize> = (0..cluster.servers.len())
+        .filter(|&i| cluster.engine_state(i) != EngineState::Down)
+        .collect();
+    if survivors.len() < 2 {
+        return Err(fail(
+            &cluster,
+            FailureKind::Convergence,
+            format!("only {} survivors after heal", survivors.len()),
+        ));
+    }
+    let g0 = cluster.green_count(survivors[0]);
+    let d0 = cluster.db_digest(survivors[0]);
+    for &i in &survivors {
+        let state = cluster.engine_state(i);
+        if state != EngineState::RegPrim {
+            return Err(fail(
+                &cluster,
+                FailureKind::Convergence,
+                format!("survivor {i} in state {state:?} after heal, not RegPrim"),
+            ));
+        }
+        let g = cluster.green_count(i);
+        if g != g0 {
+            return Err(fail(
+                &cluster,
+                FailureKind::Convergence,
+                format!("survivor {i} green count {g} != {g0}"),
+            ));
+        }
+        let d = cluster.db_digest(i);
+        if d != d0 {
+            return Err(fail(
+                &cluster,
+                FailureKind::Convergence,
+                format!("survivor {i} database digest diverged"),
+            ));
+        }
+    }
+
+    // Whole-history oracles over the typed event log.
+    let survivor_nodes: BTreeSet<u32> = survivors
+        .iter()
+        .map(|&i| cluster.servers[i].node.index())
+        .collect();
+    let stats: TraceStats =
+        match oracle::check_trace(cluster.world.metrics().events(), &survivor_nodes) {
+            Ok(stats) => stats,
+            Err(v) => {
+                return Err(fail(&cluster, FailureKind::TraceOracle, v.to_string()));
+            }
+        };
+
+    Ok(CasePass {
+        survivors: survivor_nodes.into_iter().collect(),
+        green_count: g0,
+        db_digest: d0,
+        green_positions_agreed: stats.green_positions_agreed,
+        metrics_json: cluster.metrics_export().to_json(),
+    })
+}

@@ -1,0 +1,130 @@
+//! The fault-schedule vocabulary and its randomized generator.
+//!
+//! A schedule is a list of [`Step`]s applied to a running cluster with a
+//! fixed cadence (one step per 400 ms of virtual time, matching the
+//! original nemesis test). Steps are plain data — serializable, so a
+//! failing schedule can be written to a counterexample artifact and
+//! replayed bit-for-bit later — and *permissive*: the runner re-applies
+//! the legality guards (at most two joins, one leave, no crash of a
+//! departed server, ...), so **any subsequence of a valid schedule is a
+//! valid schedule**. That closure property is what makes delta-debugging
+//! shrinking ([`crate::shrink`]) sound.
+
+use serde::{Deserialize, Serialize};
+use todr_sim::SimRng;
+
+/// One fault-injection step applied to the cluster.
+///
+/// Server values index the *original* replica set `0..n`; replicas added
+/// by [`Step::Join`] ride with the first partition group and are never
+/// crashed or removed (mirroring the nemesis test this vocabulary was
+/// lifted from).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Partition the original replicas into `[0, cut)` and `[cut, n)`;
+    /// later joiners side with the first group.
+    Split {
+        /// The boundary index (clamped to `1..n` by the runner).
+        cut: usize,
+    },
+    /// Reconnect all partitions.
+    Merge,
+    /// Crash a server (volatile state lost; stable storage survives).
+    Crash {
+        /// The server to crash (no-op if already crashed or departed).
+        server: usize,
+    },
+    /// Recover a crashed server from its stable storage.
+    Recover {
+        /// The server to recover (no-op unless currently crashed).
+        server: usize,
+    },
+    /// Bootstrap a brand-new replica online via `PERSISTENT_JOIN`.
+    Join {
+        /// The existing member to use as representative (no-op if it is
+        /// crashed or departed, or two joins already happened).
+        via: usize,
+    },
+    /// Permanently remove a server via `PERSISTENT_LEAVE`.
+    Leave {
+        /// The server to remove (no-op if crashed, departed, or a leave
+        /// already happened).
+        server: usize,
+    },
+    /// Let the cluster run undisturbed for one step interval.
+    Quiet,
+}
+
+/// Draws a random schedule of 1–6 steps for an `n`-server cluster.
+///
+/// The weighted step distribution (splits and merges most likely, leaves
+/// rarest) and the **exact RNG draw order** mirror the original
+/// `reconfig_nemesis` generator, so a given `SimRng` stream produces the
+/// same schedules it always did.
+pub fn generate_schedule(rng: &mut SimRng, n: usize) -> Vec<Step> {
+    let len = (1 + rng.gen_range(6)) as usize;
+    (0..len)
+        .map(|_| match rng.gen_range(15) {
+            0..=2 => Step::Split {
+                cut: (1 + rng.gen_range(n as u64 - 1)) as usize,
+            },
+            3..=5 => Step::Merge,
+            6..=7 => Step::Crash {
+                server: rng.gen_range(n as u64) as usize,
+            },
+            8..=9 => Step::Recover {
+                server: rng.gen_range(n as u64) as usize,
+            },
+            10..=11 => Step::Join {
+                via: rng.gen_range(n as u64) as usize,
+            },
+            12 => Step::Leave {
+                server: rng.gen_range(n as u64) as usize,
+            },
+            _ => Step::Quiet,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_bounded_and_deterministic() {
+        let mut a = SimRng::new(0x5EED);
+        let mut b = SimRng::new(0x5EED);
+        for _ in 0..50 {
+            let sa = generate_schedule(&mut a, 5);
+            let sb = generate_schedule(&mut b, 5);
+            assert_eq!(sa, sb);
+            assert!((1..=6).contains(&sa.len()));
+            for step in &sa {
+                match *step {
+                    Step::Split { cut } => assert!((1..5).contains(&cut)),
+                    Step::Crash { server } | Step::Recover { server } | Step::Leave { server } => {
+                        assert!(server < 5)
+                    }
+                    Step::Join { via } => assert!(via < 5),
+                    Step::Merge | Step::Quiet => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steps_round_trip_through_json() {
+        let schedule = vec![
+            Step::Split { cut: 3 },
+            Step::Merge,
+            Step::Crash { server: 1 },
+            Step::Recover { server: 1 },
+            Step::Join { via: 0 },
+            Step::Leave { server: 4 },
+            Step::Quiet,
+        ];
+        let json = serde::json::to_string(&schedule).unwrap();
+        let back: Vec<Step> = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, schedule);
+    }
+}

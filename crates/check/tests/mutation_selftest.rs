@@ -1,0 +1,66 @@
+//! Mutation self-test: prove the checking oracles have teeth.
+//!
+//! The engine is compiled (under the `chaos-mutations` feature only)
+//! with a deliberate invariant breakage — `PrematureGreen` marks
+//! transitionally-delivered actions green immediately instead of
+//! yellow, precisely the unsafe shortcut §3's yellow color exists to
+//! prevent. The Explorer must catch it on a small sweep and shrink the
+//! counterexample to a handful of steps. If every oracle stayed silent
+//! here, the checker would be decorative.
+#![cfg(feature = "chaos-mutations")]
+
+use todr_check::{explore, ExploreConfig, RunOptions};
+use todr_core::ChaosMutation;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug profile; run with --release"
+)]
+fn explorer_catches_premature_green_and_shrinks_it() {
+    let config = ExploreConfig {
+        seed_start: 0,
+        seed_count: 4,
+        perturbations: 1,
+        shrink: true,
+        options: RunOptions {
+            chaos: Some(ChaosMutation::PrematureGreen),
+            ..RunOptions::default()
+        },
+    };
+    let report = explore(&config, |seed, pert, passed| {
+        eprintln!(
+            "seed {seed} pert {pert}: {}",
+            if passed { "ok" } else { "FAIL" }
+        );
+    });
+    assert!(
+        !report.failures.is_empty(),
+        "the mutated engine passed every oracle — the checker is blind"
+    );
+    for ce in &report.failures {
+        eprintln!(
+            "counterexample: seed {} pert {} kind {} schedule {:?}",
+            ce.world_seed, ce.perturbation, ce.kind, ce.schedule
+        );
+    }
+    // Delta debugging must reduce at least one finding to a short,
+    // human-readable schedule.
+    let min_len = report
+        .failures
+        .iter()
+        .map(|ce| ce.schedule.len())
+        .min()
+        .expect("non-empty");
+    assert!(
+        min_len <= 4,
+        "no counterexample shrank below 5 steps (min {min_len})"
+    );
+    // Counterexamples must be replayable: the artifact alone reproduces
+    // the identical failure classification.
+    let ce = &report.failures[0];
+    let replayed = ce
+        .replay(&config.options)
+        .expect_err("replaying a counterexample must fail again");
+    assert_eq!(replayed.kind, ce.kind);
+}

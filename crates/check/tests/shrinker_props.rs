@@ -1,0 +1,124 @@
+//! Properties of the delta-debugging shrinker, checked over synthetic
+//! predicates where the ground-truth minimum is known by construction.
+//!
+//! Using synthetic predicates keeps these properties exhaustive and
+//! fast; the end-to-end pairing with the real runner is covered by
+//! `explorer_smoke.rs` and (under `chaos-mutations`) the mutation
+//! self-test.
+
+use todr_check::ddmin;
+use todr_sim::SimRng;
+
+/// A predicate that "fails" iff every element of `culprits` is present —
+/// the monotone case ddmin is exact for.
+fn superset_pred(culprits: &[u32]) -> impl FnMut(&[u32]) -> bool + '_ {
+    move |candidate| culprits.iter().all(|c| candidate.contains(c))
+}
+
+#[test]
+fn shrinks_to_exactly_the_culprit_set() {
+    for seed in 0..50u64 {
+        let mut rng = SimRng::new(seed);
+        let len = (4 + rng.gen_range(28)) as usize;
+        let input: Vec<u32> = (0..len as u32).collect();
+        // 1..=4 distinct culprits scattered through the input.
+        let n_culprits = (1 + rng.gen_range(4)) as usize;
+        let mut culprits: Vec<u32> = Vec::new();
+        while culprits.len() < n_culprits {
+            let c = rng.gen_range(len as u64) as u32;
+            if !culprits.contains(&c) {
+                culprits.push(c);
+            }
+        }
+        culprits.sort_unstable();
+        let shrunk = ddmin(&input, superset_pred(&culprits));
+        assert_eq!(
+            shrunk, culprits,
+            "seed {seed}: monotone predicate must shrink to its culprits"
+        );
+    }
+}
+
+#[test]
+fn shrinking_is_deterministic() {
+    let input: Vec<u32> = (0..40).collect();
+    let culprits = [3, 17, 33];
+    let a = ddmin(&input, superset_pred(&culprits));
+    let b = ddmin(&input, superset_pred(&culprits));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn result_never_grows_and_preserves_order() {
+    for seed in 0..50u64 {
+        let mut rng = SimRng::new(seed);
+        let len = (1 + rng.gen_range(40)) as usize;
+        let input: Vec<u32> = (0..len as u32).rev().collect(); // descending
+        let threshold = rng.gen_range(1 + len as u64) as usize;
+        // Fails when at least `threshold` elements remain (cardinality
+        // predicate — non-monotone in element identity, still valid).
+        let shrunk = ddmin(&input, |c: &[u32]| c.len() >= threshold);
+        assert!(shrunk.len() <= input.len(), "seed {seed}: grew");
+        // Result is a subsequence of the input.
+        let mut it = input.iter();
+        for s in &shrunk {
+            assert!(
+                it.any(|x| x == s),
+                "seed {seed}: {shrunk:?} is not a subsequence of {input:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shrunk_input_still_fails() {
+    for seed in 0..50u64 {
+        let mut rng = SimRng::new(seed);
+        let len = (2 + rng.gen_range(30)) as usize;
+        let input: Vec<u32> = (0..len as u32).collect();
+        // An adversarial, non-monotone predicate: fails when the sum of
+        // the candidate is divisible by k (k > 1), or when a fixed
+        // element is present.
+        let k = 2 + rng.gen_range(5);
+        let marker = rng.gen_range(len as u64) as u32;
+        let mut pred = move |c: &[u32]| {
+            c.iter().map(|&x| u64::from(x)).sum::<u64>() % k == 0 || c.contains(&marker)
+        };
+        if !pred(&input) {
+            continue; // predicate does not fail on the full input
+        }
+        let shrunk = ddmin(&input, &mut pred);
+        assert!(
+            pred(&shrunk),
+            "seed {seed}: shrunk candidate {shrunk:?} no longer fails"
+        );
+    }
+}
+
+#[test]
+fn result_is_one_minimal() {
+    for seed in 0..30u64 {
+        let mut rng = SimRng::new(seed);
+        let len = (2 + rng.gen_range(20)) as usize;
+        let input: Vec<u32> = (0..len as u32).collect();
+        let k = 2 + rng.gen_range(4);
+        let marker = rng.gen_range(len as u64) as u32;
+        let mut pred = move |c: &[u32]| {
+            !c.is_empty()
+                && (c.iter().map(|&x| u64::from(x)).sum::<u64>() % k == 0 || c.contains(&marker))
+        };
+        if !pred(&input) {
+            continue;
+        }
+        let shrunk = ddmin(&input, &mut pred);
+        // 1-minimality: removing any single element makes it pass.
+        for i in 0..shrunk.len() {
+            let mut smaller = shrunk.clone();
+            smaller.remove(i);
+            assert!(
+                !pred(&smaller),
+                "seed {seed}: dropping element {i} of {shrunk:?} still fails — not 1-minimal"
+            );
+        }
+    }
+}

@@ -156,6 +156,11 @@ pub struct ReplicationEngine {
     stashed: BTreeMap<ActionId, Action>,
     green_lines: BTreeMap<NodeId, u64>,
     server_set: BTreeSet<NodeId>,
+    /// Servers whose `PERSISTENT_LEAVE` this engine has marked green in
+    /// its current run. Volatile (cleared on crash): a departed server
+    /// never re-enters a view, so the set only matters for the one
+    /// install that races a leave going green mid-installation.
+    departed_servers: BTreeSet<NodeId>,
     prim_component: PrimComponent,
     attempt_index: u64,
     vulnerable: VulnerableRecord,
@@ -228,6 +233,7 @@ impl ReplicationEngine {
             stashed: BTreeMap::new(),
             green_lines: BTreeMap::new(),
             server_set,
+            departed_servers: BTreeSet::new(),
             prim_component,
             attempt_index: 0,
             vulnerable: VulnerableRecord::invalid(),
@@ -704,6 +710,17 @@ impl ReplicationEngine {
         }
         self.server_set.remove(&leaver);
         self.green_lines.remove(&leaver);
+        self.departed_servers.insert(leaver);
+        // Discount the leaver from the quorum base so the next primary
+        // does not need a majority the departed member can no longer
+        // help form (capped at one per incarnation — see
+        // `PrimComponent::note_departure` for the safety argument).
+        if self.prim_component.note_departure(leaver) {
+            ctx.trace(
+                "engine",
+                format!("{leaver} discounted from the primary quorum base"),
+            );
+        }
         self.persist_membership_records();
         ctx.trace("engine", format!("{} left the replica set", leaver));
         if leaver == self.cfg.me {
@@ -1319,6 +1336,19 @@ impl ReplicationEngine {
         self.prim_component.prim_index += 1;
         self.prim_component.attempt_index = self.attempt_index;
         self.prim_component.servers = self.vulnerable.set.clone();
+        // The install re-bases the quorum membership. A member whose
+        // leave went green during this very installation (via the
+        // yellow/red conversion above) is still a view member, so it
+        // lands in `servers` — but it exits the moment the install
+        // completes and must not count toward future quorums. This is
+        // agreed state: all members green the identical yellow/red sets
+        // here, so they bake the identical discount.
+        self.prim_component.departed = self
+            .prim_component
+            .servers
+            .intersection(&self.departed_servers)
+            .copied()
+            .collect();
         self.attempt_index = 0;
         // OR-2: remaining red actions, ordered by action id.
         let reds: Vec<ActionId> = self.red_set.iter().copied().collect();
@@ -1404,6 +1434,14 @@ impl ReplicationEngine {
                 // Delivered in the transitional configuration of the
                 // primary: order known, survival unknown.
                 self.state = EngineState::TransPrim;
+                #[cfg(feature = "chaos-mutations")]
+                if self.cfg.chaos == Some(crate::types::ChaosMutation::PrematureGreen) {
+                    // Injected bug: green without next-primary
+                    // knowledge. The yellow color exists precisely
+                    // because this is unsafe.
+                    self.mark_green(ctx, &action);
+                    return;
+                }
                 self.mark_yellow(ctx, &action);
             }
             EngineState::NonPrim | EngineState::ExchangeStates | EngineState::ExchangeActions => {
@@ -1544,6 +1582,9 @@ impl ReplicationEngine {
 
     fn crash(&mut self, ctx: &mut Ctx<'_>) {
         ctx.trace("engine", format!("{} crashed", self.cfg.me));
+        ctx.emit(ProtocolEvent::EngineCrashed {
+            node: self.cfg.me.index(),
+        });
         self.store.crash();
         self.state = EngineState::Down;
         self.actions.clear();
@@ -1555,6 +1596,7 @@ impl ReplicationEngine {
         self.red_cut.clear();
         self.stashed.clear();
         self.green_lines.clear();
+        self.departed_servers.clear();
         self.db = Database::new();
         self.dirty_db = None;
         self.conf = None;
@@ -1636,6 +1678,10 @@ impl ReplicationEngine {
                 self.vulnerable.valid
             ),
         );
+        ctx.emit(ProtocolEvent::EngineRecovered {
+            node: self.cfg.me.index(),
+            green: self.green_count,
+        });
     }
 
     /// CodeSegment 5.2: the joining site's bootstrap.

@@ -67,3 +67,6 @@ pub use types::{
     ClientReply, ClientRequest, Color, EngineConfig, EngineCtl, EngineStats, RequestId,
     TransferWire,
 };
+
+#[cfg(feature = "chaos-mutations")]
+pub use types::ChaosMutation;

@@ -52,6 +52,12 @@ pub struct PrimComponent {
     pub attempt_index: u64,
     /// Its members.
     pub servers: BTreeSet<NodeId>,
+    /// Members whose green `PERSISTENT_LEAVE` is known, and who are
+    /// therefore discounted from the quorum base (see
+    /// [`quorum_base`](Self::quorum_base)). Departures noted after the
+    /// install are capped at one per incarnation — the bound the safety
+    /// argument of [`note_departure`](Self::note_departure) needs.
+    pub departed: BTreeSet<NodeId>,
 }
 
 impl PrimComponent {
@@ -62,6 +68,7 @@ impl PrimComponent {
             prim_index: 0,
             attempt_index: 0,
             servers: servers.into_iter().collect(),
+            departed: BTreeSet::new(),
         }
     }
 
@@ -69,6 +76,45 @@ impl PrimComponent {
     /// up-to-date server during exchange.
     pub fn version(&self) -> (u64, u64) {
         (self.prim_index, self.attempt_index)
+    }
+
+    /// The membership that quorums are computed against: the installed
+    /// members minus those whose permanent leave has been ordered.
+    pub fn quorum_base(&self) -> BTreeSet<NodeId> {
+        self.servers.difference(&self.departed).copied().collect()
+    }
+
+    /// Discounts `leaver` from the quorum base after its
+    /// `PERSISTENT_LEAVE` was marked green, if the safety cap allows it.
+    ///
+    /// Without this, a primary that green-orders the leave of one of its
+    /// own members can wedge forever: the next primary needs a majority
+    /// of the *old* membership, which the departed member can no longer
+    /// help form.
+    ///
+    /// Shrinking the base is only sound because it is capped at **one
+    /// asymmetric departure per incarnation**: green marks are a prefix
+    /// of one global order, so the *first* leaver greened after an
+    /// install is unique — every server that shrinks at all discounts
+    /// the same member. A component that has not yet learned the leave
+    /// competes with the full base, and disjoint subsets of an
+    /// `n`-member base cannot hold both a majority of `n` (at least
+    /// `⌊n/2⌋+1` members) and a majority of `n-1` (at least
+    /// `⌊(n-1)/2⌋+1` members, none of them the leaver): together that
+    /// needs `n+1` distinct members even if the stale side counts the
+    /// leaver itself. With two or more asymmetric departures the
+    /// analogous bound fails (majorities of `n` and `n-2` *can* be
+    /// disjoint), so further leaves wait for the next install, which
+    /// re-bases membership symmetrically.
+    ///
+    /// Returns whether the base shrank.
+    pub fn note_departure(&mut self, leaver: NodeId) -> bool {
+        if self.servers.contains(&leaver) && self.departed.is_empty() {
+            self.departed.insert(leaver);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -158,9 +204,9 @@ pub fn is_weighted_quorum(
     weights: &BTreeMap<NodeId, u64>,
 ) -> bool {
     let weight = |n: &NodeId| weights.get(n).copied().unwrap_or(1);
-    let total: u64 = last_prim.servers.iter().map(weight).sum();
-    let present: u64 = last_prim
-        .servers
+    let base = last_prim.quorum_base();
+    let total: u64 = base.iter().map(weight).sum();
+    let present: u64 = base
         .iter()
         .filter(|n| conf_members.contains(n))
         .map(weight)
@@ -214,12 +260,22 @@ pub fn compute_knowledge(inputs: &[KnowledgeInput]) -> Knowledge {
         .map(|i| i.prim_component.version())
         .max()
         .expect("non-empty");
-    let prim_component = inputs
+    let mut prim_component = inputs
         .iter()
         .find(|i| i.prim_component.version() == best_version)
         .expect("non-empty")
         .prim_component
         .clone();
+    // Same-version reporters agree on the installed membership but may
+    // differ on whether the (unique) first post-install departure has
+    // been greened locally yet; the union propagates it.
+    for i in inputs {
+        if i.prim_component.version() == best_version {
+            prim_component
+                .departed
+                .extend(i.prim_component.departed.iter().copied());
+        }
+    }
     let updated_group: BTreeSet<NodeId> = inputs
         .iter()
         .filter(|i| i.prim_component.version() == best_version)
@@ -332,6 +388,7 @@ mod tests {
             prim_index,
             attempt_index: attempt,
             servers: ns(servers),
+            departed: BTreeSet::new(),
         }
     }
 
@@ -403,6 +460,77 @@ mod tests {
         }
     }
 
+    #[test]
+    fn departed_member_is_discounted_from_the_base() {
+        // The wedge the explorer found: last primary {3,4}, then 4's
+        // PERSISTENT_LEAVE goes green. Without the discount, server 3
+        // can never again assemble a majority of {3,4}.
+        let mut last = prim(3, 1, &[3, 4]);
+        assert!(!is_weighted_quorum(
+            &[n(0), n(1), n(2), n(3)],
+            &last,
+            &BTreeMap::new()
+        ));
+        assert!(last.note_departure(n(4)));
+        assert_eq!(last.quorum_base(), ns(&[3]));
+        assert!(is_weighted_quorum(
+            &[n(0), n(1), n(2), n(3)],
+            &last,
+            &BTreeMap::new()
+        ));
+        // A component without the surviving member still has no quorum.
+        assert!(!is_weighted_quorum(&[n(0), n(1)], &last, &BTreeMap::new()));
+    }
+
+    #[test]
+    fn at_most_one_departure_per_incarnation() {
+        let mut last = prim(3, 1, &[0, 1, 2, 3, 4]);
+        assert!(last.note_departure(n(4)));
+        assert!(!last.note_departure(n(3)), "second departure must wait");
+        assert_eq!(last.quorum_base(), ns(&[0, 1, 2, 3]));
+        // Repeating the same (already noted) leaver changes nothing.
+        assert!(!last.note_departure(n(4)));
+    }
+
+    #[test]
+    fn departure_of_a_non_member_is_ignored() {
+        let mut last = prim(3, 1, &[0, 1, 2]);
+        assert!(!last.note_departure(n(9)));
+        assert_eq!(last.quorum_base(), ns(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn stale_and_shrunk_quorums_always_intersect() {
+        // The safety bound behind the one-departure cap: a component
+        // that knows the leave (base S \ {l}) and one that does not
+        // (base S) can never both reach quorum from disjoint member
+        // sets — even when the stale side counts the leaver itself.
+        let all: Vec<NodeId> = (0..5).map(n).collect();
+        let full = prim(1, 1, &[0, 1, 2, 3, 4]);
+        let mut shrunk = prim(1, 1, &[0, 1, 2, 3, 4]);
+        assert!(shrunk.note_departure(n(4)));
+        for mask in 0u32..32 {
+            let side_a: Vec<NodeId> = all
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect();
+            let side_b: Vec<NodeId> = all
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) == 0)
+                .map(|(_, &x)| x)
+                .collect();
+            let qa = is_weighted_quorum(&side_a, &full, &BTreeMap::new());
+            let qb = is_weighted_quorum(&side_b, &shrunk, &BTreeMap::new());
+            assert!(
+                !(qa && qb),
+                "split {mask:#07b}: stale side and shrunk side both got quorum"
+            );
+        }
+    }
+
     // ---- compute_knowledge ----
 
     #[test]
@@ -423,6 +551,20 @@ mod tests {
         let k = compute_knowledge(&inputs);
         assert_eq!(k.prim_component.attempt_index, 2);
         assert_eq!(k.updated_group, ns(&[1]));
+    }
+
+    #[test]
+    fn knowledge_merges_the_departure_across_reporters() {
+        // Server 1 has greened the leave of 4 already; server 0 has not.
+        // Both report the same installed primary; the exchange must
+        // propagate the (unique) departure to the adopted component.
+        let mut knows = prim(3, 1, &[3, 4]);
+        assert!(knows.note_departure(n(4)));
+        let inputs = vec![input(0, prim(3, 1, &[3, 4])), input(1, knows)];
+        let k = compute_knowledge(&inputs);
+        assert_eq!(k.prim_component.departed, ns(&[4]));
+        assert_eq!(k.prim_component.quorum_base(), ns(&[3]));
+        assert_eq!(k.updated_group, ns(&[0, 1]));
     }
 
     #[test]

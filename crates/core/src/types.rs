@@ -145,6 +145,23 @@ pub enum TransferWire {
     },
 }
 
+/// A deliberate, compile-time-gated invariant breakage used by the
+/// `todr-check` mutation self-test to prove the checking oracles have
+/// teeth. Only exists under the `chaos-mutations` feature; release
+/// builds cannot even construct one.
+#[cfg(feature = "chaos-mutations")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMutation {
+    /// Mark actions delivered in a *transitional* configuration green
+    /// immediately instead of yellow — i.e. advance the green line
+    /// without knowing whether the next primary component saw the
+    /// action. This is precisely the unsafe shortcut §3's yellow color
+    /// exists to prevent: after a partition the majority side can
+    /// install a primary that orders different actions at the same
+    /// green positions, violating global total order.
+    PrematureGreen,
+}
+
 /// Tuning knobs and identity of a [`ReplicationEngine`](crate::ReplicationEngine).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -172,6 +189,10 @@ pub struct EngineConfig {
     /// compaction (`0` disables; see
     /// [`ReplicationEngine::checkpoint`](crate::ReplicationEngine::checkpoint)).
     pub checkpoint_interval: u64,
+    /// The injected invariant breakage, if any (`chaos-mutations`
+    /// builds only).
+    #[cfg(feature = "chaos-mutations")]
+    pub chaos: Option<ChaosMutation>,
 }
 
 impl EngineConfig {
@@ -186,6 +207,8 @@ impl EngineConfig {
             state_msg_bytes: 256,
             cpc_msg_bytes: 64,
             checkpoint_interval: 1024,
+            #[cfg(feature = "chaos-mutations")]
+            chaos: None,
         }
     }
 }

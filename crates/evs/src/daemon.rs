@@ -362,6 +362,14 @@ impl EvsDaemon {
                     self.stats.delivered_safe += 1;
                     ctx.metrics().incr("evs.delivered_safe", 1);
                 }
+                ctx.emit(ProtocolEvent::Delivered {
+                    node: self.me.index(),
+                    conf_seq: d.conf_id.seq,
+                    coordinator: d.conf_id.coordinator.index(),
+                    seq: d.seq,
+                    sender: d.sender.index(),
+                    in_transitional: d.in_transitional,
+                });
             }
             EvsEvent::RegConf(c) => {
                 ctx.trace("evs", format!("install {c}"));

@@ -35,6 +35,10 @@ pub struct ReplicaView {
     pub db_digest: u64,
     /// The white line (min green line over the server set).
     pub white_line: u64,
+    /// Index of the last primary component this replica installed (or
+    /// adopted); meaningful for the split-brain check only while
+    /// `state` claims primary membership.
+    pub prim_index: u64,
 }
 
 /// A violated safety invariant, as structured data.
@@ -184,6 +188,7 @@ pub fn collect_views(cluster: &mut Cluster) -> Vec<ReplicaView> {
                 green_tail: e.green_tail().to_vec(),
                 db_digest: e.db_digest(),
                 white_line: e.white_line(),
+                prim_index: e.prim_component().prim_index,
             })
         })
         .collect()
@@ -259,16 +264,14 @@ pub fn verify_db_convergence(views: &[ReplicaView]) -> Result<(), ConsistencyErr
 }
 
 /// At most one primary component: the set of servers believing they are
-/// in the primary must agree on a single primary index.
-pub fn verify_single_primary(cluster: &mut Cluster) -> Result<(), ConsistencyError> {
-    let mut prim_indices: Vec<(NodeId, u64)> = Vec::new();
-    for i in 0..cluster.servers.len() {
-        let node = cluster.servers[i].node;
-        let (state, prim) = cluster.with_engine(i, |e| (e.state(), e.prim_component().prim_index));
-        if matches!(state, EngineState::RegPrim | EngineState::TransPrim) {
-            prim_indices.push((node, prim));
-        }
-    }
+/// in the primary must agree on a single primary index. Pure over the
+/// collected views, so offline replay tools can run it too.
+pub fn verify_single_primary(views: &[ReplicaView]) -> Result<(), ConsistencyError> {
+    let prim_indices: Vec<(NodeId, u64)> = views
+        .iter()
+        .filter(|v| matches!(v.state, EngineState::RegPrim | EngineState::TransPrim))
+        .map(|v| (v.node, v.prim_index))
+        .collect();
     for window in prim_indices.windows(2) {
         if window[0].1 != window[1].1 {
             return Err(ConsistencyError::SplitBrain {
@@ -337,8 +340,8 @@ pub fn check_db_convergence(views: &[ReplicaView]) {
 /// # Panics
 ///
 /// Panics on the first violation.
-pub fn check_single_primary(cluster: &mut Cluster) {
-    if let Err(e) = verify_single_primary(cluster) {
+pub fn check_single_primary(views: &[ReplicaView]) {
+    if let Err(e) = verify_single_primary(views) {
         panic!("{e}");
     }
 }
@@ -372,14 +375,14 @@ pub fn try_check_consistency(
             positions_compared: 0,
         });
     }
-    let run = |cluster: &mut Cluster, views: &[ReplicaView]| -> Result<u64, ConsistencyError> {
+    let run = |views: &[ReplicaView]| -> Result<u64, ConsistencyError> {
         let compared = verify_total_order(views)?;
         verify_fifo_order(views)?;
         verify_db_convergence(views)?;
-        verify_single_primary(cluster)?;
+        verify_single_primary(views)?;
         Ok(compared)
     };
-    match run(cluster, &views) {
+    match run(&views) {
         Ok(positions_compared) => Ok(ConsistencyReport {
             replicas_checked: views.len(),
             min_green: views.iter().map(|v| v.green_count).min().unwrap_or(0),
@@ -429,6 +432,7 @@ mod tests {
                 .collect(),
             db_digest: 0,
             white_line: 0,
+            prim_index: 0,
         }
     }
 
@@ -492,6 +496,22 @@ mod tests {
         a.db_digest = 1;
         b.db_digest = 2;
         check_db_convergence(&[a, b]);
+    }
+
+    #[test]
+    fn single_primary_is_pure_over_views() {
+        let mut a = view(0, 0, &[(0, 1)]);
+        let mut b = view(1, 0, &[(0, 1)]);
+        a.state = EngineState::RegPrim;
+        a.prim_index = 3;
+        b.state = EngineState::RegPrim;
+        b.prim_index = 3;
+        check_single_primary(&[a.clone(), b.clone()]);
+        b.prim_index = 4;
+        assert!(matches!(
+            verify_single_primary(&[a, b]),
+            Err(ConsistencyError::SplitBrain { .. })
+        ));
     }
 
     #[test]

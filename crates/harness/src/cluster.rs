@@ -4,7 +4,7 @@
 use todr_core::{EngineConfig, EngineCtl, EngineState, ReplicationEngine};
 use todr_evs::{EvsCmd, EvsConfig, EvsDaemon};
 use todr_net::{NetConfig, NetFabric, NodeId};
-use todr_sim::{ActorId, SimDuration, SimTime, World};
+use todr_sim::{ActorId, SimDuration, SimTime, TieBreak, World};
 use todr_storage::{DiskActor, DiskMode, DiskOp};
 
 use crate::client::{ClientConfig, ClientStats, ClosedLoopClient, StartClient};
@@ -33,6 +33,16 @@ pub struct ClusterConfig {
     pub reliable_links: bool,
     /// Dynamic-linear-voting weights by server index (absent => 1).
     pub weights: std::collections::BTreeMap<u32, u64>,
+    /// Same-instant event ordering policy of the underlying
+    /// [`World`] — [`TieBreak::Fifo`] reproduces historical behavior;
+    /// [`TieBreak::Seeded`] lets schedule-exploration harnesses sweep
+    /// alternative (deterministic, replayable) interleavings.
+    pub tie_break: TieBreak,
+    /// Deliberate engine invariant breakage injected into every server
+    /// (`chaos-mutations` builds only; used by the `todr-check`
+    /// mutation self-test).
+    #[cfg(feature = "chaos-mutations")]
+    pub chaos: Option<todr_core::ChaosMutation>,
 }
 
 impl ClusterConfig {
@@ -51,6 +61,9 @@ impl ClusterConfig {
             ack_delay: SimDuration::from_micros(300),
             reliable_links: false,
             weights: std::collections::BTreeMap::new(),
+            tie_break: TieBreak::Fifo,
+            #[cfg(feature = "chaos-mutations")]
+            chaos: None,
         }
     }
 
@@ -208,6 +221,20 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the same-instant event ordering policy of the world.
+    pub fn tie_break(mut self, tb: TieBreak) -> Self {
+        self.cfg.tie_break = tb;
+        self
+    }
+
+    /// Injects a deliberate engine invariant breakage into every server
+    /// (`chaos-mutations` builds only).
+    #[cfg(feature = "chaos-mutations")]
+    pub fn chaos(mut self, chaos: Option<todr_core::ChaosMutation>) -> Self {
+        self.cfg.chaos = chaos;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<ClusterConfig, InvalidClusterConfig> {
         self.cfg.validate()?;
@@ -288,6 +315,7 @@ impl Cluster {
     pub fn build(config: ClusterConfig) -> Self {
         let mut world = World::new(config.seed);
         world.set_event_limit(500_000_000);
+        world.set_tie_break(config.tie_break);
         let fabric = world.add_actor("net", NetFabric::new(config.net.clone()));
         let nodes: Vec<NodeId> = (0..config.n_servers).map(NodeId::new).collect();
         let mut servers = Vec::new();
@@ -335,6 +363,10 @@ impl Cluster {
         let mut engine_config = EngineConfig::new(node, server_set.to_vec());
         engine_config.cpu_per_action = config.cpu_per_action;
         engine_config.initial_member = initial_member;
+        #[cfg(feature = "chaos-mutations")]
+        {
+            engine_config.chaos = config.chaos;
+        }
         engine_config.weights = config
             .weights
             .iter()

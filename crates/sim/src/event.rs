@@ -93,11 +93,15 @@ impl<T: 'static> IntoPayload for T {
 
 /// A scheduled event in the world's queue.
 ///
-/// Ordering is `(at, seq)`: strictly increasing `seq` values break ties
-/// between events scheduled for the same instant, which makes the execution
+/// Ordering is `(at, tie, seq)`: the `tie` key is assigned by the
+/// world's [`TieBreak`](crate::TieBreak) policy when the event is
+/// pushed (always `0` under FIFO, a deterministic hash of the target
+/// and instant under seeded perturbation), and strictly increasing
+/// `seq` values break the remaining ties, which keeps the execution
 /// order total and deterministic.
 pub(crate) struct QueuedEvent {
     pub at: SimTime,
+    pub tie: u64,
     pub seq: u64,
     pub target: ActorId,
     pub payload: Payload,
@@ -105,7 +109,7 @@ pub(crate) struct QueuedEvent {
 
 impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.tie == other.tie && self.seq == other.seq
     }
 }
 
@@ -120,7 +124,7 @@ impl PartialOrd for QueuedEvent {
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.tie, other.seq).cmp(&(self.at, self.tie, self.seq))
     }
 }
 
@@ -165,6 +169,7 @@ mod tests {
         let mut heap = BinaryHeap::new();
         let ev = |at_ms, seq| QueuedEvent {
             at: SimTime::from_millis(at_ms),
+            tie: 0,
             seq,
             target: ActorId::from_raw(0),
             payload: Payload::new(()),

@@ -10,7 +10,9 @@
 //!   time, so results are exactly reproducible and independent of host
 //!   machine speed;
 //! * an **event queue** with a total, deterministic order (time, then
-//!   insertion sequence);
+//!   insertion sequence), plus a pluggable same-instant [`TieBreak`]
+//!   policy that schedule-exploration harnesses use to sweep
+//!   alternative (still deterministic, replayable) interleavings;
 //! * an **actor registry** ([`World`]): each simulated process (a network
 //!   fabric, a group-communication daemon, a replication server, a client)
 //!   is an [`Actor`] that receives typed payloads through [`Ctx`];
@@ -73,4 +75,4 @@ pub use resource::CpuMeter;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceLevel};
-pub use world::{Ctx, World};
+pub use world::{Ctx, TieBreak, World};

@@ -125,6 +125,39 @@ pub enum ProtocolEvent {
         /// Commit latency in virtual nanoseconds.
         latency_nanos: u64,
     },
+    /// A replication engine lost its volatile state (simulated process
+    /// crash); stable storage survives. Trace oracles use this to reset
+    /// per-incarnation monotonicity tracking.
+    EngineCrashed {
+        /// The crashed replica.
+        node: u32,
+    },
+    /// A replication engine reloaded its state from stable storage.
+    EngineRecovered {
+        /// The recovering replica.
+        node: u32,
+        /// The green count restored from disk — must never exceed the
+        /// green line the replica had reached before the crash.
+        green: u64,
+    },
+    /// The group-communication layer delivered an application message
+    /// in agreed order. Oracles cross-check that all members of a
+    /// configuration deliver the same sender at the same sequence slot.
+    Delivered {
+        /// Reporting replica.
+        node: u32,
+        /// Sequence number of the configuration the message was
+        /// sequenced in.
+        conf_seq: u64,
+        /// Coordinator of that configuration (disambiguates conf ids).
+        coordinator: u32,
+        /// Agreed-order slot within the configuration.
+        seq: u64,
+        /// The node whose daemon originally submitted the message.
+        sender: u32,
+        /// Whether delivery happened in the transitional configuration.
+        in_transitional: bool,
+    },
 }
 
 impl ProtocolEvent {
@@ -141,6 +174,9 @@ impl ProtocolEvent {
             ProtocolEvent::SyncCompleted { .. } => "sync-completed",
             ProtocolEvent::Retransmit { .. } => "retransmit",
             ProtocolEvent::ClientCommit { .. } => "client-commit",
+            ProtocolEvent::EngineCrashed { .. } => "engine-crashed",
+            ProtocolEvent::EngineRecovered { .. } => "engine-recovered",
+            ProtocolEvent::Delivered { .. } => "delivered",
         }
     }
 }

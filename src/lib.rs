@@ -20,6 +20,8 @@
 //! * [`core`] — **the replication engine** (the paper's contribution)
 //! * [`baselines`] — COReL and 2PC
 //! * [`harness`] — clusters, workloads, checkers, experiments
+//! * [`check`] — schedule exploration, trace oracles, counterexample
+//!   shrinking
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub use todr_baselines as baselines;
+pub use todr_check as check;
 pub use todr_core as core;
 pub use todr_db as db;
 pub use todr_evs as evs;

@@ -3,145 +3,24 @@
 //! **online joins and permanent leaves**, under client load. Safety must
 //! hold at every step; after the heal, every replica still in the system
 //! must converge.
+//!
+//! The driver is [`todr::check`]: schedules come from the same
+//! distribution as always (the generator was lifted into
+//! `todr_check::schedule` verbatim, so seed `0x4ec0` still draws the
+//! historical cases), and `run_case` reproduces the original
+//! settle/step/heal/converge protocol while additionally replaying the
+//! typed event log through the whole-history trace oracles.
 
-use todr::core::EngineState;
-use todr::harness::client::ClientConfig;
-use todr::harness::cluster::{Cluster, ClusterConfig};
-use todr::sim::SimDuration;
+use todr::check::{run_case, CaseSpec, RunOptions, Step};
 
-const N: usize = 5;
-
-#[derive(Debug, Clone)]
-enum Step {
-    Split(usize),
-    Merge,
-    Crash(usize),
-    Recover(usize),
-    Join(usize),
-    Leave(usize),
-    Quiet,
-}
-
-fn gen_schedule(rng: &mut todr::sim::SimRng) -> Vec<Step> {
-    let len = (1 + rng.gen_range(6)) as usize;
-    (0..len)
-        .map(|_| {
-            // Weighted choice mirroring the original distribution
-            // (splits and merges most likely, leaves rarest).
-            match rng.gen_range(15) {
-                0..=2 => Step::Split((1 + rng.gen_range(N as u64 - 1)) as usize),
-                3..=5 => Step::Merge,
-                6..=7 => Step::Crash(rng.gen_range(N as u64) as usize),
-                8..=9 => Step::Recover(rng.gen_range(N as u64) as usize),
-                10..=11 => Step::Join(rng.gen_range(N as u64) as usize),
-                12 => Step::Leave(rng.gen_range(N as u64) as usize),
-                _ => Step::Quiet,
-            }
-        })
-        .collect()
-}
-
-fn run_schedule(seed: u64, schedule: &[Step]) {
-    let mut cluster = Cluster::build(ClusterConfig::new(N as u32, seed));
-    cluster.settle();
-    for i in 0..N {
-        cluster.attach_client(i, ClientConfig::default());
-    }
-    cluster.run_for(SimDuration::from_millis(400));
-
-    let mut crashed = [false; N];
-    let mut joins = 0usize;
-    let mut leaves = 0usize;
-    let mut left = [false; N];
-
-    for step in schedule {
-        match step {
-            Step::Split(cut) => {
-                // Partition only the original indices; later joiners ride
-                // with the first group.
-                let mut a: Vec<usize> = (0..*cut).collect();
-                a.extend(N..cluster.servers.len());
-                let b: Vec<usize> = (*cut..N).collect();
-                cluster.partition(&[a, b]);
-            }
-            Step::Merge => cluster.merge_all(),
-            Step::Crash(i) => {
-                if !crashed[*i] && !left[*i] {
-                    crashed[*i] = true;
-                    cluster.crash(*i);
-                }
-            }
-            Step::Recover(i) => {
-                if crashed[*i] {
-                    crashed[*i] = false;
-                    cluster.recover(*i);
-                }
-            }
-            Step::Join(via) => {
-                // At most 2 joiners; the representative must be healthy.
-                if joins < 2 && !crashed[*via] && !left[*via] {
-                    cluster.add_joiner(*via);
-                    joins += 1;
-                }
-            }
-            Step::Leave(i) => {
-                // At most one permanent leave, and never of a crashed
-                // server (administrative removal is tested elsewhere).
-                if leaves == 0 && !crashed[*i] && !left[*i] {
-                    left[*i] = true;
-                    leaves += 1;
-                    cluster.leave(*i);
-                }
-            }
-            Step::Quiet => {}
-        }
-        cluster.run_for(SimDuration::from_millis(400));
-        cluster.check_consistency();
-    }
-
-    // Heal: reconnect and recover everyone who is entitled to return.
-    cluster.merge_all();
-    for (i, c) in crashed.iter().enumerate() {
-        if *c && !left[i] {
-            cluster.recover(i);
-        }
-    }
-    cluster.run_for(SimDuration::from_secs(6));
-    for c in cluster.clients().to_vec() {
-        cluster.world.with_actor(
-            c.actor_id(),
-            |cl: &mut todr::harness::client::ClosedLoopClient| cl.stop(),
-        );
-    }
-    cluster.run_for(SimDuration::from_secs(4));
-    cluster.check_consistency();
-
-    // Liveness over the surviving membership: every non-departed server
-    // is a primary member with the same green sequence and database.
-    let survivors: Vec<usize> = (0..cluster.servers.len())
-        .filter(|&i| cluster.engine_state(i) != EngineState::Down)
-        .collect();
-    assert!(
-        survivors.len() >= 2,
-        "schedule {schedule:?} left fewer than 2 survivors"
-    );
-    let g0 = cluster.green_count(survivors[0]);
-    for &i in &survivors {
-        assert_eq!(
-            cluster.engine_state(i),
-            EngineState::RegPrim,
-            "survivor {i} not primary after heal ({schedule:?})"
-        );
-        assert_eq!(
-            cluster.green_count(i),
-            g0,
-            "survivor {i} did not converge ({schedule:?})"
-        );
-        assert_eq!(
-            cluster.db_digest(i),
-            cluster.db_digest(survivors[0]),
-            "survivor {i} database diverged"
-        );
+fn run(seed: u64, schedule: &[Step]) {
+    let spec = CaseSpec {
+        seed,
+        perturbation: 0, // the historical FIFO interleaving
+        schedule: schedule.to_vec(),
+    };
+    if let Err(failure) = run_case(&spec, &RunOptions::default()) {
+        panic!("seed {seed} schedule {schedule:?} failed: {failure}");
     }
 }
 
@@ -150,27 +29,58 @@ fn reconfiguration_under_random_nemesis() {
     let mut rng = todr::sim::SimRng::new(0x4ec0);
     for case in 0..12 {
         let seed = rng.gen_range(1_000_000);
-        let schedule = gen_schedule(&mut rng);
+        let schedule = todr::check::generate_schedule(&mut rng, 5);
         eprintln!("case {case}: seed={seed} schedule={schedule:?}");
-        run_schedule(seed, &schedule);
+        run(seed, &schedule);
     }
 }
 
 #[test]
 fn regression_join_then_partition_then_leave() {
-    run_schedule(
+    run(
         7,
         &[
-            Step::Join(0),
-            Step::Split(3),
-            Step::Leave(4),
+            Step::Join { via: 0 },
+            Step::Split { cut: 3 },
+            Step::Leave { server: 4 },
             Step::Merge,
-            Step::Join(1),
+            Step::Join { via: 1 },
         ],
     );
 }
 
 #[test]
 fn regression_crash_representative_mid_join() {
-    run_schedule(8, &[Step::Join(2), Step::Crash(2), Step::Recover(2)]);
+    run(
+        8,
+        &[
+            Step::Join { via: 2 },
+            Step::Crash { server: 2 },
+            Step::Recover { server: 2 },
+        ],
+    );
+}
+
+/// Found by `todr::check::explore` (explorer seed 0): a permanent leave
+/// of a member of a *two-server* primary component used to wedge the
+/// cluster forever — the next primary needed a majority of `{3, 4}`,
+/// which departed server 4 could no longer help form. Fixed by
+/// discounting the (unique, first) green-ordered leaver from the quorum
+/// base (`PrimComponent::note_departure`).
+#[test]
+fn regression_leave_from_two_member_primary() {
+    let seed = {
+        let mut rng = todr::sim::SimRng::new(0);
+        rng.gen_range(1_000_000)
+    };
+    run(
+        seed,
+        &[
+            Step::Split { cut: 2 },
+            Step::Join { via: 4 },
+            Step::Crash { server: 2 },
+            Step::Leave { server: 4 },
+            Step::Split { cut: 1 },
+        ],
+    );
 }
