@@ -7,11 +7,12 @@ use todr_harness::experiments::{fig5b, run_workload, Protocol};
 use todr_sim::SimDuration;
 
 fn reproduce(c: &mut Criterion) {
-    let fig = fig5b::run(
+    let fig = fig5b::run_packed(
         PAPER_REPLICAS,
         &PAPER_CLIENT_SWEEP,
         SimDuration::from_secs(3),
         42,
+        8,
     );
     println!("\n{}", fig.to_table());
 

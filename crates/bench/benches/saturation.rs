@@ -1,0 +1,29 @@
+//! Extension A7: the clients × EVS-packing saturation sweep of the
+//! delayed-writes engine. Prints the full sweep table, then registers a
+//! scaled-down cell with Criterion for host-time tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use todr_bench::{PAPER_CLIENT_SWEEP, PAPER_REPLICAS};
+use todr_harness::experiments::saturation;
+use todr_sim::SimDuration;
+
+fn reproduce(c: &mut Criterion) {
+    let sweep = saturation::run(
+        PAPER_REPLICAS,
+        &PAPER_CLIENT_SWEEP,
+        &[1, 2, 4, 8],
+        SimDuration::from_secs(3),
+        42,
+    );
+    println!("\n{}", sweep.to_table());
+
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+    group.bench_function("engine_packed8_5servers_6clients_500ms", |b| {
+        b.iter(|| saturation::run(5, &[6], &[8], SimDuration::from_millis(500), 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce);
+criterion_main!(benches);

@@ -15,6 +15,7 @@
 //! | `partition_recovery` | extension A1: membership-change cost |
 //! | `dynamic_join` | extension A2: online replica instantiation |
 //! | `semantics` | extension A3: relaxed semantics under partition |
+//! | `saturation` | extension A7: clients × EVS-packing saturation sweep |
 //!
 //! Run a single figure with e.g. `cargo bench --bench fig5a`.
 

@@ -52,6 +52,12 @@ pub fn tie_break_for(perturbation: u64) -> TieBreak {
 pub struct RunOptions {
     /// Number of initial replicas.
     pub n_servers: usize,
+    /// EVS message-packing level (`1` = packing off, the historical
+    /// wire protocol). Oracles must hold at any level.
+    pub max_pack: usize,
+    /// Engine auto-checkpoint period in green actions (`0` disables
+    /// white-line GC). Lower it so short schedules exercise GC.
+    pub checkpoint_interval: u64,
     /// The deliberate engine invariant breakage to inject
     /// (`chaos-mutations` builds only; used by the mutation self-test).
     #[cfg(feature = "chaos-mutations")]
@@ -62,6 +68,8 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             n_servers: 5,
+            max_pack: 1,
+            checkpoint_interval: 1024,
             #[cfg(feature = "chaos-mutations")]
             chaos: None,
         }
@@ -188,8 +196,10 @@ pub fn run_case(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box<C
 
 fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box<CaseFailure>> {
     let n = options.n_servers;
-    let builder =
-        ClusterConfig::builder(n as u32, spec.seed).tie_break(tie_break_for(spec.perturbation));
+    let builder = ClusterConfig::builder(n as u32, spec.seed)
+        .tie_break(tie_break_for(spec.perturbation))
+        .packing(options.max_pack)
+        .checkpoint_interval(options.checkpoint_interval);
     #[cfg(feature = "chaos-mutations")]
     let builder = builder.chaos(options.chaos);
     let config = builder.build().expect("runner config is coherent");

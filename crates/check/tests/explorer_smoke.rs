@@ -65,6 +65,39 @@ fn identical_specs_replay_byte_identically() {
     assert!(!first.metrics_json.is_empty());
 }
 
+/// The packed wire protocol is subject to the same determinism
+/// contract as the historical one: identical `(seed, perturbation,
+/// schedule)` with packing on replays byte-identically — under both
+/// tie-break policies, since the pack/sequencer-round timers must not
+/// introduce nondeterministic event ordering.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug profile; run with --release"
+)]
+fn packed_runs_replay_byte_identically() {
+    let options = RunOptions {
+        max_pack: 8,
+        ..RunOptions::default()
+    };
+    for perturbation in [0, 1] {
+        let spec = CaseSpec {
+            seed: 42,
+            perturbation,
+            schedule: vec![
+                Step::Split { cut: 2 },
+                Step::Merge,
+                Step::Crash { server: 1 },
+                Step::Recover { server: 1 },
+            ],
+        };
+        let first = run_case(&spec, &options).expect("packed case passes");
+        let second = run_case(&spec, &options).expect("packed case passes");
+        assert_eq!(first, second, "perturbation {perturbation} diverged");
+        assert!(first.green_count > 0);
+    }
+}
+
 #[test]
 #[cfg_attr(
     debug_assertions,

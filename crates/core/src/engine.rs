@@ -166,7 +166,11 @@ pub struct ReplicationEngine {
     vulnerable: VulnerableRecord,
     yellow: YellowRecord,
     action_index: u64,
-    ongoing: Vec<Action>,
+    /// Own created-but-not-yet-red actions, keyed by creator-local index
+    /// for O(log n) removal when the action comes back red (the old
+    /// `Vec` paid an O(n) scan per acceptance). Persisted as the
+    /// paper's `ongoingQueue` (a `Vec` in index order).
+    ongoing: BTreeMap<u64, Action>,
 
     // ----- database -----
     db: Database,
@@ -191,9 +195,20 @@ pub struct ReplicationEngine {
     // ----- disk -----
     next_sync_token: u64,
     pending_syncs: BTreeMap<SyncToken, AfterSync>,
+    /// Submissions created while a submit forced-write was already in
+    /// flight; they ride the *next* forced write as one batch (pipelined
+    /// group commit — one sync request per burst instead of one per
+    /// action).
+    submit_queue: Vec<Action>,
+    submit_inflight: bool,
 
     // ----- misc -----
     cpu: CpuMeter,
+    /// Virtual instant of the most recent green CPU charge, for
+    /// detecting same-burst green marks (they share the fixed per-burst
+    /// overhead — see [`EngineConfig::cpu_burst_overhead`]).
+    last_green_charge: Option<SimTime>,
+    green_burst_len: u64,
     stats: EngineStats,
     join_targets: Vec<NodeId>,
     join_target_idx: usize,
@@ -239,7 +254,7 @@ impl ReplicationEngine {
             vulnerable: VulnerableRecord::invalid(),
             yellow: YellowRecord::invalid(),
             action_index: 0,
-            ongoing: Vec::new(),
+            ongoing: BTreeMap::new(),
             db: Database::new(),
             dirty_db: None,
             conf: None,
@@ -254,7 +269,11 @@ impl ReplicationEngine {
             parked_strict: Vec::new(),
             next_sync_token: 0,
             pending_syncs: BTreeMap::new(),
+            submit_queue: Vec::new(),
+            submit_inflight: false,
             cpu: CpuMeter::new(),
+            last_green_charge: None,
+            green_burst_len: 0,
             stats: EngineStats::default(),
             join_targets: Vec::new(),
             join_target_idx: 0,
@@ -365,14 +384,38 @@ impl ReplicationEngine {
         if white <= self.green_floor {
             return 0;
         }
-        let k = ((white - self.green_floor) as usize).min(self.green_tail.len());
+        // The prune window is bounded by what we actually retain, and
+        // the floor advances by the number of tail entries *dropped* —
+        // never re-based to `white` directly. Re-basing silently breaks
+        // `green_floor + green_tail.len() == green_count` whenever the
+        // window exceeds the tail (the two quantities then disagree
+        // with the retained-body map, and `perform_retrans` indexes the
+        // tail with a phantom offset). The debug asserts pin the
+        // invariant: the white line never runs ahead of our own green
+        // count, so the window is always fully covered by the tail.
+        let want = (white - self.green_floor) as usize;
+        let k = want.min(self.green_tail.len());
+        debug_assert_eq!(
+            want,
+            k,
+            "white line {white} beyond the retained green tail at {} (floor {}, tail {})",
+            self.cfg.me,
+            self.green_floor,
+            self.green_tail.len()
+        );
         let mut pruned = 0;
         for id in self.green_tail.drain(..k) {
             if self.actions.remove(&id).is_some() {
                 pruned += 1;
             }
         }
-        self.green_floor = white;
+        self.green_floor += k as u64;
+        debug_assert_eq!(
+            self.green_floor + self.green_tail.len() as u64,
+            self.green_count,
+            "green floor/tail disagree with the green count at {}",
+            self.cfg.me
+        );
 
         // Compact persistence: checkpoint the current green state and
         // re-log the red bodies on top of it.
@@ -463,9 +506,21 @@ impl ReplicationEngine {
         self.store
             .put_record(persist::K_ACTION_INDEX, &self.action_index)
             .expect("serialize action index");
+        // Persisted in the historical `ongoingQueue` format: a `Vec` in
+        // creation (index) order, which is exactly the map's value order.
+        let queue: Vec<&Action> = self.ongoing.values().collect();
         self.store
-            .put_record(persist::K_ONGOING, &self.ongoing)
+            .put_record(persist::K_ONGOING, &queue)
             .expect("serialize ongoing queue");
+    }
+
+    /// Refreshes the retained-body observability after the `actions` map
+    /// changed: a gauge with the current level and a histogram sample so
+    /// the peak survives in the export.
+    fn note_retained(&mut self, ctx: &mut Ctx<'_>) {
+        let n = self.actions.len() as u64;
+        ctx.metrics().set_gauge("core.retained_bodies", n);
+        ctx.metrics().record_value("core.retained_bodies_level", n);
     }
 
     fn reply(&mut self, ctx: &mut Ctx<'_>, at: SimTime, to: ActorId, reply: ClientReply) {
@@ -525,6 +580,7 @@ impl ReplicationEngine {
         }
         *cut = id.index;
         self.actions.insert(id, action.clone());
+        self.note_retained(ctx);
         self.red_set.insert(id);
         self.store
             .append_log_typed(&PersistEntry::Accepted(action.clone()))
@@ -543,7 +599,7 @@ impl ReplicationEngine {
         });
         self.dirty_db = None;
         if id.server == self.cfg.me {
-            self.ongoing.retain(|a| a.id != id);
+            self.ongoing.remove(&id.index);
             self.persist_ongoing();
             // Relaxed-policy replies fire on local (red) ordering.
             if let Some(p) = self.pending_replies.get(&id) {
@@ -644,11 +700,29 @@ impl ReplicationEngine {
         let interval = self.cfg.checkpoint_interval;
         if interval > 0 && self.green_count.is_multiple_of(interval) {
             self.checkpoint();
+            self.note_retained(ctx);
         }
 
         // Charge the per-action processing cost; answer the waiting
-        // client (origin server only) once the CPU gets to it.
-        let done_at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action);
+        // client (origin server only) once the CPU gets to it. Green
+        // marks applied in the same delivery burst (same virtual
+        // instant) share the fixed per-burst overhead: the first pays
+        // the full per-action cost, the rest only the marginal part.
+        let cost = if self.last_green_charge == Some(ctx.now()) {
+            self.green_burst_len += 1;
+            self.cfg
+                .cpu_per_action
+                .saturating_sub(self.cfg.cpu_burst_overhead)
+        } else {
+            if self.green_burst_len > 1 {
+                ctx.metrics()
+                    .record_value("engine.green_burst", self.green_burst_len);
+            }
+            self.green_burst_len = 1;
+            self.last_green_charge = Some(ctx.now());
+            self.cfg.cpu_per_action
+        };
+        let done_at = self.cpu.charge(ctx.now(), cost);
         if let Some(p) = self.pending_replies.remove(&id) {
             if p.policy == UpdateReplyPolicy::OnGreen {
                 let latency = ctx.now().saturating_since(p.submitted_at);
@@ -788,6 +862,23 @@ impl ReplicationEngine {
             return self.serve_query(ctx, req);
         }
 
+        // Backpressure: during a long non-primary partition red bodies
+        // accumulate with no white line to discard them; refuse new
+        // local updates at the retention bound instead of growing
+        // without limit.
+        if self.cfg.max_retained_bodies > 0 && self.actions.len() >= self.cfg.max_retained_bodies {
+            ctx.metrics().incr("engine.backpressure_rejects", 1);
+            return self.reply(
+                ctx,
+                ctx.now(),
+                req.reply_to,
+                ClientReply::Rejected {
+                    request: req.request,
+                    reason: "too many retained actions; retry later",
+                },
+            );
+        }
+
         // Update (possibly with a query part): create and generate an
         // action (Appendix A, NonPrim/RegPrim "Client req").
         self.action_index += 1;
@@ -810,7 +901,7 @@ impl ReplicationEngine {
             node: self.cfg.me.index(),
             action_seq: action.id.index,
         });
-        self.ongoing.push(action.clone());
+        self.ongoing.insert(action.id.index, action.clone());
         self.persist_ongoing();
         self.pending_replies.insert(
             action.id,
@@ -823,7 +914,25 @@ impl ReplicationEngine {
             },
         );
         // ** sync to disk, then generate.
-        self.request_sync(ctx, AfterSync::Submit(vec![action]));
+        self.submit_queue.push(action);
+        self.flush_submit_queue(ctx);
+    }
+
+    /// Pipelined group commit: issue at most one forced write for all
+    /// submissions queued behind it. While a sync is in flight new
+    /// submissions accumulate in `submit_queue`; when the completion
+    /// arrives the whole batch rides the next forced write together,
+    /// so N concurrent clients cost O(1) syncs per disk round trip
+    /// instead of N.
+    fn flush_submit_queue(&mut self, ctx: &mut Ctx<'_>) {
+        if self.submit_inflight || self.submit_queue.is_empty() {
+            return;
+        }
+        self.submit_inflight = true;
+        let batch = std::mem::take(&mut self.submit_queue);
+        ctx.metrics()
+            .record_value("engine.submit_batch", batch.len() as u64);
+        self.request_sync(ctx, AfterSync::Submit(batch));
     }
 
     fn serve_query(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest) {
@@ -1478,16 +1587,22 @@ impl ReplicationEngine {
     // ============================================================
 
     fn on_disk_done(&mut self, ctx: &mut Ctx<'_>, token: SyncToken) {
-        self.store.commit_staged();
+        // Only a completion we are actually waiting on may promote the
+        // staged mutations: a stale token (from before a crash) reports
+        // a write whose platter sync never happened, and committing on
+        // it would make the store claim durability for lost data.
         let Some(after) = self.pending_syncs.remove(&token) else {
             return; // completion from before a crash
         };
+        self.store.commit_staged();
         match after {
             AfterSync::Submit(actions) => {
+                self.submit_inflight = false;
                 for action in actions {
                     let size = action.size_bytes;
                     self.send_group(ctx, EngineMsg::Action(action), size);
                 }
+                self.flush_submit_queue(ctx);
             }
             AfterSync::SendState { epoch } => {
                 if epoch == self.conf_epoch && self.state == EngineState::ExchangeStates {
@@ -1575,9 +1690,10 @@ impl ReplicationEngine {
             node: self.cfg.me.index(),
             action_seq: action.id.index,
         });
-        self.ongoing.push(action.clone());
+        self.ongoing.insert(action.id.index, action.clone());
         self.persist_ongoing();
-        self.request_sync(ctx, AfterSync::Submit(vec![action]));
+        self.submit_queue.push(action);
+        self.flush_submit_queue(ctx);
     }
 
     fn crash(&mut self, ctx: &mut Ctx<'_>) {
@@ -1612,6 +1728,10 @@ impl ReplicationEngine {
         self.pending_joins.clear();
         self.cpu.reset();
         self.ongoing.clear();
+        self.submit_queue.clear();
+        self.submit_inflight = false;
+        self.last_green_charge = None;
+        self.green_burst_len = 0;
         // prim_component / vulnerable / yellow / attempt / action_index
         // are reloaded from stable storage on recovery.
     }
@@ -1637,7 +1757,11 @@ impl ReplicationEngine {
         self.vulnerable = persisted.vulnerable;
         self.yellow = persisted.yellow;
         self.action_index = persisted.action_index;
-        self.ongoing = persisted.ongoing;
+        self.ongoing = persisted
+            .ongoing
+            .into_iter()
+            .map(|a| (a.id.index, a))
+            .collect();
         if !persisted.server_set.is_empty() {
             self.server_set = persisted.server_set;
         }
@@ -1656,7 +1780,7 @@ impl ReplicationEngine {
         self.green_lines.insert(self.cfg.me, self.green_count);
 
         // Re-accept own unacknowledged actions (A.13).
-        let ongoing = self.ongoing.clone();
+        let ongoing: Vec<Action> = self.ongoing.values().cloned().collect();
         for action in ongoing {
             let have = self.red_cut.get(&action.id.server).copied().unwrap_or(0);
             if have < action.id.index {

@@ -177,6 +177,21 @@ pub struct EngineConfig {
     /// logging, applying). This is what caps the delayed-writes
     /// throughput in Figure 5(b).
     pub cpu_per_action: SimDuration,
+    /// The fixed per-delivery-burst component of [`Self::cpu_per_action`]
+    /// (frame handling, scheduling, buffer bookkeeping). The first green
+    /// action of a same-instant delivery burst pays the full
+    /// `cpu_per_action`; the rest of the burst pays only the marginal
+    /// `cpu_per_action - cpu_burst_overhead`. Without packing every
+    /// burst is a single action and the model reduces exactly to the
+    /// historical per-action charge.
+    pub cpu_burst_overhead: SimDuration,
+    /// Upper bound on action bodies retained in memory (red set plus
+    /// un-garbage-collected green tail). While at the bound, new local
+    /// update requests are rejected with a retryable error — this bounds
+    /// memory growth during long non-primary partitions, where red
+    /// actions accumulate with no white line to discard them. `0`
+    /// disables the bound.
+    pub max_retained_bodies: usize,
     /// Whether this engine starts as a member (true) or joins online
     /// later via [`EngineCtl::StartJoin`] (false).
     pub initial_member: bool,
@@ -203,6 +218,8 @@ impl EngineConfig {
             server_set,
             weights: BTreeMap::new(),
             cpu_per_action: SimDuration::from_micros(380),
+            cpu_burst_overhead: SimDuration::from_micros(230),
+            max_retained_bodies: 1 << 16,
             initial_member: true,
             state_msg_bytes: 256,
             cpc_msg_bytes: 64,

@@ -14,7 +14,7 @@ use crate::membership::{
 };
 use crate::order::ConfOrdering;
 use crate::types::{ConfId, Configuration, EvsEvent};
-use crate::wire::{EvsWire, TransGroup};
+use crate::wire::{EvsWire, SubmitItem, TransGroup};
 
 /// Tuning knobs of an [`EvsDaemon`].
 #[derive(Debug, Clone)]
@@ -47,6 +47,24 @@ pub struct EvsConfig {
     pub link_rto: SimDuration,
     /// Delayed-acknowledgement interval of the reliable links.
     pub link_ack_delay: SimDuration,
+    /// Maximum number of pending submissions packed into one `Submit`
+    /// wire frame (the Spread message-packing optimization). `1` (the
+    /// default) disables packing and reproduces the historical
+    /// one-frame-per-message path bit for bit. Values above 1 buffer
+    /// same-instant submissions and flush them as a single frame per
+    /// sequencer round; each packed item is still sequenced and
+    /// delivered individually, so agreed/safe semantics are unchanged.
+    ///
+    /// When packing is on, the coordinator also runs *sequencer rounds*:
+    /// submissions arriving within one [`Self::pack_window`] are
+    /// multicast as a single packed `Sequenced` frame, so receivers ack
+    /// (and the stability line advances) in matching jumps.
+    pub max_pack: usize,
+    /// How long the coordinator holds sequenced messages to fill a
+    /// packed `Sequenced` frame (flushing early once `max_pack` have
+    /// accumulated). Only consulted when `max_pack > 1`; trades up to
+    /// one window of delivery latency for packed delivery bursts.
+    pub pack_window: SimDuration,
 }
 
 impl Default for EvsConfig {
@@ -60,6 +78,8 @@ impl Default for EvsConfig {
             deliver_agreed: false,
             link_rto: SimDuration::from_millis(3),
             link_ack_delay: SimDuration::from_micros(500),
+            max_pack: 1,
+            pack_window: SimDuration::from_micros(500),
         }
     }
 }
@@ -129,6 +149,13 @@ struct AckTick;
 struct RetxTick;
 /// Timer: send owed link-layer acknowledgements.
 struct LinkAckTick;
+/// Timer: flush the submission pack buffer (same-instant — scheduled
+/// with zero delay so every submission of the current event burst is
+/// already buffered when it fires).
+struct PackTick;
+/// Timer: close the coordinator's sequencer round and multicast the
+/// buffered sequenced messages as one packed frame.
+struct SeqPackTick;
 
 /// The Extended Virtual Synchrony daemon for one node.
 ///
@@ -150,6 +177,20 @@ pub struct EvsDaemon {
     attempt: u64,
     max_conf_seq: u64,
     pending_out: VecDeque<(Rc<dyn std::any::Any>, u32)>,
+    /// Registered-but-unsent submissions awaiting packing into one
+    /// `Submit` frame (only used when `config.max_pack > 1`). Every item
+    /// here is also in the ordering's unsequenced map, so dropping the
+    /// buffer on a view change loses nothing — the install path
+    /// re-submits via `take_unsequenced`.
+    pack_buf: Vec<SubmitItem>,
+    pack_armed: bool,
+    /// Coordinator-side sequencer round: messages already sequenced but
+    /// held back (up to `config.pack_window`) to fill one packed
+    /// `Sequenced` frame. The messages live in the ordering's map, so on
+    /// a view change the buffer is simply dropped — the flush protocol
+    /// retransmits them to any member that missed them.
+    seq_buf: Vec<crate::wire::SequencedMsg>,
+    seq_pack_armed: bool,
     /// FlushInfos that arrived before this daemon entered the matching
     /// flush phase: `(from, membership, record)`.
     early_infos: Vec<(NodeId, Vec<NodeId>, FlushInfoRec)>,
@@ -184,6 +225,10 @@ impl EvsDaemon {
             attempt: 0,
             max_conf_seq: 0,
             pending_out: VecDeque::new(),
+            pack_buf: Vec::new(),
+            pack_armed: false,
+            seq_buf: Vec::new(),
+            seq_pack_armed: false,
             early_infos: Vec::new(),
             ack_scheduled: false,
             last_acked: 0,
@@ -529,6 +574,14 @@ impl EvsDaemon {
     }
 
     fn do_install(&mut self, ctx: &mut Ctx<'_>, new_conf: Configuration, groups: &[TransGroup]) {
+        // Buffered-for-packing items are still in the old ordering's
+        // unsequenced map; `take_unsequenced` below re-submits them, so
+        // the pack buffer must not also send them. The coordinator's
+        // open sequencer round is likewise moot: its messages are in
+        // the old ordering's map and the flush protocol retransmitted
+        // them to whoever was missing them.
+        self.pack_buf.clear();
+        self.seq_buf.clear();
         // Transitional delivery for the configuration we are leaving.
         if let Some(ordering) = &mut self.ordering {
             let old_id = ordering.conf().id;
@@ -592,17 +645,127 @@ impl EvsDaemon {
         let coordinator = ordering.coordinator();
         let conf = ordering.conf().id;
         let local_seq = ordering.register_submission(Rc::clone(&payload), size);
-        self.send_wire_one(
-            ctx,
-            coordinator,
-            EvsWire::Submit {
-                conf,
-                sender: self.me,
-                local_seq,
-                payload,
-                size,
-            },
-        );
+        let item = SubmitItem {
+            local_seq,
+            payload,
+            size,
+        };
+        if self.config.max_pack <= 1 {
+            // Packing off: the historical one-frame-per-message path.
+            self.send_wire_one(
+                ctx,
+                coordinator,
+                EvsWire::Submit {
+                    conf,
+                    sender: self.me,
+                    items: vec![item],
+                },
+            );
+            return;
+        }
+        self.pack_buf.push(item);
+        if self.pack_buf.len() >= self.config.max_pack {
+            self.flush_pack(ctx);
+        } else if !self.pack_armed {
+            // Zero-delay self-message: it drains after every event of
+            // the current same-instant burst (per-target FIFO), so all
+            // submissions issued in this instant pack together.
+            self.pack_armed = true;
+            ctx.send_self_now(PackTick);
+        }
+    }
+
+    /// Sends the buffered submissions as packed `Submit` frames, at most
+    /// `max_pack` items per frame.
+    fn flush_pack(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pack_buf.is_empty() {
+            return;
+        }
+        if !matches!(self.phase, Phase::Steady) {
+            // A membership change started under us: leave the items in
+            // the ordering's unsequenced map — `do_install` clears this
+            // buffer and re-submits them in the next configuration.
+            return;
+        }
+        let Some(ordering) = &self.ordering else {
+            return;
+        };
+        let conf = ordering.conf().id;
+        let coordinator = ordering.coordinator();
+        let max = self.config.max_pack.max(1);
+        while !self.pack_buf.is_empty() {
+            let take = self.pack_buf.len().min(max);
+            let items: Vec<SubmitItem> = self.pack_buf.drain(..take).collect();
+            ctx.metrics().incr("evs.frames_packed", 1);
+            ctx.metrics()
+                .record_value("evs.actions_per_frame", items.len() as u64);
+            self.send_wire_one(
+                ctx,
+                coordinator,
+                EvsWire::Submit {
+                    conf,
+                    sender: self.me,
+                    items,
+                },
+            );
+        }
+    }
+
+    fn on_pack_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.pack_armed = false;
+        if self.down || !self.joined {
+            return;
+        }
+        self.flush_pack(ctx);
+    }
+
+    /// Closes the coordinator's sequencer round: multicasts the buffered
+    /// sequenced messages as packed `Sequenced` frames, at most
+    /// `max_pack` messages per frame.
+    fn flush_seq_pack(&mut self, ctx: &mut Ctx<'_>) {
+        if self.seq_buf.is_empty() {
+            return;
+        }
+        let steady = matches!(self.phase, Phase::Steady);
+        let coordinating = self.ordering.as_ref().is_some_and(|o| o.is_coordinator());
+        if !steady || !coordinating {
+            // A view change started under us. The buffered messages are
+            // in the ordering's map, so the flush protocol retransmits
+            // them to every member that missed them; the round itself
+            // is moot.
+            self.seq_buf.clear();
+            return;
+        }
+        let ordering = self.ordering.as_ref().expect("coordinating");
+        let conf = ordering.conf().id;
+        let stable_upto = ordering.announced_stable();
+        let max = self.config.max_pack.max(1);
+        while !self.seq_buf.is_empty() {
+            let take = self.seq_buf.len().min(max);
+            let msgs: Vec<_> = self.seq_buf.drain(..take).collect();
+            ctx.metrics().incr("evs.frames_packed", 1);
+            ctx.metrics().incr("evs.sequencer_rounds", 1);
+            ctx.metrics()
+                .record_value("evs.actions_per_frame", msgs.len() as u64);
+            let members = self.members();
+            self.send_wire_to(
+                ctx,
+                members,
+                EvsWire::Sequenced {
+                    conf,
+                    stable_upto,
+                    msgs,
+                },
+            );
+        }
+    }
+
+    fn on_seq_pack_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.seq_pack_armed = false;
+        if self.down || !self.joined {
+            return;
+        }
+        self.flush_seq_pack(ctx);
     }
 
     fn maybe_schedule_ack(&mut self, ctx: &mut Ctx<'_>) {
@@ -655,27 +818,41 @@ impl EvsDaemon {
             EvsWire::Submit {
                 conf,
                 sender,
-                local_seq,
-                payload,
-                size,
+                items,
             } => {
                 let steady = matches!(self.phase, Phase::Steady);
                 if let Some(ordering) = &mut self.ordering {
                     if steady && ordering.conf().id == *conf && ordering.is_coordinator() {
-                        let msg = ordering.sequence(*sender, *local_seq, Rc::clone(payload), *size);
+                        let msgs = ordering.sequence_batch(*sender, items.clone());
                         let stable_upto = ordering.announced_stable();
-                        self.stats.sequenced += 1;
-                        ctx.metrics().incr("evs.sequenced", 1);
-                        let members = self.members();
-                        self.send_wire_to(
-                            ctx,
-                            members,
-                            EvsWire::Sequenced {
-                                conf: *conf,
-                                stable_upto,
-                                msg,
-                            },
-                        );
+                        let n = msgs.len() as u64;
+                        self.stats.sequenced += n;
+                        ctx.metrics().incr("evs.sequenced", n);
+                        if self.config.max_pack <= 1 {
+                            // Packing off: one frame in, one frame out.
+                            let members = self.members();
+                            self.send_wire_to(
+                                ctx,
+                                members,
+                                EvsWire::Sequenced {
+                                    conf: *conf,
+                                    stable_upto,
+                                    msgs,
+                                },
+                            );
+                        } else {
+                            // Sequencer round: hold the messages up to
+                            // one pack window so submissions from many
+                            // senders ride one packed multicast (and
+                            // receivers deliver them as one burst).
+                            self.seq_buf.extend(msgs);
+                            if self.seq_buf.len() >= self.config.max_pack {
+                                self.flush_seq_pack(ctx);
+                            } else if !self.seq_pack_armed {
+                                self.seq_pack_armed = true;
+                                ctx.send_self_after(self.config.pack_window, SeqPackTick);
+                            }
+                        }
                     }
                 }
             }
@@ -683,7 +860,7 @@ impl EvsDaemon {
             EvsWire::Sequenced {
                 conf,
                 stable_upto,
-                msg,
+                msgs,
             } => {
                 let steady = matches!(self.phase, Phase::Steady);
                 let Some(ordering) = &mut self.ordering else {
@@ -692,7 +869,7 @@ impl EvsDaemon {
                 if !steady || ordering.conf().id != *conf {
                     return; // stale frame from a configuration we left
                 }
-                let deliveries = ordering.on_sequenced(msg.clone(), *stable_upto);
+                let deliveries = ordering.on_sequenced_batch(msgs.clone(), *stable_upto);
                 let is_coord = ordering.is_coordinator();
                 for d in deliveries {
                     self.emit(ctx, EvsEvent::Deliver(d));
@@ -1022,6 +1199,8 @@ impl EvsDaemon {
                 self.phase = Phase::Steady;
                 self.fd.reset();
                 self.early_infos.clear();
+                self.pack_buf.clear();
+                self.seq_buf.clear();
                 // Fresh link incarnation: the attempt counter is bumped
                 // by the gather below, so `attempt + 1` is this
                 // incarnation's first (and stable) epoch.
@@ -1037,6 +1216,8 @@ impl EvsDaemon {
                 self.ordering = None;
                 self.phase = Phase::Steady;
                 self.pending_out.clear();
+                self.pack_buf.clear();
+                self.seq_buf.clear();
                 self.early_infos.clear();
             }
             EvsCmd::Crash => {
@@ -1046,6 +1227,8 @@ impl EvsDaemon {
                 self.phase = Phase::Steady;
                 self.fd.reset();
                 self.pending_out.clear();
+                self.pack_buf.clear();
+                self.seq_buf.clear();
                 self.early_infos.clear();
                 self.ack_scheduled = false;
                 self.last_acked = 0;
@@ -1121,6 +1304,20 @@ impl Actor for EvsDaemon {
         let payload = match payload.try_downcast::<LinkAckTick>() {
             Ok(_) => {
                 self.on_link_ack_tick(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<PackTick>() {
+            Ok(_) => {
+                self.on_pack_tick(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.try_downcast::<SeqPackTick>() {
+            Ok(_) => {
+                self.on_seq_pack_tick(ctx);
                 return;
             }
             Err(p) => p,

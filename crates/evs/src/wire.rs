@@ -35,6 +35,30 @@ impl std::fmt::Debug for SequencedMsg {
     }
 }
 
+/// One pending submission inside a (possibly packed) [`EvsWire::Submit`]
+/// frame. Packing is a transport optimization only: each item keeps its
+/// own `local_seq` and is sequenced individually by the coordinator, so
+/// agreed/safe delivery semantics are per-message, exactly as if the
+/// items had travelled in separate frames.
+#[derive(Clone)]
+pub(crate) struct SubmitItem {
+    /// The sender's per-configuration submission counter.
+    pub local_seq: u64,
+    /// Application payload.
+    pub payload: Rc<dyn std::any::Any>,
+    /// Application payload size in bytes (for the network model).
+    pub size: u32,
+}
+
+impl std::fmt::Debug for SubmitItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitItem")
+            .field("local_seq", &self.local_seq)
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Per-old-configuration group carried in an [`EvsWire::Install`]: the
 /// members moving together from `old_conf` and the final sequence number
 /// they must all deliver before installing the new configuration.
@@ -55,20 +79,22 @@ pub(crate) enum EvsWire {
     Heartbeat { from: NodeId },
 
     // ----- total order within a regular configuration -----
-    /// Sender → coordinator: please sequence this message.
+    /// Sender → coordinator: please sequence these messages (one or
+    /// more, packed into a single frame per sequencer round — the Spread
+    /// message-packing optimization). Items are sequenced individually
+    /// and in order.
     Submit {
         conf: ConfId,
         sender: NodeId,
-        local_seq: u64,
-        payload: Rc<dyn std::any::Any>,
-        size: u32,
+        items: Vec<SubmitItem>,
     },
-    /// Coordinator → members: message `seq` in the agreed order.
+    /// Coordinator → members: messages in the agreed order (one or more
+    /// consecutive sequence numbers packed into one frame).
     /// `stable_upto` piggybacks the current stability line.
     Sequenced {
         conf: ConfId,
         stable_upto: u64,
-        msg: SequencedMsg,
+        msgs: Vec<SequencedMsg>,
     },
     /// Member → coordinator: I have received everything up to `upto`.
     Ack {
@@ -146,10 +172,22 @@ impl EvsWire {
     }
 
     /// Modelled wire size of the frame.
+    ///
+    /// Packed data frames pay one [`HEADER_BYTES`] for the whole frame
+    /// plus a 16-byte per-item sub-header for every item after the
+    /// first, so a single-item frame costs exactly what the unpacked
+    /// protocol charged.
     pub(crate) fn wire_size(&self) -> u32 {
+        fn packed(total_payload: u32, items: usize) -> u32 {
+            HEADER_BYTES + total_payload + 16 * (items.saturating_sub(1) as u32)
+        }
         match self {
-            EvsWire::Submit { size, .. } => HEADER_BYTES + size,
-            EvsWire::Sequenced { msg, .. } => HEADER_BYTES + msg.size,
+            EvsWire::Submit { items, .. } => {
+                packed(items.iter().map(|i| i.size).sum(), items.len())
+            }
+            EvsWire::Sequenced { msgs, .. } => {
+                packed(msgs.iter().map(|m| m.size).sum(), msgs.len())
+            }
             EvsWire::Retrans { msgs, .. } => {
                 HEADER_BYTES + msgs.iter().map(|m| m.size + 16).sum::<u32>()
             }
@@ -166,18 +204,48 @@ mod tests {
         NodeId::new(i)
     }
 
+    fn item(local_seq: u64, size: u32) -> SubmitItem {
+        SubmitItem {
+            local_seq,
+            payload: Rc::new(()),
+            size,
+        }
+    }
+
     #[test]
     fn wire_size_includes_payload() {
         let submit = EvsWire::Submit {
             conf: ConfId::initial(n(0)),
             sender: n(0),
-            local_seq: 1,
-            payload: Rc::new(()),
-            size: 200,
+            items: vec![item(1, 200)],
         };
         assert_eq!(submit.wire_size(), 248);
         let hb = EvsWire::Heartbeat { from: n(0) };
         assert_eq!(hb.wire_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn packed_frames_amortize_the_header() {
+        // Three 200-byte submissions in one frame: one 48-byte header
+        // plus two 16-byte sub-headers, versus three full headers when
+        // sent separately.
+        let packed = EvsWire::Submit {
+            conf: ConfId::initial(n(0)),
+            sender: n(0),
+            items: vec![item(1, 200), item(2, 200), item(3, 200)],
+        };
+        assert_eq!(packed.wire_size(), 48 + 600 + 32);
+        let separate: u32 = (1..=3)
+            .map(|i| {
+                EvsWire::Submit {
+                    conf: ConfId::initial(n(0)),
+                    sender: n(0),
+                    items: vec![item(i, 200)],
+                }
+                .wire_size()
+            })
+            .sum();
+        assert!(packed.wire_size() < separate);
     }
 
     #[test]

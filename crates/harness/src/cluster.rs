@@ -31,6 +31,13 @@ pub struct ClusterConfig {
     /// Run the EVS daemons over per-peer reliable (ARQ) channels,
     /// required whenever `net.loss_probability > 0`.
     pub reliable_links: bool,
+    /// Maximum submissions packed into one EVS wire frame per sequencer
+    /// round (the Spread message-packing optimization). `1` reproduces
+    /// the historical one-frame-per-message protocol exactly.
+    pub max_pack: usize,
+    /// Auto-checkpoint period of every engine, in green actions (`0`
+    /// disables white-line garbage collection).
+    pub checkpoint_interval: u64,
     /// Dynamic-linear-voting weights by server index (absent => 1).
     pub weights: std::collections::BTreeMap<u32, u64>,
     /// Same-instant event ordering policy of the underlying
@@ -60,6 +67,8 @@ impl ClusterConfig {
             fail_timeout: SimDuration::from_millis(200),
             ack_delay: SimDuration::from_micros(300),
             reliable_links: false,
+            max_pack: 1,
+            checkpoint_interval: 1024,
             weights: std::collections::BTreeMap::new(),
             tie_break: TieBreak::Fifo,
             #[cfg(feature = "chaos-mutations")]
@@ -88,6 +97,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Same cluster with EVS message packing up to `max_pack`
+    /// submissions per wire frame.
+    pub fn packing(mut self, max_pack: usize) -> Self {
+        self.max_pack = max_pack;
+        self
+    }
+
     /// Checks internal coherence; [`ClusterConfigBuilder::build`]
     /// delegates here.
     pub fn validate(&self) -> Result<(), InvalidClusterConfig> {
@@ -108,6 +124,11 @@ impl ClusterConfig {
                  ARQ channels the EVS daemons assume loss-free FIFO links and \
                  a dropped frame wedges the protocol"
             )));
+        }
+        if self.max_pack == 0 {
+            return Err(InvalidClusterConfig(
+                "max_pack 0 would pack no messages at all; use 1 to disable packing".into(),
+            ));
         }
         if let Some(&w) = self.weights.values().find(|&&w| w == 0) {
             return Err(InvalidClusterConfig(format!(
@@ -212,6 +233,21 @@ impl ClusterConfigBuilder {
     /// Sets the EVS acknowledgement batching delay.
     pub fn ack_delay(mut self, d: SimDuration) -> Self {
         self.cfg.ack_delay = d;
+        self
+    }
+
+    /// Sets the maximum number of submissions packed into one EVS wire
+    /// frame (validated in [`build`](Self::build); `1` disables
+    /// packing).
+    pub fn packing(mut self, max_pack: usize) -> Self {
+        self.cfg.max_pack = max_pack;
+        self
+    }
+
+    /// Sets the engines' auto-checkpoint period in green actions (`0`
+    /// disables white-line garbage collection).
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.cfg.checkpoint_interval = interval;
         self
     }
 
@@ -354,6 +390,7 @@ impl Cluster {
             fail_timeout: config.fail_timeout,
             ack_delay: config.ack_delay,
             reliable_links: config.reliable_links,
+            max_pack: config.max_pack,
             ..EvsConfig::default()
         };
         let daemon = world.add_actor(
@@ -362,6 +399,7 @@ impl Cluster {
         );
         let mut engine_config = EngineConfig::new(node, server_set.to_vec());
         engine_config.cpu_per_action = config.cpu_per_action;
+        engine_config.checkpoint_interval = config.checkpoint_interval;
         engine_config.initial_member = initial_member;
         #[cfg(feature = "chaos-mutations")]
         {

@@ -17,6 +17,9 @@ use super::{render_table, run_workload, Protocol, RunResult};
 pub struct Curve {
     /// Protocol of this curve.
     pub protocol: Protocol,
+    /// Legend label (usually [`Protocol::label`], but variants of the
+    /// same protocol — e.g. a packed engine — carry their own).
+    pub label: &'static str,
     /// `(clients, actions/second)` points.
     pub points: Vec<(usize, f64)>,
 }
@@ -50,7 +53,11 @@ pub fn run(n_servers: u32, client_counts: &[usize], measure: SimDuration, seed: 
                 run_workload(protocol, n_servers, clients, warmup, measure, seed);
             points.push((clients, result.throughput));
         }
-        curves.push(Curve { protocol, points });
+        curves.push(Curve {
+            protocol,
+            label: protocol.label(),
+            points,
+        });
     }
     Fig5a { n_servers, curves }
 }
@@ -59,7 +66,7 @@ impl Fig5a {
     /// The figure as an aligned text table (one row per client count).
     pub fn to_table(&self) -> String {
         let headers: Vec<&str> = std::iter::once("clients")
-            .chain(self.curves.iter().map(|c| c.protocol.label()))
+            .chain(self.curves.iter().map(|c| c.label))
             .collect();
         let n_points = self.curves.first().map_or(0, |c| c.points.len());
         let mut rows = Vec::new();

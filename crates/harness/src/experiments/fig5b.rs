@@ -10,7 +10,7 @@
 use todr_sim::SimDuration;
 
 use super::fig5a::Curve;
-use super::{render_table, run_workload, Protocol};
+use super::{render_table, run_workload, run_workload_packed, Protocol};
 
 /// The figure's data.
 #[derive(Debug, Clone)]
@@ -39,16 +39,50 @@ pub fn run(n_servers: u32, client_counts: &[usize], measure: SimDuration, seed: 
             let result = run_workload(protocol, n_servers, clients, warmup, measure, seed);
             points.push((clients, result.throughput));
         }
-        curves.push(Curve { protocol, points });
+        curves.push(Curve {
+            protocol,
+            label: protocol.label(),
+            points,
+        });
     }
     Fig5b { n_servers, curves }
+}
+
+/// Runs the experiment with a third curve: the delayed-writes engine
+/// with EVS message packing up to `max_pack` submissions per frame —
+/// the configuration that lifts the figure's CPU-bound ceiling.
+pub fn run_packed(
+    n_servers: u32,
+    client_counts: &[usize],
+    measure: SimDuration,
+    seed: u64,
+    max_pack: usize,
+) -> Fig5b {
+    let warmup = SimDuration::from_millis(500);
+    let mut fig = run(n_servers, client_counts, measure, seed);
+    let protocol = Protocol::Engine {
+        delayed_writes: true,
+    };
+    let mut points = Vec::new();
+    for &clients in client_counts {
+        let result = run_workload_packed(
+            protocol, n_servers, clients, max_pack, warmup, measure, seed,
+        );
+        points.push((clients, result.throughput));
+    }
+    fig.curves.push(Curve {
+        protocol,
+        label: "Engine (delayed writes, packed)",
+        points,
+    });
+    fig
 }
 
 impl Fig5b {
     /// The figure as an aligned text table.
     pub fn to_table(&self) -> String {
         let headers: Vec<&str> = std::iter::once("clients")
-            .chain(self.curves.iter().map(|c| c.protocol.label()))
+            .chain(self.curves.iter().map(|c| c.label))
             .collect();
         let n_points = self.curves.first().map_or(0, |c| c.points.len());
         let mut rows = Vec::new();

@@ -10,6 +10,7 @@
 //! | [`join::run`] | extension A2: online replica instantiation (§5.1) |
 //! | [`semantics::run`] | extension A3: relaxed query/update semantics under partition (§6) |
 //! | [`ablations`] | extensions A4–A6: loss sweep, LAN-vs-WAN latency, forced-write-latency sweep |
+//! | [`saturation::run`] | extension A7: clients × EVS-packing saturation sweep (`BENCH_saturation.json`) |
 //!
 //! All results are measured in **virtual time** on the calibrated
 //! simulated substrate (see DESIGN.md §2); the claims to compare against
@@ -22,11 +23,12 @@ pub mod fig5b;
 pub mod join;
 pub mod latency;
 pub mod partition;
+pub mod saturation;
 pub mod semantics;
 
 mod runner;
 
-pub use runner::{run_workload, Protocol, RunResult};
+pub use runner::{run_workload, run_workload_packed, Protocol, RunResult};
 
 /// Renders a sequence of rows as an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

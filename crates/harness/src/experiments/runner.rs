@@ -156,7 +156,23 @@ pub fn run_workload(
     window: SimDuration,
     seed: u64,
 ) -> RunResult {
-    let mut config = ClusterConfig::new(n_servers, seed);
+    run_workload_packed(protocol, n_servers, clients, 1, warmup, window, seed)
+}
+
+/// [`run_workload`] with EVS message packing up to `max_pack`
+/// submissions per wire frame (engine deployments only; the baselines
+/// ignore the knob).
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_packed(
+    protocol: Protocol,
+    n_servers: u32,
+    clients: usize,
+    max_pack: usize,
+    warmup: SimDuration,
+    window: SimDuration,
+    seed: u64,
+) -> RunResult {
+    let mut config = ClusterConfig::new(n_servers, seed).packing(max_pack);
     if matches!(
         protocol,
         Protocol::Engine {

@@ -112,6 +112,89 @@ fn recovery_from_compacted_log() {
     cluster.check_consistency();
 }
 
+/// Regression: `checkpoint` used to re-base `green_floor` to the white
+/// line even when the prune window was clamped to the retained green
+/// tail, leaving `green_floor + green_tail.len() != green_count` —
+/// after which exchange retransmission indexed the tail with a phantom
+/// offset. A snapshot-bootstrapped joiner plus a partition is the
+/// schedule that stresses the floor bookkeeping: the joiner's floor
+/// starts at the transfer's green count with an empty tail, and the
+/// healed exchange must plan retransmissions over everyone's pruned
+/// floors.
+#[test]
+fn gc_after_join_and_partition_keeps_floor_and_exchange_correct() {
+    let mut cluster = Cluster::build(
+        ClusterConfig::builder(4, 9)
+            .delayed_writes()
+            .checkpoint_interval(256)
+            .build()
+            .expect("coherent config"),
+    );
+    cluster.settle();
+    let clients: Vec<_> = (0..4)
+        .map(|i| cluster.attach_client(i, ClientConfig::default()))
+        .collect();
+    cluster.run_for(SimDuration::from_secs(2));
+
+    // Online join: the newcomer bootstraps from a snapshot.
+    let joiner = cluster.add_joiner(0);
+    cluster.run_for(SimDuration::from_secs(2));
+
+    // Partition the joiner into the minority; the majority keeps
+    // committing (and checkpointing) while the minority's white line
+    // freezes.
+    cluster.partition(&[vec![0, 1, 2], vec![3, joiner]]);
+    cluster.run_for(SimDuration::from_secs(2));
+
+    // Force a checkpoint at every replica and pin the invariant the
+    // old re-base broke, plus the retained-body accounting.
+    for i in 0..=joiner {
+        let (floor, tail, green, retained) = cluster.with_engine(i, |e| {
+            e.checkpoint();
+            (
+                e.green_floor(),
+                e.green_tail().len() as u64,
+                e.green_count(),
+                e.retained_bodies() as u64,
+            )
+        });
+        assert_eq!(
+            floor + tail,
+            green,
+            "server {i}: floor {floor} + tail {tail} != green {green}"
+        );
+        // Bodies kept in memory are the un-white green tail plus the
+        // red/yellow working set — never the pruned history.
+        assert!(
+            retained >= tail,
+            "server {i}: {retained} bodies < green tail {tail}"
+        );
+        assert!(
+            retained <= tail + 256,
+            "server {i}: retains {retained} bodies for a tail of {tail}"
+        );
+    }
+
+    // Heal: the exchange plan must retransmit exactly what each member
+    // lacks, over the pruned floors.
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(4));
+    let stop: Vec<_> = clients.to_vec();
+    for c in stop {
+        cluster.world.with_actor(
+            c.actor_id(),
+            |cl: &mut todr_harness::client::ClosedLoopClient| cl.stop(),
+        );
+    }
+    cluster.run_for(SimDuration::from_secs(2));
+    let g0 = cluster.green_count(0);
+    for i in 1..=joiner {
+        assert_eq!(cluster.green_count(i), g0, "server {i} diverged");
+        assert_eq!(cluster.db_digest(i), cluster.db_digest(0));
+    }
+    cluster.check_consistency();
+}
+
 #[test]
 fn manual_checkpoint_reports_pruned_count() {
     let mut cluster = Cluster::build(ClusterConfig::new(3, 4));

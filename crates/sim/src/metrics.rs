@@ -327,6 +327,7 @@ pub struct HistogramSummary {
 #[derive(Debug, Default)]
 pub struct MetricsHub {
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
     events: Vec<RecordedEvent>,
     record_events: bool,
@@ -337,6 +338,7 @@ impl MetricsHub {
     pub fn new() -> Self {
         MetricsHub {
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
             events: Vec::new(),
             record_events: true,
@@ -367,6 +369,26 @@ impl MetricsHub {
     /// All counters, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sets the named gauge to its current value (last write wins).
+    ///
+    /// Unlike counters, gauges describe *levels* — retained bodies, queue
+    /// depths — that can go down as well as up; the export carries the
+    /// final value. Pair a gauge with [`Self::record_value`] when the
+    /// peak matters too.
+    pub fn set_gauge(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of a gauge (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Records a nanosecond sample into the named histogram.
@@ -431,6 +453,11 @@ impl MetricsHub {
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), v))
                 .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
             histograms: self
                 .histograms
                 .iter()
@@ -454,6 +481,8 @@ impl MetricsHub {
 pub struct MetricsExport {
     /// All counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// Final values of all gauges by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Percentile summaries of all histograms by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Number of recorded events per [`ProtocolEvent::kind`].
@@ -490,6 +519,19 @@ mod tests {
         hub.incr("net.sent", 2);
         hub.incr("net.sent", 3);
         assert_eq!(hub.counter("net.sent"), 5);
+    }
+
+    #[test]
+    fn gauges_hold_the_last_written_level() {
+        let mut hub = MetricsHub::new();
+        assert_eq!(hub.gauge("core.retained_bodies"), 0);
+        hub.set_gauge("core.retained_bodies", 7);
+        hub.set_gauge("core.retained_bodies", 3); // levels go down too
+        assert_eq!(hub.gauge("core.retained_bodies"), 3);
+        let export = hub.export();
+        assert_eq!(export.gauges.get("core.retained_bodies"), Some(&3));
+        let back = MetricsExport::from_json(&export.to_json()).unwrap();
+        assert_eq!(back, export);
     }
 
     #[test]

@@ -394,6 +394,63 @@ mod tests {
     }
 
     #[test]
+    fn truncate_with_staged_appends_never_loses_durable_entries() {
+        // Checkpoint racing a submission: entries [1, 2] are durable,
+        // entry [3] is staged (the engine has *not* been told it is
+        // durable yet), and a checkpoint truncates + relogs the tail.
+        let mut store = StableStore::new();
+        store.append_log(vec![1]);
+        store.append_log(vec![2]);
+        store.commit_staged();
+        store.append_log(vec![3]); // staged only
+        store.truncate_log(); // checkpoint begins; discards staged [3]
+        store.append_log(vec![2]); // compacted tail relog
+
+        // Crash before the checkpoint's sync completes: everything the
+        // engine believes durable ([1, 2]) must still be there, and the
+        // half-done checkpoint must leave no trace.
+        store.crash();
+        assert_eq!(
+            store.log_iter().collect::<Vec<_>>(),
+            vec![&[1][..], &[2][..]]
+        );
+        assert!(!store.has_staged());
+    }
+
+    #[test]
+    fn commit_after_crash_does_not_resurrect_a_lost_truncation() {
+        // The stale-disk-completion hazard: a sync is requested for a
+        // staged truncation, the process crashes, and the completion
+        // for the pre-crash sync arrives afterwards. Committing at that
+        // point must not apply the truncation — the crash already threw
+        // it away.
+        let mut store = StableStore::new();
+        store.append_log(vec![1]);
+        store.commit_staged();
+        store.truncate_log();
+        store.append_log(vec![9]);
+        store.crash(); // power failure before the platter write
+        store.commit_staged(); // stale completion: must be a no-op
+        assert_eq!(store.log_iter().collect::<Vec<_>>(), vec![&[1][..]]);
+    }
+
+    #[test]
+    fn interleaved_truncate_commit_crash_keeps_log_consistent() {
+        // truncate → commit → append → crash: the committed truncation
+        // is durable, the post-commit append is not.
+        let mut store = StableStore::new();
+        store.append_log(vec![1]);
+        store.append_log(vec![2]);
+        store.commit_staged();
+        store.truncate_log();
+        store.append_log(vec![7]);
+        store.commit_staged();
+        store.append_log(vec![8]); // staged after the checkpoint
+        store.crash();
+        assert_eq!(store.log_iter().collect::<Vec<_>>(), vec![&[7][..]]);
+    }
+
+    #[test]
     fn has_staged_tracks_pending_data() {
         let mut store = StableStore::new();
         assert!(!store.has_staged());

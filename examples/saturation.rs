@@ -1,0 +1,38 @@
+//! Saturation sweep: clients × EVS packing level on the delayed-writes
+//! engine, locating the throughput knee and regenerating the
+//! `results/BENCH_saturation.json` baseline the CI regression gate
+//! compares against.
+//!
+//! ```sh
+//! cargo run --release --example saturation            # print the sweep
+//! cargo run --release --example saturation -- --json  # emit the JSON
+//! ```
+//!
+//! Pass `--quick` for the reduced-scale sweep CI runs.
+
+use todr::harness::experiments::saturation;
+use todr::sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let sweep = if quick {
+        saturation::run(5, &[2, 6, 10], &[1, 8], SimDuration::from_secs(2), 42)
+    } else {
+        saturation::run(
+            14,
+            &[1, 2, 4, 6, 8, 10, 12, 14],
+            &[1, 2, 4, 8],
+            SimDuration::from_secs(3),
+            42,
+        )
+    };
+
+    if json {
+        println!("{}", sweep.to_json());
+    } else {
+        println!("{}", sweep.to_table());
+    }
+}

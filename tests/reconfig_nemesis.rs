@@ -14,13 +14,18 @@
 use todr::check::{run_case, CaseSpec, RunOptions, Step};
 
 fn run(seed: u64, schedule: &[Step]) {
+    run_with(seed, schedule, &RunOptions::default());
+}
+
+fn run_with(seed: u64, schedule: &[Step], options: &RunOptions) -> String {
     let spec = CaseSpec {
         seed,
         perturbation: 0, // the historical FIFO interleaving
         schedule: schedule.to_vec(),
     };
-    if let Err(failure) = run_case(&spec, &RunOptions::default()) {
-        panic!("seed {seed} schedule {schedule:?} failed: {failure}");
+    match run_case(&spec, options) {
+        Ok(pass) => pass.metrics_json,
+        Err(failure) => panic!("seed {seed} schedule {schedule:?} failed: {failure}"),
     }
 }
 
@@ -33,6 +38,55 @@ fn reconfiguration_under_random_nemesis() {
         eprintln!("case {case}: seed={seed} schedule={schedule:?}");
         run(seed, &schedule);
     }
+}
+
+/// The EVS message-packing path must satisfy every oracle under the
+/// same nemesis schedules as the historical protocol, and stay
+/// deterministic: replaying a packed case yields a byte-identical
+/// `MetricsExport`.
+#[test]
+fn reconfiguration_under_nemesis_with_packing() {
+    let packed = RunOptions {
+        max_pack: 8,
+        ..RunOptions::default()
+    };
+    let mut rng = todr::sim::SimRng::new(0x4ec0);
+    for case in 0..4 {
+        let seed = rng.gen_range(1_000_000);
+        let schedule = todr::check::generate_schedule(&mut rng, 5);
+        eprintln!("packed case {case}: seed={seed} schedule={schedule:?}");
+        let first = run_with(seed, &schedule, &packed);
+        let second = run_with(seed, &schedule, &packed);
+        assert_eq!(
+            first, second,
+            "packed case {case} (seed {seed}) replayed differently"
+        );
+    }
+}
+
+/// Regression for the white-line GC floor re-base (satellite of the
+/// packing PR): a dynamic join (snapshot-bootstrapped floor), a
+/// partition, and a checkpoint interval small enough that GC runs
+/// during the schedule. The engine's debug asserts pin
+/// `green_floor + green_tail.len() == green_count`; the oracles pin
+/// the exchange plan over the pruned floors.
+#[test]
+fn regression_gc_join_partition_checkpoint() {
+    let gc = RunOptions {
+        checkpoint_interval: 64,
+        ..RunOptions::default()
+    };
+    run_with(
+        11,
+        &[
+            Step::Join { via: 0 },
+            Step::Split { cut: 3 },
+            Step::Merge,
+            Step::Split { cut: 2 },
+            Step::Merge,
+        ],
+        &gc,
+    );
 }
 
 #[test]
