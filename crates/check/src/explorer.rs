@@ -13,7 +13,7 @@ use todr_sim::SimRng;
 
 use crate::artifact::Counterexample;
 use crate::runner::{run_case, CaseSpec, RunOptions};
-use crate::schedule::generate_schedule;
+use crate::schedule::generate_schedule_with;
 use crate::shrink::shrink_case;
 
 /// Parameters of one exploration sweep.
@@ -28,6 +28,11 @@ pub struct ExploreConfig {
     pub perturbations: u64,
     /// Whether to delta-debug failing schedules to 1-minimal form.
     pub shrink: bool,
+    /// Whether schedules draw from the widened step die that includes
+    /// torn-write crashes and stale-sector corruption
+    /// ([`crate::schedule::generate_schedule_with`]). `false` keeps the
+    /// historical nemesis distribution bit-for-bit.
+    pub storage_faults: bool,
     /// Per-case runner knobs (replica count, injected chaos).
     pub options: RunOptions,
 }
@@ -39,6 +44,7 @@ impl Default for ExploreConfig {
             seed_count: 4,
             perturbations: 2,
             shrink: true,
+            storage_faults: false,
             options: RunOptions::default(),
         }
     }
@@ -77,7 +83,8 @@ pub fn explore(config: &ExploreConfig, mut progress: impl FnMut(u64, u64, bool))
         // original nemesis meta-loop: world seed first, then the steps.
         let mut rng = SimRng::new(explorer_seed);
         let world_seed = rng.gen_range(1_000_000);
-        let schedule = generate_schedule(&mut rng, config.options.n_servers);
+        let schedule =
+            generate_schedule_with(&mut rng, config.options.n_servers, config.storage_faults);
         for perturbation in 0..config.perturbations.max(1) {
             let spec = CaseSpec {
                 seed: world_seed,

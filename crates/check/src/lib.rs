@@ -61,5 +61,5 @@ pub use oracle::{check_trace, TraceStats, TraceViolation};
 pub use runner::{
     run_case, tie_break_for, CaseFailure, CasePass, CaseSpec, FailureKind, RunOptions,
 };
-pub use schedule::{generate_schedule, Step};
+pub use schedule::{generate_schedule, generate_schedule_with, Step};
 pub use shrink::{ddmin, shrink_case};

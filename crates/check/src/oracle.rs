@@ -93,6 +93,23 @@ pub enum TraceViolation {
         /// Creator-local action sequence.
         action_seq: u64,
     },
+    /// Durability (§4.3, the `vulnerable`-record argument): a green
+    /// action was *lost* — some replica claimed a green position during
+    /// the run, but a surviving replica ended the run with a green line
+    /// below it. Once an action is green it is globally ordered and
+    /// durable at every member of the installing primary component;
+    /// crashes, torn writes and single stale sectors may delay but never
+    /// erase it, because recovery re-fetches missing actions from peers
+    /// during the exchange round.
+    GreenActionLost {
+        /// The surviving replica that fell short.
+        node: u32,
+        /// Its green line at the end of the run.
+        final_green: u64,
+        /// The green count the run's claims require (highest claimed
+        /// position + 1).
+        needed: u64,
+    },
     /// EVS agreed order: two replicas delivered *different senders* at
     /// the same `(configuration, slot)`.
     DeliveryMismatch {
@@ -166,6 +183,15 @@ impl fmt::Display for TraceViolation {
                 f,
                 "action ({creator}, {action_seq}) still yellow at surviving \
                  node {node} at quiescence"
+            ),
+            TraceViolation::GreenActionLost {
+                node,
+                final_green,
+                needed,
+            } => write!(
+                f,
+                "green action lost: node {node} ended with green line \
+                 {final_green} but the run greened {needed} positions"
             ),
             TraceViolation::DeliveryMismatch {
                 conf_seq,
@@ -248,6 +274,10 @@ pub fn check_trace(
     let mut red_line: BTreeMap<u32, u64> = BTreeMap::new();
     // node -> largest green line ever announced (across incarnations)
     let mut best_green: BTreeMap<u32, u64> = BTreeMap::new();
+    // node -> green line at the latest event affecting it (advances and
+    // recoveries; NOT cleared at crash — this is the end-of-run value
+    // the durability oracle compares against the global claims)
+    let mut final_green: BTreeMap<u32, u64> = BTreeMap::new();
     // (conf_seq, coordinator, slot) -> (first delivering node, sender)
     let mut deliveries: BTreeMap<(u64, u32, u64), (u32, u32)> = BTreeMap::new();
     // (node, conf_seq, coordinator) -> last delivered slot
@@ -289,6 +319,7 @@ pub fn check_trace(
                     }
                 }
                 green_line.insert(node, green);
+                final_green.insert(node, green);
                 let best = best_green.entry(node).or_insert(0);
                 *best = (*best).max(green);
                 if let Some(id) = pending_green.remove(&node) {
@@ -344,6 +375,7 @@ pub fn check_trace(
                 if green > 0 {
                     green_line.insert(node, green);
                 }
+                final_green.insert(node, green);
             }
             ProtocolEvent::Delivered {
                 node,
@@ -384,6 +416,24 @@ pub fn check_trace(
                 deliv_seq.insert((node, conf_seq, coordinator), seq);
             }
             _ => {}
+        }
+    }
+
+    // Durability over the surviving membership: every green position
+    // any replica ever claimed must be covered by every survivor's
+    // final green line — a green action is never lost, no matter what
+    // crashes, torn writes or (single) stale sectors the run injected.
+    if let Some((&p_max, _)) = global_green.iter().next_back() {
+        let needed = p_max + 1;
+        for &node in survivors {
+            let have = final_green.get(&node).copied().unwrap_or(0);
+            if have < needed {
+                return Err(TraceViolation::GreenActionLost {
+                    node,
+                    final_green: have,
+                    needed,
+                });
+            }
         }
     }
 
@@ -541,6 +591,50 @@ mod tests {
                 node: 2,
                 creator: 0,
                 action_seq: 7
+            }
+        ));
+    }
+
+    #[test]
+    fn lost_green_action_is_caught_at_survivors() {
+        // Node 0 greens two positions, crashes, and recovers from a
+        // stable store that only knew one of them — and never catches
+        // back up. The greened position 1 has been lost at a survivor.
+        let mut events = Vec::new();
+        events.extend(green_mark(0, 0, 1, 1));
+        events.extend(green_mark(0, 0, 2, 2));
+        events.push(rec(E::EngineCrashed { node: 0 }));
+        events.push(rec(E::EngineRecovered { node: 0, green: 1 }));
+
+        // A non-survivor ending short is legal (it may still be down).
+        check_trace(&events, &BTreeSet::new()).unwrap();
+
+        let survivors: BTreeSet<u32> = [0].into_iter().collect();
+        assert!(matches!(
+            check_trace(&events, &survivors).unwrap_err(),
+            TraceViolation::GreenActionLost {
+                node: 0,
+                final_green: 1,
+                needed: 2,
+            }
+        ));
+
+        // Catching back up to the claimed prefix clears the violation.
+        events.extend(green_mark(0, 0, 2, 2));
+        check_trace(&events, &survivors).unwrap();
+    }
+
+    #[test]
+    fn survivor_that_never_greened_loses_every_claimed_position() {
+        let mut events = Vec::new();
+        events.extend(green_mark(0, 0, 1, 1));
+        let survivors: BTreeSet<u32> = [3].into_iter().collect();
+        assert!(matches!(
+            check_trace(&events, &survivors).unwrap_err(),
+            TraceViolation::GreenActionLost {
+                node: 3,
+                final_green: 0,
+                needed: 1,
             }
         ));
     }

@@ -218,6 +218,7 @@ fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box
     let mut left = vec![false; n];
     let mut joins = 0usize;
     let mut leaves = 0usize;
+    let mut corruptions = 0usize;
 
     for step in &spec.schedule {
         match *step {
@@ -257,6 +258,23 @@ fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box
                     left[server] = true;
                     leaves += 1;
                     cluster.leave(server);
+                }
+            }
+            Step::CrashTorn { server } => {
+                if server < n && !crashed[server] && !left[server] {
+                    crashed[server] = true;
+                    cluster.crash_torn(server);
+                }
+            }
+            Step::CorruptSector { server } => {
+                // At most one latent media fault per schedule: the
+                // durability argument needs every green action to keep
+                // at least one intact durable copy, and a second
+                // corruption could (with bad luck) hit the last one.
+                // A crashed server's disk can still degrade.
+                if server < n && corruptions == 0 && !left[server] {
+                    corruptions += 1;
+                    cluster.corrupt_sector(server);
                 }
             }
             Step::Quiet => {}

@@ -51,6 +51,22 @@ pub enum Step {
         /// already happened).
         server: usize,
     },
+    /// Crash a server with a torn write: the log append in flight
+    /// reaches the platter only partially (same legality as
+    /// [`Step::Crash`]; requires `storage_faults` generation).
+    CrashTorn {
+        /// The server to crash (no-op if already crashed or departed).
+        server: usize,
+    },
+    /// Serve a stale sector on a server's disk: one persisted log
+    /// record's payload is silently replaced by an earlier record's,
+    /// under a current-looking header. Surfaces at the server's next
+    /// recovery scan. The runner caps this at one per schedule (no-op
+    /// afterwards, or if the server departed).
+    CorruptSector {
+        /// The server whose disk degrades.
+        server: usize,
+    },
     /// Let the cluster run undisturbed for one step interval.
     Quiet,
 }
@@ -62,9 +78,22 @@ pub enum Step {
 /// `reconfig_nemesis` generator, so a given `SimRng` stream produces the
 /// same schedules it always did.
 pub fn generate_schedule(rng: &mut SimRng, n: usize) -> Vec<Step> {
+    generate_schedule_with(rng, n, false)
+}
+
+/// Like [`generate_schedule`], optionally widening the step die with the
+/// storage-fault steps ([`Step::CrashTorn`], [`Step::CorruptSector`]).
+///
+/// With `storage_faults = false` the draw sequence is bit-identical to
+/// [`generate_schedule`] (the historical nemesis distribution); with
+/// `storage_faults = true` a wider die is rolled, so the two modes
+/// produce unrelated schedules from the same RNG stream — callers pick
+/// one mode per exploration, never mix them mid-stream.
+pub fn generate_schedule_with(rng: &mut SimRng, n: usize, storage_faults: bool) -> Vec<Step> {
     let len = (1 + rng.gen_range(6)) as usize;
+    let die = if storage_faults { 19 } else { 15 };
     (0..len)
-        .map(|_| match rng.gen_range(15) {
+        .map(|_| match rng.gen_range(die) {
             0..=2 => Step::Split {
                 cut: (1 + rng.gen_range(n as u64 - 1)) as usize,
             },
@@ -79,6 +108,12 @@ pub fn generate_schedule(rng: &mut SimRng, n: usize) -> Vec<Step> {
                 via: rng.gen_range(n as u64) as usize,
             },
             12 => Step::Leave {
+                server: rng.gen_range(n as u64) as usize,
+            },
+            15..=16 => Step::CrashTorn {
+                server: rng.gen_range(n as u64) as usize,
+            },
+            17..=18 => Step::CorruptSector {
                 server: rng.gen_range(n as u64) as usize,
             },
             _ => Step::Quiet,
@@ -106,10 +141,49 @@ mod tests {
                         assert!(server < 5)
                     }
                     Step::Join { via } => assert!(via < 5),
+                    Step::CrashTorn { .. } | Step::CorruptSector { .. } => {
+                        panic!("storage-fault step from the historical generator")
+                    }
                     Step::Merge | Step::Quiet => {}
                 }
             }
         }
+    }
+
+    #[test]
+    fn fault_free_mode_matches_historical_generator_exactly() {
+        let mut a = SimRng::new(0x5EED);
+        let mut b = SimRng::new(0x5EED);
+        for _ in 0..50 {
+            assert_eq!(
+                generate_schedule(&mut a, 5),
+                generate_schedule_with(&mut b, 5, false)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_mode_draws_storage_fault_steps() {
+        let mut rng = SimRng::new(0x5EED);
+        let mut torn = 0usize;
+        let mut corrupt = 0usize;
+        for _ in 0..200 {
+            for step in generate_schedule_with(&mut rng, 5, true) {
+                match step {
+                    Step::CrashTorn { server } => {
+                        assert!(server < 5);
+                        torn += 1;
+                    }
+                    Step::CorruptSector { server } => {
+                        assert!(server < 5);
+                        corrupt += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(torn > 0, "no CrashTorn drawn in 200 schedules");
+        assert!(corrupt > 0, "no CorruptSector drawn in 200 schedules");
     }
 
     #[test]
@@ -121,6 +195,8 @@ mod tests {
             Step::Recover { server: 1 },
             Step::Join { via: 0 },
             Step::Leave { server: 4 },
+            Step::CrashTorn { server: 2 },
+            Step::CorruptSector { server: 3 },
             Step::Quiet,
         ];
         let json = serde::json::to_string(&schedule).unwrap();

@@ -12,18 +12,18 @@ use todr_sim::{
     Actor, ActorId, CpuMeter, Ctx, EventColor, Payload, ProtocolEvent, SimDuration, SimTime,
     TraceLevel,
 };
-use todr_storage::{DiskDone, DiskOp, StableStore, SyncToken};
+use todr_storage::{DiskDone, DiskOp, LogFaultKind, StableStore, SyncToken};
 
 use crate::action::{Action, ActionId, ActionKind, ClientId};
 use crate::exchange::{retrans_plan, GreenPath, MemberProgress, RetransPlan};
-use crate::persist::{self, BaseRecord, PersistEntry};
+use crate::persist::{self, BaseRecord, PersistEntry, RecoveryError};
 use crate::quorum::{
     compute_knowledge, is_weighted_quorum, KnowledgeInput, PrimComponent, VulnerableRecord,
     YellowRecord,
 };
 use crate::semantics::{QuerySemantics, UpdateReplyPolicy};
 use crate::types::{
-    ClientReply, ClientRequest, EngineConfig, EngineCtl, EngineStats, TransferWire,
+    ClientReply, ClientRequest, EngineConfig, EngineCtl, EngineStats, StorageFault, TransferWire,
 };
 
 /// The engine's protocol state (Figure 4 of the paper, plus the
@@ -201,6 +201,14 @@ pub struct ReplicationEngine {
     /// action).
     submit_queue: Vec<Action>,
     submit_inflight: bool,
+    /// Actions whose forced write completed after a configuration
+    /// change had already moved us out of `RegPrim`/`NonPrim`. Sending
+    /// them mid-exchange would interleave an action into the membership
+    /// protocol's agreed sequence (a `Construct`-state member could
+    /// receive it before the full CPC set); they are durable in
+    /// `ongoing` and go out at the next install, where total order
+    /// guarantees every receiver has already delivered all CPCs.
+    deferred_submits: Vec<Action>,
 
     // ----- misc -----
     cpu: CpuMeter,
@@ -217,6 +225,9 @@ pub struct ReplicationEngine {
     /// the joiner retries its bootstrap).
     pending_joins: BTreeSet<NodeId>,
     departed: bool,
+    /// Why the last [`EngineCtl::Recover`] fail-stopped, if it did.
+    /// Cleared by a successful recovery.
+    recovery_error: Option<RecoveryError>,
 }
 
 impl ReplicationEngine {
@@ -271,6 +282,7 @@ impl ReplicationEngine {
             pending_syncs: BTreeMap::new(),
             submit_queue: Vec::new(),
             submit_inflight: false,
+            deferred_submits: Vec::new(),
             cpu: CpuMeter::new(),
             last_green_charge: None,
             green_burst_len: 0,
@@ -279,6 +291,7 @@ impl ReplicationEngine {
             join_target_idx: 0,
             pending_joins: BTreeSet::new(),
             departed: false,
+            recovery_error: None,
         };
         if engine.state == EngineState::NonPrim {
             engine.persist_membership_records();
@@ -298,6 +311,12 @@ impl ReplicationEngine {
     /// Counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Why the last recovery attempt fail-stopped, if it did. `None`
+    /// after a successful (or never-attempted) recovery.
+    pub fn recovery_error(&self) -> Option<&RecoveryError> {
+        self.recovery_error.as_ref()
     }
 
     /// Number of green (globally ordered, applied) actions.
@@ -1002,6 +1021,15 @@ impl ReplicationEngine {
 
     /// `Handle_buff_requests` (Appendix A, CodeSegment A.8).
     fn handle_buffered(&mut self, ctx: &mut Ctx<'_>) {
+        // Actions deferred across the view change go out first: they
+        // are older than any buffered request (lower indices), their
+        // forced write already happened, and per-server FIFO keeps the
+        // receivers' red cuts contiguous.
+        for action in std::mem::take(&mut self.deferred_submits) {
+            let size = action.size_bytes;
+            self.send_group(ctx, EngineMsg::Action(action), size);
+        }
+        self.flush_submit_queue(ctx);
         let buffered: Vec<ClientRequest> = std::mem::take(&mut self.buffered_reqs);
         for req in buffered {
             self.on_client_request(ctx, req);
@@ -1598,11 +1626,31 @@ impl ReplicationEngine {
         match after {
             AfterSync::Submit(actions) => {
                 self.submit_inflight = false;
-                for action in actions {
-                    let size = action.size_bytes;
-                    self.send_group(ctx, EngineMsg::Action(action), size);
+                if matches!(self.state, EngineState::RegPrim | EngineState::NonPrim) {
+                    for action in actions {
+                        let size = action.size_bytes;
+                        self.send_group(ctx, EngineMsg::Action(action), size);
+                    }
+                    self.flush_submit_queue(ctx);
+                } else {
+                    // A configuration change overtook this forced
+                    // write. The actions are durable in `ongoing`, but
+                    // generating them now would inject an action into
+                    // the new configuration's agreed sequence *after*
+                    // our state message — a member already in
+                    // `Construct` could then deliver it before the full
+                    // CPC set. Hold them until the next install.
+                    ctx.trace_at(
+                        TraceLevel::Debug,
+                        "engine",
+                        format!(
+                            "{} deferring {} submitted action(s) across a view change",
+                            self.cfg.me,
+                            actions.len()
+                        ),
+                    );
+                    self.deferred_submits.extend(actions);
                 }
-                self.flush_submit_queue(ctx);
             }
             AfterSync::SendState { epoch } => {
                 if epoch == self.conf_epoch && self.state == EngineState::ExchangeStates {
@@ -1648,8 +1696,10 @@ impl ReplicationEngine {
 
     fn on_ctl(&mut self, ctx: &mut Ctx<'_>, ctl: EngineCtl) {
         match ctl {
-            EngineCtl::Crash => self.crash(ctx),
+            EngineCtl::Crash => self.crash(ctx, false),
+            EngineCtl::CrashTorn => self.crash(ctx, true),
             EngineCtl::Recover => self.recover(ctx),
+            EngineCtl::InjectFault { fault } => self.inject_fault(ctx, fault),
             EngineCtl::StartJoin { via } => self.start_join(ctx, via),
             EngineCtl::Leave => {
                 if matches!(self.state, EngineState::RegPrim | EngineState::NonPrim) {
@@ -1696,12 +1746,24 @@ impl ReplicationEngine {
         self.flush_submit_queue(ctx);
     }
 
-    fn crash(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.trace("engine", format!("{} crashed", self.cfg.me));
+    fn crash(&mut self, ctx: &mut Ctx<'_>, torn: bool) {
+        ctx.trace(
+            "engine",
+            format!(
+                "{} crashed{}",
+                self.cfg.me,
+                if torn { " (torn write)" } else { "" }
+            ),
+        );
         ctx.emit(ProtocolEvent::EngineCrashed {
             node: self.cfg.me.index(),
         });
-        self.store.crash();
+        if torn {
+            self.store.crash_torn(ctx.fault_rng());
+            ctx.metrics().incr("storage.torn_crashes", 1);
+        } else {
+            self.store.crash();
+        }
         self.state = EngineState::Down;
         self.actions.clear();
         self.green_count = 0;
@@ -1730,18 +1792,155 @@ impl ReplicationEngine {
         self.ongoing.clear();
         self.submit_queue.clear();
         self.submit_inflight = false;
+        self.deferred_submits.clear();
         self.last_green_charge = None;
         self.green_burst_len = 0;
         // prim_component / vulnerable / yellow / attempt / action_index
         // are reloaded from stable storage on recovery.
     }
 
-    /// `Recover` (CodeSegment A.13).
+    /// Damages the persisted log in place ([`EngineCtl::InjectFault`]).
+    /// Latent: nothing notices until the next recovery scan.
+    fn inject_fault(&mut self, ctx: &mut Ctx<'_>, fault: StorageFault) {
+        let injected = match fault {
+            StorageFault::BitFlip => self.store.inject_bit_flip(ctx.fault_rng()),
+            StorageFault::StaleSector => self.store.inject_stale_sector(ctx.fault_rng()),
+        };
+        if let Some(hit) = injected {
+            ctx.metrics().incr("storage.faults_injected", 1);
+            ctx.trace(
+                "engine",
+                format!(
+                    "{} storage fault injected: {fault:?} at log record {}",
+                    self.cfg.me, hit.index
+                ),
+            );
+        }
+    }
+
+    /// Whether recovery runs the log integrity scan. Always true except
+    /// under the `SkipChecksumVerify` chaos mutation, which models a
+    /// recovery path that trusts the medium blindly.
+    fn verify_on_recovery(&self) -> bool {
+        #[cfg(feature = "chaos-mutations")]
+        {
+            self.cfg.chaos != Some(crate::types::ChaosMutation::SkipChecksumVerify)
+        }
+        #[cfg(not(feature = "chaos-mutations"))]
+        {
+            true
+        }
+    }
+
+    /// Recovery found corruption it cannot repair: refuse to rejoin.
+    /// Rejoining with silently wrong state could vote a fork into the
+    /// primary component; staying [`EngineState::Down`] only costs this
+    /// replica's availability.
+    fn fail_stop(&mut self, ctx: &mut Ctx<'_>, error: RecoveryError) {
+        ctx.metrics().incr("storage.corruption_failstops", 1);
+        ctx.emit(ProtocolEvent::CorruptionDetected {
+            node: self.cfg.me.index(),
+            log_index: error.log_index(),
+        });
+        ctx.trace_at(
+            TraceLevel::Warn,
+            "engine",
+            format!("{} fail-stop on recovery: {error}", self.cfg.me),
+        );
+        self.recovery_error = Some(error);
+        self.state = EngineState::Down;
+    }
+
+    /// `Recover` (CodeSegment A.13), hardened: before replaying the
+    /// log, scan it for invalid records. A fault confined to the final
+    /// record is the expected torn write — the interrupted append was
+    /// never acknowledged durable, so truncating it loses only
+    /// `vulnerable`/red actions that the exchange protocol re-fetches
+    /// from peers on rejoin. A fault anywhere earlier means
+    /// acknowledged data is gone and the replica fail-stops.
     fn recover(&mut self, ctx: &mut Ctx<'_>) {
         if self.departed {
             return; // permanently removed replicas stay down
         }
-        let persisted = persist::load(&self.store);
+        let verify = self.verify_on_recovery();
+        if verify {
+            if let Err(fault) = self.store.verify_log() {
+                let is_tail = fault.index + 1 == self.store.log_len() as u64;
+                if is_tail && fault.kind == LogFaultKind::Checksum {
+                    self.store.truncate_log_from(fault.index);
+                    ctx.metrics().incr("storage.torn_tails_truncated", 1);
+                    ctx.emit(ProtocolEvent::TornTailTruncated {
+                        node: self.cfg.me.index(),
+                        log_index: fault.index,
+                    });
+                    ctx.trace(
+                        "engine",
+                        format!(
+                            "{} truncated torn log tail at record {}",
+                            self.cfg.me, fault.index
+                        ),
+                    );
+                } else {
+                    // Mid-log corruption, or an epoch regression (stale
+                    // sector) even at the tail: a tail record from the
+                    // wrong incarnation was once acknowledged durable.
+                    self.fail_stop(
+                        ctx,
+                        RecoveryError::MidLogFault {
+                            index: fault.index,
+                            detail: fault.to_string(),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        let persisted = match persist::load(&self.store) {
+            Ok(persisted) => persisted,
+            Err(RecoveryError::UndecodableEntry { index }) if !verify => {
+                // The mutated lenient path: entries that do not decode
+                // are silently dropped from that point on and recovery
+                // carries on with whatever decoded — no integrity scan,
+                // no fail-stop. (Stale sectors decode fine, so they
+                // replay as duplicates; the durability oracle's job.)
+                self.store.truncate_log_from(index);
+                match persist::load(&self.store) {
+                    Ok(persisted) => persisted,
+                    Err(error) => {
+                        self.fail_stop(ctx, error);
+                        return;
+                    }
+                }
+            }
+            Err(error) => {
+                self.fail_stop(ctx, error);
+                return;
+            }
+        };
+        self.recovery_error = None;
+
+        // Seal the new incarnation into the store: every record
+        // appended from now on carries this epoch, so a future recovery
+        // can spot sectors served from a previous life.
+        let incarnation = match self.store.get_record::<u64>(persist::K_INCARNATION) {
+            Ok(previous) => previous.unwrap_or(0) + 1,
+            Err(e) if verify => {
+                self.fail_stop(
+                    ctx,
+                    RecoveryError::CorruptRecord {
+                        key: persist::K_INCARNATION.to_string(),
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Err(_) => 1,
+        };
+        self.store
+            .put_record(persist::K_INCARNATION, &incarnation)
+            .expect("u64 serializes");
+        self.store.set_epoch(incarnation);
+
         self.actions = persisted.actions;
         self.green_floor = persisted.base.green_count;
         self.green_count = persisted.base.green_count + persisted.green_tail.len() as u64;

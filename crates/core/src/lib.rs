@@ -61,11 +61,12 @@ mod types;
 pub use action::{Action, ActionId, ActionKind, ClientId};
 pub use engine::{EngineState, ReplicationEngine};
 pub use exchange::{retrans_plan, RetransPlan as ExchangeRetransPlan};
+pub use persist::RecoveryError;
 pub use quorum::{PrimComponent, VulnerableRecord, YellowRecord};
 pub use semantics::{QuerySemantics, UpdateReplyPolicy};
 pub use types::{
     ClientReply, ClientRequest, Color, EngineConfig, EngineCtl, EngineStats, RequestId,
-    TransferWire,
+    StorageFault, TransferWire,
 };
 
 #[cfg(feature = "chaos-mutations")]

@@ -17,13 +17,78 @@
 //! procedure (Appendix A, CodeSegment A.13) is built on.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
+use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use todr_net::NodeId;
 use todr_storage::StableStore;
 
 use crate::action::{Action, ActionId};
 use crate::quorum::{PrimComponent, VulnerableRecord, YellowRecord};
+
+/// Why recovery could not reconstruct a usable state from stable
+/// storage.
+///
+/// Produced by the recovery scan when the persisted image fails
+/// validation. The engine maps storage-level [`todr_storage::LogFault`]s
+/// onto this too: a fault confined to the final log record is repaired
+/// by truncation (the paper's `vulnerable`-record argument makes a lost
+/// red tail recoverable from peers), anything earlier fail-stops the
+/// replica with one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A named record's bytes failed to deserialize.
+    CorruptRecord {
+        /// The record key.
+        key: String,
+        /// Codec-level detail.
+        detail: String,
+    },
+    /// A log entry's bytes failed to deserialize as a log entry.
+    UndecodableEntry {
+        /// Zero-based index of the offending log entry.
+        index: u64,
+    },
+    /// The log failed its integrity scan (checksum mismatch or
+    /// incarnation-epoch regression) somewhere other than the
+    /// truncatable tail.
+    MidLogFault {
+        /// Zero-based index of the first invalid log record.
+        index: u64,
+        /// Human-readable description of the fault.
+        detail: String,
+    },
+}
+
+impl RecoveryError {
+    /// The log index the error points at, when it concerns the log.
+    pub fn log_index(&self) -> Option<u64> {
+        match self {
+            RecoveryError::CorruptRecord { .. } => None,
+            RecoveryError::UndecodableEntry { index }
+            | RecoveryError::MidLogFault { index, .. } => Some(*index),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::CorruptRecord { key, detail } => {
+                write!(f, "record {key:?} is corrupt: {detail}")
+            }
+            RecoveryError::UndecodableEntry { index } => {
+                write!(f, "log entry {index} does not decode")
+            }
+            RecoveryError::MidLogFault { index, detail } => {
+                write!(f, "log integrity fault at entry {index}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// One entry in the persisted action log.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +124,7 @@ pub(crate) const K_GREEN_LINES: &str = "green_lines";
 pub(crate) const K_SERVER_SET: &str = "server_set";
 pub(crate) const K_ACTION_INDEX: &str = "action_index";
 pub(crate) const K_ONGOING: &str = "ongoing";
+pub(crate) const K_INCARNATION: &str = "incarnation";
 
 /// Everything recovery can reconstruct from a store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,18 +153,35 @@ pub(crate) struct PersistedState {
 
 /// Reads the persisted image back (after a simulated crash).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the store contents are corrupt — that would be a bug in the
-/// engine, not an environmental condition.
-pub(crate) fn load(store: &StableStore) -> PersistedState {
-    let base: BaseRecord = store
-        .get_record(K_BASE)
-        .expect("corrupt base record")
-        .unwrap_or_default();
-    let entries: Vec<PersistEntry> = store
-        .log_iter_typed()
-        .expect("corrupt persisted action log");
+/// Returns a [`RecoveryError`] when a named record or a log entry fails
+/// to deserialize. With fault injection off this would be an engine
+/// bug; with it on, it is the environmental condition the recovery
+/// protocol exists for — the caller decides between tail truncation
+/// and fail-stop.
+pub(crate) fn load(store: &StableStore) -> Result<PersistedState, RecoveryError> {
+    fn record<T: DeserializeOwned>(
+        store: &StableStore,
+        key: &str,
+    ) -> Result<Option<T>, RecoveryError> {
+        store
+            .get_record(key)
+            .map_err(|e| RecoveryError::CorruptRecord {
+                key: key.to_string(),
+                detail: e.to_string(),
+            })
+    }
+    let base: BaseRecord = record(store, K_BASE)?.unwrap_or_default();
+    let mut entries: Vec<PersistEntry> = Vec::with_capacity(store.log_len());
+    for (index, bytes) in store.log_iter().enumerate() {
+        // The log codec is the store's deterministic JSON.
+        let entry =
+            serde::json::from_slice(bytes).map_err(|_| RecoveryError::UndecodableEntry {
+                index: index as u64,
+            })?;
+        entries.push(entry);
+    }
     let mut actions = BTreeMap::new();
     let mut green_tail = Vec::new();
     let mut red_set = BTreeSet::new();
@@ -124,38 +207,22 @@ pub(crate) fn load(store: &StableStore) -> PersistedState {
         }
     }
 
-    let rec = |key: &str| -> Option<_> { store.get_record(key).expect("corrupt record") };
-    PersistedState {
+    Ok(PersistedState {
         base,
         actions,
         green_tail,
         red_set,
         red_cut,
         green_cut,
-        prim_component: store.get_record(K_PRIM).expect("corrupt record"),
-        attempt_index: rec(K_ATTEMPT).unwrap_or(0),
-        vulnerable: store
-            .get_record(K_VULNERABLE)
-            .expect("corrupt record")
-            .unwrap_or_else(VulnerableRecord::invalid),
-        yellow: store
-            .get_record(K_YELLOW)
-            .expect("corrupt record")
-            .unwrap_or_else(YellowRecord::invalid),
-        green_lines: store
-            .get_record(K_GREEN_LINES)
-            .expect("corrupt record")
-            .unwrap_or_default(),
-        server_set: store
-            .get_record(K_SERVER_SET)
-            .expect("corrupt record")
-            .unwrap_or_default(),
-        action_index: rec(K_ACTION_INDEX).unwrap_or(0),
-        ongoing: store
-            .get_record(K_ONGOING)
-            .expect("corrupt record")
-            .unwrap_or_default(),
-    }
+        prim_component: record(store, K_PRIM)?,
+        attempt_index: record(store, K_ATTEMPT)?.unwrap_or(0),
+        vulnerable: record(store, K_VULNERABLE)?.unwrap_or_else(VulnerableRecord::invalid),
+        yellow: record(store, K_YELLOW)?.unwrap_or_else(YellowRecord::invalid),
+        green_lines: record(store, K_GREEN_LINES)?.unwrap_or_default(),
+        server_set: record(store, K_SERVER_SET)?.unwrap_or_default(),
+        action_index: record(store, K_ACTION_INDEX)?.unwrap_or(0),
+        ongoing: record(store, K_ONGOING)?.unwrap_or_default(),
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +250,7 @@ mod tests {
     #[test]
     fn load_from_empty_store_gives_defaults() {
         let store = StableStore::new();
-        let st = load(&store);
+        let st = load(&store).expect("empty store loads");
         assert!(st.actions.is_empty());
         assert!(st.green_tail.is_empty());
         assert_eq!(st.attempt_index, 0);
@@ -208,7 +275,7 @@ mod tests {
             .append_log_typed(&PersistEntry::Accepted(a2.clone()))
             .unwrap();
         store.commit_staged();
-        let st = load(&store);
+        let st = load(&store).expect("clean log loads");
         assert_eq!(st.green_tail, vec![a1.id]);
         assert_eq!(
             st.red_set.iter().copied().collect::<Vec<_>>(),
@@ -230,7 +297,7 @@ mod tests {
             .append_log_typed(&PersistEntry::Accepted(action(0, 2)))
             .unwrap();
         store.crash();
-        let st = load(&store);
+        let st = load(&store).expect("clean log loads");
         assert_eq!(st.actions.len(), 1);
         assert_eq!(st.red_cut[&NodeId::new(0)], 1);
     }
@@ -245,10 +312,57 @@ mod tests {
         store.put_record(K_VULNERABLE, &vul).unwrap();
         store.put_record(K_ONGOING, &vec![action(0, 1)]).unwrap();
         store.commit_staged();
-        let st = load(&store);
+        let st = load(&store).expect("clean records load");
         assert_eq!(st.prim_component, Some(prim));
         assert_eq!(st.attempt_index, 7);
         assert_eq!(st.vulnerable, vul);
         assert_eq!(st.ongoing.len(), 1);
+    }
+
+    #[test]
+    fn undecodable_log_entry_reports_its_index() {
+        let mut store = StableStore::new();
+        store
+            .append_log_typed(&PersistEntry::Accepted(action(0, 1)))
+            .unwrap();
+        store.append_log(b"{ not a persist entry".to_vec());
+        store.commit_staged();
+        assert_eq!(
+            load(&store).expect_err("garbage entry must not load"),
+            RecoveryError::UndecodableEntry { index: 1 }
+        );
+    }
+
+    #[test]
+    fn corrupt_named_record_reports_its_key() {
+        let mut store = StableStore::new();
+        store
+            .put_record(K_ATTEMPT, &"not a u64".to_string())
+            .unwrap();
+        store.commit_staged();
+        let err = load(&store).expect_err("corrupt record must not load");
+        match err {
+            RecoveryError::CorruptRecord { key, .. } => assert_eq!(key, K_ATTEMPT),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(err_log_index(&store), None);
+    }
+
+    fn err_log_index(store: &StableStore) -> Option<u64> {
+        load(store).expect_err("still corrupt").log_index()
+    }
+
+    #[test]
+    fn truncating_an_undecodable_tail_makes_the_log_load() {
+        let mut store = StableStore::new();
+        store
+            .append_log_typed(&PersistEntry::Accepted(action(0, 1)))
+            .unwrap();
+        store.append_log(b"{ torn".to_vec());
+        store.commit_staged();
+        let index = load(&store).expect_err("torn tail").log_index().unwrap();
+        store.truncate_log_from(index);
+        let st = load(&store).expect("repaired log loads");
+        assert_eq!(st.actions.len(), 1);
     }
 }

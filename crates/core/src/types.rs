@@ -94,9 +94,22 @@ pub enum EngineCtl {
     /// Simulated process crash: volatile state is lost, stable storage
     /// survives.
     Crash,
+    /// Simulated process crash with a **torn write**: the log append in
+    /// flight at the crash instant reaches the platter only partially
+    /// (a random durable prefix of the staged entries, then one record
+    /// cut mid-payload). Drawn from the simulation's dedicated fault
+    /// RNG stream, so the tear replays byte-identically.
+    CrashTorn,
     /// Recover from stable storage (CodeSegment A.13) and rejoin the
     /// group.
     Recover,
+    /// Damage the replica's persisted log in place (latent media fault;
+    /// surfaces at the next recovery scan). Drawn from the fault RNG
+    /// stream.
+    InjectFault {
+        /// Which kind of media fault to inject.
+        fault: StorageFault,
+    },
     /// Begin the online-join bootstrap (§5.1, CodeSegment 5.2): connect
     /// to `via`, obtain a `PERSISTENT_JOIN` + database transfer, then
     /// join the replicated group.
@@ -112,6 +125,16 @@ pub enum EngineCtl {
         /// The replica to remove.
         dead: NodeId,
     },
+}
+
+/// A latent storage media fault injectable via [`EngineCtl::InjectFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Flip one random bit in one random persisted log record.
+    BitFlip,
+    /// Replace one random persisted log record's payload with an
+    /// earlier record's payload, keeping the current-looking header.
+    StaleSector,
 }
 
 /// Messages exchanged directly (outside the group) for the online-join
@@ -160,6 +183,14 @@ pub enum ChaosMutation {
     /// install a primary that orders different actions at the same
     /// green positions, violating global total order.
     PrematureGreen,
+    /// Trust the persisted log blindly on recovery: skip the checksum /
+    /// epoch integrity scan, and when an entry fails to even decode,
+    /// silently truncate the log from that point and carry on — the
+    /// classic "recovery that never met a bad disk". A stale sector
+    /// then replays as a duplicate entry and the recovered replica
+    /// rejoins with a silently wrong green prefix, which the durability
+    /// oracle must catch.
+    SkipChecksumVerify,
 }
 
 /// Tuning knobs and identity of a [`ReplicationEngine`](crate::ReplicationEngine).

@@ -46,10 +46,14 @@
 mod channel;
 mod daemon;
 mod fd;
+pub mod frame;
 mod membership;
 mod order;
 mod types;
 mod wire;
 
 pub use daemon::{EvsCmd, EvsConfig, EvsDaemon, EvsStats};
+pub use frame::{
+    Frame, FrameError, SequencedFrame, SequencedItemFrame, SubmitFrame, SubmitItemFrame,
+};
 pub use types::{ConfId, Configuration, Delivery, EvsEvent};

@@ -151,8 +151,15 @@ pub(crate) enum EvsWire {
     },
 }
 
-/// Modelled overhead of one EVS frame on the wire.
+/// Modelled overhead of one EVS frame on the wire. The byte codec in
+/// [`crate::frame`] emits exactly this many header bytes, so the model
+/// and the real encoding agree.
 pub(crate) const HEADER_BYTES: u32 = 48;
+
+/// Modelled per-item sub-header cost inside a packed data frame (the
+/// first item rides free under [`HEADER_BYTES`]). Matches the encoded
+/// submit-item sub-header in [`crate::frame`].
+pub(crate) const SUBHEADER_BYTES: u32 = 16;
 
 impl EvsWire {
     /// The node that produced this frame (for failure-detector
@@ -179,7 +186,7 @@ impl EvsWire {
     /// protocol charged.
     pub(crate) fn wire_size(&self) -> u32 {
         fn packed(total_payload: u32, items: usize) -> u32 {
-            HEADER_BYTES + total_payload + 16 * (items.saturating_sub(1) as u32)
+            HEADER_BYTES + total_payload + SUBHEADER_BYTES * (items.saturating_sub(1) as u32)
         }
         match self {
             EvsWire::Submit { items, .. } => {
@@ -189,7 +196,7 @@ impl EvsWire {
                 packed(msgs.iter().map(|m| m.size).sum(), msgs.len())
             }
             EvsWire::Retrans { msgs, .. } => {
-                HEADER_BYTES + msgs.iter().map(|m| m.size + 16).sum::<u32>()
+                HEADER_BYTES + msgs.iter().map(|m| m.size + SUBHEADER_BYTES).sum::<u32>()
             }
             _ => HEADER_BYTES,
         }

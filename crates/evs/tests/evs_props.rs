@@ -204,3 +204,141 @@ fn ordering_invariants_hold_under_loss() {
         scenario(n, seed, loss, msgs, 0, 0);
     }
 }
+
+// ---------------------------------------------------------------------
+// Byte-codec properties for the packed wire frames (todr_evs::frame).
+// ---------------------------------------------------------------------
+
+mod frame_props {
+    use todr_evs::{
+        ConfId, Frame, FrameError, SequencedFrame, SequencedItemFrame, SubmitFrame, SubmitItemFrame,
+    };
+    use todr_net::NodeId;
+    use todr_sim::SimRng;
+
+    fn random_payload(rng: &mut SimRng) -> Vec<u8> {
+        let len = rng.gen_range(64) as usize;
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
+        bytes
+    }
+
+    fn random_frame(rng: &mut SimRng) -> Frame {
+        let conf = ConfId {
+            seq: rng.gen_range(1 << 20),
+            coordinator: NodeId::new(rng.gen_range(16) as u32),
+        };
+        let items = rng.gen_range(5) as usize;
+        if rng.gen_bool(0.5) {
+            Frame::Submit(SubmitFrame {
+                conf,
+                sender: NodeId::new(rng.gen_range(16) as u32),
+                items: (0..items)
+                    .map(|i| SubmitItemFrame {
+                        local_seq: 1 + i as u64,
+                        payload: random_payload(rng),
+                    })
+                    .collect(),
+            })
+        } else {
+            let base = rng.gen_range(1 << 16);
+            Frame::Sequenced(SequencedFrame {
+                conf,
+                stable_upto: rng.gen_range(1 << 16),
+                msgs: (0..items)
+                    .map(|i| SequencedItemFrame {
+                        seq: base + i as u64,
+                        sender: NodeId::new(rng.gen_range(16) as u32),
+                        local_seq: 1 + rng.gen_range(1 << 10),
+                        payload: random_payload(rng),
+                    })
+                    .collect(),
+            })
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut rng = SimRng::new(0xF4A3E);
+        for _ in 0..200 {
+            let frame = random_frame(&mut rng);
+            let bytes = frame.encode();
+            assert_eq!(Frame::decode(&bytes).expect("round trip"), frame);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        // A torn buffer — any strict prefix, down to the empty one —
+        // must never decode: the checksum trailer covers the whole
+        // frame, so the only accepted byte string is the complete one.
+        let mut rng = SimRng::new(0x7047);
+        for _ in 0..24 {
+            let frame = random_frame(&mut rng);
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Frame::decode(&bytes[..cut]).is_err(),
+                    "prefix of {cut}/{} bytes decoded",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        // Exhaustively over a couple of frames: no single-bit
+        // corruption anywhere (header, item sub-headers, payloads,
+        // trailer) yields a frame that decodes as valid.
+        let mut rng = SimRng::new(0xB17F);
+        for _ in 0..4 {
+            let frame = random_frame(&mut rng);
+            let bytes = frame.encode();
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[i] ^= 1 << bit;
+                    assert!(
+                        Frame::decode(&bad).is_err(),
+                        "bit {bit} of byte {i}/{} flipped and still decoded",
+                        bytes.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_byte_stretches_are_rejected() {
+        // Fuzz-shaped garbage (including buffers that start with the
+        // right magic) never decodes and never panics.
+        let mut rng = SimRng::new(0x6A2BA6E);
+        for _ in 0..500 {
+            let len = rng.gen_range(256) as usize;
+            let mut bytes = vec![0u8; len];
+            rng.fill_bytes(&mut bytes);
+            if len >= 2 && rng.gen_bool(0.5) {
+                bytes[0] = 0x51;
+                bytes[1] = 0xEF;
+            }
+            assert!(Frame::decode(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn rejection_reasons_are_typed() {
+        let frame = random_frame(&mut SimRng::new(1));
+        let bytes = frame.encode();
+        assert!(matches!(
+            Frame::decode(&bytes[..10]),
+            Err(FrameError::TooShort { have: 10 })
+        ));
+        let mut flipped = bytes.clone();
+        *flipped.last_mut().unwrap() ^= 1;
+        assert!(matches!(
+            Frame::decode(&flipped),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+}

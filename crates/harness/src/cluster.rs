@@ -1,7 +1,7 @@
 //! Builds and drives a full simulated deployment of the replication
 //! engine.
 
-use todr_core::{EngineConfig, EngineCtl, EngineState, ReplicationEngine};
+use todr_core::{EngineConfig, EngineCtl, EngineState, ReplicationEngine, StorageFault};
 use todr_evs::{EvsCmd, EvsConfig, EvsDaemon};
 use todr_net::{NetConfig, NetFabric, NodeId};
 use todr_sim::{ActorId, SimDuration, SimTime, TieBreak, World};
@@ -45,6 +45,11 @@ pub struct ClusterConfig {
     /// [`TieBreak::Seeded`] lets schedule-exploration harnesses sweep
     /// alternative (deterministic, replayable) interleavings.
     pub tie_break: TieBreak,
+    /// When true, every [`Cluster::crash`] tears the write in flight
+    /// (a random prefix of the staged log entries survives, the next
+    /// one is cut mid-record) instead of crashing cleanly. Drawn from
+    /// the world's dedicated fault RNG stream, so runs stay replayable.
+    pub torn_crashes: bool,
     /// Deliberate engine invariant breakage injected into every server
     /// (`chaos-mutations` builds only; used by the `todr-check`
     /// mutation self-test).
@@ -71,6 +76,7 @@ impl ClusterConfig {
             checkpoint_interval: 1024,
             weights: std::collections::BTreeMap::new(),
             tie_break: TieBreak::Fifo,
+            torn_crashes: false,
             #[cfg(feature = "chaos-mutations")]
             chaos: None,
         }
@@ -260,6 +266,13 @@ impl ClusterConfigBuilder {
     /// Sets the same-instant event ordering policy of the world.
     pub fn tie_break(mut self, tb: TieBreak) -> Self {
         self.cfg.tie_break = tb;
+        self
+    }
+
+    /// Makes every [`Cluster::crash`] tear the write in flight instead
+    /// of crashing cleanly (see [`ClusterConfig::torn_crashes`]).
+    pub fn torn_crashes(mut self, on: bool) -> Self {
+        self.cfg.torn_crashes = on;
         self
     }
 
@@ -503,14 +516,57 @@ impl Cluster {
     }
 
     /// Crashes server `idx`: network silenced, daemon and engine wiped,
-    /// disk reset (in-flight syncs lost).
+    /// disk reset (in-flight syncs lost). With
+    /// [`ClusterConfig::torn_crashes`] set, the crash additionally
+    /// tears the log append in flight.
     pub fn crash(&mut self, idx: usize) {
+        if self.config.torn_crashes {
+            self.crash_with(idx, EngineCtl::CrashTorn);
+        } else {
+            self.crash_with(idx, EngineCtl::Crash);
+        }
+    }
+
+    /// Crashes server `idx` with a torn write at the crash boundary,
+    /// regardless of [`ClusterConfig::torn_crashes`].
+    pub fn crash_torn(&mut self, idx: usize) {
+        self.crash_with(idx, EngineCtl::CrashTorn);
+    }
+
+    fn crash_with(&mut self, idx: usize, ctl: EngineCtl) {
         let s = self.servers[idx];
         self.world
             .with_actor(self.fabric, move |f: &mut NetFabric| f.crash(s.node));
         self.world.schedule_now(s.daemon, EvsCmd::Crash);
-        self.world.schedule_now(s.engine, EngineCtl::Crash);
+        self.world.schedule_now(s.engine, ctl);
         self.world.schedule_now(s.disk, DiskOp::Reset);
+    }
+
+    /// Flips one random bit in one random persisted log record of
+    /// server `idx` (latent media fault; surfaces at the server's next
+    /// recovery scan).
+    pub fn flip_bit(&mut self, idx: usize) {
+        let engine = self.servers[idx].engine;
+        self.world.schedule_now(
+            engine,
+            EngineCtl::InjectFault {
+                fault: StorageFault::BitFlip,
+            },
+        );
+    }
+
+    /// Serves a stale sector on server `idx`: one persisted log
+    /// record's payload is replaced by an earlier record's, under a
+    /// current-looking header (latent media fault; surfaces at the
+    /// server's next recovery scan).
+    pub fn corrupt_sector(&mut self, idx: usize) {
+        let engine = self.servers[idx].engine;
+        self.world.schedule_now(
+            engine,
+            EngineCtl::InjectFault {
+                fault: StorageFault::StaleSector,
+            },
+        );
     }
 
     /// Recovers server `idx` from its stable storage.

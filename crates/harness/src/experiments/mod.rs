@@ -11,6 +11,7 @@
 //! | [`semantics::run`] | extension A3: relaxed query/update semantics under partition (§6) |
 //! | [`ablations`] | extensions A4–A6: loss sweep, LAN-vs-WAN latency, forced-write-latency sweep |
 //! | [`saturation::run`] | extension A7: clients × EVS-packing saturation sweep (`BENCH_saturation.json`) |
+//! | [`recovery::run`] | extension A8: crash-recovery cost under torn writes (checksummed scan + catch-up) |
 //!
 //! All results are measured in **virtual time** on the calibrated
 //! simulated substrate (see DESIGN.md §2); the claims to compare against
@@ -23,6 +24,7 @@ pub mod fig5b;
 pub mod join;
 pub mod latency;
 pub mod partition;
+pub mod recovery;
 pub mod saturation;
 pub mod semantics;
 

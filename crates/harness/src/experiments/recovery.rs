@@ -1,0 +1,166 @@
+//! Extension experiment A8: crash-recovery cost under torn writes.
+//!
+//! One loaded replica is torn-crashed (the write in flight at the crash
+//! instant is torn mid-record, as a real disk would), left down while
+//! the survivors keep committing, then recovered. The experiment
+//! reports what the checksummed recovery scan found, how long the
+//! replica needed to catch back up to the survivors' green line, and
+//! what the outage cost the cluster in throughput — the paper's §4.3
+//! claim (only *vulnerable* actions can be lost, never green ones)
+//! priced in virtual time.
+
+use todr_sim::{ProtocolEvent, SimDuration, SimTime};
+
+use crate::client::ClientConfig;
+use crate::cluster::{Cluster, ClusterConfig};
+
+use super::render_table;
+
+/// The experiment's data.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Replicas deployed.
+    pub n_servers: u32,
+    /// Green actions ordered cluster-wide when the crash hit.
+    pub green_at_crash: u64,
+    /// Survivors' green count at the instant recovery started — the
+    /// backlog the recovering replica must re-fetch.
+    pub green_at_recovery: u64,
+    /// Green count the recovering replica restored from its own log
+    /// before any catch-up traffic.
+    pub green_restored_from_disk: u64,
+    /// Whether the recovery scan found (and truncated) a torn final
+    /// record.
+    pub torn_tail_truncated: bool,
+    /// Virtual time from recovery start until the replica matched the
+    /// survivors' green line.
+    pub time_to_catch_up: SimDuration,
+    /// Throughput (actions/s) before the crash.
+    pub throughput_before: f64,
+    /// Throughput (actions/s) while the replica was down.
+    pub throughput_during_outage: f64,
+}
+
+fn first_time(
+    cluster: &mut Cluster,
+    deadline: SimTime,
+    mut pred: impl FnMut(&mut Cluster) -> bool,
+) -> SimTime {
+    let step = SimDuration::from_millis(10);
+    loop {
+        if pred(cluster) {
+            return cluster.now();
+        }
+        assert!(cluster.now() < deadline, "condition never became true");
+        cluster.run_for(step);
+    }
+}
+
+/// Runs the experiment. The victim is the highest-indexed replica;
+/// `outage_secs` is how long it stays down.
+pub fn run(n_servers: u32, outage_secs: u64, seed: u64) -> RecoveryReport {
+    let victim = n_servers as usize - 1;
+    let config = ClusterConfig::builder(n_servers, seed)
+        .torn_crashes(true)
+        .build()
+        .expect("coherent config");
+    let mut cluster = Cluster::build(config);
+    cluster.settle();
+    let clients: Vec<_> = (0..n_servers as usize)
+        .map(|i| cluster.attach_client(i, ClientConfig::default()))
+        .collect();
+    let committed = |cluster: &mut Cluster, clients: &[crate::cluster::ClientHandle]| -> u64 {
+        clients
+            .iter()
+            .map(|&c| cluster.client_stats(c).committed)
+            .sum()
+    };
+
+    // Warm up and measure the baseline.
+    cluster.run_for(SimDuration::from_secs(1));
+    let measure = SimDuration::from_secs(1);
+    let s = committed(&mut cluster, &clients);
+    cluster.run_for(measure);
+    let throughput_before = (committed(&mut cluster, &clients) - s) as f64 / measure.as_secs_f64();
+
+    // Torn crash mid-traffic.
+    let green_at_crash = cluster.green_count(0);
+    cluster.crash(victim);
+    let s = committed(&mut cluster, &clients);
+    cluster.run_for(SimDuration::from_secs(outage_secs));
+    let throughput_during_outage =
+        (committed(&mut cluster, &clients) - s) as f64 / outage_secs as f64;
+
+    // Recover and time the catch-up.
+    let green_at_recovery = cluster.green_count(0);
+    let recover_at = cluster.now();
+    cluster.recover(victim);
+    let deadline = recover_at + SimDuration::from_secs(20);
+    let caught_up_at = first_time(&mut cluster, deadline, |c| {
+        c.green_count(victim) >= green_at_recovery
+    });
+    let time_to_catch_up = caught_up_at - recover_at;
+    cluster.check_consistency();
+
+    let mut torn_tail_truncated = false;
+    let mut green_restored_from_disk = 0;
+    for e in cluster.world.metrics().events() {
+        match e.event {
+            ProtocolEvent::TornTailTruncated { node, .. } if node == victim as u32 => {
+                torn_tail_truncated = true;
+            }
+            ProtocolEvent::EngineRecovered { node, green } if node == victim as u32 => {
+                green_restored_from_disk = green;
+            }
+            _ => {}
+        }
+    }
+
+    RecoveryReport {
+        n_servers,
+        green_at_crash,
+        green_at_recovery,
+        green_restored_from_disk,
+        torn_tail_truncated,
+        time_to_catch_up,
+        throughput_before,
+        throughput_during_outage,
+    }
+}
+
+impl RecoveryReport {
+    /// The report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let rows = vec![
+            vec![
+                "green at crash".to_string(),
+                format!("{}", self.green_at_crash),
+            ],
+            vec![
+                "green at recovery (survivors)".to_string(),
+                format!("{}", self.green_at_recovery),
+            ],
+            vec![
+                "green restored from disk".to_string(),
+                format!("{}", self.green_restored_from_disk),
+            ],
+            vec![
+                "torn tail truncated".to_string(),
+                format!("{}", self.torn_tail_truncated),
+            ],
+            vec![
+                "time to catch up".to_string(),
+                format!("{}", self.time_to_catch_up),
+            ],
+            vec![
+                "throughput before (actions/s)".to_string(),
+                format!("{:.0}", self.throughput_before),
+            ],
+            vec![
+                "throughput during outage (actions/s)".to_string(),
+                format!("{:.0}", self.throughput_during_outage),
+            ],
+        ];
+        render_table(&["metric", "value"], &rows)
+    }
+}

@@ -2,7 +2,7 @@
 //! the qualitative shapes of the paper's results must already hold.
 
 use todr_harness::experiments::Protocol;
-use todr_harness::experiments::{fig5a, fig5b, join, latency, partition, semantics};
+use todr_harness::experiments::{fig5a, fig5b, join, latency, partition, recovery, semantics};
 use todr_sim::SimDuration;
 
 #[test]
@@ -135,4 +135,18 @@ fn semantics_report_matches_section6() {
     ));
     assert!(report.commutative_throughput > 20.0);
     assert!(report.converged_after_merge);
+}
+
+#[test]
+fn recovery_report_is_sane() {
+    let report = recovery::run(5, 2, 42);
+    println!("{}", report.to_table());
+    // A crash never loses green actions: what the log restored is at
+    // most one vulnerable (not-yet-green) record short of the green
+    // line at the crash, and catch-up completes quickly.
+    assert!(report.green_at_crash > 100);
+    assert!(report.green_restored_from_disk + 2 >= report.green_at_crash);
+    assert!(report.green_at_recovery > report.green_at_crash);
+    assert!(report.time_to_catch_up < SimDuration::from_secs(5));
+    assert!(report.throughput_during_outage > 20.0);
 }

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod actor;
+mod checksum;
 mod event;
 pub mod metrics;
 mod resource;
@@ -66,6 +67,7 @@ mod trace;
 mod world;
 
 pub use actor::{Actor, ActorId};
+pub use checksum::checksum64;
 pub use event::{IntoPayload, Payload};
 pub use metrics::{
     EventColor, Histogram, HistogramSummary, MetricsExport, MetricsHub, ProtocolEvent,

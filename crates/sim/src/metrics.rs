@@ -158,6 +158,27 @@ pub enum ProtocolEvent {
         /// Whether delivery happened in the transitional configuration.
         in_transitional: bool,
     },
+    /// Recovery found a torn final log record (the partial write at the
+    /// crash boundary) and truncated it. Benign: the truncated actions
+    /// were at most red, and the exchange protocol re-fetches them from
+    /// peers on rejoin.
+    TornTailTruncated {
+        /// The recovering replica.
+        node: u32,
+        /// Index of the first truncated log record.
+        log_index: u64,
+    },
+    /// Recovery found corruption it cannot attribute to a torn tail
+    /// (mid-log checksum mismatch, epoch regression, or a corrupt named
+    /// record). The replica fail-stops rather than rejoin with silently
+    /// wrong state.
+    CorruptionDetected {
+        /// The fail-stopping replica.
+        node: u32,
+        /// Index of the offending log record; `None` when a named
+        /// record (rather than the action log) was corrupt.
+        log_index: Option<u64>,
+    },
 }
 
 impl ProtocolEvent {
@@ -177,6 +198,8 @@ impl ProtocolEvent {
             ProtocolEvent::EngineCrashed { .. } => "engine-crashed",
             ProtocolEvent::EngineRecovered { .. } => "engine-recovered",
             ProtocolEvent::Delivered { .. } => "delivered",
+            ProtocolEvent::TornTailTruncated { .. } => "torn-tail-truncated",
+            ProtocolEvent::CorruptionDetected { .. } => "corruption-detected",
         }
     }
 }

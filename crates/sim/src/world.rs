@@ -62,6 +62,7 @@ pub struct Ctx<'a> {
     now: SimTime,
     self_id: ActorId,
     rng: &'a mut SimRng,
+    fault_rng: &'a mut SimRng,
     trace: &'a mut Trace,
     metrics: &'a mut MetricsHub,
     pending: Vec<(SimTime, ActorId, Payload)>,
@@ -119,6 +120,17 @@ impl<'a> Ctx<'a> {
         self.rng
     }
 
+    /// The world's deterministic *fault* RNG.
+    ///
+    /// A second seed-derived stream reserved for fault injection (torn
+    /// writes, bit flips, stale sectors). Keeping fault draws off the
+    /// main stream means enabling or disabling fault injection never
+    /// perturbs workload jitter, so a faulty run and its fault-free
+    /// twin share every non-fault event.
+    pub fn fault_rng(&mut self) -> &mut SimRng {
+        self.fault_rng
+    }
+
     /// Records an info-level trace entry.
     pub fn trace(&mut self, category: &'static str, message: impl Into<String>) {
         self.trace_at(TraceLevel::Info, category, message);
@@ -163,6 +175,7 @@ pub struct World {
     queue: BinaryHeap<QueuedEvent>,
     actors: Vec<Slot>,
     rng: SimRng,
+    fault_rng: SimRng,
     trace: Trace,
     metrics: MetricsHub,
     next_seq: u64,
@@ -179,6 +192,7 @@ impl World {
             queue: BinaryHeap::new(),
             actors: Vec::new(),
             rng: SimRng::new(seed),
+            fault_rng: SimRng::new(splitmix64(seed ^ 0xFA01_7FA0_17FA_017F)),
             trace: Trace::default(),
             metrics: MetricsHub::new(),
             next_seq: 0,
@@ -349,6 +363,7 @@ impl World {
             now: self.now,
             self_id: event.target,
             rng: &mut self.rng,
+            fault_rng: &mut self.fault_rng,
             trace: &mut self.trace,
             metrics: &mut self.metrics,
             pending: Vec::new(),
@@ -401,6 +416,11 @@ impl World {
     /// The world's RNG (e.g. for workload generation outside actors).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// The world's fault-injection RNG (see [`Ctx::fault_rng`]).
+    pub fn fault_rng(&mut self) -> &mut SimRng {
+        &mut self.fault_rng
     }
 
     /// The world's metrics hub: typed events, counters and histograms.

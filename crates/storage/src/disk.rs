@@ -1,4 +1,13 @@
 //! The disk actor: forced-write latency with group commit.
+//!
+//! The disk actor models *timing* only (when a platter sync completes);
+//! what the platter holds afterwards is the [`crate::StableStore`]'s
+//! business, including the failure modes injected by the fault layer
+//! (`fault.rs`): a crash can tear the record in flight mid-write, and a
+//! sector can later decode stale or bit-flipped. A sync completion here
+//! therefore promises durability only for writes whose completion the
+//! engine actually observed — exactly the paper's `vulnerable`-record
+//! window.
 
 use std::collections::VecDeque;
 use std::fmt;

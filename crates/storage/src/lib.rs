@@ -25,12 +25,27 @@
 //! immediately, reproducing the paper's "engine with delayed writes"
 //! configuration (Figure 5(b)); durability is traded away, which the
 //! store models by committing staged data on acknowledgement.
+//!
+//! ## Fault injection
+//!
+//! Perfect media make the recovery path untestable, so the store also
+//! models the ways real disks lie (see [`fault`](crate) methods on
+//! [`StableStore`]): [`StableStore::crash_torn`] tears the final
+//! in-flight record at a power failure, [`StableStore::inject_bit_flip`]
+//! rots a persisted sector, and [`StableStore::inject_stale_sector`]
+//! serves old payload bytes under a current-looking header. Every log
+//! entry is a [`LogRecord`] sealed with a checksum and the writer's
+//! incarnation epoch; [`StableStore::verify_log`] finds the first
+//! invalid record and recovery decides — torn tail (truncate, rejoin,
+//! re-fetch from peers) versus mid-log corruption (fail-stop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod disk;
+mod fault;
 mod store;
 
 pub use disk::{DiskActor, DiskDone, DiskMode, DiskOp, DiskStats, SyncToken};
-pub use store::{StableStore, StorageError};
+pub use fault::InjectedFault;
+pub use store::{LogFault, LogFaultKind, LogRecord, StableStore, StorageError};

@@ -5,6 +5,7 @@ use std::fmt;
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use todr_sim::checksum64;
 
 /// Errors returned by [`StableStore`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +23,83 @@ impl fmt::Display for StorageError {
 }
 
 impl std::error::Error for StorageError {}
+
+/// One entry of the append-only log: the payload bytes, sealed with the
+/// writer's incarnation epoch and a checksum over both.
+///
+/// The epoch stamps which incarnation of the writing process appended
+/// the record (set via [`StableStore::set_epoch`], monotonically
+/// increasing across recoveries); the checksum lets a recovery scan
+/// distinguish a torn final record from mid-log corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Incarnation epoch of the writer at append time.
+    pub epoch: u64,
+    /// The application payload.
+    pub bytes: Vec<u8>,
+    /// Checksum over `epoch || bytes` at append time.
+    pub checksum: u64,
+}
+
+impl LogRecord {
+    fn seal(epoch: u64, bytes: Vec<u8>) -> Self {
+        let checksum = LogRecord::compute(epoch, &bytes);
+        LogRecord {
+            epoch,
+            bytes,
+            checksum,
+        }
+    }
+
+    fn compute(epoch: u64, bytes: &[u8]) -> u64 {
+        let mut buf = Vec::with_capacity(8 + bytes.len());
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(bytes);
+        checksum64(&buf)
+    }
+
+    /// Whether the stored checksum matches the record's content.
+    pub fn is_valid(&self) -> bool {
+        self.checksum == LogRecord::compute(self.epoch, &self.bytes)
+    }
+}
+
+/// What a [`StableStore::verify_log`] scan found wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogFault {
+    /// Index of the first invalid persisted log record.
+    pub index: u64,
+    /// The nature of the fault.
+    pub kind: LogFaultKind,
+}
+
+/// Classification of an invalid log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFaultKind {
+    /// The record's checksum does not match its content (torn write or
+    /// bit rot).
+    Checksum,
+    /// The record's incarnation epoch is lower than a predecessor's —
+    /// impossible for an honestly appended log, so the medium lied.
+    EpochRegression,
+}
+
+impl fmt::Display for LogFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            LogFaultKind::Checksum => {
+                write!(f, "checksum mismatch at log record {}", self.index)
+            }
+            LogFaultKind::EpochRegression => {
+                write!(
+                    f,
+                    "incarnation epoch regressed at log record {}",
+                    self.index
+                )
+            }
+        }
+    }
+}
 
 /// A simulated stable-storage device: named records plus an append-only
 /// log, with explicit crash semantics.
@@ -55,14 +133,16 @@ impl std::error::Error for StorageError {}
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct StableStore {
-    persisted_records: BTreeMap<String, Vec<u8>>,
-    persisted_log: Vec<Vec<u8>>,
-    staged_records: BTreeMap<String, Option<Vec<u8>>>,
-    staged_log: Vec<Vec<u8>>,
+    pub(crate) persisted_records: BTreeMap<String, Vec<u8>>,
+    pub(crate) persisted_log: Vec<LogRecord>,
+    pub(crate) staged_records: BTreeMap<String, Option<Vec<u8>>>,
+    pub(crate) staged_log: Vec<LogRecord>,
     /// A staged truncation: the persisted log is replaced by
     /// `staged_log` at the next commit (until then reads see only the
     /// staged entries; a crash reverts to the full persisted log).
-    staged_truncate: bool,
+    pub(crate) staged_truncate: bool,
+    /// Incarnation epoch stamped onto every appended log record.
+    pub(crate) epoch: u64,
     bytes_written: u64,
 }
 
@@ -107,10 +187,27 @@ impl StableStore {
         }
     }
 
-    /// Appends an entry to the log (staged until commit).
+    /// Appends an entry to the log (staged until commit), sealed with
+    /// the current incarnation epoch and a checksum.
     pub fn append_log(&mut self, entry: Vec<u8>) {
         self.bytes_written += entry.len() as u64;
-        self.staged_log.push(entry);
+        self.staged_log.push(LogRecord::seal(self.epoch, entry));
+    }
+
+    /// Sets the incarnation epoch stamped onto subsequent appends.
+    ///
+    /// The recovery path bumps this to the replica's new incarnation
+    /// number before re-logging, which seals every epoch boundary into
+    /// the log: an honest log has non-decreasing epochs, so a stale
+    /// sector from an earlier incarnation is detectable even when its
+    /// checksum is intact.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The current incarnation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Appends a typed entry to the log.
@@ -133,17 +230,64 @@ impl StableStore {
         }
     }
 
-    /// Iterates over all visible log entries, oldest first.
+    /// Iterates over all visible log entries' payload bytes, oldest
+    /// first (checksums and epochs are internal to the record format;
+    /// see [`StableStore::log_records`] for the sealed view).
     pub fn log_iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.log_records().map(|r| r.bytes.as_slice())
+    }
+
+    /// Iterates over all visible log entries as sealed [`LogRecord`]s,
+    /// oldest first.
+    pub fn log_records(&self) -> impl Iterator<Item = &LogRecord> {
         let persisted = if self.staged_truncate {
             &[][..]
         } else {
             &self.persisted_log[..]
         };
-        persisted
-            .iter()
-            .chain(self.staged_log.iter())
-            .map(Vec::as_slice)
+        persisted.iter().chain(self.staged_log.iter())
+    }
+
+    /// Scans the **persisted** log for the first invalid record: a
+    /// checksum mismatch (torn write, bit rot) or an incarnation-epoch
+    /// regression (stale sector). Recovery runs this after a crash —
+    /// staged data is gone by then, so the persisted image is the whole
+    /// story.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LogFault`] found, if any.
+    pub fn verify_log(&self) -> Result<(), LogFault> {
+        let mut prev_epoch = 0u64;
+        for (index, record) in self.persisted_log.iter().enumerate() {
+            if !record.is_valid() {
+                return Err(LogFault {
+                    index: index as u64,
+                    kind: LogFaultKind::Checksum,
+                });
+            }
+            if record.epoch < prev_epoch {
+                return Err(LogFault {
+                    index: index as u64,
+                    kind: LogFaultKind::EpochRegression,
+                });
+            }
+            prev_epoch = record.epoch;
+        }
+        Ok(())
+    }
+
+    /// Drops every persisted log record at `index` and beyond — the
+    /// repair primitive recovery uses after [`StableStore::verify_log`]
+    /// reports a torn *final* record. The truncation is immediate (not
+    /// staged): it models recovery rewriting the log tail before the
+    /// process rejoins.
+    pub fn truncate_log_from(&mut self, index: u64) {
+        debug_assert!(
+            !self.has_staged(),
+            "truncate_log_from is a recovery-time repair; staged data should be gone"
+        );
+        self.persisted_log.truncate(index as usize);
     }
 
     /// Reads all visible log entries as type `T`, oldest first.

@@ -1,0 +1,16 @@
+//! Extension A8: crash-recovery cost under torn writes. Torn-crashes a
+//! loaded replica (the record in flight is torn mid-write, drawn from
+//! the sim's dedicated fault RNG), keeps the survivors committing,
+//! recovers the victim through the checksummed log scan, and reports
+//! what the scan found plus how long catch-up took.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use todr::harness::experiments::recovery;
+
+fn main() {
+    let report = recovery::run(5, 2, 42);
+    println!("{}", report.to_table());
+}

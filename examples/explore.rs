@@ -4,9 +4,14 @@
 //! replayable counterexample artifacts under `results/`.
 //!
 //! ```sh
-//! cargo run --release --example explore -- [seed_start] [seed_count] [perturbations] [outdir]
+//! cargo run --release --example explore -- [--faults] [seed_start] [seed_count] [perturbations] [outdir]
 //! cargo run --release --example explore -- 0 8 2 results
+//! cargo run --release --example explore -- --faults 0 100 2 results
 //! ```
+//!
+//! `--faults` widens the schedule vocabulary with storage faults
+//! (torn-write crashes, stale sectors) and disables auto-checkpointing
+//! so latent corruption survives until a crash surfaces it.
 //!
 //! Exits non-zero when a counterexample was found, so the sweep can
 //! gate CI.
@@ -14,10 +19,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use todr::check::{explore, ExploreConfig};
+use todr::check::{explore, ExploreConfig, RunOptions};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let storage_faults = if args.first().map(String::as_str) == Some("--faults") {
+        args.remove(0);
+        true
+    } else {
+        false
+    };
     let arg = |i: usize, default: u64| -> u64 {
         args.get(i)
             .map(|s| s.parse().unwrap_or_else(|_| panic!("bad argument {s:?}")))
@@ -27,6 +38,11 @@ fn main() -> ExitCode {
         seed_start: arg(0, 0),
         seed_count: arg(1, 8),
         perturbations: arg(2, 2),
+        storage_faults,
+        options: RunOptions {
+            checkpoint_interval: if storage_faults { 0 } else { 1024 },
+            ..RunOptions::default()
+        },
         ..ExploreConfig::default()
     };
     let outdir = PathBuf::from(args.get(3).map(String::as_str).unwrap_or("results"));
