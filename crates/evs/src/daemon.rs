@@ -1,6 +1,6 @@
 //! The EVS daemon actor.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
@@ -65,6 +65,32 @@ pub struct EvsConfig {
     /// accumulated). Only consulted when `max_pack > 1`; trades up to
     /// one window of delivery latency for packed delivery bursts.
     pub pack_window: SimDuration,
+    /// Member count at which stability switches from all-ack (every
+    /// member acks every `ack_delay`, O(n) fan-in per batch) to
+    /// *cumulative acks*: the coordinator designates one rotating
+    /// member per `Sequenced` frame to ack promptly, everyone else
+    /// piggybacks receipt on their own `Submit` frames or falls back to
+    /// a deadline-driven ack (see [`Self::ack_deadline`]). O(1)
+    /// amortized ack messages per action at any cluster size, at the
+    /// cost of a bounded extra stability lag. `0` enables it for every
+    /// configuration; `usize::MAX` disables it. The default (16) keeps
+    /// paper-scale clusters (≤ 14 replicas) on the historical all-ack
+    /// path bit for bit.
+    pub cumulative_ack_threshold: usize,
+    /// Upper bound on how stale a member's acknowledgement may go under
+    /// cumulative-ack stability: if a member holds unacknowledged
+    /// messages this long, it acks even without being designated. This
+    /// bounds the safe-delivery lag regardless of the rotation period
+    /// (members / frame rate), which matters when few clients drive a
+    /// large cluster.
+    pub ack_deadline: SimDuration,
+    /// Test-only: re-create the historical per-recipient fan-out (a
+    /// fresh frame allocation per destination) instead of sharing one
+    /// `Rc` across the multicast. The two paths are deterministically
+    /// identical — the determinism suite proves it by comparing
+    /// `MetricsExport`s — so this knob exists purely as the comparison
+    /// baseline.
+    pub clone_fanout: bool,
 }
 
 impl Default for EvsConfig {
@@ -80,6 +106,9 @@ impl Default for EvsConfig {
             link_ack_delay: SimDuration::from_micros(500),
             max_pack: 1,
             pack_window: SimDuration::from_micros(500),
+            cumulative_ack_threshold: 16,
+            ack_deadline: SimDuration::from_micros(1200),
+            clone_fanout: false,
         }
     }
 }
@@ -192,11 +221,30 @@ pub struct EvsDaemon {
     seq_buf: Vec<crate::wire::SequencedMsg>,
     seq_pack_armed: bool,
     /// FlushInfos that arrived before this daemon entered the matching
-    /// flush phase: `(from, membership, record)`.
-    early_infos: Vec<(NodeId, Vec<NodeId>, FlushInfoRec)>,
+    /// flush phase. Keyed by sender and keeping only the latest report
+    /// per peer, so the structure is bounded by the universe size —
+    /// under repeated reconfiguration churn at large n the old
+    /// append-only list retained one membership vector per stale
+    /// report, O(n²) state.
+    early_infos: BTreeMap<NodeId, (Rc<[NodeId]>, FlushInfoRec)>,
     ack_scheduled: bool,
     last_acked: u64,
+    /// Whether the current configuration runs cumulative-ack stability
+    /// (derived from `config.cumulative_ack_threshold` at install).
+    cumulative: bool,
+    /// Cumulative acks: whether `have_upto > last_acked`, and since when
+    /// (drives the `ack_deadline` fallback).
+    has_unacked: bool,
+    first_unacked_at: todr_sim::SimTime,
+    /// Cumulative acks: when the last `Sequenced` frame arrived; a quiet
+    /// link (no frame for `ack_delay`) flushes the pending ack so the
+    /// tail of a burst stabilizes promptly.
+    last_seq_rx_at: todr_sim::SimTime,
     fd_timer_armed: bool,
+    /// Cached heartbeat destination list; invalidated when a new node
+    /// joins the universe. Rebuilding this `Vec` every `hb_interval` per
+    /// daemon was measurable at large n.
+    universe_peers: Option<Rc<[NodeId]>>,
     installed_at: todr_sim::SimTime,
     link: LinkLayer,
     retx_armed: bool,
@@ -229,10 +277,15 @@ impl EvsDaemon {
             pack_armed: false,
             seq_buf: Vec::new(),
             seq_pack_armed: false,
-            early_infos: Vec::new(),
+            early_infos: BTreeMap::new(),
             ack_scheduled: false,
             last_acked: 0,
+            cumulative: false,
+            has_unacked: false,
+            first_unacked_at: todr_sim::SimTime::ZERO,
+            last_seq_rx_at: todr_sim::SimTime::ZERO,
             fd_timer_armed: false,
+            universe_peers: None,
             installed_at: todr_sim::SimTime::ZERO,
             link: LinkLayer::new(0),
             retx_armed: false,
@@ -288,7 +341,7 @@ impl EvsDaemon {
     // sending helpers
     // ------------------------------------------------------------
 
-    fn send_wire_to(&mut self, ctx: &mut Ctx<'_>, dsts: Vec<NodeId>, wire: EvsWire) {
+    fn send_wire_to(&mut self, ctx: &mut Ctx<'_>, dsts: Rc<[NodeId]>, wire: EvsWire) {
         if dsts.is_empty() {
             return;
         }
@@ -298,14 +351,27 @@ impl EvsDaemon {
         // waste); so does loopback, which the fabric never drops.
         let reliable = self.config.reliable_links && !matches!(wire, EvsWire::Heartbeat { .. });
         if !reliable {
+            if self.config.clone_fanout {
+                // Comparison baseline: one freshly allocated frame per
+                // destination. The fabric draws its per-destination
+                // latencies in the same order either way, so this path
+                // is deterministically identical to the shared one.
+                for &dst in dsts.iter() {
+                    ctx.send_now(
+                        self.fabric,
+                        NetOp::unicast(self.me, dst, Rc::new(wire.clone()), size),
+                    );
+                }
+                return;
+            }
             ctx.send_now(
                 self.fabric,
-                NetOp::multicast(self.me, dsts, Rc::new(wire), size),
+                NetOp::multicast_shared(self.me, dsts, Rc::new(wire), size),
             );
             return;
         }
         let wire = Rc::new(wire);
-        for dst in dsts {
+        for &dst in dsts.iter() {
             if dst == self.me {
                 ctx.send_now(
                     self.fabric,
@@ -387,13 +453,13 @@ impl EvsDaemon {
     }
 
     fn send_wire_one(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, wire: EvsWire) {
-        self.send_wire_to(ctx, vec![dst], wire);
+        self.send_wire_to(ctx, Rc::new([dst]), wire);
     }
 
-    fn members(&self) -> Vec<NodeId> {
+    fn member_set(&self) -> BTreeSet<NodeId> {
         self.ordering
             .as_ref()
-            .map(|o| o.conf().members.clone())
+            .map(|o| o.conf().members.iter().copied().collect())
             .unwrap_or_default()
     }
 
@@ -463,7 +529,12 @@ impl EvsDaemon {
                 }
             }
         }
-        let peers: Vec<NodeId> = proposal.iter().copied().filter(|&n| n != self.me).collect();
+        let peers: Rc<[NodeId]> = proposal
+            .iter()
+            .copied()
+            .filter(|&n| n != self.me)
+            .collect::<Vec<_>>()
+            .into();
         self.phase = Phase::Gather(gather);
         self.send_wire_to(
             ctx,
@@ -494,9 +565,9 @@ impl EvsDaemon {
         let mut flush = FlushState::new(attempt, membership.clone());
         // Adopt any flush reports that raced ahead of our own phase
         // change.
-        self.early_infos.retain(|(from, m, rec)| {
-            if *m == membership {
-                flush.infos.insert(*from, rec.clone());
+        self.early_infos.retain(|&from, (m, rec)| {
+            if m[..] == membership[..] {
+                flush.infos.insert(from, rec.clone());
                 false
             } else {
                 true
@@ -505,11 +576,11 @@ impl EvsDaemon {
         let coordinator = flush.coordinator;
         ctx.metrics().incr("evs.flush_rounds", 1);
         self.phase = Phase::Flush(flush);
-        let info = self.my_flush_info(membership);
+        let info = self.my_flush_info(membership.into());
         self.send_wire_one(ctx, coordinator, info);
     }
 
-    fn my_flush_info(&self, membership: Vec<NodeId>) -> EvsWire {
+    fn my_flush_info(&self, membership: Rc<[NodeId]>) -> EvsWire {
         let (old_conf, have_upto, stable_upto) = match &self.ordering {
             Some(o) => (o.conf().id, o.have_upto(), o.delivered_upto()),
             None => (ConfId::initial(self.me), 0, 0),
@@ -560,13 +631,13 @@ impl EvsDaemon {
                 new_conf_seq,
                 groups,
             } => {
-                let membership = flush.membership.clone();
+                let membership: Rc<[NodeId]> = flush.membership.as_slice().into();
                 let new_conf = Configuration::new(
                     ConfId {
                         seq: new_conf_seq,
                         coordinator: self.me,
                     },
-                    membership.clone(),
+                    membership.to_vec(),
                 );
                 self.send_wire_to(ctx, membership, EvsWire::Install { new_conf, groups });
             }
@@ -612,6 +683,7 @@ impl EvsDaemon {
         }
 
         self.max_conf_seq = self.max_conf_seq.max(new_conf.id.seq);
+        self.cumulative = new_conf.members.len() >= self.config.cumulative_ack_threshold;
         self.ordering = Some(ConfOrdering::with_mode(
             new_conf.clone(),
             self.me,
@@ -619,6 +691,9 @@ impl EvsDaemon {
         ));
         self.phase = Phase::Steady;
         self.last_acked = 0;
+        self.has_unacked = false;
+        self.first_unacked_at = ctx.now();
+        self.last_seq_rx_at = ctx.now();
         self.installed_at = ctx.now();
         self.stats.confs_installed += 1;
         self.emit(ctx, EvsEvent::RegConf(new_conf));
@@ -652,13 +727,15 @@ impl EvsDaemon {
         };
         if self.config.max_pack <= 1 {
             // Packing off: the historical one-frame-per-message path.
+            let ack_upto = self.take_piggyback_ack();
             self.send_wire_one(
                 ctx,
                 coordinator,
                 EvsWire::Submit {
                     conf,
                     sender: self.me,
-                    items: vec![item],
+                    ack_upto,
+                    items: vec![item].into(),
                 },
             );
             return;
@@ -695,19 +772,44 @@ impl EvsDaemon {
         let max = self.config.max_pack.max(1);
         while !self.pack_buf.is_empty() {
             let take = self.pack_buf.len().min(max);
-            let items: Vec<SubmitItem> = self.pack_buf.drain(..take).collect();
+            let items: Rc<[SubmitItem]> = self.pack_buf.drain(..take).collect();
             ctx.metrics().incr("evs.frames_packed", 1);
             ctx.metrics()
                 .record_value("evs.actions_per_frame", items.len() as u64);
+            let ack_upto = self.take_piggyback_ack();
             self.send_wire_one(
                 ctx,
                 coordinator,
                 EvsWire::Submit {
                     conf,
                     sender: self.me,
+                    ack_upto,
                     items,
                 },
             );
+        }
+    }
+
+    /// Cumulative acks: receipt to piggyback on an outgoing `Submit`.
+    /// The frame reaches the coordinator anyway, so this retires any
+    /// pending ack duty for free.
+    fn take_piggyback_ack(&mut self) -> u64 {
+        if !self.cumulative {
+            return 0;
+        }
+        let Some(ordering) = &self.ordering else {
+            return 0;
+        };
+        if ordering.is_coordinator() {
+            return 0; // the coordinator self-acks on sequencing
+        }
+        let have = ordering.have_upto();
+        if have > self.last_acked {
+            self.last_acked = have;
+            self.has_unacked = false;
+            have
+        } else {
+            0
         }
     }
 
@@ -739,21 +841,27 @@ impl EvsDaemon {
         let ordering = self.ordering.as_ref().expect("coordinating");
         let conf = ordering.conf().id;
         let stable_upto = ordering.announced_stable();
+        let members = ordering.members_shared();
         let max = self.config.max_pack.max(1);
         while !self.seq_buf.is_empty() {
             let take = self.seq_buf.len().min(max);
-            let msgs: Vec<_> = self.seq_buf.drain(..take).collect();
+            let msgs: Rc<[_]> = self.seq_buf.drain(..take).collect();
             ctx.metrics().incr("evs.frames_packed", 1);
             ctx.metrics().incr("evs.sequencer_rounds", 1);
             ctx.metrics()
                 .record_value("evs.actions_per_frame", msgs.len() as u64);
-            let members = self.members();
+            let acker = if self.cumulative {
+                self.ordering.as_mut().expect("coordinating").next_acker()
+            } else {
+                None
+            };
             self.send_wire_to(
                 ctx,
-                members,
+                Rc::clone(&members),
                 EvsWire::Sequenced {
                     conf,
                     stable_upto,
+                    acker,
                     msgs,
                 },
             );
@@ -780,7 +888,7 @@ impl EvsDaemon {
             return;
         };
         let conf = ordering.conf().id;
-        let members = self.members();
+        let members = ordering.members_shared();
         self.send_wire_to(ctx, members, EvsWire::Stable { conf, upto });
     }
 
@@ -805,10 +913,14 @@ impl EvsDaemon {
     // ------------------------------------------------------------
 
     fn handle_wire(&mut self, ctx: &mut Ctx<'_>, src: NodeId, wire: &EvsWire) {
-        self.universe.insert(src);
+        if self.universe.insert(src) {
+            self.universe_peers = None;
+        }
         self.fd.heard_from(src, ctx.now());
         if let Some(origin) = wire.origin() {
-            self.universe.insert(origin);
+            if self.universe.insert(origin) {
+                self.universe_peers = None;
+            }
             self.fd.heard_from(origin, ctx.now());
         }
 
@@ -818,26 +930,40 @@ impl EvsDaemon {
             EvsWire::Submit {
                 conf,
                 sender,
+                ack_upto,
                 items,
             } => {
                 let steady = matches!(self.phase, Phase::Steady);
+                let mut announce = None;
                 if let Some(ordering) = &mut self.ordering {
                     if steady && ordering.conf().id == *conf && ordering.is_coordinator() {
-                        let msgs = ordering.sequence_batch(*sender, items.clone());
+                        if *ack_upto > 0 {
+                            // Piggybacked receipt: process before
+                            // sequencing so the freshest stability line
+                            // rides out on the resulting frame.
+                            announce = ordering.on_ack(*sender, *ack_upto);
+                        }
+                        let msgs = ordering.sequence_batch(*sender, items);
                         let stable_upto = ordering.announced_stable();
+                        let members = ordering.members_shared();
                         let n = msgs.len() as u64;
                         self.stats.sequenced += n;
                         ctx.metrics().incr("evs.sequenced", n);
                         if self.config.max_pack <= 1 {
                             // Packing off: one frame in, one frame out.
-                            let members = self.members();
+                            let acker = if self.cumulative {
+                                self.ordering.as_mut().expect("just used").next_acker()
+                            } else {
+                                None
+                            };
                             self.send_wire_to(
                                 ctx,
                                 members,
                                 EvsWire::Sequenced {
                                     conf: *conf,
                                     stable_upto,
-                                    msgs,
+                                    acker,
+                                    msgs: msgs.into(),
                                 },
                             );
                         } else {
@@ -855,11 +981,15 @@ impl EvsDaemon {
                         }
                     }
                 }
+                if let Some(stable) = announce {
+                    self.announce_stable(ctx, stable);
+                }
             }
 
             EvsWire::Sequenced {
                 conf,
                 stable_upto,
+                acker,
                 msgs,
             } => {
                 let steady = matches!(self.phase, Phase::Steady);
@@ -869,13 +999,27 @@ impl EvsDaemon {
                 if !steady || ordering.conf().id != *conf {
                     return; // stale frame from a configuration we left
                 }
-                let deliveries = ordering.on_sequenced_batch(msgs.clone(), *stable_upto);
+                let deliveries = ordering.on_sequenced_batch(msgs, *stable_upto);
                 let is_coord = ordering.is_coordinator();
+                let have = ordering.have_upto();
                 for d in deliveries {
                     self.emit(ctx, EvsEvent::Deliver(d));
                 }
+                self.last_seq_rx_at = ctx.now();
                 if is_coord {
                     self.coordinator_self_ack(ctx);
+                } else if self.cumulative {
+                    if have > self.last_acked && !self.has_unacked {
+                        self.has_unacked = true;
+                        self.first_unacked_at = ctx.now();
+                    }
+                    if *acker == Some(self.me) {
+                        // Designated this frame: ack promptly so the
+                        // coordinator's low-water mark keeps moving.
+                        self.send_current_ack(ctx);
+                    } else {
+                        self.maybe_schedule_ack(ctx);
+                    }
                 } else {
                     self.maybe_schedule_ack(ctx);
                 }
@@ -931,17 +1075,18 @@ impl EvsDaemon {
                 };
                 match &mut self.phase {
                     Phase::Flush(flush)
-                        if flush.membership == *membership && flush.coordinator == self.me =>
+                        if flush.membership[..] == membership[..]
+                            && flush.coordinator == self.me =>
                     {
                         flush.infos.insert(*from, rec);
                         self.coordinator_evaluate(ctx);
                     }
                     _ => {
                         // We may not have converged yet; keep the report
-                        // for when we do.
-                        self.early_infos
-                            .retain(|(f, m, _)| !(*f == *from && *m == *membership));
-                        self.early_infos.push((*from, membership.clone(), rec));
+                        // for when we do. Latest report per peer wins —
+                        // an older one is for a membership that peer has
+                        // already abandoned.
+                        self.early_infos.insert(*from, (Rc::clone(membership), rec));
                     }
                 }
             }
@@ -962,7 +1107,9 @@ impl EvsDaemon {
                 if ordering.conf().id != *old_conf {
                     return;
                 }
-                let msgs = ordering.msgs_range(*from_seq, *to_seq);
+                // One shared allocation for the whole fan-out: every
+                // needy member's frame bumps a refcount.
+                let msgs: Rc<[_]> = ordering.msgs_range(*from_seq, *to_seq).into();
                 let burst = msgs.len() as u64 * needy.len() as u64;
                 self.stats.retransmitted += burst;
                 if burst > 0 {
@@ -978,7 +1125,7 @@ impl EvsDaemon {
                         dst,
                         EvsWire::Retrans {
                             old_conf: *old_conf,
-                            msgs: msgs.clone(),
+                            msgs: Rc::clone(&msgs),
                         },
                     );
                 }
@@ -994,9 +1141,9 @@ impl EvsDaemon {
                 if ordering.conf().id != *old_conf {
                     return;
                 }
-                ordering.apply_retrans(msgs.clone());
+                ordering.apply_retrans(msgs);
                 // Report the updated prefix to the coordinator.
-                let membership = flush.membership.clone();
+                let membership: Rc<[NodeId]> = flush.membership.as_slice().into();
                 let coordinator = flush.coordinator;
                 let info = self.my_flush_info(membership);
                 self.send_wire_one(ctx, coordinator, info);
@@ -1029,7 +1176,7 @@ impl EvsDaemon {
     ) {
         match &mut self.phase {
             Phase::Steady => {
-                let members: BTreeSet<NodeId> = self.members().into_iter().collect();
+                let members = self.member_set();
                 if proposal != members {
                     self.start_gather(ctx);
                     // Record the trigger join into the fresh gather.
@@ -1082,7 +1229,7 @@ impl EvsDaemon {
                     // can converge (we stopped multicasting Joins when we
                     // left the gather phase).
                     let my_attempt = flush.attempt;
-                    let flush_proposal: BTreeSet<NodeId> = flush_set;
+                    let flush_proposal = flush_set;
                     self.send_wire_one(
                         ctx,
                         from,
@@ -1109,19 +1256,28 @@ impl EvsDaemon {
         ctx.send_self_after(self.config.hb_interval, FdTick);
 
         // Heartbeat the whole universe so detached/merged/new nodes can
-        // find us.
-        let peers: Vec<NodeId> = self
-            .universe
-            .iter()
-            .copied()
-            .filter(|&n| n != self.me)
-            .collect();
+        // find us. The destination list is cached across ticks and
+        // invalidated when a new node appears.
+        let peers = match &self.universe_peers {
+            Some(p) => Rc::clone(p),
+            None => {
+                let p: Rc<[NodeId]> = self
+                    .universe
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != self.me)
+                    .collect::<Vec<_>>()
+                    .into();
+                self.universe_peers = Some(Rc::clone(&p));
+                p
+            }
+        };
         self.send_wire_to(ctx, peers, EvsWire::Heartbeat { from: self.me });
 
         let reachable = self.fd.reachable(ctx.now());
         match &self.phase {
             Phase::Steady => {
-                let members: BTreeSet<NodeId> = self.members().into_iter().collect();
+                let members = self.member_set();
                 if self.ordering.is_none() || reachable != members {
                     self.start_gather(ctx);
                 }
@@ -1133,8 +1289,12 @@ impl EvsDaemon {
                     // Nudge stragglers: re-announce our proposal.
                     let attempt = g.attempt;
                     let proposal = g.proposal.clone();
-                    let peers: Vec<NodeId> =
-                        proposal.iter().copied().filter(|&n| n != self.me).collect();
+                    let peers: Rc<[NodeId]> = proposal
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != self.me)
+                        .collect::<Vec<_>>()
+                        .into();
                     self.send_wire_to(
                         ctx,
                         peers,
@@ -1164,21 +1324,54 @@ impl EvsDaemon {
             return;
         };
         let have = ordering.have_upto();
-        if have > self.last_acked {
-            self.last_acked = have;
-            ctx.metrics().incr("evs.acks_sent", 1);
-            let conf = ordering.conf().id;
-            let coordinator = ordering.coordinator();
-            self.send_wire_one(
-                ctx,
-                coordinator,
-                EvsWire::Ack {
-                    conf,
-                    from: self.me,
-                    upto: have,
-                },
-            );
+        if have <= self.last_acked {
+            self.has_unacked = false;
+            return;
         }
+        if !self.cumulative {
+            // All-ack stability: every member acks every batch window.
+            self.send_current_ack(ctx);
+            return;
+        }
+        // Cumulative acks: only speak up when the ack has gone stale
+        // (nothing retired it for a full deadline) or the link has gone
+        // quiet (no sequenced traffic to piggyback on or be designated
+        // by); otherwise stay silent and re-check one batch window out.
+        let now = ctx.now();
+        let stale = now.saturating_since(self.first_unacked_at) >= self.config.ack_deadline;
+        let quiet = now.saturating_since(self.last_seq_rx_at) >= self.config.ack_delay;
+        if stale || quiet {
+            self.send_current_ack(ctx);
+        } else {
+            self.ack_scheduled = true;
+            ctx.send_self_after(self.config.ack_delay, AckTick);
+        }
+    }
+
+    /// Sends an `Ack` for everything received, if anything is pending.
+    fn send_current_ack(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(ordering) = &self.ordering else {
+            return;
+        };
+        let have = ordering.have_upto();
+        if have <= self.last_acked {
+            self.has_unacked = false;
+            return;
+        }
+        self.last_acked = have;
+        self.has_unacked = false;
+        ctx.metrics().incr("evs.acks_sent", 1);
+        let conf = ordering.conf().id;
+        let coordinator = ordering.coordinator();
+        self.send_wire_one(
+            ctx,
+            coordinator,
+            EvsWire::Ack {
+                conf,
+                from: self.me,
+                upto: have,
+            },
+        );
     }
 
     fn on_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: EvsCmd) {
@@ -1201,6 +1394,8 @@ impl EvsDaemon {
                 self.early_infos.clear();
                 self.pack_buf.clear();
                 self.seq_buf.clear();
+                self.cumulative = false;
+                self.has_unacked = false;
                 // Fresh link incarnation: the attempt counter is bumped
                 // by the gather below, so `attempt + 1` is this
                 // incarnation's first (and stable) epoch.
@@ -1232,6 +1427,8 @@ impl EvsDaemon {
                 self.early_infos.clear();
                 self.ack_scheduled = false;
                 self.last_acked = 0;
+                self.cumulative = false;
+                self.has_unacked = false;
                 self.link.restart(self.attempt + 1);
                 self.retx_armed = false;
                 self.link_ack_armed = false;

@@ -22,8 +22,8 @@
 //!      3     1  reserved (0)
 //!      4     8  conf.seq
 //!     12     4  conf.coordinator
-//!     16     4  sender        (submit; 0 for sequenced)
-//!     20     8  stable_upto   (sequenced; 0 for submit)
+//!     16     4  sender        (submit) / acker + 1, 0 = none (sequenced)
+//!     20     8  ack_upto      (submit) / stable_upto      (sequenced)
 //!     28     4  item count
 //!     32    16  reserved (0)
 //!     48     …  items
@@ -69,6 +69,9 @@ pub struct SubmitFrame {
     pub conf: ConfId,
     /// The submitting node.
     pub sender: NodeId,
+    /// Cumulative receipt acknowledgment piggybacked on the submission;
+    /// `0` when the sender has nothing new to report.
+    pub ack_upto: u64,
     /// The packed submissions, in submission order.
     pub items: Vec<SubmitItemFrame>,
 }
@@ -93,6 +96,9 @@ pub struct SequencedFrame {
     pub conf: ConfId,
     /// Piggybacked safe-delivery line.
     pub stable_upto: u64,
+    /// The member designated to ack this frame promptly under
+    /// cumulative-ack stability; `None` under all-ack stability.
+    pub acker: Option<NodeId>,
     /// The packed messages, in agreed order.
     pub msgs: Vec<SequencedItemFrame>,
 }
@@ -242,7 +248,7 @@ impl Frame {
                 w.u64(s.conf.seq);
                 w.u32(s.conf.coordinator.index());
                 w.u32(s.sender.index());
-                w.u64(0);
+                w.u64(s.ack_upto);
                 w.u32(s.items.len() as u32);
                 w.zeros(16);
                 debug_assert_eq!(w.0.len(), HEADER_BYTES as usize);
@@ -259,7 +265,9 @@ impl Frame {
                 w.u8(0);
                 w.u64(s.conf.seq);
                 w.u32(s.conf.coordinator.index());
-                w.u32(0);
+                // Designated acker, shifted so 0 means "no acker"
+                // (all-ack stability) without colliding with node 0.
+                w.u32(s.acker.map_or(0, |a| a.index() + 1));
                 w.u64(s.stable_upto);
                 w.u32(s.msgs.len() as u32);
                 w.zeros(16);
@@ -308,15 +316,15 @@ impl Frame {
             seq: r.u64()?,
             coordinator: NodeId::new(r.u32()?),
         };
-        let sender = r.u32()?;
-        let stable_upto = r.u64()?;
+        // Offset 16 is the sender for submit frames, acker + 1 for
+        // sequenced; offset 20 is ack_upto for submit, stable_upto for
+        // sequenced.
+        let sender_or_acker = r.u32()?;
+        let upto = r.u64()?;
         let count = r.u32()?;
         r.zeros(16)?;
 
         let frame = if kind == KIND_SUBMIT {
-            if stable_upto != 0 {
-                return Err(FrameError::BadReserved);
-            }
             let mut items = Vec::new();
             for _ in 0..count {
                 let local_seq = r.u64()?;
@@ -329,13 +337,11 @@ impl Frame {
             }
             Frame::Submit(SubmitFrame {
                 conf,
-                sender: NodeId::new(sender),
+                sender: NodeId::new(sender_or_acker),
+                ack_upto: upto,
                 items,
             })
         } else {
-            if sender != 0 {
-                return Err(FrameError::BadReserved);
-            }
             let mut msgs = Vec::new();
             for _ in 0..count {
                 let seq = r.u64()?;
@@ -351,7 +357,8 @@ impl Frame {
             }
             Frame::Sequenced(SequencedFrame {
                 conf,
-                stable_upto,
+                stable_upto: upto,
+                acker: (sender_or_acker != 0).then(|| NodeId::new(sender_or_acker - 1)),
                 msgs,
             })
         };
@@ -379,6 +386,7 @@ mod tests {
                 coordinator: n(2),
             },
             sender: n(4),
+            ack_upto: 38,
             items: vec![
                 SubmitItemFrame {
                     local_seq: 10,
@@ -405,9 +413,30 @@ mod tests {
         let f = Frame::Sequenced(SequencedFrame {
             conf: ConfId::initial(n(0)),
             stable_upto: 0,
+            acker: None,
             msgs: Vec::new(),
         });
         assert_eq!(f.encode().len(), HEADER_BYTES as usize + 8);
+    }
+
+    #[test]
+    fn sequenced_acker_round_trips_including_node_zero() {
+        // Node 0 is a valid acker; the +1 shift keeps it distinct from
+        // "no acker".
+        for acker in [None, Some(n(0)), Some(n(5))] {
+            let f = Frame::Sequenced(SequencedFrame {
+                conf: ConfId::initial(n(1)),
+                stable_upto: 12,
+                acker,
+                msgs: vec![SequencedItemFrame {
+                    seq: 13,
+                    sender: n(2),
+                    local_seq: 4,
+                    payload: b"commit".to_vec(),
+                }],
+            });
+            assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        }
     }
 
     #[test]

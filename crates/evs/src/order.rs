@@ -61,7 +61,19 @@ pub(crate) struct ConfOrdering {
     // --- coordinator side ---
     next_seq: u64,
     acks: BTreeMap<NodeId, u64>,
+    /// Cached minimum of `acks` — the low-water mark. Maintained
+    /// incrementally so [`Self::on_ack`] only rescans the vector when
+    /// the member that moved *was* the laggard, making ack processing
+    /// O(1) amortized instead of O(members) per ack.
+    acks_min: u64,
     announced_stable: u64,
+    /// Round-robin cursor for [`Self::next_acker`] (cumulative-ack
+    /// stability's rotating prompt-acker).
+    ack_rr: usize,
+
+    /// The member list as a shared slice, so every per-frame multicast
+    /// bumps a refcount instead of cloning the `Vec`.
+    members_shared: Rc<[NodeId]>,
 }
 
 impl ConfOrdering {
@@ -74,6 +86,7 @@ impl ConfOrdering {
 
     pub(crate) fn with_mode(conf: Configuration, me: NodeId, agreed_mode: bool) -> Self {
         let acks = conf.members.iter().map(|&m| (m, 0)).collect();
+        let members_shared: Rc<[NodeId]> = conf.members.as_slice().into();
         ConfOrdering {
             conf,
             me,
@@ -86,7 +99,10 @@ impl ConfOrdering {
             unsequenced: BTreeMap::new(),
             next_seq: 0,
             acks,
+            acks_min: 0,
             announced_stable: 0,
+            ack_rr: 0,
+            members_shared,
         }
     }
 
@@ -96,6 +112,31 @@ impl ConfOrdering {
 
     pub(crate) fn coordinator(&self) -> NodeId {
         self.conf.coordinator()
+    }
+
+    /// The configuration's member list as a shared slice (one allocation
+    /// per configuration, refcount-bumped per multicast).
+    pub(crate) fn members_shared(&self) -> Rc<[NodeId]> {
+        Rc::clone(&self.members_shared)
+    }
+
+    /// Cumulative-ack stability: the member designated to ack the next
+    /// `Sequenced` frame promptly. Rotates round-robin over the
+    /// non-coordinator members (the coordinator acks its own frames via
+    /// loopback), so every member's low-water mark is probed once per
+    /// `members - 1` frames without any per-frame fan-in.
+    pub(crate) fn next_acker(&mut self) -> Option<NodeId> {
+        let members = &self.conf.members;
+        if members.len() <= 1 {
+            return None;
+        }
+        let mut idx = self.ack_rr % members.len();
+        self.ack_rr = (self.ack_rr + 1) % members.len();
+        if members[idx] == self.me {
+            idx = self.ack_rr % members.len();
+            self.ack_rr = (self.ack_rr + 1) % members.len();
+        }
+        Some(members[idx])
     }
 
     pub(crate) fn is_coordinator(&self) -> bool {
@@ -144,11 +185,11 @@ impl ConfOrdering {
     pub(crate) fn sequence_batch(
         &mut self,
         sender: NodeId,
-        items: Vec<SubmitItem>,
+        items: &[SubmitItem],
     ) -> Vec<SequencedMsg> {
         items
-            .into_iter()
-            .map(|i| self.sequence(sender, i.local_seq, i.payload, i.size))
+            .iter()
+            .map(|i| self.sequence(sender, i.local_seq, Rc::clone(&i.payload), i.size))
             .collect()
     }
 
@@ -157,12 +198,12 @@ impl ConfOrdering {
     /// message that became safe-deliverable, in order.
     pub(crate) fn on_sequenced_batch(
         &mut self,
-        msgs: Vec<SequencedMsg>,
+        msgs: &[SequencedMsg],
         piggy_stable: u64,
     ) -> Vec<Delivery> {
         let mut out = Vec::new();
         for msg in msgs {
-            out.extend(self.on_sequenced(msg, piggy_stable));
+            out.extend(self.on_sequenced(msg.clone(), piggy_stable));
         }
         out
     }
@@ -177,13 +218,19 @@ impl ConfOrdering {
     pub(crate) fn on_ack(&mut self, from: NodeId, upto: u64) -> Option<u64> {
         debug_assert!(self.is_coordinator());
         let entry = self.acks.entry(from).or_insert(0);
-        if upto > *entry {
-            *entry = upto;
+        if upto <= *entry {
+            return None;
         }
-        let min = self.acks.values().copied().min().unwrap_or(0);
-        if min > self.announced_stable {
-            self.announced_stable = min;
-            Some(min)
+        let was_laggard = *entry == self.acks_min;
+        *entry = upto;
+        if !was_laggard {
+            // Only a member sitting at the low-water mark can move it.
+            return None;
+        }
+        self.acks_min = self.acks.values().copied().min().unwrap_or(0);
+        if self.acks_min > self.announced_stable {
+            self.announced_stable = self.acks_min;
+            Some(self.acks_min)
         } else {
             None
         }
@@ -264,13 +311,13 @@ impl ConfOrdering {
 
     /// Flush: merges retransmitted messages into the buffer, extending
     /// `have_upto` over any newly contiguous prefix.
-    pub(crate) fn apply_retrans(&mut self, msgs: Vec<SequencedMsg>) {
+    pub(crate) fn apply_retrans(&mut self, msgs: &[SequencedMsg]) {
         for msg in msgs {
             if msg.seq > self.delivered_upto {
                 if msg.sender == self.me {
                     self.unsequenced.remove(&msg.local_seq);
                 }
-                self.buffer.entry(msg.seq).or_insert(msg);
+                self.buffer.entry(msg.seq).or_insert_with(|| msg.clone());
             }
         }
         while self.buffer.contains_key(&(self.have_upto + 1)) {
@@ -430,7 +477,7 @@ mod tests {
 
         // Flush: ahead retransmits 2..=3 to behind.
         let retrans = ahead.msgs_range(2, 3);
-        behind.apply_retrans(retrans);
+        behind.apply_retrans(&retrans);
         assert_eq!(behind.have_upto(), 3);
         let trans = behind.take_transitional();
         assert_eq!(trans.len(), 3);
@@ -443,7 +490,7 @@ mod tests {
         let m1 = msg(&mut coord, n(0), 1);
         member.on_sequenced(m1.clone(), 0);
         member.on_stable(1); // delivered safe
-        member.apply_retrans(vec![m1]);
+        member.apply_retrans(&[m1]);
         assert!(member.take_transitional().is_empty());
     }
 
@@ -475,7 +522,7 @@ mod tests {
         let mut sender = ConfOrdering::new(conf(&[0, 1]), n(1));
         let ls = sender.register_submission(Rc::new(7u32), 200);
         let m = coord.sequence(n(1), ls, Rc::new(7u32), 200);
-        sender.apply_retrans(vec![m]);
+        sender.apply_retrans(&[m]);
         assert!(sender.take_unsequenced().is_empty());
     }
 
@@ -490,12 +537,12 @@ mod tests {
                 size: 200,
             })
             .collect();
-        let msgs = coord.sequence_batch(n(1), items);
+        let msgs = coord.sequence_batch(n(1), &items);
         let seqs: Vec<u64> = msgs.iter().map(|m| m.seq).collect();
         assert_eq!(seqs, vec![1, 2, 3]);
         // The member orders each packed message individually; with the
         // piggybacked stability line covering the batch they all deliver.
-        let delivered = member.on_sequenced_batch(msgs, 0);
+        let delivered = member.on_sequenced_batch(&msgs, 0);
         assert!(delivered.is_empty());
         assert_eq!(member.have_upto(), 3);
         let delivered = member.on_stable(3);
@@ -514,5 +561,74 @@ mod tests {
         assert_eq!(coord.on_ack(n(1), 2), Some(2));
         assert_eq!(coord.on_ack(n(1), 1), None); // stale ack
         assert_eq!(coord.announced_stable(), 2);
+    }
+
+    #[test]
+    fn incremental_low_water_mark_matches_full_rescan() {
+        // Feed the amortized-min tracker an adversarial ack sequence and
+        // cross-check every announcement against a naive min-over-all.
+        let members: Vec<u32> = (0..7).collect();
+        let mut coord = ConfOrdering::new(conf(&members), n(0));
+        for i in 1..=40u64 {
+            let _ = msg(&mut coord, n(1), i);
+        }
+        let mut naive: BTreeMap<NodeId, u64> = members.iter().map(|&m| (n(m), 0)).collect();
+        let mut naive_announced = 0u64;
+        // Acks arrive out of order, repeat, and regress.
+        let script: &[(u32, u64)] = &[
+            (3, 5),
+            (1, 9),
+            (0, 40),
+            (2, 5),
+            (4, 4),
+            (5, 6),
+            (6, 7),
+            (4, 2), // stale
+            (4, 9),
+            (3, 9),
+            (2, 9),
+            (1, 9), // duplicate
+            (5, 40),
+            (6, 40),
+            (1, 40),
+            (2, 40),
+            (3, 40),
+            (4, 40),
+        ];
+        for &(from, upto) in script {
+            let got = coord.on_ack(n(from), upto);
+            let e = naive.get_mut(&n(from)).unwrap();
+            *e = (*e).max(upto);
+            let min = naive.values().copied().min().unwrap();
+            let expect = if min > naive_announced {
+                naive_announced = min;
+                Some(min)
+            } else {
+                None
+            };
+            assert_eq!(got, expect, "divergence after ack ({from}, {upto})");
+        }
+        assert_eq!(coord.announced_stable(), 40);
+    }
+
+    #[test]
+    fn acker_rotation_covers_every_non_coordinator_member() {
+        let mut coord = ConfOrdering::new(conf(&[0, 1, 2, 3]), n(0));
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(coord.next_acker().unwrap());
+        }
+        // Over two cycles every non-coordinator member is designated
+        // twice and the coordinator never is.
+        assert!(!seen.contains(&n(0)));
+        for m in [1u32, 2, 3] {
+            assert_eq!(seen.iter().filter(|&&x| x == n(m)).count(), 2, "member {m}");
+        }
+    }
+
+    #[test]
+    fn singleton_configuration_has_no_acker() {
+        let mut solo = ConfOrdering::new(conf(&[4]), n(4));
+        assert_eq!(solo.next_acker(), None);
     }
 }

@@ -86,7 +86,13 @@ pub(crate) enum EvsWire {
     Submit {
         conf: ConfId,
         sender: NodeId,
-        items: Vec<SubmitItem>,
+        /// Cumulative receipt acknowledgment piggybacked on the
+        /// submission: the sender has received every sequenced message
+        /// up to here. Free under cumulative-ack stability (the frame
+        /// was going to the coordinator anyway); `0` when the sender has
+        /// nothing new to report or all-ack stability is active.
+        ack_upto: u64,
+        items: Rc<[SubmitItem]>,
     },
     /// Coordinator → members: messages in the agreed order (one or more
     /// consecutive sequence numbers packed into one frame).
@@ -94,7 +100,12 @@ pub(crate) enum EvsWire {
     Sequenced {
         conf: ConfId,
         stable_upto: u64,
-        msgs: Vec<SequencedMsg>,
+        /// Under cumulative-ack stability, the member designated to ack
+        /// this frame promptly (the rotating low-water-mark probe);
+        /// everyone else relies on piggybacked or deadline-driven acks.
+        /// `None` under all-ack stability: every member acks.
+        acker: Option<NodeId>,
+        msgs: Rc<[SequencedMsg]>,
     },
     /// Member → coordinator: I have received everything up to `upto`.
     Ack {
@@ -117,8 +128,10 @@ pub(crate) enum EvsWire {
     /// holds from its previous configuration.
     FlushInfo {
         from: NodeId,
-        /// The converged membership this flush belongs to.
-        membership: Vec<NodeId>,
+        /// The converged membership this flush belongs to. Shared: one
+        /// allocation per flush round at the sender, reference-bumped
+        /// into the receiver's bookkeeping rather than cloned per frame.
+        membership: Rc<[NodeId]>,
         /// The member's current (old) regular configuration.
         old_conf: ConfId,
         /// Highest contiguous sequence number received in `old_conf`.
@@ -138,9 +151,11 @@ pub(crate) enum EvsWire {
         needy: Vec<NodeId>,
     },
     /// Holder → needy member: the requested old-configuration messages.
+    /// The message list is shared across all needy destinations of one
+    /// retransmission round.
     Retrans {
         old_conf: ConfId,
-        msgs: Vec<SequencedMsg>,
+        msgs: Rc<[SequencedMsg]>,
     },
     /// Coordinator → members: install `new_conf`. Members first deliver
     /// their transitional configuration and remaining messages (per
@@ -224,7 +239,8 @@ mod tests {
         let submit = EvsWire::Submit {
             conf: ConfId::initial(n(0)),
             sender: n(0),
-            items: vec![item(1, 200)],
+            ack_upto: 0,
+            items: vec![item(1, 200)].into(),
         };
         assert_eq!(submit.wire_size(), 248);
         let hb = EvsWire::Heartbeat { from: n(0) };
@@ -239,7 +255,8 @@ mod tests {
         let packed = EvsWire::Submit {
             conf: ConfId::initial(n(0)),
             sender: n(0),
-            items: vec![item(1, 200), item(2, 200), item(3, 200)],
+            ack_upto: 0,
+            items: vec![item(1, 200), item(2, 200), item(3, 200)].into(),
         };
         assert_eq!(packed.wire_size(), 48 + 600 + 32);
         let separate: u32 = (1..=3)
@@ -247,7 +264,8 @@ mod tests {
                 EvsWire::Submit {
                     conf: ConfId::initial(n(0)),
                     sender: n(0),
-                    items: vec![item(i, 200)],
+                    ack_upto: 0,
+                    items: vec![item(i, 200)].into(),
                 }
                 .wire_size()
             })

@@ -43,7 +43,7 @@ struct Setup {
     sinks: Vec<ActorId>,
 }
 
-fn build(n: u32, seed: u64, loss: f64) -> Setup {
+fn build_with_ack_threshold(n: u32, seed: u64, loss: f64, ack_threshold: usize) -> Setup {
     let mut world = World::new(seed);
     world.set_event_limit(30_000_000);
     let mut cfg = NetConfig::lan();
@@ -57,6 +57,7 @@ fn build(n: u32, seed: u64, loss: f64) -> Setup {
         let config = EvsConfig {
             universe: nodes.clone(),
             reliable_links: loss > 0.0,
+            cumulative_ack_threshold: ack_threshold,
             ..EvsConfig::default()
         };
         let daemon = world.add_actor(
@@ -135,10 +136,65 @@ fn check_invariants(setup: &mut Setup) {
             }
         }
     }
+
+    // Safe-delivery trichotomy (§4.1): a message delivered safe
+    // (regular configuration, not transitional) at any node was held by
+    // *every* member of that configuration at that point, so every
+    // participant of the configuration delivers it too — in the regular
+    // configuration or, for members carried out by a view change, in
+    // their transitional configuration. Stability (however it is
+    // computed: all-ack or cumulative piggybacked acks) must never
+    // outrun the membership.
+    let mut safe_max: BTreeMap<ConfId, u64> = BTreeMap::new();
+    for recs in &all {
+        for r in recs {
+            if !r.in_transitional {
+                let e = safe_max.entry(r.conf).or_insert(0);
+                *e = (*e).max(r.seq);
+            }
+        }
+    }
+    for (i, recs) in all.iter().enumerate() {
+        let mut max_in: BTreeMap<ConfId, u64> = BTreeMap::new();
+        for r in recs {
+            let e = max_in.entry(r.conf).or_insert(0);
+            *e = (*e).max(r.seq);
+        }
+        for (conf, max_seq) in max_in {
+            if let Some(&safe) = safe_max.get(&conf) {
+                assert!(
+                    max_seq >= safe,
+                    "node {i} left {conf} at seq {max_seq}, but seq {safe} was \
+                     delivered safe elsewhere: the stability line outran the membership"
+                );
+            }
+        }
+    }
 }
 
 fn scenario(n: u32, seed: u64, loss: f64, msgs_per_node: u64, cut: usize, cut_delay_us: u64) {
-    let mut setup = build(n, seed, loss);
+    scenario_with_ack_threshold(
+        n,
+        seed,
+        loss,
+        msgs_per_node,
+        cut,
+        cut_delay_us,
+        EvsConfig::default().cumulative_ack_threshold,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scenario_with_ack_threshold(
+    n: u32,
+    seed: u64,
+    loss: f64,
+    msgs_per_node: u64,
+    cut: usize,
+    cut_delay_us: u64,
+    ack_threshold: usize,
+) {
+    let mut setup = build_with_ack_threshold(n, seed, loss, ack_threshold);
     setup.world.run_until(todr_sim::SimTime::from_secs(2));
 
     // Fire traffic from every node.
@@ -205,6 +261,26 @@ fn ordering_invariants_hold_under_loss() {
     }
 }
 
+#[test]
+fn cumulative_ack_stability_never_outruns_the_membership() {
+    // Force cumulative piggybacked-ack stability at every membership
+    // size (threshold 0) and re-run the randomized partition scenarios:
+    // the safe-delivery trichotomy in `check_invariants` must hold even
+    // though the coordinator's stability line is now advanced by
+    // rotating designated ackers and deadline-driven cumulative acks
+    // instead of one ack per member per message.
+    let mut rng = todr_sim::SimRng::new(0xacc5);
+    for case in 0..24 {
+        let n = (2 + rng.gen_range(5)) as u32;
+        let seed = rng.gen_range(100_000);
+        let msgs = 1 + rng.gen_range(11);
+        let cut = rng.gen_range(6) as usize % n as usize;
+        let cut_delay_us = rng.gen_range(2_000);
+        eprintln!("case {case}: n={n} seed={seed} msgs={msgs} cut={cut} delay={cut_delay_us}us");
+        scenario_with_ack_threshold(n, seed, 0.0, msgs, cut, cut_delay_us, 0);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Byte-codec properties for the packed wire frames (todr_evs::frame).
 // ---------------------------------------------------------------------
@@ -233,6 +309,7 @@ mod frame_props {
             Frame::Submit(SubmitFrame {
                 conf,
                 sender: NodeId::new(rng.gen_range(16) as u32),
+                ack_upto: rng.gen_range(1 << 16),
                 items: (0..items)
                     .map(|i| SubmitItemFrame {
                         local_seq: 1 + i as u64,
@@ -245,6 +322,9 @@ mod frame_props {
             Frame::Sequenced(SequencedFrame {
                 conf,
                 stable_upto: rng.gen_range(1 << 16),
+                acker: rng
+                    .gen_bool(0.5)
+                    .then(|| NodeId::new(rng.gen_range(16) as u32)),
                 msgs: (0..items)
                     .map(|i| SequencedItemFrame {
                         seq: base + i as u64,

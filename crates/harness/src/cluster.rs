@@ -35,6 +35,16 @@ pub struct ClusterConfig {
     /// round (the Spread message-packing optimization). `1` reproduces
     /// the historical one-frame-per-message protocol exactly.
     pub max_pack: usize,
+    /// Membership size at which the EVS daemons switch from all-ack
+    /// stability to cumulative piggybacked acks (see
+    /// `EvsConfig::cumulative_ack_threshold`). `usize::MAX` forces
+    /// all-ack at every scale — the comparison baseline for the scale
+    /// sweep's gap attribution.
+    pub cumulative_ack_threshold: usize,
+    /// Fan multicasts out as per-destination clones instead of one
+    /// shared frame (see `EvsConfig::clone_fanout`; determinism-
+    /// equivalence testing only).
+    pub clone_fanout: bool,
     /// Auto-checkpoint period of every engine, in green actions (`0`
     /// disables white-line garbage collection).
     pub checkpoint_interval: u64,
@@ -73,6 +83,8 @@ impl ClusterConfig {
             ack_delay: SimDuration::from_micros(300),
             reliable_links: false,
             max_pack: 1,
+            cumulative_ack_threshold: EvsConfig::default().cumulative_ack_threshold,
+            clone_fanout: false,
             checkpoint_interval: 1024,
             weights: std::collections::BTreeMap::new(),
             tie_break: TieBreak::Fifo,
@@ -250,6 +262,21 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the membership size at which the EVS daemons switch from
+    /// all-ack stability to cumulative piggybacked acks (`usize::MAX`
+    /// forces all-ack at every scale).
+    pub fn cumulative_ack_threshold(mut self, threshold: usize) -> Self {
+        self.cfg.cumulative_ack_threshold = threshold;
+        self
+    }
+
+    /// Fans multicasts out as per-destination clones instead of one
+    /// shared frame (determinism-equivalence testing only).
+    pub fn clone_fanout(mut self, on: bool) -> Self {
+        self.cfg.clone_fanout = on;
+        self
+    }
+
     /// Sets the engines' auto-checkpoint period in green actions (`0`
     /// disables white-line garbage collection).
     pub fn checkpoint_interval(mut self, interval: u64) -> Self {
@@ -404,6 +431,8 @@ impl Cluster {
             ack_delay: config.ack_delay,
             reliable_links: config.reliable_links,
             max_pack: config.max_pack,
+            cumulative_ack_threshold: config.cumulative_ack_threshold,
+            clone_fanout: config.clone_fanout,
             ..EvsConfig::default()
         };
         let daemon = world.add_actor(

@@ -12,6 +12,7 @@
 //! | [`ablations`] | extensions A4–A6: loss sweep, LAN-vs-WAN latency, forced-write-latency sweep |
 //! | [`saturation::run`] | extension A7: clients × EVS-packing saturation sweep (`BENCH_saturation.json`) |
 //! | [`recovery::run`] | extension A8: crash-recovery cost under torn writes (checksummed scan + catch-up) |
+//! | [`scale::run`] | extension A9: replicas × clients scale sweep past 14 replicas (`BENCH_scale.json`) |
 //!
 //! All results are measured in **virtual time** on the calibrated
 //! simulated substrate (see DESIGN.md §2); the claims to compare against
@@ -26,6 +27,7 @@ pub mod latency;
 pub mod partition;
 pub mod recovery;
 pub mod saturation;
+pub mod scale;
 pub mod semantics;
 
 mod runner;

@@ -1,0 +1,453 @@
+//! Scale sweep (extension A9): replicas × clients beyond the paper's
+//! 14-computer testbed.
+//!
+//! The paper's evaluation stops at 14 replicas — the size of the
+//! Spread testbed. This sweep deploys the engine at 7–56 replicas and
+//! measures three things per cluster size:
+//!
+//! 1. **Virtual-time throughput** (actions/s) of the delayed-writes
+//!    engine, with COReL as the per-size baseline — the paper's
+//!    ordering claim (engine above COReL) must hold at every size.
+//! 2. **Gap attribution**: the same engine cell re-run with all-ack
+//!    stability forced (`cumulative_ack_threshold = usize::MAX`), so
+//!    the throughput gap attributable to cumulative piggybacked acks
+//!    is measured, not guessed.
+//! 3. **Wall-clock simulator cost** (processed events per host second)
+//!    of the measured advance — the hot-path regression signal. A
+//!    change that makes large memberships allocate per recipient shows
+//!    up here long before virtual-time numbers move.
+//!
+//! Membership-change cost (partition → re-primary, merge → full
+//! convergence) is measured per size as well: the engine's
+//! once-per-connectivity-change exchange should keep this flat-ish in
+//! the membership size, not quadratic.
+//!
+//! Emits the machine-readable `BENCH_scale.json` consumed by the CI
+//! scale gate. Virtual-time numbers are deterministic per seed;
+//! `wall_ms`/`events_per_sec` are host measurements and only
+//! meaningful as same-run ratios (which is exactly how the CI gate
+//! consumes them).
+
+use std::time::Instant;
+
+use serde::Serialize;
+use todr_core::EngineState;
+use todr_sim::{SimDuration, SimTime};
+
+use crate::baselines::CorelCluster;
+use crate::client::ClientConfig;
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::metrics::LatencyStats;
+
+/// Stability protocol variant a [`ScaleCell`] was measured under.
+pub const PROTO_ENGINE: &str = "engine";
+/// The all-ack comparison baseline (gap attribution).
+pub const PROTO_ENGINE_ALLACK: &str = "engine-allack";
+/// The COReL baseline.
+pub const PROTO_COREL: &str = "corel";
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleCell {
+    /// Replicas deployed.
+    pub replicas: u32,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// `engine`, `engine-allack` (all-ack stability forced) or `corel`.
+    pub protocol: String,
+    /// Actions per second of virtual time, rounded to 0.1.
+    pub throughput: f64,
+    /// Actions committed inside the measurement window.
+    pub committed: u64,
+    /// Mean commit latency in milliseconds, rounded to 0.001.
+    pub mean_latency_ms: f64,
+    /// Stability acknowledgment frames sent over the whole run
+    /// (`evs.acks_sent`; the traffic cumulative acks exist to cut).
+    pub acks_sent: u64,
+    /// Datagrams delivered by the fabric over the whole run
+    /// (`net.delivered`; per-destination, so a multicast to `n - 1`
+    /// members counts `n - 1`).
+    pub datagrams_delivered: u64,
+    /// Simulator events processed during the measured advance
+    /// (deterministic per seed).
+    pub sim_events: u64,
+    /// Host wall-clock of the measured advance, in milliseconds
+    /// (machine-dependent; compare only as same-run ratios).
+    pub wall_ms: f64,
+    /// Simulator events per host second (`sim_events / wall`).
+    pub events_per_sec: f64,
+}
+
+/// Membership-change cost at one cluster size.
+#[derive(Debug, Clone, Serialize)]
+pub struct MembershipCost {
+    /// Replicas deployed.
+    pub replicas: u32,
+    /// Virtual ms from partition to the majority's next primary.
+    pub reprimary_ms: f64,
+    /// Virtual ms from merge until every replica shares one green count.
+    pub convergence_ms: f64,
+}
+
+/// The sweep's data, serialized verbatim into `BENCH_scale.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Scale {
+    /// Cluster sizes swept.
+    pub replica_counts: Vec<u32>,
+    /// World seed.
+    pub seed: u64,
+    /// Virtual measurement window per cell, in seconds.
+    pub window_secs: f64,
+    /// EVS packing level of every engine cell.
+    pub max_pack: usize,
+    /// The CI virtual-time gate's reference cell: the engine at the
+    /// largest size with one client per replica.
+    pub calibration: ScaleCell,
+    /// `events_per_sec` at the largest size over the smallest size
+    /// (engine, one client per replica), each end the best of three
+    /// samples — host noise only ever slows a run, so the fastest
+    /// sample is the robust estimator. Machine-independent-ish: both
+    /// ends are measured in the same run on the same host, so the CI
+    /// wall-clock gate compares this ratio, never absolute rates.
+    pub wall_scaling_ratio: f64,
+    /// Every measured cell, size-major.
+    pub cells: Vec<ScaleCell>,
+    /// Membership-change cost per size.
+    pub membership: Vec<MembershipCost>,
+}
+
+/// Runs the sweep: for every size in `replica_counts`, the engine at
+/// half-load and full-load (one client per replica), the all-ack
+/// engine and COReL at full load, plus a partition/merge round.
+pub fn run(replica_counts: &[u32], window: SimDuration, seed: u64) -> Scale {
+    let warmup = SimDuration::from_millis(500);
+    let max_pack = 8;
+    let mut cells = Vec::new();
+    let mut membership = Vec::new();
+    for &n in replica_counts {
+        let full = n as usize;
+        let half = (full / 2).max(1);
+        for clients in [half, full] {
+            cells.push(engine_cell(
+                n, clients, None, max_pack, warmup, window, seed,
+            ));
+        }
+        // Gap attribution: the identical workload with cumulative acks
+        // disabled (all-ack stability at every size).
+        cells.push(engine_cell(
+            n,
+            full,
+            Some(usize::MAX),
+            max_pack,
+            warmup,
+            window,
+            seed,
+        ));
+        cells.push(corel_cell(n, full, warmup, window, seed));
+        membership.push(membership_cost(n, seed));
+    }
+
+    let engine_full = |n: u32| -> &ScaleCell {
+        cells
+            .iter()
+            .find(|c| c.replicas == n && c.clients == n as usize && c.protocol == PROTO_ENGINE)
+            .expect("sweep measured the full-load engine cell")
+    };
+    let largest = *replica_counts.last().expect("non-empty sweep");
+    let smallest = *replica_counts.first().expect("non-empty sweep");
+    let calibration = engine_full(largest).clone();
+    // The two ratio cells get re-measured twice more and each end keeps
+    // its fastest sample: the virtual outcome is deterministic, so the
+    // replays only add wall-clock samples, and scheduling noise only
+    // ever slows a sample down.
+    let best_rate = |n: u32| -> f64 {
+        (0..2)
+            .map(|_| {
+                engine_cell(n, n as usize, None, max_pack, warmup, window, seed).events_per_sec
+            })
+            .fold(engine_full(n).events_per_sec, f64::max)
+    };
+    let (largest_rate, smallest_rate) = (best_rate(largest), best_rate(smallest));
+    let wall_scaling_ratio = if smallest_rate > 0.0 {
+        round3(largest_rate / smallest_rate)
+    } else {
+        0.0
+    };
+
+    Scale {
+        replica_counts: replica_counts.to_vec(),
+        seed,
+        window_secs: window.as_secs_f64(),
+        max_pack,
+        calibration,
+        wall_scaling_ratio,
+        cells,
+        membership,
+    }
+}
+
+fn engine_cell(
+    n: u32,
+    clients: usize,
+    ack_threshold: Option<usize>,
+    max_pack: usize,
+    warmup: SimDuration,
+    window: SimDuration,
+    seed: u64,
+) -> ScaleCell {
+    let mut builder = ClusterConfig::builder(n, seed)
+        .delayed_writes()
+        .packing(max_pack);
+    if let Some(threshold) = ack_threshold {
+        builder = builder.cumulative_ack_threshold(threshold);
+    }
+    let config = builder.build().expect("coherent scale config");
+    let mut cluster = Cluster::build(config);
+    cluster.settle();
+    let client_config = ClientConfig {
+        record_from: cluster.now() + warmup,
+        ..ClientConfig::default()
+    };
+    let handles: Vec<_> = (0..clients)
+        .map(|i| cluster.attach_client(i % n as usize, client_config.clone()))
+        .collect();
+
+    let events_before = cluster.world.events_processed();
+    let wall = Instant::now();
+    cluster.run_for(warmup + window);
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let sim_events = cluster.world.events_processed() - events_before;
+
+    let mut latency = LatencyStats::new();
+    let mut committed = 0;
+    for h in handles {
+        let stats = cluster.client_stats(h);
+        latency.merge(&stats.latency);
+        committed += stats.recorded;
+    }
+    cluster.check_consistency();
+
+    let export = cluster.metrics_export();
+    let counter = |name: &str| export.counters.get(name).copied().unwrap_or(0);
+    let protocol = if ack_threshold == Some(usize::MAX) {
+        PROTO_ENGINE_ALLACK
+    } else {
+        PROTO_ENGINE
+    };
+    cell(
+        n,
+        clients,
+        protocol,
+        committed,
+        &latency,
+        window,
+        counter("evs.acks_sent"),
+        counter("net.delivered"),
+        sim_events,
+        wall_secs,
+    )
+}
+
+fn corel_cell(
+    n: u32,
+    clients: usize,
+    warmup: SimDuration,
+    window: SimDuration,
+    seed: u64,
+) -> ScaleCell {
+    let config = ClusterConfig::new(n, seed);
+    let mut cluster = CorelCluster::build(&config);
+    cluster.settle();
+    let client_config = ClientConfig {
+        record_from: cluster.world.now() + warmup,
+        ..ClientConfig::default()
+    };
+    let handles: Vec<_> = (0..clients)
+        .map(|i| cluster.attach_client(i % n as usize, client_config.clone()))
+        .collect();
+
+    let events_before = cluster.world.events_processed();
+    let wall = Instant::now();
+    cluster.run_for(warmup + window);
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let sim_events = cluster.world.events_processed() - events_before;
+
+    let mut latency = LatencyStats::new();
+    let mut committed = 0;
+    for h in handles {
+        let stats = cluster.client_stats(h);
+        latency.merge(&stats.latency);
+        committed += stats.recorded;
+    }
+
+    let export = cluster.world.metrics().export();
+    let counter = |name: &str| export.counters.get(name).copied().unwrap_or(0);
+    cell(
+        n,
+        clients,
+        PROTO_COREL,
+        committed,
+        &latency,
+        window,
+        counter("evs.acks_sent"),
+        counter("net.delivered"),
+        sim_events,
+        wall_secs,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cell(
+    n: u32,
+    clients: usize,
+    protocol: &str,
+    committed: u64,
+    latency: &LatencyStats,
+    window: SimDuration,
+    acks_sent: u64,
+    datagrams_delivered: u64,
+    sim_events: u64,
+    wall_secs: f64,
+) -> ScaleCell {
+    ScaleCell {
+        replicas: n,
+        clients,
+        protocol: protocol.to_string(),
+        throughput: round1(committed as f64 / window.as_secs_f64()),
+        committed,
+        mean_latency_ms: round3(latency.mean().as_millis_f64()),
+        acks_sent,
+        datagrams_delivered,
+        sim_events,
+        wall_ms: round3(wall_secs * 1000.0),
+        events_per_sec: if wall_secs > 0.0 {
+            round1(sim_events as f64 / wall_secs)
+        } else {
+            0.0
+        },
+    }
+}
+
+fn membership_cost(n: u32, seed: u64) -> MembershipCost {
+    let mut cluster = Cluster::build(ClusterConfig::new(n, seed));
+    cluster.settle();
+    let size = n as usize;
+    let majority: Vec<usize> = (0..size / 2 + 1).collect();
+    let minority: Vec<usize> = (size / 2 + 1..size).collect();
+    // Load every server so the view change happens mid-traffic.
+    for i in 0..size {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(SimDuration::from_millis(500));
+
+    let partition_at = cluster.now();
+    let prim_before = cluster.with_engine(0, |e| e.prim_component().prim_index);
+    cluster.partition(&[majority.clone(), minority]);
+    let deadline = partition_at + SimDuration::from_secs(20);
+    let reprimary_at = first_time(&mut cluster, deadline, |c| {
+        majority.iter().all(|&i| {
+            c.engine_state(i) == EngineState::RegPrim
+                && c.with_engine(i, |e| e.prim_component().prim_index) > prim_before
+        })
+    });
+
+    let merge_at = cluster.now();
+    cluster.merge_all();
+    let deadline = merge_at + SimDuration::from_secs(20);
+    let converged_at = first_time(&mut cluster, deadline, |c| {
+        let all_prim = (0..size).all(|i| c.engine_state(i) == EngineState::RegPrim);
+        if !all_prim {
+            return false;
+        }
+        let g0 = c.green_count(0);
+        (1..size).all(|i| c.green_count(i) == g0)
+    });
+    cluster.check_consistency();
+
+    MembershipCost {
+        replicas: n,
+        reprimary_ms: round3((reprimary_at - partition_at).as_millis_f64()),
+        convergence_ms: round3((converged_at - merge_at).as_millis_f64()),
+    }
+}
+
+fn first_time(
+    cluster: &mut Cluster,
+    deadline: SimTime,
+    mut pred: impl FnMut(&mut Cluster) -> bool,
+) -> SimTime {
+    let step = SimDuration::from_millis(10);
+    loop {
+        if pred(cluster) {
+            return cluster.now();
+        }
+        assert!(cluster.now() < deadline, "condition never became true");
+        cluster.run_for(step);
+    }
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+impl Scale {
+    /// Deterministic-shape pretty JSON (the `BENCH_scale.json` format;
+    /// wall-clock fields vary by host).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self).expect("scale data serializes")
+    }
+
+    /// The sweep as aligned text tables.
+    pub fn to_table(&self) -> String {
+        let headers = [
+            "replicas",
+            "clients",
+            "protocol",
+            "actions/s",
+            "mean_lat_ms",
+            "acks",
+            "datagrams",
+            "Mevents/s(wall)",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.replicas.to_string(),
+                    c.clients.to_string(),
+                    c.protocol.clone(),
+                    format!("{:.0}", c.throughput),
+                    format!("{:.2}", c.mean_latency_ms),
+                    c.acks_sent.to_string(),
+                    c.datagrams_delivered.to_string(),
+                    format!("{:.2}", c.events_per_sec / 1e6),
+                ]
+            })
+            .collect();
+        let m_headers = ["replicas", "reprimary_ms", "convergence_ms"];
+        let m_rows: Vec<Vec<String>> = self
+            .membership
+            .iter()
+            .map(|m| {
+                vec![
+                    m.replicas.to_string(),
+                    format!("{:.0}", m.reprimary_ms),
+                    format!("{:.0}", m.convergence_ms),
+                ]
+            })
+            .collect();
+        format!(
+            "Scale sweep (delayed writes, pack {}), sizes {:?}; wall scaling ratio {:.2}\n{}\nMembership-change cost\n{}",
+            self.max_pack,
+            self.replica_counts,
+            self.wall_scaling_ratio,
+            super::render_table(&headers, &rows),
+            super::render_table(&m_headers, &m_rows)
+        )
+    }
+}

@@ -56,8 +56,10 @@ pub enum NetOp {
         /// Sending node.
         src: NodeId,
         /// Destination nodes. Destinations equal to `src` loop back with
-        /// zero network latency.
-        dsts: Vec<NodeId>,
+        /// zero network latency. Shared so a sender multicasting the
+        /// same member list every frame contributes one allocation per
+        /// view, not one per send.
+        dsts: Rc<[NodeId]>,
         /// Message body.
         payload: NetPayload,
         /// Modelled wire size in bytes.
@@ -78,7 +80,7 @@ impl NetOp {
     pub fn unicast(src: NodeId, dst: NodeId, payload: NetPayload, size_bytes: u32) -> Self {
         NetOp::Send {
             src,
-            dsts: vec![dst],
+            dsts: Rc::new([dst]),
             payload,
             size_bytes,
         }
@@ -86,6 +88,23 @@ impl NetOp {
 
     /// Convenience constructor for a multi-destination send.
     pub fn multicast(src: NodeId, dsts: Vec<NodeId>, payload: NetPayload, size_bytes: u32) -> Self {
+        NetOp::Send {
+            src,
+            dsts: dsts.into(),
+            payload,
+            size_bytes,
+        }
+    }
+
+    /// Multi-destination send over an already-shared destination list;
+    /// the hot-path form for senders that multicast to the same
+    /// membership on every frame.
+    pub fn multicast_shared(
+        src: NodeId,
+        dsts: Rc<[NodeId]>,
+        payload: NetPayload,
+        size_bytes: u32,
+    ) -> Self {
         NetOp::Send {
             src,
             dsts,
@@ -337,7 +356,7 @@ impl Actor for NetFabric {
                 payload,
                 size_bytes,
             }) => {
-                for dst in dsts {
+                for &dst in dsts.iter() {
                     let dgram = Datagram {
                         src,
                         dst,

@@ -23,11 +23,13 @@
 //! sequence, so for a fixed seed the [`MetricsExport`] (and its JSON
 //! rendering) is byte-identical across runs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
 use crate::actor::ActorId;
+use crate::rng::splitmix64;
 use crate::time::{SimDuration, SimTime};
 
 /// Knowledge level of an action as it moves through the engine; mirrors
@@ -345,13 +347,101 @@ pub struct HistogramSummary {
     pub max_nanos: u64,
 }
 
+/// A non-cryptographic hasher for interned-name keys: mixes the written
+/// words through splitmix64. The standard `SipHash` default is
+/// measurably slower on the 16-byte `(ptr, len)` keys the name table
+/// hashes once per metric update.
+#[derive(Debug, Default, Clone)]
+struct NameKeyHasher(u64);
+
+impl Hasher for NameKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = splitmix64(self.0 ^ u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = splitmix64(self.0 ^ v as u64);
+    }
+}
+
+/// Interning table for `&'static str` metric names.
+///
+/// The hot path (`incr` on a name already seen) resolves the name to a
+/// dense slot index by hashing its `(ptr, len)` pair — no byte
+/// comparison, no tree walk. Distinct `&'static str`s with equal bytes
+/// (the same literal in two crates) fall back to a by-content map so
+/// they share one slot; that path runs once per call site, after which
+/// the pointer key is cached.
+#[derive(Debug, Default)]
+struct NameTable {
+    by_ptr: HashMap<(usize, usize), usize, BuildHasherDefault<NameKeyHasher>>,
+    by_name: BTreeMap<&'static str, usize>,
+    names: Vec<&'static str>,
+}
+
+impl NameTable {
+    fn slot(&mut self, name: &'static str) -> usize {
+        let key = (name.as_ptr() as usize, name.len());
+        if let Some(&slot) = self.by_ptr.get(&key) {
+            return slot;
+        }
+        let slot = match self.by_name.get(name) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.names.len();
+                self.names.push(name);
+                self.by_name.insert(name, slot);
+                slot
+            }
+        };
+        self.by_ptr.insert(key, slot);
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// `(name, slot)` pairs in name order — the iteration backbone that
+    /// keeps every reader (and the export) deterministic.
+    fn sorted(&self) -> impl Iterator<Item = (&'static str, usize)> + '_ {
+        self.by_name.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+fn slot_value<T: Clone>(store: &[Option<T>], slot: usize) -> Option<T> {
+    store.get(slot).and_then(|v| v.clone())
+}
+
+fn slot_mut<T>(store: &mut Vec<Option<T>>, slot: usize) -> &mut Option<T> {
+    if store.len() <= slot {
+        store.resize_with(slot + 1, || None);
+    }
+    &mut store[slot]
+}
+
 /// The hub collecting counters, histograms and typed events for one
 /// [`World`](crate::World).
+///
+/// Names are interned into dense slots (an internal name table) so the per-event
+/// hot path (`incr`, `observe_nanos`) is a hash of a pointer pair plus
+/// an array index rather than a `BTreeMap` walk with byte-wise key
+/// comparisons; all read-side iteration goes through the sorted name
+/// index, so exports stay byte-identical to the old representation.
 #[derive(Debug, Default)]
 pub struct MetricsHub {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    names: NameTable,
+    counters: Vec<Option<u64>>,
+    gauges: Vec<Option<u64>>,
+    histograms: Vec<Option<Histogram>>,
     events: Vec<RecordedEvent>,
     record_events: bool,
 }
@@ -360,11 +450,8 @@ impl MetricsHub {
     /// Creates an empty hub with event recording enabled.
     pub fn new() -> Self {
         MetricsHub {
-            counters: BTreeMap::new(),
-            gauges: BTreeMap::new(),
-            histograms: BTreeMap::new(),
-            events: Vec::new(),
             record_events: true,
+            ..MetricsHub::default()
         }
     }
 
@@ -381,17 +468,23 @@ impl MetricsHub {
     /// (`"net.sent"`, `"storage.forced_writes"`); keeping them
     /// `&'static str` makes call sites cheap and typo-diffable.
     pub fn incr(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        let slot = self.names.slot(name);
+        *slot_mut(&mut self.counters, slot).get_or_insert(0) += n;
     }
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.names
+            .lookup(name)
+            .and_then(|slot| slot_value(&self.counters, slot))
+            .unwrap_or(0)
     }
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+        self.names
+            .sorted()
+            .filter_map(|(name, slot)| slot_value(&self.counters, slot).map(|v| (name, v)))
     }
 
     /// Sets the named gauge to its current value (last write wins).
@@ -401,22 +494,31 @@ impl MetricsHub {
     /// final value. Pair a gauge with [`Self::record_value`] when the
     /// peak matters too.
     pub fn set_gauge(&mut self, name: &'static str, value: u64) {
-        self.gauges.insert(name, value);
+        let slot = self.names.slot(name);
+        *slot_mut(&mut self.gauges, slot) = Some(value);
     }
 
     /// Current value of a gauge (0 if never set).
     pub fn gauge(&self, name: &str) -> u64 {
-        self.gauges.get(name).copied().unwrap_or(0)
+        self.names
+            .lookup(name)
+            .and_then(|slot| slot_value(&self.gauges, slot))
+            .unwrap_or(0)
     }
 
     /// All gauges, sorted by name.
     pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.gauges.iter().map(|(&k, &v)| (k, v))
+        self.names
+            .sorted()
+            .filter_map(|(name, slot)| slot_value(&self.gauges, slot).map(|v| (name, v)))
     }
 
     /// Records a nanosecond sample into the named histogram.
     pub fn observe_nanos(&mut self, name: &'static str, nanos: u64) {
-        self.histograms.entry(name).or_default().record(nanos);
+        let slot = self.names.slot(name);
+        slot_mut(&mut self.histograms, slot)
+            .get_or_insert_with(Histogram::new)
+            .record(nanos);
     }
 
     /// Records a [`SimDuration`] sample into the named histogram.
@@ -433,7 +535,8 @@ impl MetricsHub {
 
     /// The named histogram, if any sample was ever recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        let slot = self.names.lookup(name)?;
+        self.histograms.get(slot)?.as_ref()
     }
 
     /// Appends a typed event (no-op when recording is off).
@@ -471,20 +574,15 @@ impl MetricsHub {
     /// Snapshots the hub into the serializable export form.
     pub fn export(&self) -> MetricsExport {
         MetricsExport {
-            counters: self
-                .counters
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
-            gauges: self
-                .gauges
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
+            counters: self.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            gauges: self.gauges().map(|(k, v)| (k.to_string(), v)).collect(),
             histograms: self
-                .histograms
-                .iter()
-                .map(|(&k, h)| (k.to_string(), h.summary()))
+                .names
+                .sorted()
+                .filter_map(|(name, slot)| {
+                    let h = self.histograms.get(slot)?.as_ref()?;
+                    Some((name.to_string(), h.summary()))
+                })
                 .collect(),
             event_counts: {
                 let mut m: BTreeMap<String, u64> = BTreeMap::new();
@@ -542,6 +640,35 @@ mod tests {
         hub.incr("net.sent", 2);
         hub.incr("net.sent", 3);
         assert_eq!(hub.counter("net.sent"), 5);
+    }
+
+    #[test]
+    fn interning_merges_equal_names_from_distinct_statics() {
+        // Two equal-content literals may (or may not) be distinct
+        // statics; either way they must resolve to the same metric.
+        let a: &'static str = "evs.acks_sent";
+        let b: &'static str = Box::leak("evs.acks_sent".to_string().into_boxed_str());
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        let mut hub = MetricsHub::new();
+        hub.incr(a, 2);
+        hub.incr(b, 3);
+        assert_eq!(hub.counter("evs.acks_sent"), 5);
+        assert_eq!(hub.counters().count(), 1);
+        assert_eq!(hub.export().counters.len(), 1);
+    }
+
+    #[test]
+    fn iteration_stays_sorted_regardless_of_insertion_order() {
+        let mut hub = MetricsHub::new();
+        hub.incr("z.last", 1);
+        hub.incr("a.first", 1);
+        hub.incr("m.middle", 1);
+        hub.set_gauge("z.level", 9);
+        hub.set_gauge("b.level", 4);
+        let counter_names: Vec<_> = hub.counters().map(|(k, _)| k).collect();
+        assert_eq!(counter_names, vec!["a.first", "m.middle", "z.last"]);
+        let gauge_names: Vec<_> = hub.gauges().map(|(k, _)| k).collect();
+        assert_eq!(gauge_names, vec!["b.level", "z.level"]);
     }
 
     #[test]

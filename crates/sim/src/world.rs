@@ -182,6 +182,10 @@ pub struct World {
     events_processed: u64,
     event_limit: u64,
     tie_break: TieBreak,
+    /// Recycled backing storage for `Ctx::pending`: the effect buffer of
+    /// the previous event, kept so steady-state stepping allocates
+    /// nothing per event.
+    scratch: Vec<(SimTime, ActorId, Payload)>,
 }
 
 impl World {
@@ -199,6 +203,7 @@ impl World {
             events_processed: 0,
             event_limit: u64::MAX,
             tie_break: TieBreak::Fifo,
+            scratch: Vec::new(),
         }
     }
 
@@ -366,14 +371,17 @@ impl World {
             fault_rng: &mut self.fault_rng,
             trace: &mut self.trace,
             metrics: &mut self.metrics,
-            pending: Vec::new(),
+            pending: std::mem::take(&mut self.scratch),
         };
         actor.handle(&mut ctx, event.payload);
-        let pending = ctx.pending;
+        let mut pending = ctx.pending;
         self.actors[idx].actor = Some(actor);
-        for (at, target, payload) in pending {
+        for (at, target, payload) in pending.drain(..) {
             self.push_event(at, target, payload);
         }
+        // `drain` leaves the capacity in place: hand the empty buffer
+        // back for the next event.
+        self.scratch = pending;
         true
     }
 

@@ -1,0 +1,32 @@
+//! Scale sweep: replicas × clients beyond the paper's 14-computer
+//! testbed (extension A9), regenerating the `results/BENCH_scale.json`
+//! baseline the CI scale gate compares against.
+//!
+//! ```sh
+//! cargo run --release --example scale            # print the sweep
+//! cargo run --release --example scale -- --json  # emit the JSON
+//! ```
+//!
+//! Pass `--quick` for the reduced-scale sweep CI runs (sizes 7–28,
+//! shorter window).
+
+use todr::harness::experiments::scale;
+use todr::sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let sweep = if quick {
+        scale::run(&[7, 14, 28], SimDuration::from_secs(1), 42)
+    } else {
+        scale::run(&[7, 14, 28, 56], SimDuration::from_secs(2), 42)
+    };
+
+    if json {
+        println!("{}", sweep.to_json());
+    } else {
+        println!("{}", sweep.to_table());
+    }
+}
