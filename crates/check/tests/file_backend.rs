@@ -1,0 +1,150 @@
+//! The todr-check trace oracles — including the `GreenActionLost`
+//! durability oracle — run against the real file-backed storage
+//! backend, Derecho-style: the checker is unchanged, only the medium
+//! under the engine is real.
+//!
+//! Schedule *exploration* stays sim-only (the builder enforces it —
+//! seeded tie-break replay requires byte-identical storage), but a
+//! fixed Fifo scenario with real torn writes and real bit rot is
+//! exactly what the oracles exist to audit.
+
+use std::collections::BTreeSet;
+
+use todr_check::{check_trace, TraceViolation};
+use todr_harness::client::{ClientConfig, ClosedLoopClient};
+use todr_harness::cluster::{BackendKind, Cluster, ClusterConfig};
+use todr_sim::{ProtocolEvent, SimDuration, TieBreak};
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn ms(m: u64) -> SimDuration {
+    SimDuration::from_millis(m)
+}
+
+/// Stops all clients and drains, so green lines converge before the
+/// whole-history oracles run (same discipline as the check runner).
+fn quiesce(cluster: &mut Cluster) {
+    for c in cluster.clients().to_vec() {
+        cluster
+            .world
+            .with_actor(c.actor_id(), |cl: &mut ClosedLoopClient| cl.stop());
+    }
+    cluster.run_for(secs(4));
+}
+
+/// Torn crash + recovery on real files, audited by every trace oracle.
+/// A green action acknowledged before the crash must never disappear
+/// from the recovered replica's state — on pain of `GreenActionLost`.
+#[test]
+fn durability_oracle_passes_on_file_backend_with_torn_crash() {
+    let victim = 4usize;
+    let mut torn_seen = false;
+    for seed in 0..6u64 {
+        let config = ClusterConfig::builder(5, 0xD15C + seed)
+            .backend(BackendKind::File)
+            .torn_crashes(true)
+            .build()
+            .expect("coherent config");
+        let mut cluster = Cluster::build(config);
+        cluster.settle();
+        for i in 0..5 {
+            cluster.attach_client(i, ClientConfig::default());
+        }
+        // Enough traffic for green history, then a torn crash mid-burst.
+        cluster.run_for(ms(400));
+        cluster.crash(victim);
+        cluster.run_for(secs(1));
+        cluster.recover(victim);
+        cluster.run_for(secs(2));
+        quiesce(&mut cluster);
+        cluster.check_consistency();
+
+        let events = cluster.world.metrics().events();
+        torn_seen |= events.iter().any(|e| {
+            matches!(
+                e.event,
+                ProtocolEvent::TornTailTruncated { node, .. } if node == victim as u32
+            )
+        });
+        let survivors: BTreeSet<u32> = (0..5).collect();
+        let stats = check_trace(events, &survivors).unwrap_or_else(|v| {
+            panic!("seed {seed}: trace oracle violated on file backend: {v:?}")
+        });
+        assert!(stats.events > 0);
+        assert!(
+            stats.green_positions_agreed > 0,
+            "seed {seed}: oracle cross-checked no green positions"
+        );
+    }
+    assert!(
+        torn_seen,
+        "no torn tail across the seed sweep — the on-disk fault \
+         injection is not biting"
+    );
+}
+
+/// A latent bit flip on the victim's real log makes it fail-stop at
+/// recovery; the oracles must hold for the surviving majority (the
+/// fail-stopped replica is excluded from the survivor set, exactly like
+/// a fail-stopped replica in the sim corruption sweep).
+#[test]
+fn oracles_hold_when_file_backend_bit_flip_fail_stops_a_replica() {
+    let victim = 4usize;
+    let config = ClusterConfig::builder(5, 0xB17D15C)
+        .backend(BackendKind::File)
+        .build()
+        .expect("coherent config");
+    let mut cluster = Cluster::build(config);
+    cluster.settle();
+    for i in 0..5 {
+        cluster.attach_client(i, ClientConfig::default());
+    }
+    cluster.run_for(secs(1));
+    cluster.flip_bit(victim);
+    cluster.run_for(ms(10));
+    cluster.crash(victim);
+    cluster.run_for(secs(1));
+    cluster.recover(victim);
+    cluster.run_for(secs(2));
+    quiesce(&mut cluster);
+
+    assert_eq!(
+        cluster.engine_state(victim),
+        todr_core::EngineState::Down,
+        "rotten disk must fail-stop the victim"
+    );
+    cluster.check_consistency();
+    let survivors: BTreeSet<u32> = (0..4).collect();
+    let events = cluster.world.metrics().events();
+    check_trace(events, &survivors)
+        .unwrap_or_else(|v: TraceViolation| panic!("oracle violated: {v:?}"));
+}
+
+/// Schedule exploration replays seeded interleavings; only the
+/// deterministic sim store guarantees byte-identical fault injection,
+/// so the builder rejects the file backend combined with seeded
+/// tie-breaking.
+#[test]
+fn builder_rejects_file_backend_with_seeded_tie_break() {
+    let err = ClusterConfig::builder(5, 7)
+        .backend(BackendKind::File)
+        .tie_break(TieBreak::Seeded(3))
+        .build()
+        .expect_err("File + Seeded must be rejected");
+    assert!(
+        err.0.contains("schedule exploration"),
+        "rejection must explain the replay constraint: {err}"
+    );
+
+    // Each knob alone is fine.
+    assert!(ClusterConfig::builder(5, 7)
+        .backend(BackendKind::File)
+        .build()
+        .is_ok());
+    assert!(ClusterConfig::builder(5, 7)
+        .tie_break(TieBreak::Seeded(3))
+        .build()
+        .is_ok());
+}

@@ -12,7 +12,7 @@ use todr_sim::{
     Actor, ActorId, CpuMeter, Ctx, EventColor, Payload, ProtocolEvent, SimDuration, SimTime,
     TraceLevel,
 };
-use todr_storage::{DiskDone, DiskOp, LogFaultKind, StableStore, SyncToken};
+use todr_storage::{DiskDone, DiskOp, FileIoStats, LogFaultKind, StorageHandle, SyncToken};
 
 use crate::action::{Action, ActionId, ActionKind, ClientId};
 use crate::exchange::{retrans_plan, GreenPath, MemberProgress, RetransPlan};
@@ -131,9 +131,12 @@ struct JoinRetry;
 ///
 /// Wire traffic goes through the node's [`todr_evs::EvsDaemon`] (group
 /// messages) and [`todr_net::NetFabric`] (join transfers); durability
-/// through a [`todr_storage::DiskActor`] and an internal
-/// [`StableStore`]. Clients talk to the engine with [`ClientRequest`]
-/// events; the harness controls it with [`EngineCtl`].
+/// through a [`todr_storage::DiskActor`] (which charges the virtual
+/// forced-write latency) and a pluggable [`StorageHandle`] backend
+/// (which holds the bytes — the deterministic sim store by default, or
+/// a real file-backed store). Clients talk to the engine with
+/// [`ClientRequest`] events; the harness controls it with
+/// [`EngineCtl`].
 pub struct ReplicationEngine {
     cfg: EngineConfig,
     evs: ActorId,
@@ -141,7 +144,7 @@ pub struct ReplicationEngine {
     fabric: ActorId,
 
     state: EngineState,
-    store: StableStore,
+    store: StorageHandle,
 
     // ----- replicated knowledge (mirrored on stable storage) -----
     actions: BTreeMap<ActionId, Action>,
@@ -231,10 +234,23 @@ pub struct ReplicationEngine {
 }
 
 impl ReplicationEngine {
-    /// Creates an engine. `evs` is the node's group-communication
-    /// daemon, `disk` its disk actor, `fabric` the shared network
-    /// fabric.
+    /// Creates an engine on the default deterministic sim storage
+    /// backend. `evs` is the node's group-communication daemon, `disk`
+    /// its disk actor, `fabric` the shared network fabric.
     pub fn new(cfg: EngineConfig, evs: ActorId, disk: ActorId, fabric: ActorId) -> Self {
+        ReplicationEngine::with_storage(cfg, evs, disk, fabric, StorageHandle::sim())
+    }
+
+    /// Creates an engine on an explicit storage backend (see
+    /// [`StorageHandle`]). The `DiskActor` still charges virtual-time
+    /// forced-write latency; `store` decides where the bytes live.
+    pub fn with_storage(
+        cfg: EngineConfig,
+        evs: ActorId,
+        disk: ActorId,
+        fabric: ActorId,
+        store: StorageHandle,
+    ) -> Self {
         let server_set: BTreeSet<NodeId> = cfg.server_set.iter().copied().collect();
         let prim_component = PrimComponent::initial(server_set.iter().copied());
         let state = if cfg.initial_member {
@@ -248,7 +264,7 @@ impl ReplicationEngine {
             disk,
             fabric,
             state,
-            store: StableStore::new(),
+            store,
             actions: BTreeMap::new(),
             green_count: 0,
             green_floor: 0,
@@ -317,6 +333,12 @@ impl ReplicationEngine {
     /// after a successful (or never-attempted) recovery.
     pub fn recovery_error(&self) -> Option<&RecoveryError> {
         self.recovery_error.as_ref()
+    }
+
+    /// Wall-clock I/O statistics from the storage backend, when it
+    /// touches a real disk (`None` on the sim backend).
+    pub fn storage_io_stats(&self) -> Option<FileIoStats> {
+        self.store.io_stats()
     }
 
     /// Number of green (globally ordered, applied) actions.
@@ -1622,7 +1644,12 @@ impl ReplicationEngine {
         let Some(after) = self.pending_syncs.remove(&token) else {
             return; // completion from before a crash
         };
-        self.store.commit_staged();
+        // A backend I/O failure here means the host disk broke under
+        // us — there is no protocol-level answer to that, so stop hard
+        // rather than acknowledge durability that does not exist.
+        self.store
+            .commit_staged()
+            .expect("storage backend failed to persist staged state");
         match after {
             AfterSync::Submit(actions) => {
                 self.submit_inflight = false;

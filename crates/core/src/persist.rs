@@ -1,6 +1,7 @@
 //! What the engine writes to stable storage and how it recovers.
 //!
-//! The engine persists two kinds of data through [`StableStore`]:
+//! The engine persists two kinds of data through its
+//! [`StorageHandle`] (any [`todr_storage::Storage`] backend):
 //!
 //! * an **append-only log** of [`PersistEntry`] values — every action
 //!   body once (when first accepted, i.e. marked red) and every green
@@ -22,7 +23,7 @@ use std::fmt;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use todr_net::NodeId;
-use todr_storage::StableStore;
+use todr_storage::StorageHandle;
 
 use crate::action::{Action, ActionId};
 use crate::quorum::{PrimComponent, VulnerableRecord, YellowRecord};
@@ -160,9 +161,9 @@ pub(crate) struct PersistedState {
 /// bug; with it on, it is the environmental condition the recovery
 /// protocol exists for — the caller decides between tail truncation
 /// and fail-stop.
-pub(crate) fn load(store: &StableStore) -> Result<PersistedState, RecoveryError> {
+pub(crate) fn load(store: &StorageHandle) -> Result<PersistedState, RecoveryError> {
     fn record<T: DeserializeOwned>(
-        store: &StableStore,
+        store: &StorageHandle,
         key: &str,
     ) -> Result<Option<T>, RecoveryError> {
         store
@@ -173,13 +174,15 @@ pub(crate) fn load(store: &StableStore) -> Result<PersistedState, RecoveryError>
             })
     }
     let base: BaseRecord = record(store, K_BASE)?.unwrap_or_default();
-    let mut entries: Vec<PersistEntry> = Vec::with_capacity(store.log_len());
-    for (index, bytes) in store.log_iter().enumerate() {
+    let log = store.read_log();
+    let mut entries: Vec<PersistEntry> = Vec::with_capacity(log.len());
+    for (index, record) in log.iter().enumerate() {
         // The log codec is the store's deterministic JSON.
-        let entry =
-            serde::json::from_slice(bytes).map_err(|_| RecoveryError::UndecodableEntry {
+        let entry = serde::json::from_slice(&record.bytes).map_err(|_| {
+            RecoveryError::UndecodableEntry {
                 index: index as u64,
-            })?;
+            }
+        })?;
         entries.push(entry);
     }
     let mut actions = BTreeMap::new();
@@ -249,7 +252,7 @@ mod tests {
 
     #[test]
     fn load_from_empty_store_gives_defaults() {
-        let store = StableStore::new();
+        let store = StorageHandle::sim();
         let st = load(&store).expect("empty store loads");
         assert!(st.actions.is_empty());
         assert!(st.green_tail.is_empty());
@@ -260,7 +263,7 @@ mod tests {
 
     #[test]
     fn log_replay_rebuilds_colors() {
-        let mut store = StableStore::new();
+        let mut store = StorageHandle::sim();
         let a1 = action(0, 1);
         let a2 = action(0, 2);
         let b1 = action(1, 1);
@@ -274,7 +277,7 @@ mod tests {
         store
             .append_log_typed(&PersistEntry::Accepted(a2.clone()))
             .unwrap();
-        store.commit_staged();
+        store.commit_staged().unwrap();
         let st = load(&store).expect("clean log loads");
         assert_eq!(st.green_tail, vec![a1.id]);
         assert_eq!(
@@ -288,11 +291,11 @@ mod tests {
 
     #[test]
     fn staged_entries_vanish_on_crash() {
-        let mut store = StableStore::new();
+        let mut store = StorageHandle::sim();
         store
             .append_log_typed(&PersistEntry::Accepted(action(0, 1)))
             .unwrap();
-        store.commit_staged();
+        store.commit_staged().unwrap();
         store
             .append_log_typed(&PersistEntry::Accepted(action(0, 2)))
             .unwrap();
@@ -304,14 +307,14 @@ mod tests {
 
     #[test]
     fn records_roundtrip() {
-        let mut store = StableStore::new();
+        let mut store = StorageHandle::sim();
         let prim = PrimComponent::initial((0..3).map(NodeId::new));
         store.put_record(K_PRIM, &prim).unwrap();
         store.put_record(K_ATTEMPT, &7u64).unwrap();
         let vul = VulnerableRecord::new_attempt(1, 2, (0..2).map(NodeId::new));
         store.put_record(K_VULNERABLE, &vul).unwrap();
         store.put_record(K_ONGOING, &vec![action(0, 1)]).unwrap();
-        store.commit_staged();
+        store.commit_staged().unwrap();
         let st = load(&store).expect("clean records load");
         assert_eq!(st.prim_component, Some(prim));
         assert_eq!(st.attempt_index, 7);
@@ -321,12 +324,12 @@ mod tests {
 
     #[test]
     fn undecodable_log_entry_reports_its_index() {
-        let mut store = StableStore::new();
+        let mut store = StorageHandle::sim();
         store
             .append_log_typed(&PersistEntry::Accepted(action(0, 1)))
             .unwrap();
         store.append_log(b"{ not a persist entry".to_vec());
-        store.commit_staged();
+        store.commit_staged().unwrap();
         assert_eq!(
             load(&store).expect_err("garbage entry must not load"),
             RecoveryError::UndecodableEntry { index: 1 }
@@ -335,11 +338,11 @@ mod tests {
 
     #[test]
     fn corrupt_named_record_reports_its_key() {
-        let mut store = StableStore::new();
+        let mut store = StorageHandle::sim();
         store
             .put_record(K_ATTEMPT, &"not a u64".to_string())
             .unwrap();
-        store.commit_staged();
+        store.commit_staged().unwrap();
         let err = load(&store).expect_err("corrupt record must not load");
         match err {
             RecoveryError::CorruptRecord { key, .. } => assert_eq!(key, K_ATTEMPT),
@@ -348,18 +351,18 @@ mod tests {
         assert_eq!(err_log_index(&store), None);
     }
 
-    fn err_log_index(store: &StableStore) -> Option<u64> {
+    fn err_log_index(store: &StorageHandle) -> Option<u64> {
         load(store).expect_err("still corrupt").log_index()
     }
 
     #[test]
     fn truncating_an_undecodable_tail_makes_the_log_load() {
-        let mut store = StableStore::new();
+        let mut store = StorageHandle::sim();
         store
             .append_log_typed(&PersistEntry::Accepted(action(0, 1)))
             .unwrap();
         store.append_log(b"{ torn".to_vec());
-        store.commit_staged();
+        store.commit_staged().unwrap();
         let index = load(&store).expect_err("torn tail").log_index().unwrap();
         store.truncate_log_from(index);
         let st = load(&store).expect("repaired log loads");

@@ -1,13 +1,38 @@
 //! Builds and drives a full simulated deployment of the replication
 //! engine.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use todr_core::{EngineConfig, EngineCtl, EngineState, ReplicationEngine, StorageFault};
 use todr_evs::{EvsCmd, EvsConfig, EvsDaemon};
 use todr_net::{NetConfig, NetFabric, NodeId};
 use todr_sim::{ActorId, SimDuration, SimTime, TieBreak, World};
-use todr_storage::{DiskActor, DiskMode, DiskOp};
+use todr_storage::{DiskActor, DiskMode, DiskOp, StorageHandle};
+
+use serde::Serialize;
 
 use crate::client::{ClientConfig, ClientStats, ClosedLoopClient, StartClient};
+
+/// Which stable-storage backend every server runs on.
+///
+/// The disk *timing* model ([`DiskMode`]) is independent of this: the
+/// `DiskActor` charges virtual forced-write latency either way; the
+/// backend decides where the bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum BackendKind {
+    /// The deterministic in-memory sim store — the default, and the
+    /// only backend schedule exploration may use.
+    #[default]
+    Sim,
+    /// Real files under a per-cluster temp directory (one subdirectory
+    /// per server), removed when the [`Cluster`] drops. Forced writes
+    /// pay real `fsync`s on top of the simulated latency.
+    File,
+}
+
+/// Monotonic counter making concurrent clusters' storage roots unique.
+static NEXT_STORAGE_ROOT: AtomicU64 = AtomicU64::new(0);
 
 /// Construction parameters for a [`Cluster`].
 #[derive(Debug, Clone)]
@@ -60,6 +85,8 @@ pub struct ClusterConfig {
     /// one is cut mid-record) instead of crashing cleanly. Drawn from
     /// the world's dedicated fault RNG stream, so runs stay replayable.
     pub torn_crashes: bool,
+    /// Stable-storage backend for every server (see [`BackendKind`]).
+    pub backend: BackendKind,
     /// Deliberate engine invariant breakage injected into every server
     /// (`chaos-mutations` builds only; used by the `todr-check`
     /// mutation self-test).
@@ -89,6 +116,7 @@ impl ClusterConfig {
             weights: std::collections::BTreeMap::new(),
             tie_break: TieBreak::Fifo,
             torn_crashes: false,
+            backend: BackendKind::Sim,
             #[cfg(feature = "chaos-mutations")]
             chaos: None,
         }
@@ -152,6 +180,28 @@ impl ClusterConfig {
             return Err(InvalidClusterConfig(format!(
                 "voting weight {w} must be positive"
             )));
+        }
+        // Not collapsible: the second inner check is feature-gated.
+        #[allow(clippy::collapsible_if)]
+        if self.backend == BackendKind::File {
+            if matches!(self.tie_break, TieBreak::Seeded(_)) {
+                return Err(InvalidClusterConfig(
+                    "backend File cannot be combined with TieBreak::Seeded: \
+                     schedule exploration replays seeded interleavings against \
+                     byte-identical storage, which only the deterministic sim \
+                     store guarantees"
+                        .into(),
+                ));
+            }
+            #[cfg(feature = "chaos-mutations")]
+            if self.chaos.is_some() {
+                return Err(InvalidClusterConfig(
+                    "backend File cannot be combined with chaos mutations: the \
+                     mutation self-test replays schedules against the \
+                     deterministic sim store"
+                        .into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -303,6 +353,15 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Selects the stable-storage backend (validated in
+    /// [`build`](Self::build): [`BackendKind::File`] is rejected in
+    /// combination with seeded tie-breaking, since schedule replay
+    /// requires the deterministic sim store).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
     /// Injects a deliberate engine invariant breakage into every server
     /// (`chaos-mutations` builds only).
     #[cfg(feature = "chaos-mutations")]
@@ -383,12 +442,38 @@ pub struct Cluster {
     pub servers: Vec<ServerHandles>,
     config: ClusterConfig,
     clients: Vec<ClientHandle>,
+    /// Per-cluster directory holding every server's file-backed store
+    /// (`None` on the sim backend). Removed on drop.
+    storage_root: Option<PathBuf>,
 }
 
 impl Cluster {
     /// Builds the deployment and joins every server to the group (but
     /// does not advance time — call [`Cluster::settle`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file backend is selected and its storage root
+    /// cannot be created (set `TODR_STORAGE_DIR` to relocate it off
+    /// the default OS temp dir).
     pub fn build(config: ClusterConfig) -> Self {
+        let storage_root = match config.backend {
+            BackendKind::Sim => None,
+            BackendKind::File => {
+                let base = std::env::var_os("TODR_STORAGE_DIR")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(std::env::temp_dir);
+                let n = NEXT_STORAGE_ROOT.fetch_add(1, Ordering::Relaxed);
+                let root = base.join(format!(
+                    "todr-cluster-{}-{}-{n}",
+                    std::process::id(),
+                    config.seed
+                ));
+                std::fs::create_dir_all(&root)
+                    .unwrap_or_else(|e| panic!("create storage root {}: {e}", root.display()));
+                Some(root)
+            }
+        };
         let mut world = World::new(config.seed);
         world.set_event_limit(500_000_000);
         world.set_tie_break(config.tie_break);
@@ -396,7 +481,15 @@ impl Cluster {
         let nodes: Vec<NodeId> = (0..config.n_servers).map(NodeId::new).collect();
         let mut servers = Vec::new();
         for &node in &nodes {
-            let handles = Self::wire_server(&mut world, fabric, node, &nodes, &config, true);
+            let handles = Self::wire_server(
+                &mut world,
+                fabric,
+                node,
+                &nodes,
+                &config,
+                true,
+                storage_root.as_deref(),
+            );
             servers.push(handles);
         }
         for server in &servers {
@@ -408,7 +501,14 @@ impl Cluster {
             servers,
             config,
             clients: Vec::new(),
+            storage_root,
         }
+    }
+
+    /// The directory holding every server's file-backed store, when
+    /// running on [`BackendKind::File`].
+    pub fn storage_root(&self) -> Option<&std::path::Path> {
+        self.storage_root.as_deref()
     }
 
     fn wire_server(
@@ -418,6 +518,7 @@ impl Cluster {
         server_set: &[NodeId],
         config: &ClusterConfig,
         initial_member: bool,
+        storage_root: Option<&std::path::Path>,
     ) -> ServerHandles {
         let disk = world.add_actor(format!("disk-{node}"), DiskActor::new(config.disk_mode));
         // Daemon and engine reference each other; allocate the engine
@@ -452,9 +553,17 @@ impl Cluster {
             .iter()
             .map(|(&idx, &w)| (NodeId::new(idx), w))
             .collect();
+        let store = match storage_root {
+            None => StorageHandle::sim(),
+            Some(root) => {
+                let dir = root.join(format!("server-{node}"));
+                StorageHandle::file(&dir)
+                    .unwrap_or_else(|e| panic!("open file store {}: {e}", dir.display()))
+            }
+        };
         let engine = world.add_actor(
             format!("engine-{node}"),
-            ReplicationEngine::new(engine_config, daemon, disk, fabric),
+            ReplicationEngine::with_storage(engine_config, daemon, disk, fabric, store),
         );
         // Re-point the daemon's app at the real engine.
         world.with_actor(daemon, |d: &mut EvsDaemon| d.set_app(engine));
@@ -618,6 +727,7 @@ impl Cluster {
             &known,
             &self.config.clone(),
             false,
+            self.storage_root.clone().as_deref(),
         );
         let via_node = self.servers[via].node;
         self.world
@@ -731,5 +841,13 @@ impl std::fmt::Debug for Cluster {
             .field("clients", &self.clients.len())
             .field("now", &self.world.now())
             .finish()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(root) = &self.storage_root {
+            let _ = std::fs::remove_dir_all(root);
+        }
     }
 }

@@ -42,10 +42,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! ## Pluggable backends
+//!
+//! The store surface is abstracted behind the [`Storage`] trait, with
+//! [`StableStore`] (deterministic sim, the default) and [`FileStore`]
+//! (real files: framed checksummed log + atomically-renamed record
+//! checkpoint) as implementations. The engine holds a boxed backend via
+//! [`StorageHandle`], which layers the typed record codec on top.
+
+mod api;
 mod disk;
 mod fault;
+mod file;
 mod store;
 
+pub use api::{FileIoStats, Storage, StorageHandle};
 pub use disk::{DiskActor, DiskDone, DiskMode, DiskOp, DiskStats, SyncToken};
 pub use fault::InjectedFault;
-pub use store::{LogFault, LogFaultKind, LogRecord, StableStore, StorageError};
+pub use file::FileStore;
+pub use store::{
+    CodecError, IoError, IoOp, LogFault, LogFaultKind, LogRecord, StableStore, StorageError,
+};

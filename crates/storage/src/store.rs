@@ -7,22 +7,88 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 use todr_sim::checksum64;
 
-/// Errors returned by [`StableStore`].
+/// Errors returned by the storage backends.
+///
+/// Every variant is typed: the operation that failed, where, and a
+/// structured detail — no bare `String`s in the crate's public surface.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
-    /// A record failed to (de)serialize.
-    Codec(String),
+    /// A value failed to serialize for storage.
+    Serialize(CodecError),
+    /// Stored bytes failed to deserialize as the requested type.
+    Deserialize(CodecError),
+    /// A file-backend I/O operation failed.
+    Io(IoError),
 }
 
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Codec(msg) => write!(f, "record codec error: {msg}"),
+            StorageError::Serialize(e) => write!(f, "record failed to serialize: {e}"),
+            StorageError::Deserialize(e) => write!(f, "record failed to deserialize: {e}"),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+/// Detail of a codec (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What the codec reported.
+    pub detail: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Detail of a failed file-backend I/O operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoError {
+    /// The operation that failed.
+    pub op: IoOp,
+    /// The path it was applied to.
+    pub path: String,
+    /// What the OS reported.
+    pub detail: String,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} on {} failed: {}", self.op, self.path, self.detail)
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// The file-system operation an [`IoError`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Creating a file or directory.
+    Create,
+    /// Opening an existing file.
+    Open,
+    /// Reading file contents.
+    Read,
+    /// Writing bytes.
+    Write,
+    /// Forcing bytes to the platter (`fsync`).
+    Sync,
+    /// Atomically renaming a temporary file into place.
+    Rename,
+    /// Repositioning within a file.
+    Seek,
+    /// Truncating or resizing a file.
+    Truncate,
+    /// Removing a stale file.
+    Remove,
+}
 
 /// One entry of the append-only log: the payload bytes, sealed with the
 /// writer's incarnation epoch and a checksum over both.
@@ -42,7 +108,7 @@ pub struct LogRecord {
 }
 
 impl LogRecord {
-    fn seal(epoch: u64, bytes: Vec<u8>) -> Self {
+    pub(crate) fn seal(epoch: u64, bytes: Vec<u8>) -> Self {
         let checksum = LogRecord::compute(epoch, &bytes);
         LogRecord {
             epoch,
@@ -51,7 +117,7 @@ impl LogRecord {
         }
     }
 
-    fn compute(epoch: u64, bytes: &[u8]) -> u64 {
+    pub(crate) fn compute(epoch: u64, bytes: &[u8]) -> u64 {
         let mut buf = Vec::with_capacity(8 + bytes.len());
         buf.extend_from_slice(&epoch.to_le_bytes());
         buf.extend_from_slice(bytes);
@@ -156,12 +222,26 @@ impl StableStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StorageError::Codec`] if `value` fails to serialize.
+    /// Returns [`StorageError::Serialize`] if `value` fails to serialize.
     pub fn put_record<T: Serialize>(&mut self, key: &str, value: &T) -> Result<(), StorageError> {
-        let bytes = codec::to_bytes(value).map_err(StorageError::Codec)?;
+        let bytes = codec::to_bytes(value).map_err(StorageError::Serialize)?;
+        self.put_record_raw(key, bytes);
+        Ok(())
+    }
+
+    /// Stages pre-serialized record bytes under `key`.
+    pub(crate) fn put_record_raw(&mut self, key: &str, bytes: Vec<u8>) {
         self.bytes_written += bytes.len() as u64;
         self.staged_records.insert(key.to_string(), Some(bytes));
-        Ok(())
+    }
+
+    /// Reads a record's raw bytes, seeing staged writes.
+    pub(crate) fn get_record_raw(&self, key: &str) -> Option<&Vec<u8>> {
+        match self.staged_records.get(key) {
+            Some(Some(b)) => Some(b),
+            Some(None) => None,
+            None => self.persisted_records.get(key),
+        }
     }
 
     /// Stages deletion of the record under `key`.
@@ -173,16 +253,13 @@ impl StableStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StorageError::Codec`] if the stored bytes fail to
+    /// Returns [`StorageError::Deserialize`] if the stored bytes fail to
     /// deserialize as `T`.
     pub fn get_record<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>, StorageError> {
-        let bytes = match self.staged_records.get(key) {
-            Some(Some(b)) => Some(b),
-            Some(None) => None,
-            None => self.persisted_records.get(key),
-        };
-        match bytes {
-            Some(b) => codec::from_bytes(b).map(Some).map_err(StorageError::Codec),
+        match self.get_record_raw(key) {
+            Some(b) => codec::from_bytes(b)
+                .map(Some)
+                .map_err(StorageError::Deserialize),
             None => Ok(None),
         }
     }
@@ -214,9 +291,9 @@ impl StableStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StorageError::Codec`] if `value` fails to serialize.
+    /// Returns [`StorageError::Serialize`] if `value` fails to serialize.
     pub fn append_log_typed<T: Serialize>(&mut self, value: &T) -> Result<(), StorageError> {
-        let bytes = codec::to_bytes(value).map_err(StorageError::Codec)?;
+        let bytes = codec::to_bytes(value).map_err(StorageError::Serialize)?;
         self.append_log(bytes);
         Ok(())
     }
@@ -294,11 +371,11 @@ impl StableStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StorageError::Codec`] on the first entry that fails to
-    /// deserialize.
+    /// Returns [`StorageError::Deserialize`] on the first entry that
+    /// fails to deserialize.
     pub fn log_iter_typed<T: DeserializeOwned>(&self) -> Result<Vec<T>, StorageError> {
         self.log_iter()
-            .map(|b| codec::from_bytes(b).map_err(StorageError::Codec))
+            .map(|b| codec::from_bytes(b).map_err(StorageError::Deserialize))
             .collect()
     }
 
@@ -357,19 +434,21 @@ impl StableStore {
 /// Records are small control structures, so readability and determinism
 /// beat compactness: values are rendered as deterministic JSON text
 /// (struct fields in declaration order, maps in iteration order).
-mod codec {
+pub(crate) mod codec {
     use serde::de::DeserializeOwned;
     use serde::Serialize;
 
+    use super::CodecError;
+
     /// Serializes a value to deterministic JSON bytes via the vendored
     /// `serde` value tree.
-    pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, String> {
-        serde::json::to_vec(value).map_err(|e| e.0)
+    pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
+        serde::json::to_vec(value).map_err(|e| CodecError { detail: e.0 })
     }
 
     /// Deserializes bytes produced by [`to_bytes`].
-    pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, String> {
-        serde::json::from_slice(bytes).map_err(|e| e.0)
+    pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+        serde::json::from_slice(bytes).map_err(|e| CodecError { detail: e.0 })
     }
 }
 

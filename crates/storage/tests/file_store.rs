@@ -1,0 +1,325 @@
+//! `FileStore` crash-consistency tests on real files.
+//!
+//! Everything here runs in a throwaway directory under the OS temp dir;
+//! each test gets its own so they can run in parallel.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use todr_sim::SimRng;
+use todr_storage::{FileStore, LogFaultKind, StableStore, Storage, StorageError, StorageHandle};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A unique test directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("todr-file-store-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> PathBuf {
+        self.0.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn open(dir: &TempDir) -> FileStore {
+    FileStore::open(dir.path()).expect("open file store")
+}
+
+#[test]
+fn records_and_log_survive_reopen() {
+    let dir = TempDir::new("reopen");
+    {
+        let mut store = open(&dir);
+        store.put_record_bytes("base", b"v1".to_vec());
+        store.append_log(b"action-1".to_vec());
+        store.append_log(b"action-2".to_vec());
+        store.commit_staged().unwrap();
+    }
+    let store = open(&dir);
+    assert_eq!(
+        store.get_record_bytes("base").unwrap(),
+        Some(b"v1".to_vec())
+    );
+    let log = store.read_log();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].bytes, b"action-1");
+    assert_eq!(log[1].bytes, b"action-2");
+    assert!(log.iter().all(|r| r.is_valid()));
+    assert_eq!(store.verify_log(), Ok(()));
+}
+
+#[test]
+fn staged_data_is_lost_on_crash_and_on_reopen() {
+    let dir = TempDir::new("staged");
+    let mut store = open(&dir);
+    store.put_record_bytes("durable", b"yes".to_vec());
+    store.append_log(b"durable-entry".to_vec());
+    store.commit_staged().unwrap();
+    store.put_record_bytes("staged", b"no".to_vec());
+    store.append_log(b"staged-entry".to_vec());
+
+    store.crash();
+    assert_eq!(store.get_record_bytes("staged").unwrap(), None);
+    assert_eq!(store.log_len(), 1);
+
+    let reopened = open(&dir);
+    assert_eq!(reopened.get_record_bytes("staged").unwrap(), None);
+    assert_eq!(
+        reopened.get_record_bytes("durable").unwrap(),
+        Some(b"yes".to_vec())
+    );
+    assert_eq!(reopened.log_len(), 1);
+}
+
+#[test]
+fn torn_crash_leaves_a_repairable_tail_on_disk() {
+    for seed in 0..16u64 {
+        let dir = TempDir::new("torn");
+        let mut rng = SimRng::new(seed);
+        let mut store = open(&dir);
+        store.append_log(b"durable-1".to_vec());
+        store.append_log(b"durable-2".to_vec());
+        store.commit_staged().unwrap();
+        store.append_log(b"staged-1-padding-padding".to_vec());
+        store.append_log(b"staged-2-padding-padding".to_vec());
+        store.crash_torn(&mut rng);
+        assert!(!store.has_staged());
+
+        // The torn record must be observed through a real reopen, not
+        // just the surviving in-memory mirror.
+        drop(store);
+        let mut reopened = open(&dir);
+        let fault = reopened.verify_log().expect_err("tail must be torn");
+        assert_eq!(fault.kind, LogFaultKind::Checksum);
+        assert_eq!(fault.index + 1, reopened.log_len() as u64);
+        assert!(fault.index >= 2, "durable prefix survived");
+
+        // Repair: truncate the tear; the repair is itself durable.
+        reopened.truncate_log_from(fault.index);
+        assert_eq!(reopened.verify_log(), Ok(()));
+        drop(reopened);
+        let after_repair = open(&dir);
+        assert_eq!(after_repair.verify_log(), Ok(()));
+        assert!(after_repair.log_len() >= 2);
+    }
+}
+
+#[test]
+fn bit_flip_on_disk_is_caught_after_reopen() {
+    let dir = TempDir::new("bitflip");
+    let mut store = open(&dir);
+    store.append_log(b"record-one".to_vec());
+    store.append_log(b"record-two".to_vec());
+    store.append_log(b"record-three".to_vec());
+    store.commit_staged().unwrap();
+    let fault = store
+        .inject_bit_flip(&mut SimRng::new(0xB17))
+        .expect("log is non-empty");
+
+    drop(store);
+    let reopened = open(&dir);
+    let err = reopened.verify_log().expect_err("bit rot must be caught");
+    assert_eq!(err.index, fault.index);
+    assert_eq!(err.kind, LogFaultKind::Checksum);
+}
+
+#[test]
+fn stale_sector_on_disk_is_caught_after_reopen() {
+    let dir = TempDir::new("stale");
+    let mut store = open(&dir);
+    store.append_log(b"record-one".to_vec());
+    store.append_log(b"record-two".to_vec());
+    store.append_log(b"record-three".to_vec());
+    store.commit_staged().unwrap();
+    let fault = store
+        .inject_stale_sector(&mut SimRng::new(0x57A1E))
+        .expect("log has at least two records");
+    assert!(fault.index >= 1);
+
+    drop(store);
+    let reopened = open(&dir);
+    let err = reopened
+        .verify_log()
+        .expect_err("stale sector must be caught");
+    assert_eq!(err.index, fault.index);
+}
+
+#[test]
+fn epoch_regression_survives_reopen() {
+    let dir = TempDir::new("epoch");
+    let mut store = open(&dir);
+    store.set_epoch(3);
+    store.append_log(b"incarnation-3".to_vec());
+    store.commit_staged().unwrap();
+    store.set_epoch(1);
+    store.append_log(b"stale-incarnation-1".to_vec());
+    store.commit_staged().unwrap();
+
+    drop(store);
+    let reopened = open(&dir);
+    let err = reopened
+        .verify_log()
+        .expect_err("regression must be caught");
+    assert_eq!(err.index, 1);
+    assert_eq!(err.kind, LogFaultKind::EpochRegression);
+}
+
+#[test]
+fn checkpoint_swaps_generation_atomically() {
+    let dir = TempDir::new("checkpoint");
+    let mut store = open(&dir);
+    store.append_log(b"old-1".to_vec());
+    store.append_log(b"old-2".to_vec());
+    store.put_record_bytes("base", b"v1".to_vec());
+    store.commit_staged().unwrap();
+
+    // Checkpoint: replace the base, truncate + relog the tail.
+    store.put_record_bytes("base", b"v2".to_vec());
+    store.truncate_log();
+    store.append_log(b"compacted".to_vec());
+    store.commit_staged().unwrap();
+
+    drop(store);
+    let reopened = open(&dir);
+    assert_eq!(
+        reopened.get_record_bytes("base").unwrap(),
+        Some(b"v2".to_vec())
+    );
+    let log = reopened.read_log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].bytes, b"compacted");
+    assert_eq!(reopened.verify_log(), Ok(()));
+}
+
+/// Property: a checkpoint interrupted between writing the new
+/// generation's files and flipping `CURRENT` recovers to the previous
+/// checkpoint — both in-process (crash semantics) and across a reopen
+/// (orphan sweep).
+#[test]
+fn interrupted_checkpoint_recovers_previous_state() {
+    for seed in 0..24u64 {
+        let dir = TempDir::new("interrupted");
+        let mut rng = SimRng::new(seed);
+        let mut store = open(&dir);
+
+        // A varying durable baseline.
+        let n_durable = 1 + rng.gen_range(4) as usize;
+        let mut baseline = Vec::new();
+        for i in 0..n_durable {
+            let entry = format!("durable-{seed}-{i}").into_bytes();
+            baseline.push(entry.clone());
+            store.append_log(entry);
+        }
+        store.put_record_bytes("base", format!("base-{seed}").into_bytes());
+        store.commit_staged().unwrap();
+
+        // A checkpoint that powers off in the vulnerable window.
+        store.put_record_bytes("base", b"NEW-BASE-MUST-NOT-SURVIVE".to_vec());
+        store.truncate_log();
+        store.append_log(b"NEW-TAIL-MUST-NOT-SURVIVE".to_vec());
+        store.arm_checkpoint_crash();
+        store.commit_staged().unwrap();
+
+        let check = |store: &FileStore, ctx: &str| {
+            assert_eq!(
+                store.get_record_bytes("base").unwrap(),
+                Some(format!("base-{seed}").into_bytes()),
+                "{ctx}: old base must be live"
+            );
+            let log = store.read_log();
+            assert_eq!(
+                log.iter().map(|r| r.bytes.clone()).collect::<Vec<_>>(),
+                baseline,
+                "{ctx}: old log must be intact"
+            );
+            assert_eq!(store.verify_log(), Ok(()), "{ctx}");
+        };
+        check(&store, "in-process");
+
+        drop(store);
+        let reopened = open(&dir);
+        check(&reopened, "after reopen");
+
+        // The swept store still checkpoints cleanly afterwards.
+        let mut store = reopened;
+        store.truncate_log();
+        store.append_log(b"post-recovery".to_vec());
+        store.commit_staged().unwrap();
+        assert_eq!(store.read_log().len(), 1);
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_file_fails_record_reads() {
+    let dir = TempDir::new("corrupt-records");
+    {
+        let mut store = open(&dir);
+        store.put_record_bytes("base", b"value-bytes-to-damage".to_vec());
+        store.commit_staged().unwrap();
+    }
+    // Rot one payload byte of the checkpoint on disk.
+    let path = dir.path().join("records-0");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, bytes).unwrap();
+
+    let store = open(&dir);
+    match store.get_record_bytes("base") {
+        Err(StorageError::Io(e)) => assert!(e.detail.contains("checksum")),
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+/// The two backends must agree byte-for-byte on the sealed log a given
+/// operation sequence produces — that is what lets recovery logic and
+/// oracles run unchanged against either.
+#[test]
+fn file_and_sim_backends_agree_on_sealed_log() {
+    let dir = TempDir::new("parity");
+    let mut file = StorageHandle::file(dir.path()).unwrap();
+    let mut sim = StorageHandle::from_backend(Box::new(StableStore::new()));
+    for handle in [&mut file, &mut sim] {
+        handle.set_epoch(2);
+        handle.append_log(b"alpha".to_vec());
+        handle.append_log(b"beta".to_vec());
+        handle.commit_staged().unwrap();
+        handle.truncate_log();
+        handle.append_log(b"gamma".to_vec());
+        handle.commit_staged().unwrap();
+        handle.set_epoch(3);
+        handle.append_log(b"delta".to_vec());
+        handle.commit_staged().unwrap();
+    }
+    assert_eq!(file.read_log(), sim.read_log());
+    assert_eq!(file.verify_log(), Ok(()));
+    assert_eq!(file.epoch(), sim.epoch());
+}
+
+#[test]
+fn file_backend_reports_real_io_stats() {
+    let dir = TempDir::new("iostats");
+    let mut store = StorageHandle::file(dir.path()).unwrap();
+    assert_eq!(store.io_stats().unwrap().fsyncs, 0);
+    store.append_log(b"entry".to_vec());
+    store.commit_staged().unwrap();
+    let stats = store.io_stats().unwrap();
+    assert!(stats.fsyncs >= 1);
+    assert!(stats.file_bytes_written > 0);
+
+    // The sim backend has no wall-clock I/O to report.
+    assert_eq!(StorageHandle::sim().io_stats(), None);
+}

@@ -5,12 +5,38 @@
 //! what the scan found plus how long catch-up took.
 //!
 //! ```sh
-//! cargo run --release --example crash_recovery
+//! cargo run --release --example crash_recovery          # sim backend
+//! cargo run --release --example crash_recovery -- --file
+//! cargo run --release --example crash_recovery -- --file --json
 //! ```
+//!
+//! With `--file` every server's log and checkpoint live in real files
+//! under a tempdir, and the report adds the measured wall-clock fsync
+//! cost of the forced writes next to the virtual-time figure. `--json`
+//! emits the `results/BENCH_disk_quick.json` shape instead of a table.
 
+use todr::harness::cluster::BackendKind;
 use todr::harness::experiments::recovery;
 
 fn main() {
-    let report = recovery::run(5, 2, 42);
-    println!("{}", report.to_table());
+    let mut backend = BackendKind::Sim;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--file" => backend = BackendKind::File,
+            "--sim" => backend = BackendKind::Sim,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag {other}; expected --file, --sim or --json");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = recovery::run_with_backend(5, 2, 42, backend);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.to_table());
+    }
 }
