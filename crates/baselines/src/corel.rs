@@ -246,6 +246,7 @@ impl CorelServer {
                         action: id,
                         result: None,
                         submitted_at: reply.submitted_at,
+                        green_seq: self.stats.committed,
                     },
                 );
             }

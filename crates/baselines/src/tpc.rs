@@ -275,6 +275,7 @@ impl TpcServer {
                         action: id,
                         result: None,
                         submitted_at: coord.submitted_at,
+                        green_seq: self.stats.committed,
                     },
                 );
             }

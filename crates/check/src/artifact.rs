@@ -123,6 +123,7 @@ mod tests {
             event_tail: vec![RecordedEvent {
                 at_nanos: 42,
                 actor: 9,
+                group: 0,
                 event: ProtocolEvent::GreenLineAdvance { node: 1, green: 8 },
             }],
             metrics: None,

@@ -24,6 +24,13 @@
 //!   schedule to a 1-minimal counterexample, which [`artifact`] packages
 //!   as replayable JSON (seed + schedule + event tail + metrics).
 //!
+//! The [`sharded`] module lifts all three to sharded deployments
+//! ([`todr_harness::sharded`]): the per-group oracles re-run unchanged
+//! on each group's slice of the event log, and a cross-shard
+//! serializability oracle ([`check_shard_trace`]) checks atomicity,
+//! prepare/commit phasing, deterministic timestamp merge and pairwise
+//! commit-order consistency of the router's transaction protocol.
+//!
 //! Everything is deterministic end to end: the same
 //! `(seed, perturbation, schedule)` replays to byte-identical replica
 //! digests and metrics exports, so a counterexample found in CI
@@ -53,6 +60,7 @@ pub mod explorer;
 pub mod oracle;
 pub mod runner;
 pub mod schedule;
+pub mod sharded;
 pub mod shrink;
 
 pub use artifact::Counterexample;
@@ -62,4 +70,9 @@ pub use runner::{
     run_case, tie_break_for, CaseFailure, CasePass, CaseSpec, FailureKind, RunOptions,
 };
 pub use schedule::{generate_schedule, generate_schedule_with, Step};
+pub use sharded::{
+    check_shard_trace, explore_sharded, run_shard_case, shrink_shard_case, ShardCasePass,
+    ShardCounterexample, ShardExploreConfig, ShardExploreReport, ShardRunOptions, ShardTraceStats,
+    ShardTraceViolation,
+};
 pub use shrink::{ddmin, shrink_case};

@@ -465,6 +465,7 @@ mod tests {
         RecordedEvent {
             at_nanos: 0,
             actor: 0,
+            group: 0,
             event,
         }
     }

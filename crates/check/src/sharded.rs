@@ -1,0 +1,1074 @@
+//! Sharded-cluster checking: the Explorer's run protocol and oracles
+//! lifted to `S` replication groups behind a
+//! [`ShardRouter`](todr_shard::ShardRouter).
+//!
+//! Per group, nothing new is needed — Theorem 1 holds independently in
+//! every group, so [`run_shard_case`] re-runs the existing state
+//! invariants ([`todr_harness::checkers`], via
+//! [`ShardedCluster::try_check_consistency`]) and the whole-history
+//! trace oracle ([`crate::oracle::check_trace`]) once per group, on the
+//! group's own slice of the typed event log (filtered by the
+//! [`RecordedEvent::group`] metric scope: node ids restart at 0 in
+//! every group, so the merged log would alias replicas across groups).
+//!
+//! What *is* new is the cross-shard serializability oracle,
+//! [`check_shard_trace`]: a pure function over the router's
+//! `CrossShard*` protocol events that checks, for the whole history,
+//!
+//! * **atomicity** — a transaction only ever touches the groups it
+//!   declared, and is reported applied exactly when every participant
+//!   committed it;
+//! * **prepare/commit phasing** — in each group the commit lands
+//!   strictly after the prepare marker in that group's green order;
+//! * **deterministic merge** — the fixed cross-group timestamp is the
+//!   max of the prepared green positions, as specified;
+//! * **commit-order consistency** — any two transactions sharing two
+//!   groups commit in the same relative order in both. This is the
+//!   pairwise core of cross-shard serializability, and precisely the
+//!   property the router's per-shard FIFO commit barrier exists to
+//!   enforce — the `SkipCommitBarrier` chaos mutation breaks exactly
+//!   this, and the mutation self-test proves this oracle catches it.
+//!
+//! [`explore_sharded`] sweeps `(seed, perturbation)` pairs exactly like
+//! [`crate::explore`], drawing each fault schedule from the same
+//! nemesis distribution (steps name replicas by *flat* index, mapped
+//! onto `(group, replica)`; join/leave/storage steps degrade to quiet
+//! ones, since the sharded harness scripts partitions and crashes
+//! only), and [`ddmin`]s every failing schedule to 1-minimal form.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::{Deserialize, Serialize};
+use todr_core::EngineState;
+use todr_harness::sharded::{ShardClientConfig, ShardedCluster, ShardedConfig};
+use todr_sim::{ProtocolEvent, RecordedEvent, SimDuration, SimRng};
+
+use crate::oracle;
+use crate::runner::{tie_break_for, CaseFailure, CaseSpec, FailureKind, EVENT_TAIL};
+use crate::schedule::{generate_schedule_with, Step};
+use crate::shrink::ddmin;
+
+// ------------------------------------------------------------
+// The cross-shard trace oracle
+// ------------------------------------------------------------
+
+/// A violation of the cross-shard transaction protocol, found by
+/// replaying the router's `CrossShard*` event history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardTraceViolation {
+    /// A prepare/merge/commit/apply event named a transaction that was
+    /// never started.
+    EventWithoutStart {
+        /// The phantom transaction id.
+        txn: u64,
+    },
+    /// A transaction prepared or committed in a group outside its
+    /// declared participant set, or was reported applied with a
+    /// participant's commit missing.
+    AtomicityViolation {
+        /// The offending transaction.
+        txn: u64,
+        /// The group where the event is missing or misplaced.
+        group: u32,
+    },
+    /// A commit was ordered at or before its own prepare marker in the
+    /// same group's green order.
+    PrepareCommitInversion {
+        /// The offending transaction.
+        txn: u64,
+        /// The group whose green order shows the inversion.
+        group: u32,
+        /// The prepare marker's green position.
+        prepared: u64,
+        /// The commit's green position.
+        committed: u64,
+    },
+    /// The merged timestamp differs from the deterministic max of the
+    /// prepared green positions.
+    MergeMismatch {
+        /// The offending transaction.
+        txn: u64,
+        /// The timestamp the router announced.
+        ts: u64,
+        /// The max of the prepared positions it should have announced.
+        max_prepared: u64,
+    },
+    /// Two transactions sharing two groups committed in opposite
+    /// relative orders — the pairwise serializability violation the
+    /// commit barrier prevents.
+    CommitOrderConflict {
+        /// Transaction committed first in `group_a` but second in
+        /// `group_b`.
+        txn_a: u64,
+        /// Transaction committed second in `group_a` but first in
+        /// `group_b`.
+        txn_b: u64,
+        /// One shared group.
+        group_a: u32,
+        /// The other shared group, disagreeing on the order.
+        group_b: u32,
+    },
+    /// A transaction started but never applied, in a history that
+    /// claims the router drained.
+    UnfinishedTxn {
+        /// The stuck transaction.
+        txn: u64,
+    },
+}
+
+impl std::fmt::Display for ShardTraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardTraceViolation::EventWithoutStart { txn } => {
+                write!(f, "cross-shard event for txn {txn} that was never started")
+            }
+            ShardTraceViolation::AtomicityViolation { txn, group } => write!(
+                f,
+                "txn {txn} violated atomicity in group {group} (event outside the \
+                 participant set, or applied with that participant's commit missing)"
+            ),
+            ShardTraceViolation::PrepareCommitInversion {
+                txn,
+                group,
+                prepared,
+                committed,
+            } => write!(
+                f,
+                "txn {txn} committed at green position {committed} in group {group}, \
+                 not after its prepare marker at {prepared}"
+            ),
+            ShardTraceViolation::MergeMismatch {
+                txn,
+                ts,
+                max_prepared,
+            } => write!(
+                f,
+                "txn {txn} merged to timestamp {ts}, but the max prepared green \
+                 position is {max_prepared}"
+            ),
+            ShardTraceViolation::CommitOrderConflict {
+                txn_a,
+                txn_b,
+                group_a,
+                group_b,
+            } => write!(
+                f,
+                "txns {txn_a} and {txn_b} committed in opposite orders: \
+                 {txn_a} first in group {group_a}, {txn_b} first in group {group_b}"
+            ),
+            ShardTraceViolation::UnfinishedTxn { txn } => {
+                write!(
+                    f,
+                    "txn {txn} started but never applied in a drained history"
+                )
+            }
+        }
+    }
+}
+
+/// What a clean cross-shard history established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTraceStats {
+    /// `CrossShard*` events replayed.
+    pub events: u64,
+    /// Transactions started.
+    pub txns_started: u64,
+    /// Transactions fully applied.
+    pub txns_applied: u64,
+    /// Adjacent commit-order comparisons performed across all group
+    /// pairs (strict monotonicity of adjacent pairs implies it for all
+    /// pairs, transitively).
+    pub commit_pairs_checked: u64,
+}
+
+#[derive(Default)]
+struct TxnTrace {
+    participants: u64,
+    prepared: BTreeMap<u32, u64>,
+    ts: Option<u64>,
+    /// group → (green position, submission attempt).
+    committed: BTreeMap<u32, (u64, u32)>,
+    applied: bool,
+}
+
+impl TxnTrace {
+    fn participates(&self, group: u32) -> bool {
+        group < 64 && self.participants & (1u64 << group) != 0
+    }
+}
+
+/// Replays the `CrossShard*` slice of a finished run's event log and
+/// checks atomicity, prepare/commit phasing, deterministic merge and
+/// pairwise commit-order consistency over the whole history (see the
+/// module docs). Pure: no world access, deterministic for a fixed log.
+///
+/// With `require_applied`, every started transaction must also have
+/// been applied — pass `true` after a successful router drain, `false`
+/// for histories cut mid-flight.
+///
+/// # Errors
+///
+/// Returns the first [`ShardTraceViolation`] encountered.
+pub fn check_shard_trace(
+    events: &[RecordedEvent],
+    require_applied: bool,
+) -> Result<ShardTraceStats, ShardTraceViolation> {
+    let mut txns: BTreeMap<u64, TxnTrace> = BTreeMap::new();
+    let mut stats = ShardTraceStats {
+        events: 0,
+        txns_started: 0,
+        txns_applied: 0,
+        commit_pairs_checked: 0,
+    };
+    for rec in events {
+        match rec.event {
+            ProtocolEvent::CrossShardStart { txn, participants } => {
+                stats.events += 1;
+                stats.txns_started += 1;
+                txns.entry(txn).or_default().participants = participants;
+            }
+            ProtocolEvent::CrossShardPrepared {
+                txn,
+                group,
+                green_seq,
+            } => {
+                stats.events += 1;
+                let t = txns
+                    .get_mut(&txn)
+                    .ok_or(ShardTraceViolation::EventWithoutStart { txn })?;
+                if !t.participates(group) {
+                    return Err(ShardTraceViolation::AtomicityViolation { txn, group });
+                }
+                t.prepared.insert(group, green_seq);
+            }
+            ProtocolEvent::CrossShardMerged { txn, ts } => {
+                stats.events += 1;
+                let t = txns
+                    .get_mut(&txn)
+                    .ok_or(ShardTraceViolation::EventWithoutStart { txn })?;
+                let max_prepared = t.prepared.values().copied().max().unwrap_or(0);
+                if ts != max_prepared {
+                    return Err(ShardTraceViolation::MergeMismatch {
+                        txn,
+                        ts,
+                        max_prepared,
+                    });
+                }
+                t.ts = Some(ts);
+            }
+            ProtocolEvent::CrossShardCommitted {
+                txn,
+                group,
+                green_seq,
+                attempt,
+            } => {
+                stats.events += 1;
+                let t = txns
+                    .get_mut(&txn)
+                    .ok_or(ShardTraceViolation::EventWithoutStart { txn })?;
+                if !t.participates(group) {
+                    return Err(ShardTraceViolation::AtomicityViolation { txn, group });
+                }
+                if let Some(&prepared) = t.prepared.get(&group) {
+                    if green_seq <= prepared {
+                        return Err(ShardTraceViolation::PrepareCommitInversion {
+                            txn,
+                            group,
+                            prepared,
+                            committed: green_seq,
+                        });
+                    }
+                }
+                t.committed.insert(group, (green_seq, attempt));
+            }
+            ProtocolEvent::CrossShardApplied { txn } => {
+                stats.events += 1;
+                let t = txns
+                    .get_mut(&txn)
+                    .ok_or(ShardTraceViolation::EventWithoutStart { txn })?;
+                for g in 0..64u32 {
+                    if t.participates(g) && !t.committed.contains_key(&g) {
+                        return Err(ShardTraceViolation::AtomicityViolation { txn, group: g });
+                    }
+                }
+                t.applied = true;
+                stats.txns_applied += 1;
+            }
+            _ => {}
+        }
+    }
+    if require_applied {
+        for (&txn, t) in &txns {
+            if !t.applied {
+                return Err(ShardTraceViolation::UnfinishedTxn { txn });
+            }
+        }
+    }
+
+    // Pairwise commit-order consistency: for every pair of groups, the
+    // transactions committed in both must commit in the same relative
+    // order in each. A retried commit can be recorded at a later
+    // position than the one where its writes actually applied, so only
+    // first-attempt positions are trusted for ordering (retries are
+    // rare — a zero-retry history checks every pair).
+    let mut groups_seen: BTreeSet<u32> = BTreeSet::new();
+    for t in txns.values() {
+        groups_seen.extend(t.committed.keys().copied());
+    }
+    let groups: Vec<u32> = groups_seen.into_iter().collect();
+    for (i, &ga) in groups.iter().enumerate() {
+        for &gb in &groups[i + 1..] {
+            let mut shared: Vec<(u64, u64, u64)> = txns
+                .iter()
+                .filter_map(|(&txn, t)| {
+                    let &(pa, aa) = t.committed.get(&ga)?;
+                    let &(pb, ab) = t.committed.get(&gb)?;
+                    (aa == 1 && ab == 1).then_some((pa, pb, txn))
+                })
+                .collect();
+            shared.sort_unstable();
+            for w in shared.windows(2) {
+                let (_, pb_prev, txn_prev) = w[0];
+                let (_, pb_next, txn_next) = w[1];
+                stats.commit_pairs_checked += 1;
+                if pb_next <= pb_prev {
+                    return Err(ShardTraceViolation::CommitOrderConflict {
+                        txn_a: txn_prev,
+                        txn_b: txn_next,
+                        group_a: ga,
+                        group_b: gb,
+                    });
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+// ------------------------------------------------------------
+// The sharded case runner
+// ------------------------------------------------------------
+
+/// Knobs shared by every case of a sharded exploration.
+#[derive(Debug, Clone)]
+pub struct ShardRunOptions {
+    /// Number of replication groups.
+    pub shards: u32,
+    /// Replicas in every group.
+    pub replicas_per_shard: u32,
+    /// EVS message-packing level (per group).
+    pub max_pack: usize,
+    /// Engine auto-checkpoint period in green actions.
+    pub checkpoint_interval: u64,
+    /// Cross-shard fraction of each client's requests, in permille —
+    /// high by default so short schedules exercise the cross-shard
+    /// protocol densely.
+    pub cross_permille: u32,
+    /// The deliberate router invariant breakage to inject
+    /// (`chaos-mutations` builds only; used by the mutation self-test).
+    #[cfg(feature = "chaos-mutations")]
+    pub shard_chaos: Option<todr_shard::ShardChaos>,
+}
+
+impl Default for ShardRunOptions {
+    fn default() -> Self {
+        ShardRunOptions {
+            shards: 2,
+            replicas_per_shard: 3,
+            max_pack: 1,
+            checkpoint_interval: 1024,
+            cross_permille: 300,
+            #[cfg(feature = "chaos-mutations")]
+            shard_chaos: None,
+        }
+    }
+}
+
+impl ShardRunOptions {
+    /// Total replicas across all groups (the flat index space fault
+    /// schedules are drawn over).
+    pub fn total_replicas(&self) -> usize {
+        (self.shards * self.replicas_per_shard) as usize
+    }
+}
+
+/// What a passing sharded case established. Byte-identical across runs
+/// of the same `(spec, options)` — the determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCasePass {
+    /// Converged green count of every group, indexed by shard id.
+    pub green_counts: Vec<u64>,
+    /// Converged database digest of every group, indexed by shard id.
+    pub db_digests: Vec<u64>,
+    /// Cross-shard transactions fully applied.
+    pub cross_txns: u64,
+    /// Green positions the per-group trace oracles cross-checked.
+    pub green_positions_agreed: u64,
+    /// Commit-order comparisons the cross-shard oracle performed.
+    pub commit_pairs_checked: u64,
+    /// Compact deterministic JSON of the world's metrics export.
+    pub metrics_json: String,
+}
+
+fn fail(cluster: &ShardedCluster, kind: FailureKind, message: String) -> Box<CaseFailure> {
+    let events = cluster.world.metrics().events();
+    let tail_from = events.len().saturating_sub(EVENT_TAIL);
+    Box::new(CaseFailure {
+        kind,
+        message,
+        event_tail: events[tail_from..].to_vec(),
+        metrics: Some(cluster.metrics_export()),
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one sharded case to completion: settle, one closed-loop shard
+/// client per replica, one [`Step`] per 400 ms (flat replica indices
+/// mapped onto `(group, replica)`; see the module docs for the step
+/// semantics), heal, drain the router, then per-group convergence, the
+/// per-group trace oracle, and the cross-shard serializability oracle.
+///
+/// Deterministic: the same `(spec, options)` always produces the same
+/// result, byte for byte.
+///
+/// # Errors
+///
+/// Returns a [`CaseFailure`] classifying the first property violation,
+/// including protocol-internal panics.
+pub fn run_shard_case(
+    spec: &CaseSpec,
+    options: &ShardRunOptions,
+) -> Result<ShardCasePass, Box<CaseFailure>> {
+    match catch_unwind(AssertUnwindSafe(|| run_shard_case_inner(spec, options))) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(Box::new(CaseFailure {
+            kind: FailureKind::Panic,
+            message: panic_message(payload),
+            event_tail: Vec::new(),
+            metrics: None,
+        })),
+    }
+}
+
+fn run_shard_case_inner(
+    spec: &CaseSpec,
+    options: &ShardRunOptions,
+) -> Result<ShardCasePass, Box<CaseFailure>> {
+    let per_group = options.replicas_per_shard as usize;
+    let total = options.total_replicas();
+    let n_groups = options.shards as usize;
+    let locate = |flat: usize| (flat / per_group, flat % per_group);
+
+    let builder = ShardedConfig::builder(options.shards, options.replicas_per_shard, spec.seed)
+        .tie_break(tie_break_for(spec.perturbation))
+        .packing(options.max_pack)
+        .checkpoint_interval(options.checkpoint_interval);
+    #[cfg(feature = "chaos-mutations")]
+    let builder = builder.shard_chaos(options.shard_chaos);
+    let config = builder.build().expect("sharded runner config is coherent");
+    let mut cluster = ShardedCluster::build(config);
+    if let Err(e) = cluster.try_settle() {
+        return Err(fail(&cluster, FailureKind::Settle, e.to_string()));
+    }
+    let client_config = ShardClientConfig {
+        cross_permille: options.cross_permille,
+        ..ShardClientConfig::default()
+    };
+    for _ in 0..total {
+        cluster.attach_client(client_config.clone());
+    }
+    cluster.run_for(SimDuration::from_millis(400));
+
+    // Legality guards, re-applied here (not trusted from the generator)
+    // so arbitrary subsequences and deserialized schedules stay valid.
+    let mut crashed = vec![false; total];
+
+    for step in &spec.schedule {
+        match *step {
+            Step::Split { cut } => {
+                // One flat cut, applied to every group it crosses:
+                // groups entirely on one side stay whole, the group the
+                // cut lands in splits. Other groups' fabrics are
+                // independent, so this exercises partial-deployment
+                // partitions.
+                let cut = cut.clamp(1, total.saturating_sub(1));
+                for g in 0..n_groups {
+                    let (a, b): (Vec<usize>, Vec<usize>) =
+                        (0..per_group).partition(|&i| g * per_group + i < cut);
+                    let sets: Vec<Vec<usize>> =
+                        [a, b].into_iter().filter(|s| !s.is_empty()).collect();
+                    cluster.partition(g, &sets);
+                }
+            }
+            Step::Merge => {
+                for g in 0..n_groups {
+                    cluster.merge_all(g);
+                }
+            }
+            Step::Crash { server } | Step::CrashTorn { server } => {
+                // The sharded harness crashes torn or clean per the base
+                // config, exactly like `Cluster::crash`.
+                if server < total && !crashed[server] {
+                    crashed[server] = true;
+                    let (g, i) = locate(server);
+                    cluster.crash(g, i);
+                }
+            }
+            Step::Recover { server } => {
+                if server < total && crashed[server] {
+                    crashed[server] = false;
+                    let (g, i) = locate(server);
+                    cluster.recover(g, i);
+                }
+            }
+            // Online joins, permanent leaves and media faults are not
+            // scripted on the sharded harness — those flows are
+            // per-group identical to the plain cluster and covered by
+            // the unsharded sweeps. Degrading (rather than rejecting)
+            // keeps every subsequence of a generated schedule legal,
+            // which ddmin soundness requires.
+            Step::Join { .. } | Step::Leave { .. } | Step::CorruptSector { .. } => {}
+            Step::Quiet => {}
+        }
+        cluster.run_for(SimDuration::from_millis(400));
+        if let Err(v) = cluster.try_check_consistency() {
+            return Err(Box::new(CaseFailure {
+                kind: FailureKind::Consistency,
+                message: v.error.to_string(),
+                event_tail: v.recent_events,
+                metrics: Some(cluster.metrics_export()),
+            }));
+        }
+    }
+
+    // Heal: reconnect and recover everyone, drain the clients and then
+    // the router's in-flight cross-shard transactions.
+    for g in 0..n_groups {
+        cluster.merge_all(g);
+    }
+    for (flat, was_crashed) in crashed.iter().enumerate() {
+        if *was_crashed {
+            let (g, i) = locate(flat);
+            cluster.recover(g, i);
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(6));
+    cluster.stop_clients();
+    cluster.run_for(SimDuration::from_secs(4));
+    if !cluster.run_to_router_quiescence(SimDuration::from_secs(30)) {
+        let pending = cluster.router_pending();
+        return Err(fail(
+            &cluster,
+            FailureKind::Convergence,
+            format!("router failed to drain after heal: {pending} cross-shard txns stuck"),
+        ));
+    }
+    if let Err(v) = cluster.try_check_consistency() {
+        return Err(Box::new(CaseFailure {
+            kind: FailureKind::Consistency,
+            message: v.error.to_string(),
+            event_tail: v.recent_events,
+            metrics: Some(cluster.metrics_export()),
+        }));
+    }
+
+    // Per-group convergence and per-group whole-history oracles.
+    let all_events = cluster.world.metrics().events().to_vec();
+    let mut green_counts = Vec::with_capacity(n_groups);
+    let mut db_digests = Vec::with_capacity(n_groups);
+    let mut green_positions_agreed = 0u64;
+    for g in 0..n_groups {
+        let views = cluster.group_views(g);
+        let survivors: Vec<_> = views
+            .iter()
+            .filter(|v| v.state != EngineState::Down)
+            .collect();
+        if survivors.len() < 2 {
+            return Err(fail(
+                &cluster,
+                FailureKind::Convergence,
+                format!("group {g}: only {} survivors after heal", survivors.len()),
+            ));
+        }
+        let g0 = survivors[0].green_count;
+        let d0 = survivors[0].db_digest;
+        for v in &survivors {
+            if v.state != EngineState::RegPrim {
+                return Err(fail(
+                    &cluster,
+                    FailureKind::Convergence,
+                    format!(
+                        "group {g} replica {} in state {:?} after heal, not RegPrim",
+                        v.node.index(),
+                        v.state
+                    ),
+                ));
+            }
+            if v.green_count != g0 {
+                return Err(fail(
+                    &cluster,
+                    FailureKind::Convergence,
+                    format!(
+                        "group {g} replica {} green count {} != {g0}",
+                        v.node.index(),
+                        v.green_count
+                    ),
+                ));
+            }
+            if v.db_digest != d0 {
+                return Err(fail(
+                    &cluster,
+                    FailureKind::Convergence,
+                    format!(
+                        "group {g} replica {} database digest diverged",
+                        v.node.index()
+                    ),
+                ));
+            }
+        }
+        let scope = cluster.groups[g].scope;
+        let group_events: Vec<RecordedEvent> = all_events
+            .iter()
+            .filter(|rec| rec.group == scope)
+            .cloned()
+            .collect();
+        let survivor_nodes: BTreeSet<u32> = survivors.iter().map(|v| v.node.index()).collect();
+        match oracle::check_trace(&group_events, &survivor_nodes) {
+            Ok(stats) => green_positions_agreed += stats.green_positions_agreed,
+            Err(v) => {
+                return Err(fail(
+                    &cluster,
+                    FailureKind::TraceOracle,
+                    format!("group {g}: {v}"),
+                ));
+            }
+        }
+        green_counts.push(g0);
+        db_digests.push(d0);
+    }
+
+    // The cross-shard serializability oracle, over the merged history
+    // (the router's events carry scope 0; the oracle only reads the
+    // `CrossShard*` kinds). The router drained, so every started
+    // transaction must have applied.
+    let shard_stats = match check_shard_trace(&all_events, true) {
+        Ok(stats) => stats,
+        Err(v) => {
+            return Err(fail(&cluster, FailureKind::TraceOracle, v.to_string()));
+        }
+    };
+
+    Ok(ShardCasePass {
+        green_counts,
+        db_digests,
+        cross_txns: shard_stats.txns_applied,
+        green_positions_agreed,
+        commit_pairs_checked: shard_stats.commit_pairs_checked,
+        metrics_json: cluster.metrics_export().to_json(),
+    })
+}
+
+/// Shrinks a failing sharded case's schedule to a 1-minimal failing
+/// schedule, keeping the seed and perturbation fixed (the sharded
+/// counterpart of [`crate::shrink_case`]; sound for the same reason —
+/// the runner re-applies every legality guard, so any subsequence of a
+/// valid schedule is valid).
+pub fn shrink_shard_case(spec: &CaseSpec, options: &ShardRunOptions) -> CaseSpec {
+    let schedule: Vec<Step> = ddmin(&spec.schedule, |candidate| {
+        let candidate_spec = CaseSpec {
+            seed: spec.seed,
+            perturbation: spec.perturbation,
+            schedule: candidate.to_vec(),
+        };
+        run_shard_case(&candidate_spec, options).is_err()
+    });
+    CaseSpec {
+        seed: spec.seed,
+        perturbation: spec.perturbation,
+        schedule,
+    }
+}
+
+// ------------------------------------------------------------
+// The sharded explorer
+// ------------------------------------------------------------
+
+/// Parameters of one sharded exploration sweep.
+#[derive(Debug, Clone)]
+pub struct ShardExploreConfig {
+    /// First explorer seed (each derives one world seed + schedule).
+    pub seed_start: u64,
+    /// Number of consecutive explorer seeds to sweep.
+    pub seed_count: u64,
+    /// Perturbation indices `0..perturbations` to run each schedule
+    /// under (clamped to at least 1, i.e. the FIFO baseline).
+    pub perturbations: u64,
+    /// Whether to delta-debug failing schedules to 1-minimal form.
+    pub shrink: bool,
+    /// Per-case runner knobs (shard count, cross-shard fraction,
+    /// injected router chaos).
+    pub options: ShardRunOptions,
+}
+
+impl Default for ShardExploreConfig {
+    fn default() -> Self {
+        ShardExploreConfig {
+            seed_start: 0,
+            seed_count: 4,
+            perturbations: 2,
+            shrink: true,
+            options: ShardRunOptions::default(),
+        }
+    }
+}
+
+/// A replayable sharded counterexample: the spec plus its failure
+/// classification ([`artifact::Counterexample`](crate::Counterexample)
+/// is typed to the unsharded [`crate::RunOptions`], so sharded findings
+/// get their own, structurally identical artifact).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardCounterexample {
+    /// The explorer seed that drew this schedule.
+    pub explorer_seed: u64,
+    /// The world seed.
+    pub world_seed: u64,
+    /// The tie-break perturbation index.
+    pub perturbation: u64,
+    /// The (shrunk) fault schedule.
+    pub schedule: Vec<Step>,
+    /// What class of property broke.
+    pub kind: FailureKind,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl ShardCounterexample {
+    /// Reconstructs the case spec this artifact pins down.
+    pub fn spec(&self) -> CaseSpec {
+        CaseSpec {
+            seed: self.world_seed,
+            perturbation: self.perturbation,
+            schedule: self.schedule.clone(),
+        }
+    }
+
+    /// Re-runs the counterexample under the given options.
+    ///
+    /// # Errors
+    ///
+    /// Fails (again) with the reproduced [`CaseFailure`] — a genuine
+    /// counterexample replayed under its original options never passes.
+    pub fn replay(&self, options: &ShardRunOptions) -> Result<ShardCasePass, Box<CaseFailure>> {
+        run_shard_case(&self.spec(), options)
+    }
+}
+
+/// The outcome of a sharded exploration sweep.
+#[derive(Debug, Clone)]
+pub struct ShardExploreReport {
+    /// Total `(seed, perturbation)` cases run.
+    pub cases_run: u64,
+    /// Cases that passed every oracle.
+    pub passed: u64,
+    /// One (shrunk) replayable artifact per failing case.
+    pub failures: Vec<ShardCounterexample>,
+}
+
+impl ShardExploreReport {
+    /// True when every case passed.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a sharded sweep, mirroring [`crate::explore`]: one fault
+/// schedule per explorer seed (drawn over the flat replica index
+/// space), run under each requested tie-break perturbation, with every
+/// failing case [`ddmin`]ed to 1-minimal form. Deterministic: identical
+/// configs produce identical reports.
+///
+/// `progress` is called once per finished case with
+/// `(explorer_seed, perturbation, passed)`.
+pub fn explore_sharded(
+    config: &ShardExploreConfig,
+    mut progress: impl FnMut(u64, u64, bool),
+) -> ShardExploreReport {
+    let mut cases_run = 0u64;
+    let mut passed = 0u64;
+    let mut failures = Vec::new();
+    for explorer_seed in config.seed_start..config.seed_start.saturating_add(config.seed_count) {
+        let mut rng = SimRng::new(explorer_seed);
+        let world_seed = rng.gen_range(1_000_000);
+        let schedule = generate_schedule_with(&mut rng, config.options.total_replicas(), false);
+        for perturbation in 0..config.perturbations.max(1) {
+            let spec = CaseSpec {
+                seed: world_seed,
+                perturbation,
+                schedule: schedule.clone(),
+            };
+            cases_run += 1;
+            match run_shard_case(&spec, &config.options) {
+                Ok(_) => {
+                    passed += 1;
+                    progress(explorer_seed, perturbation, true);
+                }
+                Err(failure) => {
+                    progress(explorer_seed, perturbation, false);
+                    let (min_spec, min_failure) = if config.shrink {
+                        let shrunk = shrink_shard_case(&spec, &config.options);
+                        match run_shard_case(&shrunk, &config.options) {
+                            Err(f) => (shrunk, f),
+                            // Unreachable for a deterministic runner,
+                            // but never discard a real finding over it.
+                            Ok(_) => (spec.clone(), failure),
+                        }
+                    } else {
+                        (spec.clone(), failure)
+                    };
+                    failures.push(ShardCounterexample {
+                        explorer_seed,
+                        world_seed: min_spec.seed,
+                        perturbation: min_spec.perturbation,
+                        schedule: min_spec.schedule,
+                        kind: min_failure.kind,
+                        message: min_failure.message,
+                    });
+                }
+            }
+        }
+    }
+    ShardExploreReport {
+        cases_run,
+        passed,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(event: ProtocolEvent) -> RecordedEvent {
+        RecordedEvent {
+            at_nanos: 0,
+            actor: 0,
+            group: 0,
+            event,
+        }
+    }
+
+    fn start(txn: u64, participants: u64) -> RecordedEvent {
+        rec(ProtocolEvent::CrossShardStart { txn, participants })
+    }
+
+    fn prepared(txn: u64, group: u32, green_seq: u64) -> RecordedEvent {
+        rec(ProtocolEvent::CrossShardPrepared {
+            txn,
+            group,
+            green_seq,
+        })
+    }
+
+    fn merged(txn: u64, ts: u64) -> RecordedEvent {
+        rec(ProtocolEvent::CrossShardMerged { txn, ts })
+    }
+
+    fn committed(txn: u64, group: u32, green_seq: u64) -> RecordedEvent {
+        rec(ProtocolEvent::CrossShardCommitted {
+            txn,
+            group,
+            green_seq,
+            attempt: 1,
+        })
+    }
+
+    fn applied(txn: u64) -> RecordedEvent {
+        rec(ProtocolEvent::CrossShardApplied { txn })
+    }
+
+    /// A full, clean two-transaction history over groups {0, 1}.
+    fn clean_history() -> Vec<RecordedEvent> {
+        vec![
+            start(1, 0b11),
+            prepared(1, 0, 5),
+            prepared(1, 1, 3),
+            merged(1, 5),
+            committed(1, 0, 6),
+            committed(1, 1, 4),
+            applied(1),
+            start(2, 0b11),
+            prepared(2, 0, 7),
+            prepared(2, 1, 5),
+            merged(2, 7),
+            committed(2, 0, 8),
+            committed(2, 1, 6),
+            applied(2),
+        ]
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let stats = check_shard_trace(&clean_history(), true).expect("clean history");
+        assert_eq!(stats.txns_started, 2);
+        assert_eq!(stats.txns_applied, 2);
+        assert_eq!(stats.commit_pairs_checked, 1);
+    }
+
+    #[test]
+    fn opposite_commit_orders_are_a_conflict() {
+        // txn 1 before txn 2 in group 0, but after it in group 1.
+        let history = vec![
+            start(1, 0b11),
+            prepared(1, 0, 5),
+            prepared(1, 1, 9),
+            merged(1, 9),
+            committed(1, 0, 6),
+            committed(1, 1, 11),
+            applied(1),
+            start(2, 0b11),
+            prepared(2, 0, 7),
+            prepared(2, 1, 3),
+            merged(2, 7),
+            committed(2, 0, 8),
+            committed(2, 1, 10),
+            applied(2),
+        ];
+        let err = check_shard_trace(&history, true).expect_err("conflicting orders");
+        assert_eq!(
+            err,
+            ShardTraceViolation::CommitOrderConflict {
+                txn_a: 1,
+                txn_b: 2,
+                group_a: 0,
+                group_b: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn retried_commit_positions_are_not_trusted_for_ordering() {
+        // The same opposite orders the conflict test flags, but txn 2's
+        // group-1 commit came from a retry — its recorded position is
+        // not where the writes applied, so the pair is (correctly) not
+        // compared.
+        let history = vec![
+            start(1, 0b11),
+            prepared(1, 0, 5),
+            prepared(1, 1, 9),
+            merged(1, 9),
+            committed(1, 0, 6),
+            committed(1, 1, 11),
+            applied(1),
+            start(2, 0b11),
+            prepared(2, 0, 7),
+            prepared(2, 1, 3),
+            merged(2, 7),
+            committed(2, 0, 8),
+            rec(ProtocolEvent::CrossShardCommitted {
+                txn: 2,
+                group: 1,
+                green_seq: 10,
+                attempt: 2,
+            }),
+            applied(2),
+        ];
+        let stats = check_shard_trace(&history, true).expect("retry positions ignored");
+        assert_eq!(stats.commit_pairs_checked, 0);
+    }
+
+    #[test]
+    fn commit_outside_participants_is_atomicity_violation() {
+        let history = vec![
+            start(1, 0b01),
+            prepared(1, 0, 5),
+            merged(1, 5),
+            committed(1, 1, 6),
+        ];
+        let err = check_shard_trace(&history, false).expect_err("non-participant commit");
+        assert_eq!(
+            err,
+            ShardTraceViolation::AtomicityViolation { txn: 1, group: 1 }
+        );
+    }
+
+    #[test]
+    fn applied_without_all_commits_is_atomicity_violation() {
+        let history = vec![
+            start(1, 0b11),
+            prepared(1, 0, 5),
+            prepared(1, 1, 3),
+            merged(1, 5),
+            committed(1, 0, 6),
+            applied(1),
+        ];
+        let err = check_shard_trace(&history, false).expect_err("premature apply");
+        assert_eq!(
+            err,
+            ShardTraceViolation::AtomicityViolation { txn: 1, group: 1 }
+        );
+    }
+
+    #[test]
+    fn commit_at_or_before_prepare_is_an_inversion() {
+        let history = vec![
+            start(1, 0b01),
+            prepared(1, 0, 5),
+            merged(1, 5),
+            committed(1, 0, 5),
+        ];
+        let err = check_shard_trace(&history, false).expect_err("inverted phases");
+        assert_eq!(
+            err,
+            ShardTraceViolation::PrepareCommitInversion {
+                txn: 1,
+                group: 0,
+                prepared: 5,
+                committed: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_merge_timestamp_is_a_mismatch() {
+        let history = vec![
+            start(1, 0b11),
+            prepared(1, 0, 5),
+            prepared(1, 1, 9),
+            merged(1, 5),
+        ];
+        let err = check_shard_trace(&history, false).expect_err("bad merge");
+        assert_eq!(
+            err,
+            ShardTraceViolation::MergeMismatch {
+                txn: 1,
+                ts: 5,
+                max_prepared: 9,
+            }
+        );
+    }
+
+    #[test]
+    fn unstarted_txn_event_is_flagged() {
+        let history = vec![prepared(7, 0, 5)];
+        let err = check_shard_trace(&history, false).expect_err("phantom txn");
+        assert_eq!(err, ShardTraceViolation::EventWithoutStart { txn: 7 });
+    }
+
+    #[test]
+    fn unfinished_txn_only_flagged_when_required() {
+        let history = vec![start(1, 0b11), prepared(1, 0, 5)];
+        assert!(check_shard_trace(&history, false).is_ok());
+        let err = check_shard_trace(&history, true).expect_err("stuck txn");
+        assert_eq!(err, ShardTraceViolation::UnfinishedTxn { txn: 1 });
+    }
+}

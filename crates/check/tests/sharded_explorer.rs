@@ -1,0 +1,88 @@
+//! The sharded Explorer over fault schedules: partitions and crashes
+//! against a 2×3 sharded deployment with a dense cross-shard workload,
+//! every oracle armed — per-group safety, per-group whole-history trace
+//! properties, router drain, and the cross-shard serializability
+//! oracle.
+
+use todr_check::{
+    explore_sharded, run_shard_case, tie_break_for, CaseSpec, ShardExploreConfig, ShardRunOptions,
+};
+use todr_sim::{SimRng, TieBreak};
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug profile; run with --release"
+)]
+fn sharded_sweep_passes_every_oracle() {
+    let config = ShardExploreConfig {
+        seed_start: 0,
+        seed_count: 3,
+        perturbations: 2,
+        shrink: true,
+        options: ShardRunOptions::default(),
+    };
+    let report = explore_sharded(&config, |seed, pert, passed| {
+        eprintln!(
+            "seed {seed} pert {pert}: {}",
+            if passed { "ok" } else { "FAIL" }
+        );
+    });
+    assert_eq!(report.cases_run, 6);
+    assert!(
+        report.all_passed(),
+        "sharded sweep failed: {}",
+        report
+            .failures
+            .iter()
+            .map(|ce| format!(
+                "[seed {} pert {} kind {}] {} (schedule {:?})",
+                ce.world_seed, ce.perturbation, ce.kind, ce.message, ce.schedule
+            ))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug profile; run with --release"
+)]
+fn sharded_case_is_deterministic_under_both_tie_breaks() {
+    // The determinism contract, sharded: the same (seed, perturbation,
+    // schedule) replays to a byte-identical outcome — including the
+    // full serialized metrics export — under both the FIFO tie-break
+    // and a seeded same-instant perturbation.
+    let mut rng = SimRng::new(11);
+    let world_seed = rng.gen_range(1_000_000);
+    let schedule = todr_check::generate_schedule_with(&mut rng, 6, false);
+    let options = ShardRunOptions::default();
+    for perturbation in 0..2u64 {
+        assert!(matches!(
+            tie_break_for(perturbation),
+            TieBreak::Fifo | TieBreak::Seeded(_)
+        ));
+        let spec = CaseSpec {
+            seed: world_seed,
+            perturbation,
+            schedule: schedule.clone(),
+        };
+        let first = run_shard_case(&spec, &options)
+            .unwrap_or_else(|f| panic!("pert {perturbation} failed: {f}"));
+        let second = run_shard_case(&spec, &options)
+            .unwrap_or_else(|f| panic!("pert {perturbation} replay failed: {f}"));
+        assert_eq!(
+            first, second,
+            "pert {perturbation}: sharded replay diverged (metrics or state)"
+        );
+        assert!(
+            first.cross_txns > 0,
+            "workload produced no cross-shard txns"
+        );
+        assert!(
+            first.commit_pairs_checked > 0,
+            "the cross-shard oracle compared no commit pairs"
+        );
+    }
+}

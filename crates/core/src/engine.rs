@@ -663,6 +663,7 @@ impl ReplicationEngine {
                             action: id,
                             result,
                             submitted_at: p.submitted_at,
+                            green_seq: 0, // replied before global ordering
                         },
                     );
                 }
@@ -782,6 +783,7 @@ impl ReplicationEngine {
                         action: id,
                         result,
                         submitted_at: p.submitted_at,
+                        green_seq: self.green_count,
                     },
                 );
             }

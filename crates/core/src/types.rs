@@ -67,6 +67,13 @@ pub enum ClientReply {
         result: Option<QueryResult>,
         /// Virtual time at which the request was submitted.
         submitted_at: SimTime,
+        /// The replying replica's green count at commit time — the
+        /// action's position in the group's global persistent order. 0
+        /// for replies issued before global ordering (the relaxed
+        /// [`UpdateReplyPolicy::OnRed`] path). External coordinators
+        /// (the todr-shard router) merge these per-group positions to
+        /// order cross-group actions.
+        green_seq: u64,
     },
     /// Answer to a weak or dirty query (no global ordering involved).
     QueryAnswer {

@@ -1,0 +1,242 @@
+//! Key→shard extraction: the deterministic partition of the key space
+//! and the read/write-set analysis a sharding router needs to classify
+//! an action as single-shard or cross-shard.
+//!
+//! The partition is a pure function of `(table, key)` bytes — no
+//! placement table, no coordination — so every router instance, every
+//! replica and every offline checker agrees on where a row lives. Ops
+//! whose row set cannot be determined statically ([`Op::Proc`] reads
+//! and writes arbitrary rows at ordering time; [`Query::Digest`] /
+//! [`Query::Count`] / [`Query::Scan`] read whole tables) report
+//! [`Footprint::All`] and are treated as touching every shard.
+
+use std::collections::BTreeSet;
+
+use crate::op::{Op, Query};
+
+/// FNV-1a over the row coordinates. Stable across platforms and
+/// process runs; *not* a randomized hash on purpose — the shard map is
+/// part of the replicated protocol state.
+fn row_hash(table: &str, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in table.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= 0xff; // separator outside the UTF-8 range: "ab"+"c" ≠ "a"+"bc"
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard that owns row `(table, key)` out of `shards` total.
+///
+/// # Panics
+///
+/// Panics if `shards` is 0 — an empty partition owns nothing.
+pub fn shard_of(table: &str, key: &str, shards: u32) -> u32 {
+    assert!(shards > 0, "shard count must be positive");
+    (row_hash(table, key) % u64::from(shards)) as u32
+}
+
+/// The set of rows an op or query touches, when statically known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Footprint {
+    /// Exactly these `(table, key)` rows.
+    Rows(BTreeSet<(String, String)>),
+    /// Statically unbounded (stored procedures, table scans, digests).
+    All,
+}
+
+impl Footprint {
+    /// The empty footprint.
+    pub fn empty() -> Self {
+        Footprint::Rows(BTreeSet::new())
+    }
+
+    fn add(&mut self, table: &str, key: &str) {
+        if let Footprint::Rows(rows) = self {
+            rows.insert((table.to_string(), key.to_string()));
+        }
+    }
+
+    /// Folds `other` into `self`.
+    pub fn union(&mut self, other: Footprint) {
+        match (&mut *self, other) {
+            (Footprint::All, _) => {}
+            (_, Footprint::All) => *self = Footprint::All,
+            (Footprint::Rows(a), Footprint::Rows(b)) => a.extend(b),
+        }
+    }
+
+    /// Whether no rows are touched.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Footprint::Rows(rows) if rows.is_empty())
+    }
+
+    /// The shards this footprint lands on, in ascending order;
+    /// [`Footprint::All`] maps to every shard.
+    pub fn shards(&self, shards: u32) -> BTreeSet<u32> {
+        match self {
+            Footprint::All => (0..shards).collect(),
+            Footprint::Rows(rows) => rows.iter().map(|(t, k)| shard_of(t, k, shards)).collect(),
+        }
+    }
+}
+
+/// The rows an update op writes (for [`Op::Checked`], also the rows its
+/// `expect` clause *reads* — a replica must host a row to evaluate the
+/// expectation, so the router treats guard reads as part of the
+/// placement-relevant footprint).
+pub fn write_set(op: &Op) -> Footprint {
+    let mut fp = Footprint::empty();
+    collect_writes(op, &mut fp);
+    fp
+}
+
+fn collect_writes(op: &Op, fp: &mut Footprint) {
+    match op {
+        Op::Put { table, key, .. }
+        | Op::Delete { table, key }
+        | Op::Incr { table, key, .. }
+        | Op::TsPut { table, key, .. } => fp.add(table, key),
+        Op::Proc { .. } => fp.union(Footprint::All),
+        Op::Checked { expect, then } => {
+            for (table, key, _) in expect {
+                fp.add(table, key);
+            }
+            for inner in then {
+                collect_writes(inner, fp);
+            }
+        }
+        Op::Batch(ops) => {
+            for inner in ops {
+                collect_writes(inner, fp);
+            }
+        }
+        Op::Noop => {}
+    }
+}
+
+/// The rows a query reads. Scans, counts and digests are table- or
+/// database-wide and report [`Footprint::All`].
+pub fn read_set(query: &Query) -> Footprint {
+    match query {
+        Query::Get { table, key } => {
+            let mut fp = Footprint::empty();
+            fp.add(table, key);
+            fp
+        }
+        Query::Scan { .. } | Query::Count { .. } | Query::Digest => Footprint::All,
+    }
+}
+
+/// The combined footprint of one action: the update's write set plus
+/// the optional query's read set.
+pub fn action_footprint(update: &Op, query: Option<&Query>) -> Footprint {
+    let mut fp = write_set(update);
+    if let Some(q) = query {
+        fp.union(read_set(q));
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_maps_to_exactly_one_shard_in_range() {
+        for shards in [1u32, 2, 3, 4, 7, 16] {
+            for i in 0..200 {
+                let key = format!("k{i}");
+                let s = shard_of("bench", &key, shards);
+                assert!(s < shards);
+                // Same row, same shard — the function is pure.
+                assert_eq!(s, shard_of("bench", &key, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_part_of_the_row_coordinates() {
+        // ("ab","c") and ("a","bc") must hash differently: the
+        // separator keeps table/key concatenation unambiguous.
+        assert_ne!(row_hash("ab", "c"), row_hash("a", "bc"));
+    }
+
+    #[test]
+    fn single_shard_spread_is_roughly_uniform() {
+        let shards = 4u32;
+        let mut counts = vec![0u32; shards as usize];
+        for i in 0..400 {
+            counts[shard_of("t", &format!("row-{i}"), shards) as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 50, "shard {s} got only {c}/400 rows");
+        }
+    }
+
+    #[test]
+    fn write_sets_cover_each_variant() {
+        assert!(write_set(&Op::Noop).is_empty());
+        assert_eq!(
+            write_set(&Op::put("t", "k", 1i64)),
+            write_set(&Op::delete("t", "k"))
+        );
+        assert_eq!(
+            write_set(&Op::Proc {
+                name: "x".into(),
+                args: vec![]
+            }),
+            Footprint::All
+        );
+        let batch = Op::Batch(vec![Op::put("t", "a", 1i64), Op::incr("u", "b", 1)]);
+        match write_set(&batch) {
+            Footprint::Rows(rows) => {
+                assert_eq!(rows.len(), 2);
+                assert!(rows.contains(&("t".into(), "a".into())));
+                assert!(rows.contains(&("u".into(), "b".into())));
+            }
+            Footprint::All => panic!("batch of puts has a bounded write set"),
+        }
+        // Checked: guard reads count toward placement.
+        let checked = Op::Checked {
+            expect: vec![("g".into(), "guard".into(), None)],
+            then: vec![Op::put("t", "a", 1i64)],
+        };
+        match write_set(&checked) {
+            Footprint::Rows(rows) => {
+                assert!(rows.contains(&("g".into(), "guard".into())));
+                assert!(rows.contains(&("t".into(), "a".into())));
+            }
+            Footprint::All => panic!("checked op has a bounded footprint"),
+        }
+    }
+
+    #[test]
+    fn read_sets_cover_each_variant() {
+        assert!(!read_set(&Query::get("t", "k")).is_empty());
+        assert_eq!(read_set(&Query::scan("t", "")), Footprint::All);
+        assert_eq!(
+            read_set(&Query::Count { table: "t".into() }),
+            Footprint::All
+        );
+        assert_eq!(read_set(&Query::Digest), Footprint::All);
+    }
+
+    #[test]
+    fn footprint_shards_ascending_and_bounded() {
+        let fp = action_footprint(
+            &Op::Batch(vec![Op::put("t", "a", 1i64), Op::put("t", "b", 2i64)]),
+            Some(&Query::get("t", "c")),
+        );
+        let shards = fp.shards(4);
+        assert!(!shards.is_empty() && shards.len() <= 3);
+        assert!(shards.iter().all(|&s| s < 4));
+        assert_eq!(Footprint::All.shards(3), (0..3).collect());
+    }
+}

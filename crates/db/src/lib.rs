@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod database;
+pub mod keys;
 mod op;
 pub mod procs;
 mod value;

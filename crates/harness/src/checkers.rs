@@ -526,6 +526,7 @@ mod tests {
             recent_events: vec![RecordedEvent {
                 at_nanos: 42,
                 actor: 3,
+                group: 0,
                 event: ProtocolEvent::GreenLineAdvance { node: 0, green: 7 },
             }],
         };

@@ -31,8 +31,9 @@ pub enum BackendKind {
     File,
 }
 
-/// Monotonic counter making concurrent clusters' storage roots unique.
-static NEXT_STORAGE_ROOT: AtomicU64 = AtomicU64::new(0);
+/// Monotonic counter making concurrent clusters' storage roots unique
+/// (shared with [`crate::sharded`]).
+pub(crate) static NEXT_STORAGE_ROOT: AtomicU64 = AtomicU64::new(0);
 
 /// Construction parameters for a [`Cluster`].
 #[derive(Debug, Clone)]
@@ -511,7 +512,7 @@ impl Cluster {
         self.storage_root.as_deref()
     }
 
-    fn wire_server(
+    pub(crate) fn wire_server(
         world: &mut World,
         fabric: ActorId,
         node: NodeId,

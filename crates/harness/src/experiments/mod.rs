@@ -13,6 +13,7 @@
 //! | [`saturation::run`] | extension A7: clients × EVS-packing saturation sweep (`BENCH_saturation.json`) |
 //! | [`recovery::run`] | extension A8: crash-recovery cost under torn writes (checksummed scan + catch-up) |
 //! | [`scale::run`] | extension A9: replicas × clients scale sweep past 14 replicas (`BENCH_scale.json`) |
+//! | [`shard::run`] | extension A10: sharded-group capacity scaling with cross-shard transactions (`BENCH_shard.json`) |
 //!
 //! All results are measured in **virtual time** on the calibrated
 //! simulated substrate (see DESIGN.md §2); the claims to compare against
@@ -29,6 +30,7 @@ pub mod recovery;
 pub mod saturation;
 pub mod scale;
 pub mod semantics;
+pub mod shard;
 
 mod runner;
 

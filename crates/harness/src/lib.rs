@@ -35,3 +35,4 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod sharded;

@@ -1,0 +1,187 @@
+//! Property test: the router's classification is a total partition of
+//! the action space.
+//!
+//! Over thousands of fuzzed ops and queries (every `Op` variant,
+//! nested batches, checked guards, stored procedures, all query
+//! kinds) and a range of shard counts, [`classify`] must
+//!
+//! * always produce a verdict (totality — no op is unroutable at
+//!   classification time);
+//! * name only in-range shards, with `Cross` lists strictly ascending
+//!   and of length ≥ 2 (disjointness of the single/cross split);
+//! * agree exactly with the op's statically extracted footprint — the
+//!   same pure function every replica and offline checker uses;
+//! * put every *row* on exactly one shard, and with one shard route
+//!   everything to it.
+
+use todr_db::keys::{action_footprint, shard_of};
+use todr_db::{Op, Query, Value};
+use todr_shard::{classify, Route};
+use todr_sim::SimRng;
+
+fn fuzz_table(rng: &mut SimRng) -> String {
+    format!("t{}", rng.gen_range(5))
+}
+
+fn fuzz_key(rng: &mut SimRng) -> String {
+    format!("k{}", rng.gen_range(64))
+}
+
+fn fuzz_op(rng: &mut SimRng, depth: u32) -> Op {
+    let die = if depth == 0 {
+        rng.gen_range(6) // leaf variants only
+    } else {
+        rng.gen_range(8)
+    };
+    match die {
+        0 => Op::Noop,
+        1 => Op::put(
+            fuzz_table(rng),
+            fuzz_key(rng),
+            Value::Int(rng.gen_range(100) as i64),
+        ),
+        2 => Op::delete(fuzz_table(rng), fuzz_key(rng)),
+        3 => Op::incr(fuzz_table(rng), fuzz_key(rng), rng.gen_range(9) as i64 - 4),
+        4 => Op::ts_put(
+            fuzz_table(rng),
+            fuzz_key(rng),
+            Value::Int(7),
+            rng.gen_range(1000),
+        ),
+        5 => Op::Proc {
+            name: "audit".into(),
+            args: Vec::new(),
+        },
+        6 => Op::Checked {
+            expect: (0..rng.gen_range(3))
+                .map(|_| (fuzz_table(rng), fuzz_key(rng), None))
+                .collect(),
+            then: (0..1 + rng.gen_range(3))
+                .map(|_| fuzz_op(rng, depth - 1))
+                .collect(),
+        },
+        _ => Op::Batch(
+            (0..rng.gen_range(5))
+                .map(|_| fuzz_op(rng, depth - 1))
+                .collect(),
+        ),
+    }
+}
+
+fn fuzz_query(rng: &mut SimRng) -> Option<Query> {
+    match rng.gen_range(6) {
+        0 => Some(Query::get(fuzz_table(rng), fuzz_key(rng))),
+        1 => Some(Query::scan(fuzz_table(rng), "")),
+        2 => Some(Query::Count {
+            table: fuzz_table(rng),
+        }),
+        3 => Some(Query::Digest),
+        _ => None,
+    }
+}
+
+#[test]
+fn classify_is_a_total_partition_over_fuzzed_ops() {
+    let mut rng = SimRng::new(2002);
+    for round in 0..4000 {
+        let op = fuzz_op(&mut rng, 3);
+        let query = fuzz_query(&mut rng);
+        for shards in [1u32, 2, 3, 4, 7, 13] {
+            let route = classify(&op, query.as_ref(), shards);
+            // Totality + range + the exact footprint agreement.
+            let fp = action_footprint(&op, query.as_ref());
+            let expected: Vec<u32> = fp.shards(shards).into_iter().collect();
+            match &route {
+                Route::Single(s) => {
+                    assert!(*s < shards, "round {round}: shard {s} out of range");
+                    if expected.is_empty() {
+                        // Footprint-free actions (pure noops) route to
+                        // shard 0 by convention.
+                        assert_eq!(*s, 0, "round {round}: empty footprint not on shard 0");
+                    } else {
+                        assert_eq!(
+                            expected,
+                            vec![*s],
+                            "round {round}: single-shard verdict disagrees with footprint"
+                        );
+                    }
+                }
+                Route::Cross(list) => {
+                    assert!(
+                        list.len() >= 2,
+                        "round {round}: cross verdict with {} shard(s)",
+                        list.len()
+                    );
+                    assert!(
+                        list.windows(2).all(|w| w[0] < w[1]),
+                        "round {round}: cross list not strictly ascending: {list:?}"
+                    );
+                    assert!(
+                        list.iter().all(|s| *s < shards),
+                        "round {round}: cross list out of range: {list:?}"
+                    );
+                    assert_eq!(
+                        expected, *list,
+                        "round {round}: cross verdict disagrees with footprint"
+                    );
+                }
+            }
+            // With one shard the partition is trivial: everything is
+            // single-shard, on shard 0.
+            if shards == 1 {
+                assert_eq!(
+                    route,
+                    Route::Single(0),
+                    "round {round}: one-shard cluster produced a non-trivial route"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_row_lands_on_exactly_one_shard() {
+    // The row-level partition underneath `classify`: for each shard
+    // count, each row's put routes `Single(shard_of(row))` — the cells
+    // {rows on shard s} are disjoint by construction and cover every
+    // row (totality), i.e. `shard_of` induces a partition and the
+    // router respects it.
+    for shards in [1u32, 2, 3, 5, 8] {
+        let mut cell_sizes = vec![0u32; shards as usize];
+        for i in 0..300 {
+            let key = format!("row-{i}");
+            let op = Op::put("acct", &key, Value::Int(1));
+            match classify(&op, None, shards) {
+                Route::Single(s) => {
+                    assert_eq!(s, shard_of("acct", &key, shards));
+                    cell_sizes[s as usize] += 1;
+                }
+                Route::Cross(list) => {
+                    panic!("single-row put classified cross-shard: {list:?}")
+                }
+            }
+        }
+        assert_eq!(
+            cell_sizes.iter().sum::<u32>(),
+            300,
+            "partition must cover all rows"
+        );
+    }
+}
+
+#[test]
+fn statically_unbounded_actions_touch_every_shard() {
+    // Stored procedures and table-wide queries cannot be attributed to
+    // rows; the partition's totality comes from classifying them as
+    // touching *all* shards.
+    let proc = Op::Proc {
+        name: "sweep".into(),
+        args: Vec::new(),
+    };
+    assert_eq!(classify(&proc, None, 4), Route::Cross(vec![0, 1, 2, 3]));
+    assert_eq!(classify(&proc, None, 1), Route::Single(0));
+    assert_eq!(
+        classify(&Op::Noop, Some(&Query::Digest), 3),
+        Route::Cross(vec![0, 1, 2])
+    );
+}

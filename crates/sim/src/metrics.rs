@@ -181,6 +181,54 @@ pub enum ProtocolEvent {
         /// record (rather than the action log) was corrupt.
         log_index: Option<u64>,
     },
+    /// A shard router opened a cross-shard transaction.
+    CrossShardStart {
+        /// Router-local transaction id.
+        txn: u64,
+        /// Bitmask of participating groups (bit `g` set ⇔ group `g`
+        /// participates; group count is bounded well below 64).
+        participants: u64,
+    },
+    /// One participating group globally ordered a transaction's prepare
+    /// marker and reported its green position.
+    CrossShardPrepared {
+        /// Router-local transaction id.
+        txn: u64,
+        /// The participating group.
+        group: u32,
+        /// The prepare marker's position in that group's green order.
+        green_seq: u64,
+    },
+    /// All prepares are green: the router fixed the transaction's merged
+    /// cross-group timestamp (the deterministic max of the prepare
+    /// positions).
+    CrossShardMerged {
+        /// Router-local transaction id.
+        txn: u64,
+        /// The merged timestamp.
+        ts: u64,
+    },
+    /// One participating group globally ordered (and applied) a
+    /// transaction's commit.
+    CrossShardCommitted {
+        /// Router-local transaction id.
+        txn: u64,
+        /// The participating group.
+        group: u32,
+        /// The commit's position in that group's green order.
+        green_seq: u64,
+        /// Submission attempt that produced this commit (1 = first);
+        /// retries can land at later positions while an earlier attempt
+        /// already applied the writes, so order oracles only trust
+        /// first-attempt positions.
+        attempt: u32,
+    },
+    /// Every participating group committed: the transaction is applied
+    /// across the database and the client was answered.
+    CrossShardApplied {
+        /// Router-local transaction id.
+        txn: u64,
+    },
 }
 
 impl ProtocolEvent {
@@ -202,6 +250,11 @@ impl ProtocolEvent {
             ProtocolEvent::Delivered { .. } => "delivered",
             ProtocolEvent::TornTailTruncated { .. } => "torn-tail-truncated",
             ProtocolEvent::CorruptionDetected { .. } => "corruption-detected",
+            ProtocolEvent::CrossShardStart { .. } => "cross-shard-start",
+            ProtocolEvent::CrossShardPrepared { .. } => "cross-shard-prepared",
+            ProtocolEvent::CrossShardMerged { .. } => "cross-shard-merged",
+            ProtocolEvent::CrossShardCommitted { .. } => "cross-shard-committed",
+            ProtocolEvent::CrossShardApplied { .. } => "cross-shard-applied",
         }
     }
 }
@@ -213,6 +266,11 @@ pub struct RecordedEvent {
     pub at_nanos: u64,
     /// Raw id of the emitting actor.
     pub actor: u32,
+    /// Metric scope of the emitting actor (0 = the root scope). In a
+    /// sharded world each replication group gets its own scope, so
+    /// per-group trace oracles filter on this instead of guessing group
+    /// membership from actor ids.
+    pub group: u32,
     /// The event itself.
     pub event: ProtocolEvent,
 }
@@ -444,6 +502,16 @@ pub struct MetricsHub {
     histograms: Vec<Option<Histogram>>,
     events: Vec<RecordedEvent>,
     record_events: bool,
+    /// Registered scope prefixes (`"g0."`, `"g1."`, …); scope id `i + 1`
+    /// maps to `scope_prefixes[i]`. Scope 0 is the implicit root with no
+    /// prefix, so a world that never registers a scope behaves — and
+    /// exports — exactly as before scopes existed.
+    scope_prefixes: Vec<&'static str>,
+    active_scope: u32,
+    /// `(scope, root slot) → prefixed slot` cache so the scoped hot path
+    /// stays one extra hash away from the unscoped one; the prefixed
+    /// name string is built (and leaked) once per pair.
+    scoped_slots: HashMap<(u32, usize), usize, BuildHasherDefault<NameKeyHasher>>,
 }
 
 impl MetricsHub {
@@ -462,13 +530,71 @@ impl MetricsHub {
         self.record_events = on;
     }
 
+    /// Registers a metric scope with the given label and returns its id.
+    ///
+    /// While a scope is active (see [`Self::set_active_scope`]) every
+    /// counter, gauge and histogram write lands on `"<label>.<name>"`
+    /// instead of `"<name>"`, and emitted events are stamped with the
+    /// scope id in [`RecordedEvent::group`]. Reads are by full name, so
+    /// a harness queries `"g0.evs.acks"` explicitly. Scope 0 is the
+    /// pre-existing root; worlds that never register a scope are
+    /// byte-identical to the pre-scope representation.
+    pub fn register_scope(&mut self, label: &str) -> u32 {
+        let prefix: &'static str = Box::leak(format!("{label}.").into_boxed_str());
+        self.scope_prefixes.push(prefix);
+        u32::try_from(self.scope_prefixes.len()).expect("too many metric scopes")
+    }
+
+    /// Selects the scope subsequent writes land in (0 = root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scope` was not returned by [`Self::register_scope`].
+    pub fn set_active_scope(&mut self, scope: u32) {
+        assert!(
+            (scope as usize) <= self.scope_prefixes.len(),
+            "unregistered metric scope {scope}"
+        );
+        self.active_scope = scope;
+    }
+
+    /// The currently active scope id (0 = root).
+    pub fn active_scope(&self) -> u32 {
+        self.active_scope
+    }
+
+    /// The name prefix of a registered scope (`""` for the root).
+    pub fn scope_prefix(&self, scope: u32) -> &'static str {
+        if scope == 0 {
+            ""
+        } else {
+            self.scope_prefixes[(scope - 1) as usize]
+        }
+    }
+
+    fn scoped_slot(&mut self, name: &'static str) -> usize {
+        let base = self.names.slot(name);
+        if self.active_scope == 0 {
+            return base;
+        }
+        let key = (self.active_scope, base);
+        if let Some(&slot) = self.scoped_slots.get(&key) {
+            return slot;
+        }
+        let prefix = self.scope_prefixes[(self.active_scope - 1) as usize];
+        let full: &'static str = Box::leak(format!("{prefix}{name}").into_boxed_str());
+        let slot = self.names.slot(full);
+        self.scoped_slots.insert(key, slot);
+        slot
+    }
+
     /// Adds `n` to the named counter, creating it at zero.
     ///
     /// Names follow a dotted `subsystem.metric` convention
     /// (`"net.sent"`, `"storage.forced_writes"`); keeping them
     /// `&'static str` makes call sites cheap and typo-diffable.
     pub fn incr(&mut self, name: &'static str, n: u64) {
-        let slot = self.names.slot(name);
+        let slot = self.scoped_slot(name);
         *slot_mut(&mut self.counters, slot).get_or_insert(0) += n;
     }
 
@@ -494,7 +620,7 @@ impl MetricsHub {
     /// final value. Pair a gauge with [`Self::record_value`] when the
     /// peak matters too.
     pub fn set_gauge(&mut self, name: &'static str, value: u64) {
-        let slot = self.names.slot(name);
+        let slot = self.scoped_slot(name);
         *slot_mut(&mut self.gauges, slot) = Some(value);
     }
 
@@ -515,7 +641,7 @@ impl MetricsHub {
 
     /// Records a nanosecond sample into the named histogram.
     pub fn observe_nanos(&mut self, name: &'static str, nanos: u64) {
-        let slot = self.names.slot(name);
+        let slot = self.scoped_slot(name);
         slot_mut(&mut self.histograms, slot)
             .get_or_insert_with(Histogram::new)
             .record(nanos);
@@ -545,6 +671,7 @@ impl MetricsHub {
             self.events.push(RecordedEvent {
                 at_nanos: at.as_nanos(),
                 actor: actor.as_raw(),
+                group: self.active_scope,
                 event,
             });
         }
@@ -759,6 +886,76 @@ mod tests {
         let text = export.to_json_pretty();
         let back = MetricsExport::from_json(&text).unwrap();
         assert_eq!(back, export);
+    }
+
+    #[test]
+    fn scoped_writes_land_on_prefixed_names() {
+        let mut hub = MetricsHub::new();
+        let g0 = hub.register_scope("g0");
+        let g1 = hub.register_scope("g1");
+        hub.incr("net.sent", 1); // root
+        hub.set_active_scope(g0);
+        hub.incr("net.sent", 10);
+        hub.set_gauge("core.level", 4);
+        hub.observe_nanos("lat", 100);
+        hub.set_active_scope(g1);
+        hub.incr("net.sent", 20);
+        hub.set_active_scope(0);
+        hub.incr("net.sent", 2);
+        assert_eq!(hub.counter("net.sent"), 3);
+        assert_eq!(hub.counter("g0.net.sent"), 10);
+        assert_eq!(hub.counter("g1.net.sent"), 20);
+        assert_eq!(hub.gauge("g0.core.level"), 4);
+        assert_eq!(hub.histogram("g0.lat").unwrap().count(), 1);
+        let export = hub.export();
+        let names: Vec<_> = export.counters.keys().cloned().collect();
+        assert_eq!(names, vec!["g0.net.sent", "g1.net.sent", "net.sent"]);
+    }
+
+    #[test]
+    fn events_carry_the_active_scope() {
+        let mut hub = MetricsHub::new();
+        let g1 = hub.register_scope("g1");
+        hub.emit(
+            SimTime::ZERO,
+            ActorId::from_raw(0),
+            ProtocolEvent::RedLineAdvance { node: 0, red: 1 },
+        );
+        hub.set_active_scope(g1);
+        hub.emit(
+            SimTime::ZERO,
+            ActorId::from_raw(1),
+            ProtocolEvent::RedLineAdvance { node: 0, red: 2 },
+        );
+        assert_eq!(hub.events()[0].group, 0);
+        assert_eq!(hub.events()[1].group, g1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered metric scope")]
+    fn activating_an_unregistered_scope_panics() {
+        let mut hub = MetricsHub::new();
+        hub.set_active_scope(3);
+    }
+
+    #[test]
+    fn unscoped_hub_export_is_unchanged_by_scope_machinery() {
+        // A hub that never registers a scope must produce exactly the
+        // export it always did — existing baselines depend on it.
+        let build = || {
+            let mut hub = MetricsHub::new();
+            hub.incr("net.sent", 7);
+            hub.observe_nanos("lat", 55);
+            hub.set_gauge("depth", 2);
+            hub.export().to_json()
+        };
+        let mut scoped = MetricsHub::new();
+        let _ = scoped.register_scope("g0"); // registered but never activated
+        scoped.incr("net.sent", 7);
+        scoped.observe_nanos("lat", 55);
+        scoped.set_gauge("depth", 2);
+        assert_eq!(build(), build());
+        assert_eq!(scoped.export().to_json(), build());
     }
 
     #[test]

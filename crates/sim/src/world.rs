@@ -162,6 +162,9 @@ impl<'a> Ctx<'a> {
 struct Slot {
     name: String,
     actor: Option<Box<dyn Actor>>,
+    /// Metric scope the actor's writes and events land in (0 = root);
+    /// fixed at registration time from the world's build scope.
+    scope: u32,
 }
 
 /// The simulation world: owns the clock, the event queue, the RNG, the
@@ -182,6 +185,9 @@ pub struct World {
     events_processed: u64,
     event_limit: u64,
     tie_break: TieBreak,
+    /// The metric scope newly registered actors are tagged with; set by
+    /// multi-group harnesses around each group's wiring.
+    build_scope: u32,
     /// Recycled backing storage for `Ctx::pending`: the effect buffer of
     /// the previous event, kept so steady-state stepping allocates
     /// nothing per event.
@@ -203,6 +209,7 @@ impl World {
             events_processed: 0,
             event_limit: u64::MAX,
             tie_break: TieBreak::Fifo,
+            build_scope: 0,
             scratch: Vec::new(),
         }
     }
@@ -250,14 +257,35 @@ impl World {
         self.event_limit = limit;
     }
 
-    /// Registers an actor and returns its id.
+    /// Registers an actor and returns its id. The actor is tagged with
+    /// the current build scope (see [`World::set_build_scope`]).
     pub fn add_actor<A: Actor>(&mut self, name: impl Into<String>, actor: A) -> ActorId {
         let id = ActorId::from_raw(u32::try_from(self.actors.len()).expect("too many actors"));
         self.actors.push(Slot {
             name: name.into(),
             actor: Some(Box::new(actor)),
+            scope: self.build_scope,
         });
         id
+    }
+
+    /// Registers a metric scope (see
+    /// [`MetricsHub::register_scope`](crate::MetricsHub::register_scope))
+    /// and returns its id, for use with [`World::set_build_scope`].
+    pub fn register_metric_scope(&mut self, label: &str) -> u32 {
+        self.metrics.register_scope(label)
+    }
+
+    /// Sets the metric scope subsequently added actors are tagged with
+    /// (0 = root). A sharded harness brackets each group's wiring with
+    /// this so the group's actors report into `g<i>.`-prefixed metrics.
+    pub fn set_build_scope(&mut self, scope: u32) {
+        self.build_scope = scope;
+    }
+
+    /// The metric scope an actor was registered under.
+    pub fn actor_scope(&self, id: ActorId) -> u32 {
+        self.actors[id.as_raw() as usize].scope
     }
 
     /// The name an actor was registered under.
@@ -364,6 +392,7 @@ impl World {
             .actor
             .take()
             .expect("event delivered to an executing actor");
+        self.metrics.set_active_scope(self.actors[idx].scope);
         let mut ctx = Ctx {
             now: self.now,
             self_id: event.target,
@@ -375,6 +404,7 @@ impl World {
         };
         actor.handle(&mut ctx, event.payload);
         let mut pending = ctx.pending;
+        self.metrics.set_active_scope(0);
         self.actors[idx].actor = Some(actor);
         for (at, target, payload) in pending.drain(..) {
             self.push_event(at, target, payload);
@@ -794,6 +824,33 @@ mod tests {
         w.run_to_quiescence();
         let n = w.with_actor_ref(a, |c: &Counter| c.count);
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn actors_report_metrics_into_their_build_scope() {
+        struct Bumper;
+        struct Tick;
+        impl Actor for Bumper {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Payload) {
+                ctx.metrics().incr("hits", 1);
+                ctx.emit(ProtocolEvent::RedLineAdvance { node: 0, red: 1 });
+            }
+        }
+        let mut w = World::new(0);
+        let root = w.add_actor("root", Bumper);
+        let g0 = w.register_metric_scope("g0");
+        w.set_build_scope(g0);
+        let scoped = w.add_actor("scoped", Bumper);
+        w.set_build_scope(0);
+        assert_eq!(w.actor_scope(root), 0);
+        assert_eq!(w.actor_scope(scoped), g0);
+        w.schedule_now(root, Tick);
+        w.schedule_now(scoped, Tick);
+        w.run_to_quiescence();
+        assert_eq!(w.metrics().counter("hits"), 1);
+        assert_eq!(w.metrics().counter("g0.hits"), 1);
+        let groups: Vec<u32> = w.metrics().events().iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![0, g0]);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Shard scaling sweep: aggregate throughput of sharded replication
+//! groups with cross-shard transactions (extension A10), regenerating
+//! the `results/BENCH_shard.json` baseline the CI shard gate compares
+//! against.
+//!
+//! ```sh
+//! cargo run --release --example shard            # print the sweep
+//! cargo run --release --example shard -- --json  # emit the JSON
+//! ```
+//!
+//! Pass `--quick` for the reduced sweep CI runs (1–2 shards, shorter
+//! window).
+
+use todr::harness::experiments::shard;
+use todr::sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let sweep = if quick {
+        shard::run(&[1, 2], SimDuration::from_secs(1), 42)
+    } else {
+        shard::run(&[1, 2, 4], SimDuration::from_secs(2), 42)
+    };
+
+    if json {
+        println!("{}", sweep.to_json());
+    } else {
+        println!("{}", sweep.to_table());
+    }
+}

@@ -65,5 +65,6 @@ pub use todr_db as db;
 pub use todr_evs as evs;
 pub use todr_harness as harness;
 pub use todr_net as net;
+pub use todr_shard as shard;
 pub use todr_sim as sim;
 pub use todr_storage as storage;
