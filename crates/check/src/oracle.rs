@@ -14,9 +14,11 @@
 //! against a live world, a replayed counterexample, or a deserialized
 //! event tail with identical results.
 
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use todr_db::conflict::{digests_conflict, ClassDigest};
 use todr_sim::{EventColor, ProtocolEvent, RecordedEvent};
 
 /// A violated trace property.
@@ -110,6 +112,42 @@ pub enum TraceViolation {
         /// position + 1).
         needed: u64,
     },
+    /// Fast path, receipt-time mirror (DESIGN.md §4e): an action was
+    /// fast-committed although, when it turned red at its origin, a
+    /// conflicting action from another creator was in flight (red or
+    /// yellow, not yet green) there — the engine's conflict check must
+    /// have demoted it. `other == action` flags an action whose own
+    /// footprint was unbounded, which is never fast-eligible.
+    FastCommitConflict {
+        /// `(creator, action_seq)` of the fast-committed action.
+        action: (u32, u64),
+        /// The in-flight conflicting action it should have demoted for.
+        other: (u32, u64),
+    },
+    /// Fast path: a fast-committed action never reached the global
+    /// persistent order — the FastAck quorum guarantees it survives
+    /// into every subsequent primary component, so after the heal-and-
+    /// drain window it must be green somewhere (and
+    /// [`Self::GreenActionLost`] then covers every survivor).
+    FastCommitNeverGreen {
+        /// `(creator, action_seq)` of the lost fast commit.
+        action: (u32, u64),
+    },
+    /// Fast path, the revocation clause: a *conflicting* action the
+    /// origin had never seen at receipt time ended up green at a lower
+    /// global position than the fast-committed action — the reply the
+    /// client already holds was computed from a prefix that is not a
+    /// prefix of the final total order.
+    FastCommitRevoked {
+        /// `(creator, action_seq)` of the fast-committed action.
+        action: (u32, u64),
+        /// Its final global green position.
+        position: u64,
+        /// The conflicting action ordered ahead of it.
+        other: (u32, u64),
+        /// The conflicting action's (lower) green position.
+        other_position: u64,
+    },
     /// EVS agreed order: two replicas delivered *different senders* at
     /// the same `(configuration, slot)`.
     DeliveryMismatch {
@@ -193,6 +231,40 @@ impl fmt::Display for TraceViolation {
                 "green action lost: node {node} ended with green line \
                  {final_green} but the run greened {needed} positions"
             ),
+            TraceViolation::FastCommitConflict { action, other } => {
+                if action == other {
+                    write!(
+                        f,
+                        "action ({}, {}) fast-committed with an unbounded footprint",
+                        action.0, action.1
+                    )
+                } else {
+                    write!(
+                        f,
+                        "action ({}, {}) fast-committed while conflicting action \
+                         ({}, {}) was in flight at its origin",
+                        action.0, action.1, other.0, other.1
+                    )
+                }
+            }
+            TraceViolation::FastCommitNeverGreen { action } => write!(
+                f,
+                "fast-committed action ({}, {}) never reached the global \
+                 persistent order",
+                action.0, action.1
+            ),
+            TraceViolation::FastCommitRevoked {
+                action,
+                position,
+                other,
+                other_position,
+            } => write!(
+                f,
+                "fast commit revoked: action ({}, {}) greened at position \
+                 {position} but conflicting action ({}, {}), unseen at its \
+                 origin at receipt time, greened ahead at {other_position}",
+                action.0, action.1, other.0, other.1
+            ),
             TraceViolation::DeliveryMismatch {
                 conf_seq,
                 coordinator,
@@ -232,6 +304,9 @@ pub struct TraceStats {
     /// Agreed-order delivery slots cross-checked between at least two
     /// replicas.
     pub deliveries_agreed: u64,
+    /// Fast commits checked against their receipt-time snapshot and,
+    /// at end of run, against the global green order.
+    pub fast_commits_checked: u64,
 }
 
 fn rank(c: EventColor) -> u8 {
@@ -283,8 +358,41 @@ pub fn check_trace(
     // (node, conf_seq, coordinator) -> last delivered slot
     let mut deliv_seq: BTreeMap<(u32, u64, u32), u64> = BTreeMap::new();
 
+    // --- Fast-path (commutativity) oracle state. Inert unless the run
+    // emitted `ActionFootprint`/`FastCommit` events (fast path on).
+    //
+    // action -> static conflict class exported at creation time.
+    let mut footprints: BTreeMap<(u32, u64), ClassDigest> = BTreeMap::new();
+    // node -> actions currently red/yellow there (mirrors the engine's
+    // in-flight set the receipt-time conflict check scans).
+    let mut inflight: BTreeMap<u32, BTreeSet<(u32, u64)>> = BTreeMap::new();
+    // (node, action) -> index of the first event that ordered the
+    // action at that node. Cumulative across incarnations: used to
+    // decide whether an origin had seen a conflicting action before it
+    // promised a fast commit.
+    let mut first_seen: BTreeMap<(u32, (u32, u64)), u64> = BTreeMap::new();
+    // action -> receipt-time conflict snapshot at its origin: `None` =
+    // clean, `Some(other)` = `other` was in flight and conflicting
+    // (`other == action` encodes an unbounded own footprint). Mirrors
+    // the engine's check, so a `FastCommit` against a non-clean
+    // snapshot is a violated promise.
+    let mut fast_snapshot: BTreeMap<(u32, u64), Option<(u32, u64)>> = BTreeMap::new();
+    // fast-committed action -> event index of its receipt-time check.
+    let mut fast_committed: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    // action -> its agreed global green position (0-based).
+    let mut green_position: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    // Fingerprint -> greened actions touching it (read or write side),
+    // so the end-of-run revocation scan is bucket-local instead of
+    // quadratic over the full green history.
+    let mut greens_by_fp: BTreeMap<u64, Vec<(u32, u64)>> = BTreeMap::new();
+    // Greened actions with an unbounded footprint side: they conflict
+    // with (nearly) everything, so every revocation scan visits them.
+    let mut unbounded_greens: Vec<(u32, u64)> = Vec::new();
+    let mut event_idx: u64 = 0;
+
     for rec in events {
         stats.events += 1;
+        event_idx += 1;
         match rec.event {
             ProtocolEvent::ActionOrdered {
                 node,
@@ -307,6 +415,41 @@ pub fn check_trace(
                 if color == EventColor::Green {
                     pending_green.insert(node, (creator, action_seq));
                 }
+                let id = (creator, action_seq);
+                first_seen.entry((node, id)).or_insert(event_idx);
+                let node_inflight = inflight.entry(node).or_default();
+                if rank(color) <= 1 {
+                    node_inflight.insert(id);
+                } else {
+                    node_inflight.remove(&id);
+                }
+                // An action ordered red at its own origin: this is the
+                // moment the engine runs its fast-path conflict check,
+                // so mirror it. First ordering only — a re-ordering
+                // after a crash can no longer fast-commit (the pending
+                // reply died with the incarnation).
+                if color == EventColor::Red && node == creator {
+                    if let Some(fd) = footprints.get(&id) {
+                        if let Entry::Vacant(slot) = fast_snapshot.entry(id) {
+                            let conflict = if !fd.fast_eligible() {
+                                Some(id)
+                            } else {
+                                node_inflight
+                                    .iter()
+                                    .filter(|&&(c, _)| c != creator)
+                                    .find_map(|other| match footprints.get(other) {
+                                        Some(od) => digests_conflict(fd, od).then_some(*other),
+                                        // Bodies without an exported
+                                        // class (reconfigurations, lost
+                                        // footprints) are conservatively
+                                        // conflicting, as in the engine.
+                                        None => Some(*other),
+                                    })
+                            };
+                            slot.insert(conflict);
+                        }
+                    }
+                }
             }
             ProtocolEvent::GreenLineAdvance { node, green } => {
                 if let Some(&prev) = green_line.get(&node) {
@@ -327,6 +470,19 @@ pub fn check_trace(
                     match global_green.get(&position) {
                         None => {
                             global_green.insert(position, (node, id));
+                            green_position.entry(id).or_insert(position);
+                            if let Some(fd) = footprints.get(&id) {
+                                if fd.writes_unbounded || fd.reads_unbounded {
+                                    unbounded_greens.push(id);
+                                }
+                                let mut fps: Vec<u64> =
+                                    fd.writes.iter().chain(fd.reads.iter()).copied().collect();
+                                fps.sort_unstable();
+                                fps.dedup();
+                                for fp in fps {
+                                    greens_by_fp.entry(fp).or_default().push(id);
+                                }
+                            }
                         }
                         Some(&(first_node, first_id)) => {
                             if first_id != id {
@@ -358,6 +514,7 @@ pub fn check_trace(
                 pending_green.remove(&node);
                 green_line.remove(&node);
                 red_line.remove(&node);
+                inflight.remove(&node);
                 deliv_seq.retain(|&(n, _, _), _| n != node);
             }
             ProtocolEvent::EngineRecovered { node, green } => {
@@ -415,6 +572,51 @@ pub fn check_trace(
                 }
                 deliv_seq.insert((node, conf_seq, coordinator), seq);
             }
+            ProtocolEvent::ActionFootprint {
+                node,
+                action_seq,
+                ref writes,
+                writes_unbounded,
+                ref reads,
+                reads_unbounded,
+                commutative,
+                timestamped,
+            } => {
+                footprints.insert(
+                    (node, action_seq),
+                    ClassDigest {
+                        writes: writes.clone(),
+                        writes_unbounded,
+                        reads: reads.clone(),
+                        reads_unbounded,
+                        commutative,
+                        timestamped,
+                    },
+                );
+            }
+            ProtocolEvent::FastCommit { node, action_seq } => {
+                let id = (node, action_seq);
+                match fast_snapshot.get(&id) {
+                    // The receipt-time mirror of the engine's check: a
+                    // fast commit against a conflicting in-flight action
+                    // (or with no recorded clean snapshot at all) is a
+                    // promise the green order may break.
+                    None => {
+                        return Err(TraceViolation::FastCommitConflict {
+                            action: id,
+                            other: id,
+                        });
+                    }
+                    Some(&Some(other)) => {
+                        return Err(TraceViolation::FastCommitConflict { action: id, other });
+                    }
+                    Some(&None) => {
+                        stats.fast_commits_checked += 1;
+                        let receipt_idx = first_seen.get(&(node, id)).copied().unwrap_or(event_idx);
+                        fast_committed.entry(id).or_insert(receipt_idx);
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -432,6 +634,56 @@ pub fn check_trace(
                     node,
                     final_green: have,
                     needed,
+                });
+            }
+        }
+    }
+
+    // The fast-commit promise, end to end. Every acknowledged fast
+    // commit must (B) reach the global persistent order — the client
+    // was told its update is durable — and (C) must not be preceded in
+    // that order by any conflicting action its origin had not yet seen
+    // when it ran the receipt-time check: such a predecessor could have
+    // changed the answer the fast path already returned.
+    for (&f, &receipt_idx) in &fast_committed {
+        let Some(&pf) = green_position.get(&f) else {
+            return Err(TraceViolation::FastCommitNeverGreen { action: f });
+        };
+        let fd = footprints
+            .get(&f)
+            .expect("fast-committed implies a recorded footprint");
+        // Bucket-local candidate set: conflicting predecessors must
+        // share a row fingerprint with `f` or carry an unbounded side.
+        let mut candidates: BTreeSet<(u32, u64)> = BTreeSet::new();
+        for fp in fd.writes.iter().chain(fd.reads.iter()) {
+            if let Some(bucket) = greens_by_fp.get(fp) {
+                candidates.extend(bucket.iter().copied());
+            }
+        }
+        candidates.extend(unbounded_greens.iter().copied());
+        for g in candidates {
+            if g.0 == f.0 {
+                continue; // per-creator FIFO fixes same-creator order
+            }
+            let Some(&pg) = green_position.get(&g) else {
+                continue;
+            };
+            if pg >= pf {
+                continue; // ordered after the fast commit: harmless
+            }
+            let gd = footprints
+                .get(&g)
+                .expect("indexed greens all have footprints");
+            if !digests_conflict(fd, gd) {
+                continue;
+            }
+            let seen = first_seen.get(&(f.0, g)).copied();
+            if seen.is_none_or(|s| s >= receipt_idx) {
+                return Err(TraceViolation::FastCommitRevoked {
+                    action: f,
+                    position: pf,
+                    other: g,
+                    other_position: pg,
                 });
             }
         }
@@ -676,5 +928,202 @@ mod tests {
             check_trace(&[d(2), d(2)], &BTreeSet::new()).unwrap_err(),
             TraceViolation::DeliverySeqRegression { .. }
         ));
+    }
+
+    // --- fast-path oracle clauses ---
+
+    /// Footprint event for a single-row write action.
+    fn footprint(node: u32, action_seq: u64, row: u64) -> RecordedEvent {
+        rec(E::ActionFootprint {
+            node,
+            action_seq,
+            writes: vec![row],
+            writes_unbounded: false,
+            reads: vec![],
+            reads_unbounded: false,
+            commutative: false,
+            timestamped: false,
+        })
+    }
+
+    fn red(node: u32, creator: u32, action_seq: u64) -> RecordedEvent {
+        rec(E::ActionOrdered {
+            node,
+            creator,
+            action_seq,
+            color: EventColor::Red,
+        })
+    }
+
+    fn fast_commit(node: u32, action_seq: u64) -> RecordedEvent {
+        rec(E::FastCommit { node, action_seq })
+    }
+
+    #[test]
+    fn clean_fast_commit_that_greens_passes() {
+        let mut events = vec![footprint(0, 1, 7), red(0, 0, 1), fast_commit(0, 1)];
+        events.extend(green_mark(0, 0, 1, 1));
+        let stats = check_trace(&events, &BTreeSet::new()).unwrap();
+        assert_eq!(stats.fast_commits_checked, 1);
+    }
+
+    #[test]
+    fn fast_commit_with_conflicting_inflight_action_is_flagged() {
+        // Node 1's write to row 7 is red (in flight) at node 0 when
+        // node 0's own action on the same row arrives back.
+        let events = vec![
+            footprint(0, 1, 7),
+            footprint(1, 1, 7),
+            red(0, 1, 1),
+            red(0, 0, 1),
+            fast_commit(0, 1),
+        ];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::FastCommitConflict {
+                action: (0, 1),
+                other: (1, 1),
+            }
+        ));
+    }
+
+    #[test]
+    fn disjoint_inflight_actions_do_not_block_the_fast_commit() {
+        let mut events = vec![
+            footprint(0, 1, 7),
+            footprint(1, 1, 9), // different row: commutes
+            red(0, 1, 1),
+            red(0, 0, 1),
+            fast_commit(0, 1),
+        ];
+        events.extend(green_mark(0, 1, 1, 1));
+        events.extend(green_mark(0, 0, 1, 2));
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn inflight_body_without_a_footprint_is_conservatively_conflicting() {
+        let events = vec![
+            footprint(0, 1, 7),
+            red(0, 1, 5), // no ActionFootprint for (1, 5)
+            red(0, 0, 1),
+            fast_commit(0, 1),
+        ];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::FastCommitConflict {
+                action: (0, 1),
+                other: (1, 5),
+            }
+        ));
+    }
+
+    #[test]
+    fn fast_commit_with_unbounded_footprint_is_flagged() {
+        let events = vec![
+            rec(E::ActionFootprint {
+                node: 0,
+                action_seq: 1,
+                writes: vec![],
+                writes_unbounded: true,
+                reads: vec![],
+                reads_unbounded: false,
+                commutative: false,
+                timestamped: false,
+            }),
+            red(0, 0, 1),
+            fast_commit(0, 1),
+        ];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::FastCommitConflict {
+                action: (0, 1),
+                other: (0, 1),
+            }
+        ));
+    }
+
+    #[test]
+    fn fast_commit_without_any_receipt_snapshot_is_flagged() {
+        // A FastCommit with no prior own-red ordering (so no snapshot)
+        // means the engine promised before the receipt check ran.
+        let events = vec![footprint(0, 1, 7), fast_commit(0, 1)];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::FastCommitConflict {
+                action: (0, 1),
+                other: (0, 1),
+            }
+        ));
+    }
+
+    #[test]
+    fn fast_commit_that_never_greens_is_flagged() {
+        let events = vec![footprint(0, 1, 7), red(0, 0, 1), fast_commit(0, 1)];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::FastCommitNeverGreen { action: (0, 1) }
+        ));
+    }
+
+    #[test]
+    fn conflicting_unseen_predecessor_in_green_order_revokes_the_commit() {
+        // Node 0 fast-commits its action on row 7, but a conflicting
+        // action from node 1 — which node 0 had NOT seen at receipt
+        // time — ends up *before* it in the global green order.
+        let mut events = vec![
+            footprint(0, 1, 7),
+            footprint(1, 1, 7),
+            red(0, 0, 1),
+            fast_commit(0, 1),
+        ];
+        events.extend(green_mark(1, 1, 1, 1)); // (1,1) greens at position 0
+        events.extend(green_mark(1, 0, 1, 2)); // (0,1) greens at position 1
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::FastCommitRevoked {
+                action: (0, 1),
+                position: 1,
+                other: (1, 1),
+                other_position: 0,
+            }
+        ));
+    }
+
+    #[test]
+    fn conflicting_predecessor_seen_before_receipt_is_fine_once_green() {
+        // Same shape, but node 0 greened the conflicting (1,1) BEFORE
+        // its own receipt check: the dirty view already included it,
+        // so the promise holds.
+        let mut events = vec![footprint(0, 1, 7), footprint(1, 1, 7)];
+        events.extend(green_mark(0, 1, 1, 1)); // (1,1) green at origin first
+        events.push(red(0, 0, 1));
+        events.push(fast_commit(0, 1));
+        events.extend(green_mark(0, 0, 1, 2));
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn commutative_predecessor_does_not_revoke() {
+        let cfp = |node, action_seq| {
+            rec(E::ActionFootprint {
+                node,
+                action_seq,
+                writes: vec![7],
+                writes_unbounded: false,
+                reads: vec![],
+                reads_unbounded: false,
+                commutative: true,
+                timestamped: false,
+            })
+        };
+        // Two commutative increments of the same row from different
+        // creators: order-insensitive, so no conflict either at receipt
+        // time or in the green order.
+        let mut events = vec![cfp(0, 1), cfp(1, 1), red(0, 1, 1), red(0, 0, 1)];
+        events.push(fast_commit(0, 1));
+        events.extend(green_mark(1, 1, 1, 1));
+        events.extend(green_mark(1, 0, 1, 2));
+        check_trace(&events, &BTreeSet::new()).unwrap();
     }
 }

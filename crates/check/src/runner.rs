@@ -58,6 +58,15 @@ pub struct RunOptions {
     /// Engine auto-checkpoint period in green actions (`0` disables
     /// white-line GC). Lower it so short schedules exercise GC.
     pub checkpoint_interval: u64,
+    /// Run with the commit fast path enabled: clients submit with
+    /// [`todr_core::UpdateReplyPolicy::Fast`] and the fast-commit trace
+    /// oracles (receipt-time conflict mirror, fast ⇒ eventually green,
+    /// no conflicting action ordered ahead unseen) become active.
+    pub fast_path: bool,
+    /// Percentage of client requests (0–100) aimed at one shared hot
+    /// key, so fast-path schedules exercise genuine conflicts and
+    /// demotions (only meaningful with [`Self::fast_path`]).
+    pub conflict_pct: u8,
     /// The deliberate engine invariant breakage to inject
     /// (`chaos-mutations` builds only; used by the mutation self-test).
     #[cfg(feature = "chaos-mutations")]
@@ -70,6 +79,8 @@ impl Default for RunOptions {
             n_servers: 5,
             max_pack: 1,
             checkpoint_interval: 1024,
+            fast_path: false,
+            conflict_pct: 0,
             #[cfg(feature = "chaos-mutations")]
             chaos: None,
         }
@@ -199,7 +210,8 @@ fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box
     let builder = ClusterConfig::builder(n as u32, spec.seed)
         .tie_break(tie_break_for(spec.perturbation))
         .packing(options.max_pack)
-        .checkpoint_interval(options.checkpoint_interval);
+        .checkpoint_interval(options.checkpoint_interval)
+        .fast_path(options.fast_path);
     #[cfg(feature = "chaos-mutations")]
     let builder = builder.chaos(options.chaos);
     let config = builder.build().expect("runner config is coherent");
@@ -208,7 +220,12 @@ fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box
         return Err(fail(&cluster, FailureKind::Settle, e.to_string()));
     }
     for i in 0..n {
-        cluster.attach_client(i, ClientConfig::default());
+        let mut client_config = ClientConfig::default();
+        if options.fast_path {
+            client_config.reply_policy = todr_core::UpdateReplyPolicy::Fast;
+            client_config.conflict_pct = options.conflict_pct;
+        }
+        cluster.attach_client(i, client_config);
     }
     cluster.run_for(SimDuration::from_millis(400));
 

@@ -365,6 +365,11 @@ pub struct ShardRunOptions {
     /// high by default so short schedules exercise the cross-shard
     /// protocol densely.
     pub cross_permille: u32,
+    /// Run every group with the commutativity fast path on and submit
+    /// single-shard updates with `Fast` policy: the per-group fast
+    /// oracles ([`crate::oracle::check_trace`]'s `FastCommit*` clauses)
+    /// and the cross-shard serializability oracle must both hold.
+    pub fast_path: bool,
     /// The deliberate router invariant breakage to inject
     /// (`chaos-mutations` builds only; used by the mutation self-test).
     #[cfg(feature = "chaos-mutations")]
@@ -379,6 +384,7 @@ impl Default for ShardRunOptions {
             max_pack: 1,
             checkpoint_interval: 1024,
             cross_permille: 300,
+            fast_path: false,
             #[cfg(feature = "chaos-mutations")]
             shard_chaos: None,
         }
@@ -472,6 +478,7 @@ fn run_shard_case_inner(
     let builder = ShardedConfig::builder(options.shards, options.replicas_per_shard, spec.seed)
         .tie_break(tie_break_for(spec.perturbation))
         .packing(options.max_pack)
+        .fast_path(options.fast_path)
         .checkpoint_interval(options.checkpoint_interval);
     #[cfg(feature = "chaos-mutations")]
     let builder = builder.shard_chaos(options.shard_chaos);
@@ -482,6 +489,7 @@ fn run_shard_case_inner(
     }
     let client_config = ShardClientConfig {
         cross_permille: options.cross_permille,
+        fast_single: options.fast_path,
         ..ShardClientConfig::default()
     };
     for _ in 0..total {

@@ -1,0 +1,159 @@
+//! Fast-path safety under adversarial schedules.
+//!
+//! The commutativity fast path (DESIGN.md §4e) replies to a client
+//! after one forced write and one multicast round — before the action
+//! is green. These sweeps drive the whole stack with `Fast`-policy
+//! clients hammering a shared hot key through partitions, view
+//! changes, crashes and torn writes, and require the fast-commit trace
+//! oracles (`FastCommitConflict` / `FastCommitNeverGreen` /
+//! `FastCommitRevoked`) to stay silent: every promised commit must
+//! survive into the global persistent order, never preceded by an
+//! unseen conflicting action.
+//!
+//! The companion mutation self-test (under `chaos-mutations`) breaks
+//! the engine's receipt-time conflict check on purpose and requires
+//! the same oracles to catch and shrink the violation — proving the
+//! sweep is not vacuous.
+
+use todr_check::{explore, ExploreConfig, RunOptions};
+
+fn fast_options() -> RunOptions {
+    RunOptions {
+        fast_path: true,
+        // A quarter of every client's updates target one shared row:
+        // enough contention that schedules exercise genuine demotions,
+        // not just clean fast commits.
+        conflict_pct: 25,
+        ..RunOptions::default()
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug profile; run with --release"
+)]
+fn fast_path_survives_partition_schedules() {
+    let config = ExploreConfig {
+        seed_start: 0,
+        seed_count: 10,
+        perturbations: 2,
+        shrink: true,
+        storage_faults: false,
+        options: fast_options(),
+    };
+    let report = explore(&config, |seed, pert, passed| {
+        eprintln!(
+            "seed {seed} pert {pert}: {}",
+            if passed { "ok" } else { "FAIL" }
+        );
+    });
+    assert!(
+        report.all_passed(),
+        "fast path failed a partition schedule: {}",
+        report
+            .failures
+            .iter()
+            .map(|ce| format!("[seed {} kind {}] {}", ce.world_seed, ce.kind, ce.message))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug profile; run with --release"
+)]
+fn fast_path_survives_torn_crash_schedules() {
+    // Same sweep with storage faults on: torn log tails and stale
+    // sectors at crash time. A fast commit is promised durable after
+    // the origin's forced write, so a torn recovery must never unwind
+    // one.
+    let config = ExploreConfig {
+        seed_start: 0,
+        seed_count: 10,
+        perturbations: 1,
+        shrink: true,
+        storage_faults: true,
+        options: fast_options(),
+    };
+    let report = explore(&config, |seed, pert, passed| {
+        eprintln!(
+            "seed {seed} pert {pert}: {}",
+            if passed { "ok" } else { "FAIL" }
+        );
+    });
+    assert!(
+        report.all_passed(),
+        "fast path failed a torn-crash schedule: {}",
+        report
+            .failures
+            .iter()
+            .map(|ce| format!("[seed {} kind {}] {}", ce.world_seed, ce.kind, ce.message))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+/// Mutation self-test: `SkipConflictCheck` makes the engine promise
+/// fast commits regardless of what is in flight. The receipt-time
+/// mirror (`FastCommitConflict`) — and, when a reorder actually lands,
+/// `FastCommitRevoked` — must catch it, and ddmin must shrink the
+/// finding to a short schedule.
+#[cfg(feature = "chaos-mutations")]
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug profile; run with --release"
+)]
+fn explorer_catches_skipped_conflict_check_and_shrinks_it() {
+    use todr_core::ChaosMutation;
+
+    let config = ExploreConfig {
+        seed_start: 0,
+        seed_count: 8,
+        perturbations: 1,
+        shrink: true,
+        storage_faults: false,
+        options: RunOptions {
+            chaos: Some(ChaosMutation::SkipConflictCheck),
+            ..fast_options()
+        },
+    };
+    let report = explore(&config, |seed, pert, passed| {
+        eprintln!(
+            "seed {seed} pert {pert}: {}",
+            if passed { "ok" } else { "FAIL" }
+        );
+    });
+    assert!(
+        !report.failures.is_empty(),
+        "the conflict-blind engine passed every oracle — the fast-path \
+         checking is decorative"
+    );
+    for ce in &report.failures {
+        eprintln!(
+            "counterexample: seed {} pert {} kind {} schedule {:?}",
+            ce.world_seed, ce.perturbation, ce.kind, ce.schedule
+        );
+    }
+    // The violation needs no nemesis at all — two clients racing the
+    // hot key suffice — so ddmin must strip the schedule to (nearly)
+    // nothing.
+    let min_len = report
+        .failures
+        .iter()
+        .map(|ce| ce.schedule.len())
+        .min()
+        .expect("non-empty");
+    assert!(
+        min_len <= 2,
+        "no counterexample shrank below 3 steps (min {min_len})"
+    );
+    let ce = &report.failures[0];
+    let replayed = ce
+        .replay(&config.options)
+        .expect_err("replaying a counterexample must fail again");
+    assert_eq!(replayed.kind, ce.kind);
+}

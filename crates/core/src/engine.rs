@@ -5,7 +5,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use todr_db::{Database, Op, Query};
+use todr_db::conflict::{classify, conflicts, ActionClass};
+use todr_db::{Database, Op, Query, QueryResult};
 use todr_evs::{ConfId, Configuration, EvsCmd, EvsEvent};
 use todr_net::{Datagram, NetOp, NodeId};
 use todr_sim::{
@@ -124,6 +125,22 @@ struct PendingReply {
     policy: UpdateReplyPolicy,
 }
 
+/// Fast-path bookkeeping for one of this server's own in-flight
+/// [`UpdateReplyPolicy::Fast`] actions: which members acknowledged
+/// holding the sequenced action, and the query answer captured at
+/// receipt time (the agreed prefix up to and including the action —
+/// computing it any later would leak receipted successors in).
+#[derive(Debug, Clone)]
+struct FastPending {
+    ackers: BTreeSet<NodeId>,
+    result: Option<QueryResult>,
+    /// When the receipt-time conflict check + dirty-view read finish on
+    /// the CPU. Charged at receipt so the work overlaps the FastAck
+    /// round trip (speculative execution); the commit-time reply just
+    /// waits for it.
+    ready_at: SimTime,
+}
+
 /// Timer for retrying the join bootstrap against another representative.
 struct JoinRetry;
 
@@ -192,6 +209,12 @@ pub struct ReplicationEngine {
 
     // ----- clients -----
     pending_replies: BTreeMap<ActionId, PendingReply>,
+    /// Own [`UpdateReplyPolicy::Fast`] actions waiting for their FastAck
+    /// quorum. Volatile, and cleared on any view change: a fast commit
+    /// is only issued inside one uninterrupted regular primary
+    /// configuration — entries that outlive it fall back to the normal
+    /// green reply.
+    pending_fast: BTreeMap<ActionId, FastPending>,
     buffered_reqs: Vec<ClientRequest>,
     parked_strict: Vec<ClientRequest>,
 
@@ -292,6 +315,7 @@ impl ReplicationEngine {
             retrans_done: BTreeSet::new(),
             cpc_received: BTreeSet::new(),
             pending_replies: BTreeMap::new(),
+            pending_fast: BTreeMap::new(),
             buffered_reqs: Vec::new(),
             parked_strict: Vec::new(),
             next_sync_token: 0,
@@ -499,6 +523,7 @@ impl ReplicationEngine {
         let size = match &msg {
             TransferWire::JoinRequest { .. } => 64,
             TransferWire::Snapshot { db, .. } => 512 + db.row_count() as u32 * 64,
+            TransferWire::FastAck { .. } => 32,
         };
         ctx.send_now(
             self.fabric,
@@ -765,8 +790,15 @@ impl ReplicationEngine {
             self.cfg.cpu_per_action
         };
         let done_at = self.cpu.charge(ctx.now(), cost);
+        // A fast-pending action that greens before its FastAck quorum
+        // arrives takes the (better-informed) green reply below.
+        self.pending_fast.remove(&id);
         if let Some(p) = self.pending_replies.remove(&id) {
-            if p.policy == UpdateReplyPolicy::OnGreen {
+            // `OnGreen` replies here by design; `Fast` replies here when
+            // it was demoted (conflict) or its quorum never formed —
+            // already-fast-committed actions left `pending_replies` at
+            // commit time and cannot double-reply.
+            if p.policy != UpdateReplyPolicy::OnRed {
                 let latency = ctx.now().saturating_since(p.submitted_at);
                 ctx.metrics().observe("engine.ordering_latency", latency);
                 ctx.emit(ProtocolEvent::ClientCommit {
@@ -944,6 +976,21 @@ impl ReplicationEngine {
             node: self.cfg.me.index(),
             action_seq: action.id.index,
         });
+        if self.cfg.fast_path {
+            // Export the static conflict class so the todr-check oracle
+            // can replay exactly the relation the engine evaluates.
+            let d = classify(&req.update, req.query.as_ref()).digest();
+            ctx.emit(ProtocolEvent::ActionFootprint {
+                node: self.cfg.me.index(),
+                action_seq: action.id.index,
+                writes: d.writes,
+                writes_unbounded: d.writes_unbounded,
+                reads: d.reads,
+                reads_unbounded: d.reads_unbounded,
+                commutative: d.commutative,
+                timestamped: d.timestamped,
+            });
+        }
         self.ongoing.insert(action.id.index, action.clone());
         self.persist_ongoing();
         self.pending_replies.insert(
@@ -1100,6 +1147,10 @@ impl ReplicationEngine {
     }
 
     fn on_trans_conf(&mut self, ctx: &mut Ctx<'_>) {
+        // Fast commits are scoped to one uninterrupted regular primary:
+        // quorums still forming do not carry across the view change (the
+        // owed replies fall back to firing on green).
+        self.pending_fast.clear();
         match self.state {
             EngineState::RegPrim => self.state = EngineState::TransPrim,
             EngineState::Construct => self.state = EngineState::No,
@@ -1517,6 +1568,23 @@ impl ReplicationEngine {
             let action = self.actions.get(&id).expect("red body present").clone();
             self.mark_green(ctx, &action);
         }
+        // The install is an agreed deterministic computation: every
+        // member greens the identical yellow/red sets above, so each
+        // one's green line is known to land at this same count. Record
+        // that and checkpoint, or the white line stays pinned at the
+        // pre-install count until client traffic happens to advance it
+        // — which never comes if a long partition left every replica
+        // at its retention cap, wedging the whole system in
+        // backpressure rejection.
+        for m in &self.prim_component.servers {
+            if !self.departed_servers.contains(m) {
+                self.green_lines.insert(*m, self.green_count);
+            }
+        }
+        if self.cfg.checkpoint_interval > 0 {
+            self.checkpoint();
+            self.note_retained(ctx);
+        }
         self.stats.primaries_installed += 1;
         ctx.metrics().incr("engine.primaries_installed", 1);
         self.persist_membership_records();
@@ -1632,6 +1700,175 @@ impl ReplicationEngine {
             }
             EngineState::Down | EngineState::Joining => {}
         }
+    }
+
+    // ============================================================
+    // commit fast path (CURP-style, gated on `EngineConfig::fast_path`)
+    // ============================================================
+
+    /// An eager EVS receipt: the message's agreed-order position is
+    /// fixed and this daemon holds it, but safe delivery has not been
+    /// announced yet. Receipts arrive in agreed order, one stability
+    /// round before the corresponding [`Self::on_delivery`].
+    ///
+    /// In the regular primary configuration the receipt is this
+    /// server's earliest proof an action exists, so it marks the action
+    /// red immediately (the later safe delivery greens it as before).
+    /// For another member's action it answers the origin with a
+    /// point-to-point [`TransferWire::FastAck`]; for an own
+    /// [`UpdateReplyPolicy::Fast`] action it runs the in-flight
+    /// conflict check and either opens a [`FastPending`] quorum or
+    /// demotes the request to the normal wait-for-green reply.
+    fn on_receipt(&mut self, ctx: &mut Ctx<'_>, delivery: todr_evs::Delivery) {
+        if !self.cfg.fast_path || self.state != EngineState::RegPrim || delivery.in_transitional {
+            return;
+        }
+        let Some(EngineMsg::Action(action)) = delivery.payload.downcast_ref::<EngineMsg>() else {
+            return; // exchange-phase traffic never fast-paths
+        };
+        let action = action.clone();
+        if action.is_reconfiguration() {
+            return; // joins/leaves always take the full green path
+        }
+        self.mark_red(ctx, &action);
+        let id = action.id;
+        if id.server != self.cfg.me {
+            // Tell the origin we hold the sequenced action. Direct
+            // unicast: skips the coordinator round-trip *and* the
+            // ack-batching delay of the stability protocol.
+            self.send_transfer(ctx, id.server, TransferWire::FastAck { id });
+            return;
+        }
+        // Own action coming back sequenced: decide its commit path.
+        let wants_fast = self
+            .pending_replies
+            .get(&id)
+            .is_some_and(|p| p.policy == UpdateReplyPolicy::Fast);
+        if !wants_fast {
+            return;
+        }
+        let ActionKind::App { query, update } = &action.kind else {
+            return;
+        };
+        let class = classify(update, query.as_ref());
+        if class.unbounded() || self.fast_conflict(&class, id) {
+            self.stats.fast_demotions += 1;
+            ctx.metrics().incr("engine.fast_demotions", 1);
+            ctx.emit(ProtocolEvent::FastDemoted {
+                node: self.cfg.me.index(),
+                action_seq: id.index,
+            });
+            return; // pending reply stays; it fires on green
+        }
+        // Capture the answer now: the dirty view is the green prefix
+        // plus every receipted in-flight action — i.e. the agreed order
+        // up to this action, exactly. None of the in-flight actions
+        // conflicts with this one, so their mutual order (and anything
+        // sequenced later) cannot change this answer.
+        let result = query.as_ref().map(|q| self.dirty_view().query(q));
+        // Charge the check + read now so the CPU work overlaps the
+        // FastAck round trip instead of serializing behind it.
+        let ready_at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action / 4);
+        let me = self.cfg.me;
+        self.pending_fast.insert(
+            id,
+            FastPending {
+                ackers: BTreeSet::from([me]),
+                result,
+                ready_at,
+            },
+        );
+        // A single-member primary is its own quorum.
+        self.try_fast_commit(ctx, id);
+    }
+
+    /// Whether `class` conflicts with any in-flight (red or
+    /// yellow-not-green) action from a *different* creator. Same-creator
+    /// actions are skipped: per-creator FIFO fixes their order relative
+    /// to this action on every path, so they are not a reordering
+    /// hazard. Conservative: an in-flight body that is not a plain app
+    /// action (or is missing) counts as conflicting.
+    fn fast_conflict(&self, class: &ActionClass, id: ActionId) -> bool {
+        #[cfg(feature = "chaos-mutations")]
+        if self.cfg.chaos == Some(crate::types::ChaosMutation::SkipConflictCheck) {
+            // Injected bug: promise the fast commit regardless of what
+            // is in flight. The FastCommitRevoked oracle must catch the
+            // reply this issues against a conflicting concurrent action.
+            return false;
+        }
+        self.red_set
+            .iter()
+            .chain(self.yellow.set.iter())
+            .filter(|other| other.server != id.server)
+            .any(|other| match self.actions.get(other).map(|a| &a.kind) {
+                Some(ActionKind::App { query, update }) => {
+                    conflicts(class, &classify(update, query.as_ref()))
+                }
+                _ => true,
+            })
+    }
+
+    /// Issues the fast commit if the ackers of `id` form a weighted
+    /// quorum of the current primary component.
+    fn try_fast_commit(&mut self, ctx: &mut Ctx<'_>, id: ActionId) {
+        let Some(fp) = self.pending_fast.get(&id) else {
+            return;
+        };
+        let ackers: Vec<NodeId> = fp.ackers.iter().copied().collect();
+        if !is_weighted_quorum(&ackers, &self.prim_component, &self.cfg.weights) {
+            return;
+        }
+        let fp = self.pending_fast.remove(&id).expect("just present");
+        let Some(p) = self.pending_replies.remove(&id) else {
+            return;
+        };
+        self.stats.fast_commits += 1;
+        ctx.metrics().incr("engine.fast_commits", 1);
+        let latency = ctx.now().saturating_since(p.submitted_at);
+        ctx.metrics().observe("engine.fast_commit_latency", latency);
+        let client = self
+            .actions
+            .get(&id)
+            .map(|a| a.client.0 as u64)
+            .unwrap_or(0);
+        ctx.emit(ProtocolEvent::FastCommit {
+            node: self.cfg.me.index(),
+            action_seq: id.index,
+        });
+        ctx.emit(ProtocolEvent::ClientCommit {
+            client,
+            latency_nanos: latency.as_nanos(),
+        });
+        // The reply doesn't execute the update — that happens at green
+        // apply on every replica regardless — and its own CPU cost (the
+        // conflict check + dirty-view read) was charged at receipt time,
+        // overlapped with the FastAck round trip.
+        let at = fp.ready_at;
+        self.reply(
+            ctx,
+            at,
+            p.reply_to,
+            ClientReply::Committed {
+                request: p.request,
+                action: id,
+                result: fp.result,
+                submitted_at: p.submitted_at,
+                green_seq: 0, // replied before global ordering
+            },
+        );
+    }
+
+    /// A peer acknowledged holding one of our sequenced fast-path
+    /// actions.
+    fn on_fast_ack(&mut self, ctx: &mut Ctx<'_>, src: NodeId, id: ActionId) {
+        if !self.cfg.fast_path || self.state != EngineState::RegPrim {
+            return; // stale ack from before a view change
+        }
+        let Some(fp) = self.pending_fast.get_mut(&id) else {
+            return; // demoted, already committed, or cleared
+        };
+        fp.ackers.insert(src);
+        self.try_fast_commit(ctx, id);
     }
 
     // ============================================================
@@ -1813,6 +2050,7 @@ impl ReplicationEngine {
         self.retrans_done.clear();
         self.cpc_received.clear();
         self.pending_replies.clear();
+        self.pending_fast.clear();
         self.buffered_reqs.clear();
         self.parked_strict.clear();
         self.pending_syncs.clear();
@@ -2083,6 +2321,7 @@ impl ReplicationEngine {
                     self.generate_internal_action(ctx, ActionKind::PersistentJoin { joiner });
                 }
             }
+            TransferWire::FastAck { id } => self.on_fast_ack(ctx, src, *id),
             TransferWire::Snapshot {
                 db,
                 green_count,
@@ -2129,6 +2368,7 @@ impl Actor for ReplicationEngine {
                     EvsEvent::RegConf(conf) => self.on_reg_conf(ctx, conf),
                     EvsEvent::TransConf(_) => self.on_trans_conf(ctx),
                     EvsEvent::Deliver(d) => self.on_delivery(ctx, d),
+                    EvsEvent::Receipt(d) => self.on_receipt(ctx, d),
                 }
                 return;
             }

@@ -101,8 +101,16 @@ pub fn retrans_plan(states: &[MemberProgress]) -> RetransPlan {
     // Green suffix: a most-updated member (ties -> smallest id) brings
     // everyone up to the maximum green line, provided it still holds the
     // bodies; otherwise it transfers its green state.
-    let min_green = states.iter().map(|s| s.green_count).min().unwrap();
-    let max_green = states.iter().map(|s| s.green_count).max().unwrap();
+    let min_green = states
+        .iter()
+        .map(|s| s.green_count)
+        .min()
+        .expect("asserted non-empty above");
+    let max_green = states
+        .iter()
+        .map(|s| s.green_count)
+        .max()
+        .expect("asserted non-empty above");
     if max_green > min_green {
         let eligible = states
             .iter()
@@ -120,7 +128,7 @@ pub fn retrans_plan(states: &[MemberProgress]) -> RetransPlan {
                     .filter(|s| s.green_count == max_green)
                     .map(|s| s.server)
                     .min()
-                    .unwrap();
+                    .expect("some member attains the maximum green count");
                 plan.green = GreenPath::Snapshot(sender);
                 sender
             }
@@ -135,15 +143,23 @@ pub fn retrans_plan(states: &[MemberProgress]) -> RetransPlan {
         .collect();
     for creator in creators {
         let cut = |s: &MemberProgress| s.red_cut.get(&creator).copied().unwrap_or(0);
-        let min_cut = states.iter().map(cut).min().unwrap();
-        let max_cut = states.iter().map(cut).max().unwrap();
+        let min_cut = states
+            .iter()
+            .map(cut)
+            .min()
+            .expect("asserted non-empty above");
+        let max_cut = states
+            .iter()
+            .map(cut)
+            .max()
+            .expect("asserted non-empty above");
         if max_cut > min_cut {
             let sender = states
                 .iter()
                 .filter(|s| cut(s) == max_cut)
                 .map(|s| s.server)
                 .min()
-                .unwrap();
+                .expect("some member attains the maximum red cut");
             plan.red.push((sender, creator, min_cut + 1, max_cut));
             plan.senders.insert(sender);
         }

@@ -42,6 +42,18 @@ pub enum UpdateReplyPolicy {
     /// commutative or timestamped updates; the engine still propagates
     /// and orders the action, so states converge after merges.
     OnRed,
+    /// The commit fast path: acknowledged as soon as (a) the action is
+    /// forced to local stable storage, (b) a weighted quorum of the
+    /// current primary component holds the sequenced action (FastAck
+    /// receipts), and (c) it conflicts with no in-flight (red or
+    /// yellow-not-green) action at the origin. If a conflict is
+    /// detected the request silently *demotes* to [`Self::OnGreen`]
+    /// behaviour — same reply, just later. Requires
+    /// [`EngineConfig::fast_path`](crate::EngineConfig); sound for any
+    /// bounded-footprint action because the quorum of holders
+    /// guarantees the action survives into every subsequent primary
+    /// component ahead of anything not yet sequenced.
+    Fast,
 }
 
 #[cfg(test)]

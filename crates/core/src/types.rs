@@ -173,6 +173,17 @@ pub enum TransferWire {
         /// replicas).
         action_index: u64,
     },
+    /// Member → action origin: "I hold the sequenced action `id`" — an
+    /// eager-receipt acknowledgement for the commit fast path. The
+    /// origin fast-commits once the ackers (plus itself) form a
+    /// weighted quorum of the current primary component. Point-to-point
+    /// like the join transfer, so it skips the group ordering machinery
+    /// entirely (and its latency): one LAN hop after the sequenced
+    /// multicast.
+    FastAck {
+        /// The receipted action.
+        id: ActionId,
+    },
 }
 
 /// A deliberate, compile-time-gated invariant breakage used by the
@@ -198,6 +209,13 @@ pub enum ChaosMutation {
     /// rejoins with a silently wrong green prefix, which the durability
     /// oracle must catch.
     SkipChecksumVerify,
+    /// Fast-commit without checking the in-flight conflict set: every
+    /// [`UpdateReplyPolicy::Fast`] action is acknowledged at its FastAck
+    /// quorum even when a conflicting red/yellow action is in flight.
+    /// The reply may then reflect a prefix that differs from the final
+    /// green order — exactly what the `FastCommitRevoked` oracle in
+    /// todr-check exists to catch.
+    SkipConflictCheck,
 }
 
 /// Tuning knobs and identity of a [`ReplicationEngine`](crate::ReplicationEngine).
@@ -237,6 +255,14 @@ pub struct EngineConfig {
     pub state_msg_bytes: u32,
     /// Modelled size of a CPC message in bytes.
     pub cpc_msg_bytes: u32,
+    /// Enable the commutativity commit fast path: actions submitted
+    /// with [`UpdateReplyPolicy::Fast`] whose footprint is disjoint
+    /// from every in-flight action are acknowledged after one forced
+    /// write plus one multicast round (sequencing + FastAck quorum),
+    /// without waiting for safe delivery / green ordering. Requires the
+    /// EVS daemon to run with `eager_receipts`. Off by default — the
+    /// default configuration's event streams stay byte-identical.
+    pub fast_path: bool,
     /// Auto-checkpoint period, in green actions: every `interval`-th
     /// green action triggers white-line garbage collection and log
     /// compaction (`0` disables; see
@@ -258,6 +284,7 @@ impl EngineConfig {
             cpu_per_action: SimDuration::from_micros(380),
             cpu_burst_overhead: SimDuration::from_micros(230),
             max_retained_bodies: 1 << 16,
+            fast_path: false,
             initial_member: true,
             state_msg_bytes: 256,
             cpc_msg_bytes: 64,
@@ -289,6 +316,13 @@ pub struct EngineStats {
     pub exchanges_completed: u64,
     /// Actions retransmitted to peers during exchanges.
     pub retransmitted: u64,
+    /// Fast-path commits: replies sent at the FastAck quorum, before
+    /// green ordering.
+    pub fast_commits: u64,
+    /// Fast-path demotions: [`UpdateReplyPolicy::Fast`] requests that
+    /// hit an in-flight conflict (or an unbounded footprint) and fell
+    /// back to waiting for green.
+    pub fast_demotions: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,294 @@
+//! Conflict / commutativity relation over the action language — the
+//! static analysis behind the engine's CURP-style commit fast path
+//! (Park & Ousterhout, *Exploiting Commutativity For Practical Fast
+//! Replication*, applied to the paper's red/green semantics).
+//!
+//! Two actions **conflict** when executing them in different orders can
+//! produce different database states or different query answers. An
+//! action that conflicts with no in-flight action can be acknowledged
+//! before its global (green) position is settled: whatever total order
+//! the group converges on yields the same state and the same reply. The
+//! relation is deliberately conservative — anything statically unclear
+//! is declared conflicting:
+//!
+//! * **write/write** overlap conflicts, unless both sides are fully
+//!   commutative ([`Op::Incr`]/[`Op::Noop`]) or both fully timestamped
+//!   ([`Op::TsPut`]/[`Op::Noop`]) — those classes are order-insensitive
+//!   within themselves (§6 of the paper), but not across classes;
+//! * **read/write** overlap (either direction) always conflicts — a
+//!   query answer must reflect exactly the actions ordered before it;
+//! * [`Footprint::All`] sides (stored procedures, scans, counts,
+//!   digests) overlap every non-empty footprint, and an action with any
+//!   unbounded side is never *eligible* for the fast path in the first
+//!   place ([`ClassDigest::fast_eligible`]).
+//!
+//! Two equivalent representations are provided: [`ActionClass`] keeps
+//! the exact row sets (what the engine's in-flight conflict check
+//! uses), and [`ClassDigest`] carries sorted [`row_fingerprint`]s (what
+//! the engine exports in metrics events and the todr-check oracle
+//! replays). A property test pins them to agree.
+//!
+//! [`row_fingerprint`]: crate::keys::row_fingerprint
+
+use crate::keys::{read_set, write_set, Footprint};
+use crate::op::{Op, Query};
+
+/// The conflict-relevant classification of one action: what it writes,
+/// what its query part reads, and which order-insensitive class (if
+/// any) its update belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionClass {
+    /// Rows the update writes (guard reads of [`Op::Checked`] count as
+    /// writes, matching [`write_set`]).
+    pub writes: Footprint,
+    /// Rows the query part reads (empty when there is no query).
+    pub reads: Footprint,
+    /// The update consists only of commutative ops.
+    pub commutative: bool,
+    /// The update consists only of timestamped (last-writer-wins) ops.
+    pub timestamped: bool,
+}
+
+impl ActionClass {
+    /// Whether either side of the footprint is statically unbounded.
+    pub fn unbounded(&self) -> bool {
+        matches!(self.writes, Footprint::All) || matches!(self.reads, Footprint::All)
+    }
+
+    /// The fingerprint form of this class, suitable for export.
+    pub fn digest(&self) -> ClassDigest {
+        ClassDigest {
+            writes: self.writes.fingerprints().unwrap_or_default(),
+            writes_unbounded: matches!(self.writes, Footprint::All),
+            reads: self.reads.fingerprints().unwrap_or_default(),
+            reads_unbounded: matches!(self.reads, Footprint::All),
+            commutative: self.commutative,
+            timestamped: self.timestamped,
+        }
+    }
+}
+
+/// Classifies one action from its update and optional query part.
+pub fn classify(update: &Op, query: Option<&Query>) -> ActionClass {
+    ActionClass {
+        writes: write_set(update),
+        reads: query.map(read_set).unwrap_or_else(Footprint::empty),
+        commutative: update.is_commutative(),
+        timestamped: update.is_timestamped(),
+    }
+}
+
+/// Whether two classified actions conflict (see the module docs for the
+/// exact relation). Symmetric.
+pub fn conflicts(a: &ActionClass, b: &ActionClass) -> bool {
+    let order_insensitive = (a.commutative && b.commutative) || (a.timestamped && b.timestamped);
+    (a.writes.intersects(&b.writes) && !order_insensitive)
+        || a.reads.intersects(&b.writes)
+        || a.writes.intersects(&b.reads)
+}
+
+/// The fingerprint form of an [`ActionClass`]: row identities replaced
+/// by their stable 64-bit hashes. This is what rides in
+/// `ProtocolEvent::ActionFootprint` and what the `FastCommitRevoked`
+/// oracle evaluates, so the oracle applies *the same relation* the
+/// engine applied (up to the astronomically unlikely fingerprint
+/// collision, which can only turn a non-conflict into a conflict —
+/// conservative for the engine, and flagged by the agreement test
+/// below if it ever hits the corpus).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassDigest {
+    /// Sorted fingerprints of the written rows (empty when unbounded).
+    pub writes: Vec<u64>,
+    /// The write side is [`Footprint::All`].
+    pub writes_unbounded: bool,
+    /// Sorted fingerprints of the read rows (empty when unbounded).
+    pub reads: Vec<u64>,
+    /// The read side is [`Footprint::All`].
+    pub reads_unbounded: bool,
+    /// The update consists only of commutative ops.
+    pub commutative: bool,
+    /// The update consists only of timestamped ops.
+    pub timestamped: bool,
+}
+
+impl ClassDigest {
+    /// Whether an action of this class may use the fast path at all:
+    /// both footprint sides must be statically bounded.
+    pub fn fast_eligible(&self) -> bool {
+        !self.writes_unbounded && !self.reads_unbounded
+    }
+}
+
+fn overlap(a: &[u64], a_all: bool, b: &[u64], b_all: bool) -> bool {
+    match (a_all, b_all) {
+        (true, true) => true,
+        (true, false) => !b.is_empty(),
+        (false, true) => !a.is_empty(),
+        (false, false) => {
+            // Both sorted: two-pointer sweep.
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        }
+    }
+}
+
+/// [`conflicts`] over the fingerprint representation. Symmetric, and
+/// agrees with the exact-row relation (see the property test).
+pub fn digests_conflict(a: &ClassDigest, b: &ClassDigest) -> bool {
+    let order_insensitive = (a.commutative && b.commutative) || (a.timestamped && b.timestamped);
+    (overlap(&a.writes, a.writes_unbounded, &b.writes, b.writes_unbounded) && !order_insensitive)
+        || overlap(&a.reads, a.reads_unbounded, &b.writes, b.writes_unbounded)
+        || overlap(&a.writes, a.writes_unbounded, &b.reads, b.reads_unbounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cl(update: &Op) -> ActionClass {
+        classify(update, None)
+    }
+
+    fn clq(update: &Op, query: &Query) -> ActionClass {
+        classify(update, Some(query))
+    }
+
+    #[test]
+    fn disjoint_writes_commute() {
+        let a = cl(&Op::put("t", "a", 1i64));
+        let b = cl(&Op::put("t", "b", 2i64));
+        assert!(!conflicts(&a, &b));
+        assert!(!conflicts(&b, &a));
+    }
+
+    #[test]
+    fn same_row_blind_writes_conflict() {
+        let a = cl(&Op::put("t", "k", 1i64));
+        let b = cl(&Op::put("t", "k", 2i64));
+        assert!(conflicts(&a, &b));
+        let d = cl(&Op::delete("t", "k"));
+        assert!(conflicts(&a, &d));
+    }
+
+    #[test]
+    fn increments_commute_even_on_the_same_row() {
+        let a = cl(&Op::incr("t", "k", 1));
+        let b = cl(&Op::incr("t", "k", -3));
+        assert!(!conflicts(&a, &b));
+        // ...but an increment against a plain put does not.
+        let p = cl(&Op::put("t", "k", 9i64));
+        assert!(conflicts(&a, &p));
+        assert!(conflicts(&p, &a));
+    }
+
+    #[test]
+    fn timestamped_puts_commute_within_their_class_only() {
+        let a = cl(&Op::ts_put("t", "k", 1i64, 5));
+        let b = cl(&Op::ts_put("t", "k", 2i64, 7));
+        assert!(!conflicts(&a, &b));
+        let i = cl(&Op::incr("t", "k", 1));
+        assert!(conflicts(&a, &i), "LWW and increments do not mix");
+    }
+
+    #[test]
+    fn reads_conflict_with_overlapping_writes() {
+        // Read-your-writes: a query must see exactly the prefix ordered
+        // before it, so any overlapping in-flight write conflicts —
+        // even a commutative one.
+        let reader = clq(&Op::Noop, &Query::get("t", "k"));
+        let writer = cl(&Op::incr("t", "k", 1));
+        assert!(conflicts(&reader, &writer));
+        assert!(conflicts(&writer, &reader));
+        let elsewhere = cl(&Op::incr("t", "other", 1));
+        assert!(!conflicts(&reader, &elsewhere));
+    }
+
+    #[test]
+    fn unbounded_sides_conflict_with_any_overlapping_action() {
+        let proc = cl(&Op::proc("transfer", vec![]));
+        let put = cl(&Op::put("t", "k", 1i64));
+        assert!(conflicts(&proc, &put));
+        let scan = clq(&Op::Noop, &Query::scan("t", ""));
+        assert!(conflicts(&scan, &put));
+        // A pure no-op touches nothing: even All finds no overlap.
+        let noop = cl(&Op::Noop);
+        assert!(!conflicts(&proc, &noop));
+        assert!(!conflicts(&scan, &noop));
+    }
+
+    #[test]
+    fn checked_guard_rows_count_as_writes() {
+        let checked = cl(&Op::Checked {
+            expect: vec![("g".into(), "guard".into(), None)],
+            then: vec![Op::put("t", "x", 1i64)],
+        });
+        let touches_guard = cl(&Op::put("g", "guard", 2i64));
+        assert!(conflicts(&checked, &touches_guard));
+    }
+
+    #[test]
+    fn eligibility_requires_bounded_footprints() {
+        assert!(cl(&Op::put("t", "k", 1i64)).digest().fast_eligible());
+        assert!(clq(&Op::incr("t", "k", 1), &Query::get("t", "k"))
+            .digest()
+            .fast_eligible());
+        assert!(!cl(&Op::proc("p", vec![])).digest().fast_eligible());
+        assert!(!clq(&Op::Noop, &Query::Digest).digest().fast_eligible());
+        assert!(!clq(&Op::Noop, &Query::scan("t", ""))
+            .digest()
+            .fast_eligible());
+    }
+
+    #[test]
+    fn digest_relation_agrees_with_exact_relation() {
+        // Small structured corpus covering every variant pair.
+        let updates = [
+            Op::Noop,
+            Op::put("t", "a", 1i64),
+            Op::put("t", "b", 1i64),
+            Op::delete("t", "a"),
+            Op::incr("t", "a", 1),
+            Op::incr("u", "z", -2),
+            Op::ts_put("t", "a", 3i64, 9),
+            Op::proc("p", vec![]),
+            Op::Batch(vec![Op::incr("t", "a", 1), Op::incr("t", "b", 1)]),
+            Op::Checked {
+                expect: vec![("t".into(), "a".into(), None)],
+                then: vec![Op::put("t", "c", 1i64)],
+            },
+        ];
+        let queries = [
+            None,
+            Some(Query::get("t", "a")),
+            Some(Query::get("x", "y")),
+            Some(Query::scan("t", "")),
+        ];
+        let mut classes = Vec::new();
+        for u in &updates {
+            for q in &queries {
+                classes.push(classify(u, q.as_ref()));
+            }
+        }
+        for a in &classes {
+            for b in &classes {
+                assert_eq!(
+                    conflicts(a, b),
+                    digests_conflict(&a.digest(), &b.digest()),
+                    "digest relation diverged for {a:?} vs {b:?}"
+                );
+                assert_eq!(
+                    conflicts(a, b),
+                    conflicts(b, a),
+                    "relation must be symmetric"
+                );
+            }
+        }
+    }
+}

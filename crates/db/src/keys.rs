@@ -32,6 +32,14 @@ fn row_hash(table: &str, key: &str) -> u64 {
     h
 }
 
+/// The stable 64-bit fingerprint of row `(table, key)` — the same hash
+/// the shard map uses. Footprints are exported (metrics events, the
+/// todr-check conflict oracle) as sets of these fingerprints rather
+/// than row strings, which keeps events small and comparison cheap.
+pub fn row_fingerprint(table: &str, key: &str) -> u64 {
+    row_hash(table, key)
+}
+
 /// The shard that owns row `(table, key)` out of `shards` total.
 ///
 /// # Panics
@@ -75,6 +83,33 @@ impl Footprint {
     /// Whether no rows are touched.
     pub fn is_empty(&self) -> bool {
         matches!(self, Footprint::Rows(rows) if rows.is_empty())
+    }
+
+    /// Whether the two footprints share at least one row.
+    /// [`Footprint::All`] intersects anything non-empty (and another
+    /// `All`); an empty footprint intersects nothing.
+    pub fn intersects(&self, other: &Footprint) -> bool {
+        match (self, other) {
+            (Footprint::Rows(a), Footprint::Rows(b)) => {
+                let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                small.iter().any(|row| large.contains(row))
+            }
+            (Footprint::All, bounded) | (bounded, Footprint::All) => !bounded.is_empty(),
+        }
+    }
+
+    /// The sorted, deduplicated [`row_fingerprint`]s of a bounded
+    /// footprint; `None` for [`Footprint::All`].
+    pub fn fingerprints(&self) -> Option<Vec<u64>> {
+        match self {
+            Footprint::All => None,
+            Footprint::Rows(rows) => {
+                let mut fps: Vec<u64> = rows.iter().map(|(t, k)| row_fingerprint(t, k)).collect();
+                fps.sort_unstable();
+                fps.dedup();
+                Some(fps)
+            }
+        }
     }
 
     /// The shards this footprint lands on, in ascending order;
@@ -226,6 +261,34 @@ mod tests {
             Footprint::All
         );
         assert_eq!(read_set(&Query::Digest), Footprint::All);
+    }
+
+    #[test]
+    fn intersects_covers_bounded_and_unbounded_cases() {
+        let a = write_set(&Op::put("t", "k", 1i64));
+        let b = write_set(&Op::put("t", "k", 2i64));
+        let c = write_set(&Op::put("t", "other", 3i64));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(Footprint::All.intersects(&a));
+        assert!(Footprint::All.intersects(&Footprint::All));
+        // The empty footprint intersects nothing, not even All.
+        assert!(!Footprint::empty().intersects(&Footprint::All));
+        assert!(!Footprint::empty().intersects(&a));
+    }
+
+    #[test]
+    fn fingerprints_are_sorted_row_hashes() {
+        let fp = write_set(&Op::Batch(vec![
+            Op::put("t", "a", 1i64),
+            Op::put("t", "b", 2i64),
+            Op::put("t", "a", 3i64),
+        ]));
+        let fps = fp.fingerprints().expect("bounded footprint");
+        assert_eq!(fps.len(), 2);
+        assert!(fps.windows(2).all(|w| w[0] < w[1]));
+        assert!(fps.contains(&row_fingerprint("t", "a")));
+        assert_eq!(Footprint::All.fingerprints(), None);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conflict;
 mod database;
 pub mod keys;
 mod op;

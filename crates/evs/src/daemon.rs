@@ -13,7 +13,7 @@ use crate::membership::{
     evaluate_flush, FlushDecision, FlushInfoRec, FlushState, GatherState, Phase,
 };
 use crate::order::ConfOrdering;
-use crate::types::{ConfId, Configuration, EvsEvent};
+use crate::types::{ConfId, Configuration, Delivery, EvsEvent};
 use crate::wire::{EvsWire, SubmitItem, TransGroup};
 
 /// Tuning knobs of an [`EvsDaemon`].
@@ -91,6 +91,14 @@ pub struct EvsConfig {
     /// `MetricsExport`s — so this knob exists purely as the comparison
     /// baseline.
     pub clone_fanout: bool,
+    /// Emit an [`EvsEvent::Receipt`] the moment a sequenced message is
+    /// held locally (its agreed-order position is fixed), one stability
+    /// round before the safe [`EvsEvent::Deliver`] for the same
+    /// message. Receipts are only emitted in the steady phase of a
+    /// regular configuration, and never in `deliver_agreed` mode
+    /// (where delivery itself already happens at sequencing). Off by
+    /// default: the engine's commutativity fast path opts in.
+    pub eager_receipts: bool,
 }
 
 impl Default for EvsConfig {
@@ -109,6 +117,7 @@ impl Default for EvsConfig {
             cumulative_ack_threshold: 16,
             ack_deadline: SimDuration::from_micros(1200),
             clone_fanout: false,
+            eager_receipts: false,
         }
     }
 }
@@ -168,6 +177,8 @@ pub struct EvsStats {
     pub gathers_started: u64,
     /// Messages retransmitted during flushes.
     pub retransmitted: u64,
+    /// Early receipts emitted ([`EvsConfig::eager_receipts`]).
+    pub receipts: u64,
 }
 
 /// Timer: heartbeat + failure-detector evaluation.
@@ -499,6 +510,10 @@ impl EvsDaemon {
                     node: self.me.index(),
                     conf_seq: c.id.seq,
                 });
+            }
+            EvsEvent::Receipt(_) => {
+                self.stats.receipts += 1;
+                ctx.metrics().incr("evs.receipts", 1);
             }
         }
         ctx.send_now(self.app, event);
@@ -1004,6 +1019,24 @@ impl EvsDaemon {
                 let have = ordering.have_upto();
                 for d in deliveries {
                     self.emit(ctx, EvsEvent::Deliver(d));
+                }
+                if self.config.eager_receipts && !self.config.deliver_agreed {
+                    // Every message of a steady-phase frame is newly
+                    // contiguous (asserted in on_sequenced), so this
+                    // receipts each sequenced message exactly once —
+                    // one stability round before its safe delivery.
+                    for m in msgs.iter() {
+                        self.emit(
+                            ctx,
+                            EvsEvent::Receipt(Delivery {
+                                sender: m.sender,
+                                payload: Rc::clone(&m.payload),
+                                conf_id: *conf,
+                                seq: m.seq,
+                                in_transitional: false,
+                            }),
+                        );
+                    }
                 }
                 self.last_seq_rx_at = ctx.now();
                 if is_coord {

@@ -213,17 +213,27 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+    /// [`take`](Self::take) as a fixed-size array — the bounds check
+    /// lives in `take`, so the conversion itself cannot fail and the
+    /// decode path stays structurally panic-free on arbitrary input.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], FrameError> {
+        let s = self.take(N)?;
+        s.try_into().map_err(|_| FrameError::Truncated {
+            needed: N,
+            have: s.len(),
+        })
+    }
     fn u8(&mut self) -> Result<u8, FrameError> {
-        Ok(self.take(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
     fn u16(&mut self) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn zeros(&mut self, n: usize) -> Result<(), FrameError> {
         if self.take(n)?.iter().any(|&b| b != 0) {
@@ -296,7 +306,10 @@ impl Frame {
             return Err(FrameError::TooShort { have: buf.len() });
         }
         let body = &buf[..buf.len() - TRAILER];
-        let stored = u64::from_le_bytes(buf[buf.len() - TRAILER..].try_into().unwrap());
+        let trailer: [u8; TRAILER] = buf[buf.len() - TRAILER..]
+            .try_into()
+            .map_err(|_| FrameError::TooShort { have: buf.len() })?;
+        let stored = u64::from_le_bytes(trailer);
         let computed = checksum64(body);
         if computed != stored {
             return Err(FrameError::ChecksumMismatch { computed, stored });

@@ -182,12 +182,13 @@ pub(crate) fn evaluate_flush(
             .copied()
             .filter(|m| infos[m].have_upto < target)
             .collect();
-        if !needy.is_empty() {
-            let from_seq = needy.iter().map(|m| infos[m].have_upto).min().unwrap() + 1;
+        // The minimum doubles as the non-emptiness check: no needy
+        // member, no plan.
+        if let Some(least) = needy.iter().map(|m| infos[m].have_upto).min() {
             plans.push(RetransPlan {
                 holder,
                 old_conf: *old_conf,
-                from_seq,
+                from_seq: least + 1,
                 to_seq: target,
                 needy,
             });

@@ -131,6 +131,18 @@ pub enum EvsEvent {
     TransConf(Configuration),
     /// An application message.
     Deliver(Delivery),
+    /// An early **receipt** of an application message: the coordinator
+    /// has sequenced it and this daemon holds it, so its position in
+    /// the agreed total order of the current regular configuration is
+    /// fixed — but it is *not yet stable* (safe delivery has not been
+    /// announced) and a [`EvsEvent::Deliver`] for the same message will
+    /// follow. Only emitted when
+    /// [`EvsConfig::eager_receipts`](crate::EvsConfig) is set. Should a
+    /// view change intervene, every receipted message is still
+    /// (transitionally) delivered at every daemon that receipted it —
+    /// receipts never replace deliveries, they just reveal the agreed
+    /// order one stability round earlier.
+    Receipt(Delivery),
 }
 
 #[cfg(test)]

@@ -274,6 +274,48 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_single_item_frames_charge_exactly_one_header() {
+        // The `items.saturating_sub(1)` accounting at the edges: an
+        // empty packed frame costs the bare header (no underflow to a
+        // huge u32), and a single-item frame costs header + payload
+        // with no sub-header charge — identical to the unpacked
+        // protocol's cost for the same submission.
+        let empty_submit = EvsWire::Submit {
+            conf: ConfId::initial(n(0)),
+            sender: n(0),
+            ack_upto: 0,
+            items: vec![].into(),
+        };
+        assert_eq!(empty_submit.wire_size(), HEADER_BYTES);
+        let empty_seq = EvsWire::Sequenced {
+            conf: ConfId::initial(n(0)),
+            stable_upto: 0,
+            acker: None,
+            msgs: vec![].into(),
+        };
+        assert_eq!(empty_seq.wire_size(), HEADER_BYTES);
+        let single = EvsWire::Submit {
+            conf: ConfId::initial(n(0)),
+            sender: n(0),
+            ack_upto: 0,
+            items: vec![item(1, 77)].into(),
+        };
+        assert_eq!(single.wire_size(), HEADER_BYTES + 77);
+        // Growing a frame by one item always charges exactly one
+        // sub-header plus the payload, regardless of current length.
+        let double = EvsWire::Submit {
+            conf: ConfId::initial(n(0)),
+            sender: n(0),
+            ack_upto: 0,
+            items: vec![item(1, 77), item(2, 33)].into(),
+        };
+        assert_eq!(
+            double.wire_size(),
+            single.wire_size() + SUBHEADER_BYTES + 33
+        );
+    }
+
+    #[test]
     fn origin_identifies_sender_frames() {
         let hb = EvsWire::Heartbeat { from: n(3) };
         assert_eq!(hb.origin(), Some(n(3)));

@@ -14,6 +14,7 @@ struct AppSink {
     reg_confs: Vec<Configuration>,
     trans_confs: Vec<Configuration>,
     deliveries: Vec<Rec>,
+    receipts: Vec<Rec>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +38,13 @@ impl Actor for AppSink {
                 value: *d.payload.downcast_ref::<u64>().expect("u64 payload"),
                 in_transitional: d.in_transitional,
             }),
+            Some(EvsEvent::Receipt(d)) => self.receipts.push(Rec {
+                conf: d.conf_id,
+                seq: d.seq,
+                sender: d.sender,
+                value: *d.payload.downcast_ref::<u64>().expect("u64 payload"),
+                in_transitional: d.in_transitional,
+            }),
             None => panic!("sink got unknown payload"),
         }
     }
@@ -52,6 +60,10 @@ struct Cluster {
 
 impl Cluster {
     fn new(n: u32, seed: u64) -> Self {
+        Cluster::new_cfg(n, seed, |_| {})
+    }
+
+    fn new_cfg(n: u32, seed: u64, tweak: impl Fn(&mut EvsConfig)) -> Self {
         let mut world = World::new(seed);
         world.set_event_limit(5_000_000);
         let fabric = world.add_actor("net", NetFabric::new(NetConfig::lan()));
@@ -60,10 +72,11 @@ impl Cluster {
         let mut sinks = Vec::new();
         for &node in &nodes {
             let sink = world.add_actor(format!("app{node}"), AppSink::default());
-            let config = EvsConfig {
+            let mut config = EvsConfig {
                 universe: nodes.clone(),
                 ..EvsConfig::default()
             };
+            tweak(&mut config);
             let daemon = world.add_actor(
                 format!("evs{node}"),
                 EvsDaemon::new(node, fabric, sink, config),
@@ -109,6 +122,11 @@ impl Cluster {
     fn deliveries(&mut self, idx: usize) -> Vec<Rec> {
         self.world
             .with_actor(self.sinks[idx], |s: &mut AppSink| s.deliveries.clone())
+    }
+
+    fn receipts(&mut self, idx: usize) -> Vec<Rec> {
+        self.world
+            .with_actor(self.sinks[idx], |s: &mut AppSink| s.receipts.clone())
     }
 
     fn partition(&mut self, groups: &[Vec<NodeId>]) {
@@ -410,6 +428,76 @@ fn cascading_partitions_settle() {
     c.run_for(SimDuration::from_millis(300));
     for i in 0..6 {
         assert!(c.deliveries(i).iter().any(|r| r.value == 999));
+    }
+}
+
+#[test]
+fn eager_receipts_preview_the_agreed_order() {
+    let mut c = Cluster::new_cfg(4, 12, |cfg| cfg.eager_receipts = true);
+    c.run_for(SETTLE);
+    for round in 0..10u64 {
+        for i in 0..4usize {
+            c.send_from(i, round * 10 + i as u64);
+        }
+    }
+    c.run_for(SimDuration::from_millis(300));
+    let reference = c.deliveries(0);
+    assert_eq!(reference.len(), 40);
+    for i in 0..4 {
+        // Every message is receipted exactly once, in the agreed order,
+        // and the receipt stream equals the (later) delivery stream.
+        let receipts = c.receipts(i);
+        assert_eq!(
+            receipts,
+            c.deliveries(i),
+            "node {i} receipt stream diverged"
+        );
+        assert!(receipts.iter().all(|r| !r.in_transitional));
+    }
+}
+
+#[test]
+fn receipts_are_off_by_default() {
+    let mut c = Cluster::new(3, 13);
+    c.run_for(SETTLE);
+    c.send_from(0, 7);
+    c.run_for(SimDuration::from_millis(300));
+    for i in 0..3 {
+        assert!(c.deliveries(i).iter().any(|r| r.value == 7));
+        assert!(
+            c.receipts(i).is_empty(),
+            "node {i} receipted without the flag"
+        );
+    }
+}
+
+#[test]
+fn receipted_messages_survive_a_partition_at_moving_members() {
+    // A receipt is a promise about the agreed order: any member that
+    // receipted a message and stays in a surviving component delivers
+    // it (regular or transitional) before the next configuration.
+    let mut c = Cluster::new_cfg(5, 14, |cfg| cfg.eager_receipts = true);
+    c.run_for(SETTLE);
+    for i in 0..5usize {
+        for v in 0..5u64 {
+            c.send_from(i, (i as u64) * 100 + v);
+        }
+    }
+    c.run_for(SimDuration::from_micros(400)); // mid-flight
+    c.partition(&[c.nodes[..3].to_vec(), c.nodes[3..].to_vec()]);
+    c.run_for(SETTLE);
+    for i in 0..5 {
+        let deliveries = c.deliveries(i);
+        for r in c.receipts(i) {
+            assert!(
+                deliveries
+                    .iter()
+                    .any(|d| d.conf == r.conf && d.seq == r.seq && d.value == r.value),
+                "node {i} receipted (conf {}, seq {}) but never delivered it",
+                r.conf,
+                r.seq
+            );
+        }
     }
 }
 

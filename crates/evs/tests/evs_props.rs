@@ -337,6 +337,59 @@ mod frame_props {
         }
     }
 
+    /// The corner cases of the packed layout: zero items (the count
+    /// field drives the decode loop, so an empty frame is legal),
+    /// one item, and a one-item frame whose payload is itself empty.
+    fn edge_frames() -> Vec<Frame> {
+        let conf = ConfId {
+            seq: 7,
+            coordinator: NodeId::new(2),
+        };
+        vec![
+            Frame::Submit(SubmitFrame {
+                conf,
+                sender: NodeId::new(1),
+                ack_upto: 9,
+                items: vec![],
+            }),
+            Frame::Sequenced(SequencedFrame {
+                conf,
+                stable_upto: 4,
+                acker: Some(NodeId::new(3)),
+                msgs: vec![],
+            }),
+            Frame::Submit(SubmitFrame {
+                conf,
+                sender: NodeId::new(1),
+                ack_upto: 0,
+                items: vec![SubmitItemFrame {
+                    local_seq: 1,
+                    payload: vec![0xAB; 5],
+                }],
+            }),
+            Frame::Submit(SubmitFrame {
+                conf,
+                sender: NodeId::new(1),
+                ack_upto: 0,
+                items: vec![SubmitItemFrame {
+                    local_seq: 1,
+                    payload: vec![],
+                }],
+            }),
+            Frame::Sequenced(SequencedFrame {
+                conf,
+                stable_upto: 0,
+                acker: None,
+                msgs: vec![SequencedItemFrame {
+                    seq: 1,
+                    sender: NodeId::new(4),
+                    local_seq: 1,
+                    payload: vec![],
+                }],
+            }),
+        ]
+    }
+
     #[test]
     fn frames_round_trip() {
         let mut rng = SimRng::new(0xF4A3E);
@@ -344,6 +397,51 @@ mod frame_props {
             let frame = random_frame(&mut rng);
             let bytes = frame.encode();
             assert_eq!(Frame::decode(&bytes).expect("round trip"), frame);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_frames_round_trip() {
+        // The size model charges sub-headers as `items - 1` (saturating),
+        // so the 0- and 1-item encodings are the layouts most likely to
+        // drift from the decoder. Pin them explicitly rather than hoping
+        // the random generator covers them.
+        for frame in edge_frames() {
+            let bytes = frame.encode();
+            assert_eq!(
+                Frame::decode(&bytes).expect("edge frame round trip"),
+                frame,
+                "edge frame failed to round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_frames_resist_truncation_and_bit_flips() {
+        // The same torn-buffer and corruption sweeps the random corpus
+        // gets, applied to the 0-/1-item frames: an empty frame is just
+        // header + trailer, so any slip in the count-driven decode loop
+        // or trailer arithmetic shows up here first.
+        for frame in edge_frames() {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Frame::decode(&bytes[..cut]).is_err(),
+                    "prefix of {cut}/{} bytes decoded",
+                    bytes.len()
+                );
+            }
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[i] ^= 1 << bit;
+                    assert!(
+                        Frame::decode(&bad).is_err(),
+                        "bit {bit} of byte {i}/{} flipped and still decoded",
+                        bytes.len()
+                    );
+                }
+            }
         }
     }
 

@@ -36,6 +36,12 @@ pub struct ClientConfig {
     pub max_requests: Option<u64>,
     /// Modelled action size in bytes.
     pub action_bytes: u32,
+    /// Percentage of requests (0–100) aimed at a single hot key shared
+    /// by every client, deterministically interleaved; the rest target
+    /// per-client keys. Cross-client writes to the hot key conflict,
+    /// which demotes [`UpdateReplyPolicy::Fast`] submissions to the
+    /// green path — the contention axis of experiment A11.
+    pub conflict_pct: u8,
 }
 
 impl Default for ClientConfig {
@@ -46,6 +52,7 @@ impl Default for ClientConfig {
             record_from: SimTime::ZERO,
             max_requests: None,
             action_bytes: 200,
+            conflict_pct: 0,
         }
     }
 }
@@ -102,7 +109,13 @@ impl ClosedLoopClient {
     }
 
     fn build_update(&self) -> Op {
-        let key = format!("c{}-{}", self.id.0, self.next_request % 64);
+        // Spread hot-key requests evenly through the run (deterministic,
+        // so replays and cross-config comparisons stay exact).
+        let key = if (self.next_request % 100) < u64::from(self.config.conflict_pct) {
+            "hot".to_string()
+        } else {
+            format!("c{}-{}", self.id.0, self.next_request % 64)
+        };
         match self.config.workload {
             Workload::Updates => {
                 // Pad the value so the modelled 200-byte action carries

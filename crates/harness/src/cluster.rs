@@ -86,6 +86,16 @@ pub struct ClusterConfig {
     /// one is cut mid-record) instead of crashing cleanly. Drawn from
     /// the world's dedicated fault RNG stream, so runs stay replayable.
     pub torn_crashes: bool,
+    /// Enables the commit fast path on every server: EVS daemons emit
+    /// eager receipts and engines fast-commit conflict-free actions
+    /// submitted with [`todr_core::UpdateReplyPolicy::Fast`] once a
+    /// weighted quorum holds them (see DESIGN.md §4e). Off by default;
+    /// the default event streams stay byte-identical.
+    pub fast_path: bool,
+    /// Engine-side bound on retained red/yellow action bodies; beyond
+    /// it update requests are rejected with a retryable error (`0`
+    /// disables the bound — see `EngineConfig::max_retained_bodies`).
+    pub max_retained_bodies: usize,
     /// Stable-storage backend for every server (see [`BackendKind`]).
     pub backend: BackendKind,
     /// Deliberate engine invariant breakage injected into every server
@@ -117,6 +127,8 @@ impl ClusterConfig {
             weights: std::collections::BTreeMap::new(),
             tie_break: TieBreak::Fifo,
             torn_crashes: false,
+            fast_path: false,
+            max_retained_bodies: 1 << 16,
             backend: BackendKind::Sim,
             #[cfg(feature = "chaos-mutations")]
             chaos: None,
@@ -354,6 +366,20 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Enables the commit fast path on every server (EVS eager
+    /// receipts + engine fast commits; see [`ClusterConfig::fast_path`]).
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.cfg.fast_path = on;
+        self
+    }
+
+    /// Bounds the red/yellow action bodies every engine retains (`0`
+    /// disables the bound; see [`ClusterConfig::max_retained_bodies`]).
+    pub fn max_retained_bodies(mut self, bound: usize) -> Self {
+        self.cfg.max_retained_bodies = bound;
+        self
+    }
+
     /// Selects the stable-storage backend (validated in
     /// [`build`](Self::build): [`BackendKind::File`] is rejected in
     /// combination with seeded tie-breaking, since schedule replay
@@ -535,6 +561,7 @@ impl Cluster {
             max_pack: config.max_pack,
             cumulative_ack_threshold: config.cumulative_ack_threshold,
             clone_fanout: config.clone_fanout,
+            eager_receipts: config.fast_path,
             ..EvsConfig::default()
         };
         let daemon = world.add_actor(
@@ -545,6 +572,8 @@ impl Cluster {
         engine_config.cpu_per_action = config.cpu_per_action;
         engine_config.checkpoint_interval = config.checkpoint_interval;
         engine_config.initial_member = initial_member;
+        engine_config.fast_path = config.fast_path;
+        engine_config.max_retained_bodies = config.max_retained_bodies;
         #[cfg(feature = "chaos-mutations")]
         {
             engine_config.chaos = config.chaos;

@@ -14,6 +14,7 @@
 //! | [`recovery::run`] | extension A8: crash-recovery cost under torn writes (checksummed scan + catch-up) |
 //! | [`scale::run`] | extension A9: replicas × clients scale sweep past 14 replicas (`BENCH_scale.json`) |
 //! | [`shard::run`] | extension A10: sharded-group capacity scaling with cross-shard transactions (`BENCH_shard.json`) |
+//! | [`fastpath::run`] | extension A11: commutativity fast-path commit latency vs green across conflict rates (`BENCH_fastpath.json`) |
 //!
 //! All results are measured in **virtual time** on the calibrated
 //! simulated substrate (see DESIGN.md §2); the claims to compare against
@@ -21,6 +22,7 @@
 //! knees are — not absolute action counts.
 
 pub mod ablations;
+pub mod fastpath;
 pub mod fig5a;
 pub mod fig5b;
 pub mod join;

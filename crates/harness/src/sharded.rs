@@ -166,6 +166,14 @@ impl ShardedConfigBuilder {
         self
     }
 
+    /// Enables the commutativity fast path in every group (DESIGN.md
+    /// §4e): eager receipts at the EVS layer plus engine-side fast
+    /// commits for `Fast`-policy single-shard updates.
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.cfg.base.fast_path = on;
+        self
+    }
+
     /// Sets the same-instant event ordering policy of the world.
     pub fn tie_break(mut self, tb: todr_sim::TieBreak) -> Self {
         self.cfg.base.tie_break = tb;
@@ -671,6 +679,12 @@ pub struct ShardClientConfig {
     pub max_requests: Option<u64>,
     /// Modelled action size in bytes.
     pub action_bytes: u32,
+    /// Submit single-shard updates with
+    /// [`UpdateReplyPolicy::Fast`] (DESIGN.md §4e). Requires the
+    /// deployment to run with [`crate::cluster::ClusterConfig`]'s
+    /// `fast_path` on to have any effect; cross-shard transactions
+    /// always take the full prepare/commit path.
+    pub fast_single: bool,
 }
 
 impl Default for ShardClientConfig {
@@ -680,6 +694,7 @@ impl Default for ShardClientConfig {
             record_from: SimTime::ZERO,
             max_requests: None,
             action_bytes: 200,
+            fast_single: false,
         }
     }
 }
@@ -739,22 +754,25 @@ impl ShardClient {
         self.running = false;
     }
 
-    fn build_update(&self) -> Op {
+    /// Builds the next update; the flag says whether it is a
+    /// cross-shard transaction.
+    fn build_update(&self) -> (Op, bool) {
         let h = mix((u64::from(self.id.0) << 32) | self.next_request);
         let cross = self.shards >= 2 && h % 1000 < u64::from(self.config.cross_permille);
         let shard_a = ((h >> 10) % u64::from(self.shards)) as usize;
         let key_a = self.pools[shard_a][((h >> 32) as usize) % POOL_KEYS].clone();
         let value = Value::Bytes(vec![0xAB; 160]);
         if !cross {
-            return Op::put("bench", key_a, value);
+            return (Op::put("bench", key_a, value), false);
         }
         let shard_b = (shard_a + 1 + ((h >> 20) % u64::from(self.shards - 1)) as usize)
             % self.shards as usize;
         let key_b = self.pools[shard_b][((h >> 40) as usize) % POOL_KEYS].clone();
-        Op::Batch(vec![
+        let batch = Op::Batch(vec![
             Op::put("bench", key_a, value),
             Op::put("bench", key_b, Value::Int((h >> 48) as i64)),
-        ])
+        ]);
+        (batch, true)
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_>) {
@@ -765,14 +783,20 @@ impl ShardClient {
             }
         }
         self.next_request += 1;
+        let (update, cross) = self.build_update();
+        let reply_policy = if self.config.fast_single && !cross {
+            UpdateReplyPolicy::Fast
+        } else {
+            UpdateReplyPolicy::OnGreen
+        };
         let req = ClientRequest {
             request: RequestId(self.next_request),
             client: self.id,
             reply_to: ctx.self_id(),
             query: None,
-            update: self.build_update(),
+            update,
             query_semantics: QuerySemantics::Strict,
-            reply_policy: UpdateReplyPolicy::OnGreen,
+            reply_policy,
             size_bytes: self.config.action_bytes,
         };
         ctx.send_now(self.router, req);

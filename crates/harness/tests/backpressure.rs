@@ -1,0 +1,93 @@
+//! Regression test for the retained-bodies backpressure bound.
+//!
+//! During a long minority partition red bodies accumulate with no
+//! white line to discard them. The engine refuses new local updates at
+//! `max_retained_bodies` with a typed `ClientReply::Rejected` — this
+//! test saturates the cap and checks that every submission either
+//! commits or returns that typed error (nothing is silently dropped or
+//! left hanging), and that the replica serves updates again once the
+//! partition heals and GC drains the backlog.
+
+use todr_core::UpdateReplyPolicy;
+use todr_harness::client::ClientConfig;
+use todr_harness::cluster::{Cluster, ClusterConfig};
+use todr_sim::SimDuration;
+
+#[test]
+fn saturating_the_retention_cap_rejects_typed_and_recovers() {
+    const CAP: usize = 48;
+    // A tight checkpoint interval so white-line GC can actually drain
+    // the backlog below the cap after the heal.
+    let config = ClusterConfig::builder(3, 9)
+        .max_retained_bodies(CAP)
+        .checkpoint_interval(16)
+        .build()
+        .expect("valid config");
+    let mut cluster = Cluster::build(config);
+    cluster.settle();
+
+    // Cut replica 0 off as a minority. It stays NonPrim: local updates
+    // keep getting created and ordered red, but nothing ever greens,
+    // so the retained-body count only grows.
+    cluster.partition(&[vec![0], vec![1, 2]]);
+
+    // OnRed replies keep the closed loop running without green
+    // progress; the loop stops itself at the first rejection.
+    let client = cluster.attach_client(
+        0,
+        ClientConfig {
+            reply_policy: UpdateReplyPolicy::OnRed,
+            ..ClientConfig::default()
+        },
+    );
+    cluster.run_for(SimDuration::from_secs(20));
+
+    let stats = cluster.client_stats(client);
+    assert!(
+        stats.rejected >= 1,
+        "cap never rejected: committed {} rejected {}",
+        stats.committed,
+        stats.rejected
+    );
+    // Closed loop: every submission got exactly one reply, so the
+    // ledger must balance — acknowledged commits plus typed rejections,
+    // with enough traffic to have actually crossed the cap.
+    assert!(
+        stats.committed + stats.rejected >= CAP as u64,
+        "loop stopped before saturating the cap: committed {} rejected {}",
+        stats.committed,
+        stats.rejected
+    );
+    let rejects = cluster
+        .world
+        .metrics()
+        .counter("engine.backpressure_rejects");
+    assert!(
+        rejects >= 1,
+        "client saw a rejection the engine never counted"
+    );
+
+    // Heal. The backlog greens at the merged primary's install, whose
+    // agreed greening also advances the white line and checkpoints —
+    // so the bodies are discarded right there, without waiting for
+    // fresh traffic (which the cap would reject, wedging the system).
+    // "Retry later" has to eventually mean yes.
+    cluster.merge_all();
+    cluster.run_for(SimDuration::from_secs(5));
+    let retry = cluster.attach_client(
+        0,
+        ClientConfig {
+            max_requests: Some(5),
+            ..ClientConfig::default()
+        },
+    );
+    cluster.run_for(SimDuration::from_secs(10));
+    let retry_stats = cluster.client_stats(retry);
+    assert_eq!(
+        retry_stats.committed, 5,
+        "replica did not recover from backpressure after the heal \
+         (committed {}, rejected {})",
+        retry_stats.committed, retry_stats.rejected
+    );
+    cluster.check_consistency();
+}

@@ -229,6 +229,49 @@ pub enum ProtocolEvent {
         /// Router-local transaction id.
         txn: u64,
     },
+    /// The static conflict classification of an action, exported by its
+    /// creating replica when the commit fast path is enabled. Row
+    /// identities are stable 64-bit fingerprints (sorted, deduplicated)
+    /// so the todr-check conflict oracle can replay exactly the
+    /// relation the engine evaluated.
+    ActionFootprint {
+        /// Creating replica.
+        node: u32,
+        /// Creator-local action sequence.
+        action_seq: u64,
+        /// Sorted fingerprints of the written rows (empty if unbounded).
+        writes: Vec<u64>,
+        /// The write side is statically unbounded.
+        writes_unbounded: bool,
+        /// Sorted fingerprints of the read rows (empty if unbounded).
+        reads: Vec<u64>,
+        /// The read side is statically unbounded.
+        reads_unbounded: bool,
+        /// The update consists only of commutative ops.
+        commutative: bool,
+        /// The update consists only of timestamped ops.
+        timestamped: bool,
+    },
+    /// A replica acknowledged its own action on the commit fast path: a
+    /// weighted quorum of the primary component holds the sequenced
+    /// action and no in-flight conflict was detected. The reply to the
+    /// client precedes the action's green ordering; the
+    /// `FastCommitRevoked` oracle checks that the promise is kept.
+    FastCommit {
+        /// The fast-committing (origin) replica.
+        node: u32,
+        /// Creator-local action sequence.
+        action_seq: u64,
+    },
+    /// A `Fast`-policy action hit an in-flight conflict (or had an
+    /// unbounded footprint) at its origin and fell back to the normal
+    /// wait-for-green acknowledgement.
+    FastDemoted {
+        /// The origin replica.
+        node: u32,
+        /// Creator-local action sequence.
+        action_seq: u64,
+    },
 }
 
 impl ProtocolEvent {
@@ -255,6 +298,9 @@ impl ProtocolEvent {
             ProtocolEvent::CrossShardMerged { .. } => "cross-shard-merged",
             ProtocolEvent::CrossShardCommitted { .. } => "cross-shard-committed",
             ProtocolEvent::CrossShardApplied { .. } => "cross-shard-applied",
+            ProtocolEvent::ActionFootprint { .. } => "action-footprint",
+            ProtocolEvent::FastCommit { .. } => "fast-commit",
+            ProtocolEvent::FastDemoted { .. } => "fast-demoted",
         }
     }
 }

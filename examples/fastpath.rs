@@ -1,0 +1,33 @@
+//! Fast-path latency sweep: commit latency of the commutativity fast
+//! path vs the green path across conflict rates and client counts
+//! (extension A11), regenerating the `results/BENCH_fastpath.json`
+//! baseline the CI fastpath gate compares against.
+//!
+//! ```sh
+//! cargo run --release --example fastpath            # print the sweep
+//! cargo run --release --example fastpath -- --json  # emit the JSON
+//! ```
+//!
+//! Pass `--quick` for the reduced sweep CI runs (1 and 10 clients, 0%
+//! and 25% conflicts, shorter window).
+
+use todr::harness::experiments::fastpath;
+use todr::sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let sweep = if quick {
+        fastpath::run(&[1, 10], &[0, 25], SimDuration::from_secs(1), 42)
+    } else {
+        fastpath::run(&[1, 4, 10], &[0, 10, 25, 50], SimDuration::from_secs(2), 42)
+    };
+
+    if json {
+        println!("{}", sweep.to_json());
+    } else {
+        println!("{}", sweep.to_table());
+    }
+}
