@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use todr_db::conflict::{digests_conflict, ClassDigest};
-use todr_sim::{EventColor, ProtocolEvent, RecordedEvent};
+use todr_sim::{EventColor, ProtocolEvent, ReadTier, RecordedEvent};
 
 /// A violated trace property.
 ///
@@ -148,6 +148,41 @@ pub enum TraceViolation {
         /// The conflicting action's (lower) green position.
         other_position: u64,
     },
+    /// Read leases (DESIGN.md §4f): a linearizable read served locally
+    /// under a lease returned a row version older than the number of
+    /// strongly-acknowledged writes to that row that preceded the read
+    /// in (virtual) real time. Every green/fast acknowledgement is a
+    /// linearization point; a lease read served after it must observe
+    /// the write. The check is a *necessary* condition — unacked green
+    /// writes inflate `version`, so it can only under-approximate — but
+    /// it has no false positives and catches the canonical stale-holder
+    /// shapes (an expired lease still being served, a partitioned
+    /// ex-member answering from a frozen green prefix).
+    StaleLinearizableRead {
+        /// The replica that served the stale read.
+        node: u32,
+        /// Fingerprint of the read row.
+        key_fp: u64,
+        /// The row version the read returned.
+        version: u64,
+        /// Distinct strongly-acked writes to that row before the read.
+        acked_writes: u64,
+    },
+    /// Read leases: two replicas held leases sealed to *different*
+    /// configurations at overlapping (virtual) times. All members of
+    /// one regular primary configuration hold leases simultaneously by
+    /// design; the timing discipline (2·heartbeat + lease duration <
+    /// failure-detection timeout) must guarantee every old-configuration
+    /// lease has drained before a new configuration can install and
+    /// grant. Intervals are clipped at the holder's next transitional
+    /// configuration or crash, mirroring the engine's conservative
+    /// expiry.
+    LeaseOverlap {
+        /// First holder and the `(conf_seq, coordinator)` of its lease.
+        a: (u32, (u64, u32)),
+        /// Second holder and the `(conf_seq, coordinator)` of its lease.
+        b: (u32, (u64, u32)),
+    },
     /// EVS agreed order: two replicas delivered *different senders* at
     /// the same `(configuration, slot)`.
     DeliveryMismatch {
@@ -265,6 +300,23 @@ impl fmt::Display for TraceViolation {
                  origin at receipt time, greened ahead at {other_position}",
                 action.0, action.1, other.0, other.1
             ),
+            TraceViolation::StaleLinearizableRead {
+                node,
+                key_fp,
+                version,
+                acked_writes,
+            } => write!(
+                f,
+                "stale linearizable read at node {node}: row {key_fp:#018x} \
+                 served at version {version} after {acked_writes} acknowledged \
+                 writes"
+            ),
+            TraceViolation::LeaseOverlap { a, b } => write!(
+                f,
+                "lease overlap: node {} held a lease for conf ({}, {}) while \
+                 node {} held one for conf ({}, {})",
+                a.0, a.1 .0, a.1 .1, b.0, b.1 .0, b.1 .1
+            ),
             TraceViolation::DeliveryMismatch {
                 conf_seq,
                 coordinator,
@@ -307,6 +359,12 @@ pub struct TraceStats {
     /// Fast commits checked against their receipt-time snapshot and,
     /// at end of run, against the global green order.
     pub fast_commits_checked: u64,
+    /// Lease-served linearizable reads checked against the acked-write
+    /// counters.
+    pub lease_reads_checked: u64,
+    /// Lease grant/renewal intervals checked for cross-configuration
+    /// overlap.
+    pub lease_grants_checked: u64,
 }
 
 fn rank(c: EventColor) -> u8 {
@@ -388,6 +446,33 @@ pub fn check_trace(
     // Greened actions with an unbounded footprint side: they conflict
     // with (nearly) everything, so every revocation scan visits them.
     let mut unbounded_greens: Vec<(u32, u64)> = Vec::new();
+
+    // --- Read-lease oracle state. Inert unless the run emitted
+    // `ReadServed`/`UpdateAcked`/`LeaseGranted` events (read leases on).
+    //
+    // Actions already counted as strong acknowledgements. An action is
+    // one linearization point no matter how many times its ack is
+    // re-announced.
+    let mut acked: BTreeSet<(u32, u64)> = BTreeSet::new();
+    // write fingerprint -> strongly-acked writes touching it so far.
+    let mut acked_writes_by_fp: BTreeMap<u64, u64> = BTreeMap::new();
+    // One record per lease grant/renewal, in log (= virtual-time) order.
+    struct LeaseGrant {
+        /// Position in the event log (tie-break for same-nanosecond cuts).
+        idx: u64,
+        /// Grant instant, nanoseconds.
+        start: u64,
+        /// Scheduled expiry, nanoseconds.
+        expires: u64,
+        /// Holder.
+        node: u32,
+        /// Sealing configuration: (conf_seq, coordinator).
+        conf: (u64, u32),
+    }
+    let mut lease_grants: Vec<LeaseGrant> = Vec::new();
+    // node -> (log index, nanos) of its transitional-config and crash
+    // events — the instants the engine conservatively expires a lease.
+    let mut lease_cuts: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
     let mut event_idx: u64 = 0;
 
     for rec in events {
@@ -516,6 +601,10 @@ pub fn check_trace(
                 red_line.remove(&node);
                 inflight.remove(&node);
                 deliv_seq.retain(|&(n, _, _), _| n != node);
+                lease_cuts
+                    .entry(node)
+                    .or_default()
+                    .push((event_idx, rec.at_nanos));
             }
             ProtocolEvent::EngineRecovered { node, green } => {
                 if let Some(&best) = best_green.get(&node) {
@@ -617,7 +706,112 @@ pub fn check_trace(
                     }
                 }
             }
+            ProtocolEvent::TransitionalConfig { node, .. } => {
+                lease_cuts
+                    .entry(node)
+                    .or_default()
+                    .push((event_idx, rec.at_nanos));
+            }
+            ProtocolEvent::UpdateAcked {
+                creator,
+                action_seq,
+                ..
+            } => {
+                let id = (creator, action_seq);
+                if acked.insert(id) {
+                    if let Some(fd) = footprints.get(&id) {
+                        // Unbounded write sets cannot be attributed to
+                        // a row; skipping them keeps the staleness
+                        // check a sound necessary condition.
+                        if !fd.writes_unbounded {
+                            let mut fps = fd.writes.clone();
+                            fps.sort_unstable();
+                            fps.dedup();
+                            for fp in fps {
+                                *acked_writes_by_fp.entry(fp).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Only lease-served linearizable reads are checked: the
+            // engine answers them without touching the total order,
+            // so only the lease discipline keeps them fresh. Reads
+            // routed through the ordered path are linearized by the
+            // green order itself (and checked by the green-position
+            // oracles); their serve instant can legitimately trail
+            // their linearization point, so an ack-before-serve
+            // comparison would false-positive on them. Snapshot and
+            // overlay tiers promise no linearizability at all.
+            ProtocolEvent::ReadServed {
+                node,
+                key_fp,
+                tier: ReadTier::LeaseLinearizable,
+                version,
+            } => {
+                stats.lease_reads_checked += 1;
+                let acked_writes = acked_writes_by_fp.get(&key_fp).copied().unwrap_or(0);
+                if version < acked_writes {
+                    return Err(TraceViolation::StaleLinearizableRead {
+                        node,
+                        key_fp,
+                        version,
+                        acked_writes,
+                    });
+                }
+            }
+            ProtocolEvent::LeaseGranted {
+                node,
+                conf_seq,
+                coordinator,
+                expires_nanos,
+                renewal: _,
+            } => {
+                lease_grants.push(LeaseGrant {
+                    idx: event_idx,
+                    start: rec.at_nanos,
+                    expires: expires_nanos,
+                    node,
+                    conf: (conf_seq, coordinator),
+                });
+            }
             _ => {}
+        }
+    }
+
+    // Lease safety: grant intervals sealed to *different* configurations
+    // must be pairwise disjoint (co-members of one configuration hold
+    // leases simultaneously by design). Each interval is clipped at the
+    // holder's next transitional configuration or crash, mirroring the
+    // engine's conservative expiry; what remains is exactly the window
+    // in which the holder would answer linearizable reads locally, so
+    // any cross-configuration overlap means a stale holder could race a
+    // new primary's writes.
+    let mut live_ends: BTreeMap<(u64, u32), (u64, u32)> = BTreeMap::new();
+    for grant in &lease_grants {
+        stats.lease_grants_checked += 1;
+        let cut = lease_cuts
+            .get(&grant.node)
+            .and_then(|cuts| cuts.iter().find(|&&(idx, _)| idx > grant.idx))
+            .map(|&(_, nanos)| nanos);
+        let end = match cut {
+            Some(c) => grant.expires.min(c),
+            None => grant.expires,
+        };
+        if end <= grant.start {
+            continue;
+        }
+        for (&other_conf, &(other_end, other_node)) in &live_ends {
+            if other_conf != grant.conf && other_end > grant.start {
+                return Err(TraceViolation::LeaseOverlap {
+                    a: (other_node, other_conf),
+                    b: (grant.node, grant.conf),
+                });
+            }
+        }
+        let slot = live_ends.entry(grant.conf).or_insert((end, grant.node));
+        if end > slot.0 {
+            *slot = (end, grant.node);
         }
     }
 
@@ -1101,6 +1295,217 @@ mod tests {
         events.push(fast_commit(0, 1));
         events.extend(green_mark(0, 0, 1, 2));
         check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    // --- read-lease oracle clauses ---
+
+    fn rec_at(at_nanos: u64, event: E) -> RecordedEvent {
+        RecordedEvent {
+            at_nanos,
+            actor: 0,
+            group: 0,
+            event,
+        }
+    }
+
+    fn update_acked(creator: u32, action_seq: u64) -> RecordedEvent {
+        rec(E::UpdateAcked {
+            node: creator,
+            creator,
+            action_seq,
+        })
+    }
+
+    fn read_served(node: u32, key_fp: u64, tier: ReadTier, version: u64) -> RecordedEvent {
+        rec(E::ReadServed {
+            node,
+            key_fp,
+            tier,
+            version,
+        })
+    }
+
+    fn lease(at: u64, node: u32, conf: (u64, u32), expires: u64) -> RecordedEvent {
+        rec_at(
+            at,
+            E::LeaseGranted {
+                node,
+                conf_seq: conf.0,
+                coordinator: conf.1,
+                expires_nanos: expires,
+                renewal: false,
+            },
+        )
+    }
+
+    #[test]
+    fn fresh_lease_read_after_acked_write_passes() {
+        let events = vec![
+            footprint(0, 1, 7),
+            update_acked(0, 1),
+            read_served(1, 7, ReadTier::LeaseLinearizable, 1),
+        ];
+        let stats = check_trace(&events, &BTreeSet::new()).unwrap();
+        assert_eq!(stats.lease_reads_checked, 1);
+    }
+
+    #[test]
+    fn stale_lease_read_is_caught() {
+        let events = vec![
+            footprint(0, 1, 7),
+            update_acked(0, 1),
+            read_served(1, 7, ReadTier::LeaseLinearizable, 0),
+        ];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::StaleLinearizableRead {
+                node: 1,
+                key_fp: 7,
+                version: 0,
+                acked_writes: 1,
+            }
+        ));
+    }
+
+    #[test]
+    fn non_lease_tiers_are_exempt_from_the_staleness_clause() {
+        // Ordered linearizable reads are linearized by the green order
+        // itself; snapshot and overlay tiers promise no freshness.
+        let mut events = vec![footprint(0, 1, 7), update_acked(0, 1)];
+        for tier in [
+            ReadTier::OrderedLinearizable,
+            ReadTier::GreenSnapshot,
+            ReadTier::RedOverlay,
+        ] {
+            events.push(read_served(1, 7, tier, 0));
+        }
+        let stats = check_trace(&events, &BTreeSet::new()).unwrap();
+        assert_eq!(stats.lease_reads_checked, 0);
+    }
+
+    #[test]
+    fn re_announced_acks_count_as_one_linearization_point() {
+        let events = vec![
+            footprint(0, 1, 7),
+            update_acked(0, 1),
+            update_acked(0, 1),
+            read_served(1, 7, ReadTier::LeaseLinearizable, 1),
+        ];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn acks_only_count_after_they_happened() {
+        // The read precedes the second ack: version 1 is fresh enough.
+        let events = vec![
+            footprint(0, 1, 7),
+            footprint(0, 2, 7),
+            update_acked(0, 1),
+            read_served(1, 7, ReadTier::LeaseLinearizable, 1),
+            update_acked(0, 2),
+        ];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn unattributable_acks_are_skipped() {
+        // No footprint for (0, 5), and (0, 6) writes unbounded: neither
+        // can be pinned to a row, so neither raises the freshness floor.
+        let events = vec![
+            rec(E::ActionFootprint {
+                node: 0,
+                action_seq: 6,
+                writes: vec![],
+                writes_unbounded: true,
+                reads: vec![],
+                reads_unbounded: false,
+                commutative: false,
+                timestamped: false,
+            }),
+            update_acked(0, 5),
+            update_acked(0, 6),
+            read_served(1, 7, ReadTier::LeaseLinearizable, 0),
+        ];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn co_members_of_one_configuration_may_hold_leases_together() {
+        let events = vec![
+            lease(0, 0, (5, 0), 100),
+            lease(10, 1, (5, 0), 110),
+            lease(20, 2, (5, 0), 120),
+        ];
+        let stats = check_trace(&events, &BTreeSet::new()).unwrap();
+        assert_eq!(stats.lease_grants_checked, 3);
+    }
+
+    #[test]
+    fn overlapping_leases_from_different_configurations_are_caught() {
+        let events = vec![lease(0, 0, (5, 0), 100), lease(50, 1, (6, 1), 150)];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::LeaseOverlap {
+                a: (0, (5, 0)),
+                b: (1, (6, 1)),
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_leases_do_not_overlap_a_later_configuration() {
+        let events = vec![lease(0, 0, (5, 0), 40), lease(50, 1, (6, 1), 150)];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn transitional_config_clips_the_stale_holders_lease() {
+        // Node 0's lease would run to t=100, but it saw a transitional
+        // configuration at t=40 and expired it conservatively — so the
+        // new configuration's grant at t=50 does not overlap.
+        let events = vec![
+            lease(0, 0, (5, 0), 100),
+            rec_at(
+                40,
+                E::TransitionalConfig {
+                    node: 0,
+                    conf_seq: 5,
+                },
+            ),
+            lease(50, 1, (6, 1), 150),
+        ];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn crash_clips_the_stale_holders_lease() {
+        let events = vec![
+            lease(0, 0, (5, 0), 100),
+            rec_at(40, E::EngineCrashed { node: 0 }),
+            lease(50, 1, (6, 1), 150),
+        ];
+        check_trace(&events, &BTreeSet::new()).unwrap();
+    }
+
+    #[test]
+    fn only_the_holders_own_view_change_clips_its_lease() {
+        // Node 2's transitional config says nothing about node 0's
+        // lease: the overlap is still a violation.
+        let events = vec![
+            lease(0, 0, (5, 0), 100),
+            rec_at(
+                40,
+                E::TransitionalConfig {
+                    node: 2,
+                    conf_seq: 5,
+                },
+            ),
+            lease(50, 1, (6, 1), 150),
+        ];
+        assert!(matches!(
+            check_trace(&events, &BTreeSet::new()).unwrap_err(),
+            TraceViolation::LeaseOverlap { .. }
+        ));
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct RunOptions {
     /// key, so fast-path schedules exercise genuine conflicts and
     /// demotions (only meaningful with [`Self::fast_path`]).
     pub conflict_pct: u8,
+    /// Run with primary read leases enabled: every replica additionally
+    /// carries a read-only closed-loop client issuing linearizable
+    /// reads, and the read-lease trace oracles (no stale lease read, no
+    /// cross-configuration lease overlap) become active.
+    pub read_leases: bool,
     /// The deliberate engine invariant breakage to inject
     /// (`chaos-mutations` builds only; used by the mutation self-test).
     #[cfg(feature = "chaos-mutations")]
@@ -81,6 +86,7 @@ impl Default for RunOptions {
             checkpoint_interval: 1024,
             fast_path: false,
             conflict_pct: 0,
+            read_leases: false,
             #[cfg(feature = "chaos-mutations")]
             chaos: None,
         }
@@ -211,7 +217,8 @@ fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box
         .tie_break(tie_break_for(spec.perturbation))
         .packing(options.max_pack)
         .checkpoint_interval(options.checkpoint_interval)
-        .fast_path(options.fast_path);
+        .fast_path(options.fast_path)
+        .read_leases(options.read_leases);
     #[cfg(feature = "chaos-mutations")]
     let builder = builder.chaos(options.chaos);
     let config = builder.build().expect("runner config is coherent");
@@ -225,7 +232,25 @@ fn run_case_inner(spec: &CaseSpec, options: &RunOptions) -> Result<CasePass, Box
             client_config.reply_policy = todr_core::UpdateReplyPolicy::Fast;
             client_config.conflict_pct = options.conflict_pct;
         }
+        if options.read_leases {
+            // Writers draw from the shared Zipfian key space so the
+            // read-only clients' lease reads race real committed writes.
+            client_config.zipfian = Some(todr_harness::client::ZipfianKeys::ycsb(64));
+        }
         cluster.attach_client(i, client_config);
+        if options.read_leases {
+            // A read-only client per replica, pointed at the same
+            // Zipfian key space, across every fault schedule.
+            cluster.attach_client(
+                i,
+                ClientConfig {
+                    read_pct: 100,
+                    read_consistency: Some(todr_core::ReadConsistency::Linearizable),
+                    zipfian: Some(todr_harness::client::ZipfianKeys::ycsb(64)),
+                    ..ClientConfig::default()
+                },
+            );
+        }
     }
     cluster.run_for(SimDuration::from_millis(400));
 

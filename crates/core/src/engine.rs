@@ -6,12 +6,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use todr_db::conflict::{classify, conflicts, ActionClass};
-use todr_db::{Database, Op, Query, QueryResult};
+use todr_db::keys::{read_set, row_fingerprint, write_set};
+use todr_db::{Database, Op, Query, QueryResult, ReadConsistency};
 use todr_evs::{ConfId, Configuration, EvsCmd, EvsEvent};
 use todr_net::{Datagram, NetOp, NodeId};
 use todr_sim::{
-    Actor, ActorId, CpuMeter, Ctx, EventColor, Payload, ProtocolEvent, SimDuration, SimTime,
-    TraceLevel,
+    Actor, ActorId, CpuMeter, Ctx, EventColor, Payload, ProtocolEvent, ReadTier, SimDuration,
+    SimTime, TraceLevel,
 };
 use todr_storage::{DiskDone, DiskOp, FileIoStats, LogFaultKind, StorageHandle, SyncToken};
 
@@ -123,6 +124,10 @@ struct PendingReply {
     query: Option<Query>,
     submitted_at: SimTime,
     policy: UpdateReplyPolicy,
+    /// `Some` when this is a consistency-tiered query-only read routed
+    /// through the ordered path (no valid lease); the green reply emits
+    /// a [`ProtocolEvent::ReadServed`] with the ordered tier.
+    read_tier: Option<ReadConsistency>,
 }
 
 /// Fast-path bookkeeping for one of this server's own in-flight
@@ -217,6 +222,22 @@ pub struct ReplicationEngine {
     pending_fast: BTreeMap<ActionId, FastPending>,
     buffered_reqs: Vec<ClientRequest>,
     parked_strict: Vec<ClientRequest>,
+
+    // ----- read leases (volatile, same discipline as `pending_fast`) -----
+    /// `conf_epoch` at the moment the lease was granted. A lease is only
+    /// valid while this matches the current epoch, so any configuration
+    /// change implicitly revokes it even before the explicit expiry in
+    /// `on_trans_conf` runs.
+    lease_epoch: u64,
+    /// Virtual instant the current read lease drains. Renewed by
+    /// [`EvsEvent::LeaseRenew`] heartbeat evidence; conservatively
+    /// zeroed on any transitional configuration and on crash.
+    lease_expiry: SimTime,
+    /// Lease-tier linearizable reads parked behind a receipted-but-not-
+    /// yet-green write covering their row; re-served as green marks
+    /// land. Moved into `buffered_reqs` on a view change so they re-run
+    /// through the normal (ordered) path after the next install.
+    parked_lease: Vec<ClientRequest>,
 
     // ----- disk -----
     next_sync_token: u64,
@@ -318,6 +339,9 @@ impl ReplicationEngine {
             pending_fast: BTreeMap::new(),
             buffered_reqs: Vec::new(),
             parked_strict: Vec::new(),
+            lease_epoch: 0,
+            lease_expiry: SimTime::ZERO,
+            parked_lease: Vec::new(),
             next_sync_token: 0,
             pending_syncs: BTreeMap::new(),
             submit_queue: Vec::new(),
@@ -677,6 +701,11 @@ impl ReplicationEngine {
                         client: action.client.0 as u64,
                         latency_nanos: latency.as_nanos(),
                     });
+                    // Deliberately NOT a lease-oracle linearization
+                    // point: an OnRed acknowledgement is the relaxed
+                    // §6 contract — the update is not yet green
+                    // anywhere, so a concurrent lease read elsewhere
+                    // legitimately does not observe it.
                     let result = p.query.as_ref().map(|q| self.dirty_view().query(q));
                     let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action);
                     self.reply(
@@ -805,6 +834,13 @@ impl ReplicationEngine {
                     client: action.client.0 as u64,
                     latency_nanos: latency.as_nanos(),
                 });
+                self.note_update_acked(ctx, action);
+                if p.read_tier == Some(ReadConsistency::Linearizable) {
+                    if let Some(q) = &p.query {
+                        let q = q.clone();
+                        self.emit_read_served(ctx, &q, ReadTier::OrderedLinearizable, false);
+                    }
+                }
                 let result = p.query.as_ref().map(|q| self.db.query(q));
                 self.reply(
                     ctx,
@@ -818,6 +854,14 @@ impl ReplicationEngine {
                         green_seq: self.green_count,
                     },
                 );
+            }
+        }
+        // Lease reads parked behind a receipted write re-check their
+        // conflict now that another action went green.
+        if !self.parked_lease.is_empty() {
+            let parked: Vec<ClientRequest> = std::mem::take(&mut self.parked_lease);
+            for req in parked {
+                self.serve_query(ctx, req);
             }
         }
         // Strict queries parked behind this server's own updates (§6
@@ -912,6 +956,36 @@ impl ReplicationEngine {
     // ============================================================
 
     fn on_client_request(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest) {
+        // Injected bug (oracle self-test): a "lease" that is never
+        // granted, renewed, or revoked — linearizable reads answered
+        // straight from the local green database in any live state.
+        // Correct while the node is inside the primary component;
+        // becomes a stale read the moment it is partitioned away and
+        // the surviving primary commits past it.
+        #[cfg(feature = "chaos-mutations")]
+        if self.cfg.chaos == Some(crate::types::ChaosMutation::ServeReadWithoutLease)
+            && req.read_consistency == Some(ReadConsistency::Linearizable)
+            && matches!(req.update, Op::Noop)
+            && req.query.is_some()
+            && !matches!(self.state, EngineState::Down | EngineState::Joining)
+        {
+            let query = req.query.clone().expect("just checked");
+            self.stats.lease_reads += 1;
+            ctx.metrics().incr("engine.lease_reads", 1);
+            self.emit_read_served(ctx, &query, ReadTier::LeaseLinearizable, false);
+            let result = self.db.query(&query);
+            let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action / 4);
+            return self.reply(
+                ctx,
+                at,
+                req.reply_to,
+                ClientReply::QueryAnswer {
+                    request: req.request,
+                    result,
+                    dirty: false,
+                },
+            );
+        }
         match self.state {
             EngineState::Down | EngineState::Joining => {
                 self.reply(
@@ -936,7 +1010,19 @@ impl ReplicationEngine {
         if query_only {
             return self.serve_query(ctx, req);
         }
+        self.generate_client_action(ctx, req, None)
+    }
 
+    /// Creates, persists, and submits an action for a client request —
+    /// the Appendix A NonPrim/RegPrim "Client req" path. `read_tier` is
+    /// `Some` when the action is a consistency-tiered read routed
+    /// through the ordered path.
+    fn generate_client_action(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        req: ClientRequest,
+        read_tier: Option<ReadConsistency>,
+    ) {
         // Backpressure: during a long non-primary partition red bodies
         // accumulate with no white line to discard them; refuse new
         // local updates at the retention bound instead of growing
@@ -976,7 +1062,7 @@ impl ReplicationEngine {
             node: self.cfg.me.index(),
             action_seq: action.id.index,
         });
-        if self.cfg.fast_path {
+        if self.cfg.fast_path || self.cfg.read_leases {
             // Export the static conflict class so the todr-check oracle
             // can replay exactly the relation the engine evaluates.
             let d = classify(&req.update, req.query.as_ref()).digest();
@@ -1001,6 +1087,7 @@ impl ReplicationEngine {
                 query: req.query,
                 submitted_at: ctx.now(),
                 policy: req.reply_policy,
+                read_tier,
             },
         );
         // ** sync to disk, then generate.
@@ -1026,6 +1113,10 @@ impl ReplicationEngine {
     }
 
     fn serve_query(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest) {
+        // Consistency-tiered reads bypass the legacy semantics switch.
+        if let Some(tier) = req.read_consistency {
+            return self.serve_tiered_read(ctx, req, tier);
+        }
         let query = req.query.clone().expect("query-only request");
         match req.query_semantics {
             QuerySemantics::Strict => {
@@ -1090,6 +1181,234 @@ impl ReplicationEngine {
         }
     }
 
+    // ============================================================
+    // consistency-tiered reads (LARK-style primary read leases)
+    // ============================================================
+
+    /// Dispatches a [`ReadConsistency`]-tiered query-only request.
+    ///
+    /// `GreenSnapshot` and `RedOverlay` are always local and lease-free:
+    /// the first answers from the green prefix, the second replays the
+    /// local red suffix over it (the same view the `Dirty` semantics
+    /// expose). `Linearizable` is answered locally under a valid read
+    /// lease, and otherwise re-routed through the ordered action path —
+    /// it is never rejected.
+    fn serve_tiered_read(&mut self, ctx: &mut Ctx<'_>, req: ClientRequest, tier: ReadConsistency) {
+        let query = req.query.clone().expect("query-only request");
+        match tier {
+            ReadConsistency::GreenSnapshot => {
+                self.stats.snapshot_reads += 1;
+                ctx.metrics().incr("engine.snapshot_reads", 1);
+                self.emit_read_served(ctx, &query, ReadTier::GreenSnapshot, false);
+                let result = self.db.query(&query);
+                let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action / 4);
+                self.reply(
+                    ctx,
+                    at,
+                    req.reply_to,
+                    ClientReply::QueryAnswer {
+                        request: req.request,
+                        result,
+                        dirty: false,
+                    },
+                );
+            }
+            ReadConsistency::RedOverlay => {
+                self.stats.overlay_reads += 1;
+                ctx.metrics().incr("engine.overlay_reads", 1);
+                self.emit_read_served(ctx, &query, ReadTier::RedOverlay, true);
+                let result = self.dirty_view().query(&query);
+                let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action / 4);
+                self.reply(
+                    ctx,
+                    at,
+                    req.reply_to,
+                    ClientReply::QueryAnswer {
+                        request: req.request,
+                        result,
+                        dirty: true,
+                    },
+                );
+            }
+            ReadConsistency::Linearizable => {
+                if self.try_lease_read(ctx, &req) {
+                    return;
+                }
+                // No valid lease: re-route through the ordered path. The
+                // read becomes an ordinary (Noop-update) action, totally
+                // ordered and answered from the green database at apply
+                // time — in `NonPrim` it turns red and is answered after
+                // the next merge with the primary.
+                self.stats.ordered_reads += 1;
+                ctx.metrics().incr("engine.ordered_reads", 1);
+                let mut req = req;
+                req.reply_policy = UpdateReplyPolicy::OnGreen;
+                self.generate_client_action(ctx, req, Some(ReadConsistency::Linearizable));
+            }
+        }
+    }
+
+    /// Whether this engine currently holds a valid read lease: leases
+    /// exist only inside a regular primary configuration, are sealed to
+    /// the epoch they were granted in, and drain `lease_duration` after
+    /// the last grant or heartbeat renewal.
+    fn lease_valid(&self, now: SimTime) -> bool {
+        self.cfg.read_leases
+            && self.state == EngineState::RegPrim
+            && self.lease_epoch == self.conf_epoch
+            && now < self.lease_expiry
+    }
+
+    /// Attempts to answer a linearizable read locally under the read
+    /// lease. Returns `false` if the caller must fall back to the
+    /// ordered path (no valid lease, or an unbounded query).
+    ///
+    /// Safety of the local answer: an update acknowledged to any client
+    /// was green at its origin, so it was *safe-delivered* there — every
+    /// member of the component had receipted it first. With eager
+    /// receipts on, this engine therefore already holds any acknowledged
+    /// update at least red. Serving from the green prefix alone could
+    /// still miss it, so the read parks behind any receipted-but-not-
+    /// yet-green write covering its row and is re-served as green marks
+    /// land. Unbounded queries (scans, counts, digests) conflict with
+    /// every write footprint and go ordered instead.
+    fn try_lease_read(&mut self, ctx: &mut Ctx<'_>, req: &ClientRequest) -> bool {
+        if !self.lease_valid(ctx.now()) {
+            return false;
+        }
+        let query = match &req.query {
+            Some(q @ Query::Get { .. }) => q.clone(),
+            _ => return false,
+        };
+        if self.lease_read_conflict(&query) {
+            self.stats.lease_reads_parked += 1;
+            ctx.metrics().incr("engine.lease_reads_parked", 1);
+            self.parked_lease.push(req.clone());
+            return true;
+        }
+        self.stats.lease_reads += 1;
+        ctx.metrics().incr("engine.lease_reads", 1);
+        self.emit_read_served(ctx, &query, ReadTier::LeaseLinearizable, false);
+        let result = self.db.query(&query);
+        let at = self.cpu.charge(ctx.now(), self.cfg.cpu_per_action / 4);
+        self.reply(
+            ctx,
+            at,
+            req.reply_to,
+            ClientReply::QueryAnswer {
+                request: req.request,
+                result,
+                dirty: false,
+            },
+        );
+        true
+    }
+
+    /// Whether any receipted-but-not-yet-green in-flight write (red set
+    /// or yellow set) covers a row the query reads. Bodies missing from
+    /// the action store count as conflicting.
+    fn lease_read_conflict(&self, query: &Query) -> bool {
+        let reads = read_set(query);
+        self.red_set.iter().chain(self.yellow.set.iter()).any(|id| {
+            match self.actions.get(id).map(|a| &a.kind) {
+                Some(ActionKind::App { update, .. }) => write_set(update).intersects(&reads),
+                Some(_) => false, // membership actions write no rows
+                None => true,
+            }
+        })
+    }
+
+    /// Emits the oracle-facing [`ProtocolEvent::ReadServed`] record for
+    /// a bounded read, carrying the row version observed by the answer.
+    fn emit_read_served(&mut self, ctx: &mut Ctx<'_>, query: &Query, tier: ReadTier, dirty: bool) {
+        if let Query::Get { table, key } = query {
+            let version = if dirty {
+                let (table, key) = (table.clone(), key.clone());
+                self.dirty_view().row_version(&table, &key)
+            } else {
+                self.db.row_version(table, key)
+            };
+            ctx.emit(ProtocolEvent::ReadServed {
+                node: self.cfg.me.index(),
+                key_fp: row_fingerprint(table, key),
+                tier,
+                version,
+            });
+        }
+    }
+
+    /// Emits the oracle-facing [`ProtocolEvent::UpdateAcked`] record
+    /// when an update's commit is acknowledged to its client with the
+    /// strong (green or fast) contract — the linearization points the
+    /// read oracle measures staleness against. Relaxed OnRed replies
+    /// never reach here, and Noop updates (query-only reads on the
+    /// ordered path) are not writes and emit nothing.
+    fn note_update_acked(&mut self, ctx: &mut Ctx<'_>, action: &Action) {
+        if !self.cfg.read_leases {
+            return;
+        }
+        if !matches!(&action.kind, ActionKind::App { update, .. } if !matches!(update, Op::Noop)) {
+            return;
+        }
+        ctx.emit(ProtocolEvent::UpdateAcked {
+            node: self.cfg.me.index(),
+            creator: action.id.server.index(),
+            action_seq: action.id.index,
+        });
+    }
+
+    /// Grants (or heartbeat-renews) the read lease for the current
+    /// configuration.
+    fn grant_lease(&mut self, ctx: &mut Ctx<'_>, renewal: bool) {
+        let conf_id = match &self.conf {
+            Some(conf) => conf.id,
+            None => return,
+        };
+        self.lease_epoch = self.conf_epoch;
+        self.lease_expiry = ctx.now() + self.cfg.lease_duration;
+        if renewal {
+            self.stats.lease_renewals += 1;
+            ctx.metrics().incr("engine.lease_renewals", 1);
+        } else {
+            self.stats.lease_grants += 1;
+            ctx.metrics().incr("engine.lease_grants", 1);
+        }
+        ctx.emit(ProtocolEvent::LeaseGranted {
+            node: self.cfg.me.index(),
+            conf_seq: conf_id.seq,
+            coordinator: conf_id.coordinator.index(),
+            expires_nanos: self.lease_expiry.as_nanos(),
+            renewal,
+        });
+    }
+
+    /// Heartbeat renewal from the EVS daemon: every member of the
+    /// regular configuration was heard from within two heartbeat
+    /// intervals. Only renews a lease granted in the *same*
+    /// configuration — a renewal that raced a view change is dropped.
+    fn on_lease_renew(&mut self, ctx: &mut Ctx<'_>, conf_id: ConfId) {
+        if !self.cfg.read_leases || self.state != EngineState::RegPrim {
+            return;
+        }
+        if self.conf.as_ref().map(|c| c.id) != Some(conf_id) {
+            return;
+        }
+        if self.lease_epoch != self.conf_epoch {
+            return; // no lease was granted in this configuration
+        }
+        self.grant_lease(ctx, true);
+    }
+
+    /// Conservatively revokes the lease (view change or crash). Counts
+    /// an expiration only if the lease was still live.
+    fn expire_lease(&mut self, ctx: &mut Ctx<'_>) {
+        if self.lease_valid(ctx.now()) {
+            self.stats.lease_expirations += 1;
+            ctx.metrics().incr("engine.lease_expirations", 1);
+        }
+        self.lease_expiry = SimTime::ZERO;
+    }
+
     /// `Handle_buff_requests` (Appendix A, CodeSegment A.8).
     fn handle_buffered(&mut self, ctx: &mut Ctx<'_>) {
         // Actions deferred across the view change go out first: they
@@ -1150,7 +1469,24 @@ impl ReplicationEngine {
         // Fast commits are scoped to one uninterrupted regular primary:
         // quorums still forming do not carry across the view change (the
         // owed replies fall back to firing on green).
+        let demoted = self.pending_fast.len() as u64;
+        if demoted > 0 {
+            self.stats.fast_demotions_on_view_change += demoted;
+            ctx.metrics()
+                .incr("engine.fast_demotions_on_view_change", demoted);
+        }
         self.pending_fast.clear();
+        // Read leases follow the same volatile discipline: any view
+        // change revokes them before the membership protocol even
+        // decides what the next component looks like.
+        self.expire_lease(ctx);
+        if !self.parked_lease.is_empty() {
+            // Parked lease reads re-enter the normal request path after
+            // the next install (or non-primary transition) releases the
+            // buffer — they fall back to the ordered read there.
+            let parked: Vec<ClientRequest> = std::mem::take(&mut self.parked_lease);
+            self.buffered_reqs.extend(parked);
+        }
         match self.state {
             EngineState::RegPrim => self.state = EngineState::TransPrim,
             EngineState::Construct => self.state = EngineState::No,
@@ -1501,6 +1837,13 @@ impl ReplicationEngine {
                         return;
                     }
                     self.state = EngineState::RegPrim;
+                    if self.cfg.read_leases {
+                        // The install greened everything a quorum of the
+                        // previous primary knew; any update acknowledged
+                        // anywhere is now in our green prefix, so the
+                        // lease can start here.
+                        self.grant_lease(ctx, false);
+                    }
                     let epoch = self.conf_epoch;
                     self.request_sync(ctx, AfterSync::Installed { epoch });
                 }
@@ -1720,7 +2063,13 @@ impl ReplicationEngine {
     /// conflict check and either opens a [`FastPending`] quorum or
     /// demotes the request to the normal wait-for-green reply.
     fn on_receipt(&mut self, ctx: &mut Ctx<'_>, delivery: todr_evs::Delivery) {
-        if !self.cfg.fast_path || self.state != EngineState::RegPrim || delivery.in_transitional {
+        // Read leases consume receipts too: the park-behind-receipted-
+        // writes check of `try_lease_read` needs every in-flight action
+        // marked red at receipt time, even with the fast path off.
+        if !(self.cfg.fast_path || self.cfg.read_leases)
+            || self.state != EngineState::RegPrim
+            || delivery.in_transitional
+        {
             return;
         }
         let Some(EngineMsg::Action(action)) = delivery.payload.downcast_ref::<EngineMsg>() else {
@@ -1731,6 +2080,9 @@ impl ReplicationEngine {
             return; // joins/leaves always take the full green path
         }
         self.mark_red(ctx, &action);
+        if !self.cfg.fast_path {
+            return; // lease-only mode: receipts mark red, nothing else
+        }
         let id = action.id;
         if id.server != self.cfg.me {
             // Tell the origin we hold the sequenced action. Direct
@@ -1815,7 +2167,22 @@ impl ReplicationEngine {
             return;
         };
         let ackers: Vec<NodeId> = fp.ackers.iter().copied().collect();
-        if !is_weighted_quorum(&ackers, &self.prim_component, &self.cfg.weights) {
+        let quorum_ok = if self.cfg.read_leases {
+            // With read leases active, a fast quorum is not enough: any
+            // member could answer a lease read for this row the instant
+            // the client learns of the commit, so *every* member of the
+            // current configuration must hold the action first. (Members
+            // of older configurations cannot: their lease died at least
+            // `fail_timeout - 2·hb - lease_duration` before this
+            // configuration could have installed.)
+            match &self.conf {
+                Some(conf) => conf.members.iter().all(|m| fp.ackers.contains(m)),
+                None => false,
+            }
+        } else {
+            is_weighted_quorum(&ackers, &self.prim_component, &self.cfg.weights)
+        };
+        if !quorum_ok {
             return;
         }
         let fp = self.pending_fast.remove(&id).expect("just present");
@@ -1839,6 +2206,9 @@ impl ReplicationEngine {
             client,
             latency_nanos: latency.as_nanos(),
         });
+        if let Some(action) = self.actions.get(&id).cloned() {
+            self.note_update_acked(ctx, &action);
+        }
         // The reply doesn't execute the update — that happens at green
         // apply on every replica regardless — and its own CPU cost (the
         // conflict check + dirty-view read) was charged at receipt time,
@@ -2024,6 +2394,9 @@ impl ReplicationEngine {
         ctx.emit(ProtocolEvent::EngineCrashed {
             node: self.cfg.me.index(),
         });
+        // Revoke the read lease while the pre-crash state is still
+        // visible (counts an expiration if it was live).
+        self.expire_lease(ctx);
         if torn {
             self.store.crash_torn(ctx.fault_rng());
             ctx.metrics().incr("storage.torn_crashes", 1);
@@ -2053,6 +2426,9 @@ impl ReplicationEngine {
         self.pending_fast.clear();
         self.buffered_reqs.clear();
         self.parked_strict.clear();
+        self.parked_lease.clear();
+        self.lease_epoch = 0;
+        self.lease_expiry = SimTime::ZERO;
         self.pending_syncs.clear();
         self.pending_joins.clear();
         self.cpu.reset();
@@ -2369,6 +2745,7 @@ impl Actor for ReplicationEngine {
                     EvsEvent::TransConf(_) => self.on_trans_conf(ctx),
                     EvsEvent::Deliver(d) => self.on_delivery(ctx, d),
                     EvsEvent::Receipt(d) => self.on_receipt(ctx, d),
+                    EvsEvent::LeaseRenew(conf_id) => self.on_lease_renew(ctx, conf_id),
                 }
                 return;
             }

@@ -64,6 +64,7 @@ pub use exchange::{retrans_plan, RetransPlan as ExchangeRetransPlan};
 pub use persist::RecoveryError;
 pub use quorum::{PrimComponent, VulnerableRecord, YellowRecord};
 pub use semantics::{QuerySemantics, UpdateReplyPolicy};
+pub use todr_db::ReadConsistency;
 pub use types::{
     ClientReply, ClientRequest, Color, EngineConfig, EngineCtl, EngineStats, RequestId,
     StorageFault, TransferWire,

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
-use todr_db::{Database, Op, Query, QueryResult};
+use todr_db::{Database, Op, Query, QueryResult, ReadConsistency};
 use todr_net::NodeId;
 use todr_sim::{ActorId, SimDuration, SimTime};
 
@@ -48,6 +48,12 @@ pub struct ClientRequest {
     pub query_semantics: QuerySemantics,
     /// When the update part may be acknowledged (§6).
     pub reply_policy: UpdateReplyPolicy,
+    /// Consistency tier for a query-only request. `None` keeps the
+    /// legacy [`QuerySemantics`] dispatch; `Some(tier)` selects the
+    /// tiered read path (lease-local or ordered linearizable,
+    /// green-snapshot, or red-overlay — see
+    /// [`ReadConsistency`]). Ignored for requests with an update part.
+    pub read_consistency: Option<ReadConsistency>,
     /// Modelled request size in bytes.
     pub size_bytes: u32,
 }
@@ -216,6 +222,13 @@ pub enum ChaosMutation {
     /// green order — exactly what the `FastCommitRevoked` oracle in
     /// todr-check exists to catch.
     SkipConflictCheck,
+    /// Answer `Linearizable` reads from the local green database
+    /// regardless of lease validity, membership state, or in-flight
+    /// conflicting writes — a "read lease" that never expires. A
+    /// partitioned minority replica then keeps serving reads while the
+    /// majority commits new writes, returning stale values that the
+    /// `StaleLinearizableRead` oracle in todr-check exists to catch.
+    ServeReadWithoutLease,
 }
 
 /// Tuning knobs and identity of a [`ReplicationEngine`](crate::ReplicationEngine).
@@ -263,6 +276,22 @@ pub struct EngineConfig {
     /// EVS daemon to run with `eager_receipts`. Off by default — the
     /// default configuration's event streams stay byte-identical.
     pub fast_path: bool,
+    /// Enable LARK-style **read leases**: inside a regular primary
+    /// configuration every member grants itself an epoch-sealed lease
+    /// (renewed by `EvsEvent::LeaseRenew` heartbeat evidence, expired
+    /// conservatively on any view change — the same volatile discipline
+    /// as the fast path's witness state) and answers
+    /// [`ReadConsistency::Linearizable`] queries locally, parking
+    /// behind receipted-but-not-yet-green conflicting writes. Requires
+    /// the EVS daemon to run with `eager_receipts` and
+    /// `lease_heartbeats`. Off by default — the default configuration's
+    /// event streams stay byte-identical.
+    pub read_leases: bool,
+    /// How long a granted read lease remains valid without renewal.
+    /// Must satisfy `2·hb_interval + lease_duration < fail_timeout` so
+    /// a partitioned holder's lease drains before the surviving
+    /// majority can install a new configuration and accept new writes.
+    pub lease_duration: SimDuration,
     /// Auto-checkpoint period, in green actions: every `interval`-th
     /// green action triggers white-line garbage collection and log
     /// compaction (`0` disables; see
@@ -285,6 +314,8 @@ impl EngineConfig {
             cpu_burst_overhead: SimDuration::from_micros(230),
             max_retained_bodies: 1 << 16,
             fast_path: false,
+            read_leases: false,
+            lease_duration: SimDuration::from_millis(60),
             initial_member: true,
             state_msg_bytes: 256,
             cpc_msg_bytes: 64,
@@ -323,6 +354,31 @@ pub struct EngineStats {
     /// hit an in-flight conflict (or an unbounded footprint) and fell
     /// back to waiting for green.
     pub fast_demotions: u64,
+    /// Fast-path witnesses discarded by view changes: pending fast-path
+    /// candidates that were still awaiting their FastAck quorum when a
+    /// transitional configuration arrived and cleared the volatile
+    /// witness state (they fall back to waiting for green). Measures
+    /// the view-churn cost of the fast path.
+    pub fast_demotions_on_view_change: u64,
+    /// Linearizable reads answered locally under a valid read lease.
+    pub lease_reads: u64,
+    /// Linearizable reads that found no valid lease and fell back to
+    /// the ordered action path (plus explicitly ordered reads).
+    pub ordered_reads: u64,
+    /// Green-snapshot reads served.
+    pub snapshot_reads: u64,
+    /// Red-overlay reads served.
+    pub overlay_reads: u64,
+    /// Lease grants at configuration install time.
+    pub lease_grants: u64,
+    /// Heartbeat-evidence lease renewals accepted.
+    pub lease_renewals: u64,
+    /// Leases conservatively expired by a view change (transitional
+    /// configuration or crash) before their timer ran out.
+    pub lease_expirations: u64,
+    /// Lease reads that had to park behind a receipted-but-not-yet-green
+    /// conflicting write before answering.
+    pub lease_reads_parked: u64,
 }
 
 #[cfg(test)]

@@ -61,6 +61,14 @@ pub struct Database {
     tables: BTreeMap<String, BTreeMap<String, Row>>,
     applied: u64,
     aborted: u64,
+    /// Per-row write-version counters keyed by
+    /// [`row_fingerprint`](crate::keys::row_fingerprint). Bumped on
+    /// every applied write that touches the row (including deletes and
+    /// losing LWW puts), never reset, and deliberately excluded from
+    /// [`Database::digest`] — they are observability for the
+    /// linearizable-read oracle, not replicated content. Deterministic
+    /// in the op sequence, so they ride snapshots consistently.
+    versions: BTreeMap<u64, u64>,
 }
 
 impl Database {
@@ -92,6 +100,7 @@ impl Database {
                         self.tables.remove(table);
                     }
                 }
+                self.bump_version(table, key);
                 ApplyOutcome::Applied
             }
             Op::Incr { table, key, delta } => {
@@ -106,6 +115,7 @@ impl Database {
                     });
                 let current = row.value.as_int().unwrap_or(0);
                 row.value = Value::Int(current.wrapping_add(*delta));
+                self.bump_version(table, key);
                 ApplyOutcome::Applied
             }
             Op::TsPut {
@@ -126,12 +136,12 @@ impl Database {
                 if row.ts.is_none_or(|old| *ts > old) {
                     row.value = value.clone();
                     row.ts = Some(*ts);
-                    ApplyOutcome::Applied
                 } else {
                     // An older timestamp loses; the action still
                     // "applies" in the sense that replicas converge.
-                    ApplyOutcome::Applied
                 }
+                self.bump_version(table, key);
+                ApplyOutcome::Applied
             }
             Op::Proc { name, args } => procs::execute(self, name, args),
             Op::Checked { expect, then } => {
@@ -195,6 +205,25 @@ impl Database {
             .entry(table.to_string())
             .or_default()
             .insert(key.to_string(), Row { value, ts: None });
+        self.bump_version(table, key);
+    }
+
+    fn bump_version(&mut self, table: &str, key: &str) {
+        let fp = crate::keys::row_fingerprint(table, key);
+        *self.versions.entry(fp).or_insert(0) += 1;
+    }
+
+    /// The write-version of a row: how many applied writes have touched
+    /// `(table, key)` in this database's history (deletes and losing
+    /// LWW puts included; never reset). Used by the linearizable-read
+    /// oracle to detect stale reads — a linearizable read must observe
+    /// a version at least as large as the number of acknowledged writes
+    /// to the row at the time the read was served.
+    pub fn row_version(&self, table: &str, key: &str) -> u64 {
+        self.versions
+            .get(&crate::keys::row_fingerprint(table, key))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// A 64-bit FNV-1a digest of the full content (tables, keys, values,
@@ -452,6 +481,44 @@ mod tests {
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].name, "t1");
         assert_eq!(stats[0].rows, 2);
+    }
+
+    #[test]
+    fn row_versions_count_applied_writes() {
+        let mut db = Database::new();
+        assert_eq!(db.row_version("t", "k"), 0);
+        db.apply(&Op::put("t", "k", 1i64));
+        db.apply(&Op::incr("t", "k", 1));
+        assert_eq!(db.row_version("t", "k"), 2);
+        // Deletes and losing LWW puts still advance the version.
+        db.apply(&Op::delete("t", "k"));
+        assert_eq!(db.row_version("t", "k"), 3);
+        db.apply(&Op::ts_put("t", "k", "a", 5));
+        db.apply(&Op::ts_put("t", "k", "stale", 4));
+        assert_eq!(db.row_version("t", "k"), 5);
+        // Aborted interactive transactions write nothing.
+        db.apply(&Op::Checked {
+            expect: vec![("t".into(), "k".into(), None)],
+            then: vec![Op::put("t", "k", 9i64)],
+        });
+        assert_eq!(db.row_version("t", "k"), 5);
+        // Stored-procedure writes flow through `put` and are counted.
+        db.apply(&Op::proc("append_history", vec!["k".into(), "e".into()]));
+        assert!(db.row_version("history", "k") >= 1);
+    }
+
+    #[test]
+    fn versions_do_not_affect_digest() {
+        let mut a = Database::new();
+        a.apply(&Op::put("t", "k", 1i64));
+        let d = a.digest();
+        a.apply(&Op::delete("t", "x"));
+        // Deleting a missing row changes versions but not content.
+        assert_eq!(a.digest(), d);
+        let b = Database::new();
+        let mut c = Database::new();
+        c.apply(&Op::delete("t", "x"));
+        assert_eq!(b.digest(), c.digest());
     }
 
     #[test]

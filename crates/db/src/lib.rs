@@ -50,5 +50,5 @@ pub mod procs;
 mod value;
 
 pub use database::{ApplyOutcome, Database, TableStats};
-pub use op::{Op, Query, QueryResult};
+pub use op::{Op, Query, QueryResult, ReadConsistency};
 pub use value::Value;

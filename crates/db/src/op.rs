@@ -152,6 +152,34 @@ impl Op {
     }
 }
 
+/// The consistency tier a client requests for a read.
+///
+/// The engine's red/green machinery (DESIGN.md §4) naturally yields
+/// three read tiers of decreasing strength and cost:
+///
+/// * [`Linearizable`](ReadConsistency::Linearizable) — the read is
+///   ordered with respect to every acknowledged write. Served locally
+///   from the green database when the replica holds a valid read lease
+///   (parking behind any receipted-but-not-yet-green conflicting
+///   write); otherwise it falls back to the ordered action path.
+/// * [`GreenSnapshot`](ReadConsistency::GreenSnapshot) — a consistent
+///   snapshot of the green prefix: every replica serving this tier
+///   answers from *some* prefix of the single agreed total order.
+///   Local, lease-free, may lag acknowledged writes.
+/// * [`RedOverlay`](ReadConsistency::RedOverlay) — the green prefix
+///   with the replica's local red suffix replayed on top: fresher than
+///   `GreenSnapshot`, but the red suffix may still be reordered or
+///   (in a minority component) superseded before turning green.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadConsistency {
+    /// Ordered against all acknowledged writes (lease-local or ordered).
+    Linearizable,
+    /// A consistent green-prefix snapshot; may lag acknowledged writes.
+    GreenSnapshot,
+    /// Green prefix plus the local red suffix; freshest local view.
+    RedOverlay,
+}
+
 /// The query part of an action: a read against the database.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Query {

@@ -1,0 +1,184 @@
+//! Randomized property tests for the read-tier database contract:
+//! a red overlay is *exactly* the red suffix replayed over the green
+//! snapshot, and the green snapshot never observes a red-only write.
+//!
+//! The engine builds its `RedOverlay` view by cloning the green
+//! database and applying the locally ordered (red) suffix in order.
+//! These properties pin down everything the tiers rely on: overlay
+//! answers match a database that applied green + red sequentially,
+//! constructing the overlay leaves the green snapshot bit-identical,
+//! and the row-version counters (the staleness oracle's clock) advance
+//! by exactly one per applied write.
+//!
+//! Deterministic pseudo-randomness only (a splitmix64 walk) — no RNG
+//! crate, and failures replay exactly from the iteration seed.
+
+use todr_db::{Database, Op, Query, Value};
+
+/// SplitMix64 (public domain): the repo's standard dependency-free
+/// deterministic generator.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Walk(u64);
+
+impl Walk {
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const KEYS: u64 = 8;
+
+fn random_op(walk: &mut Walk) -> Op {
+    let key = format!("k{}", walk.below(KEYS));
+    match walk.below(4) {
+        0 => Op::put("t", key, Value::Int(walk.below(1000) as i64)),
+        1 => Op::incr("t", key, walk.below(9) as i64 - 4),
+        2 => Op::delete("t", key),
+        // Timestamped last-writer-wins put; small timestamp range so
+        // both winning and losing applications occur.
+        _ => {
+            let ts = walk.below(16);
+            Op::ts_put("t", key, Value::Int(ts as i64), ts)
+        }
+    }
+}
+
+#[test]
+fn overlay_is_red_suffix_over_green_snapshot() {
+    for iteration in 0..200u64 {
+        let mut walk = Walk(0xC0FFEE ^ iteration);
+        let n_green = walk.below(24) as usize;
+        let n_red = 1 + walk.below(12) as usize;
+        let green_ops: Vec<Op> = (0..n_green).map(|_| random_op(&mut walk)).collect();
+        let red_ops: Vec<Op> = (0..n_red).map(|_| random_op(&mut walk)).collect();
+
+        // The green snapshot: only the green prefix applied.
+        let mut green = Database::new();
+        for op in &green_ops {
+            green.apply(op);
+        }
+        let green_digest = green.digest();
+
+        // The overlay, built the way the engine builds its dirty view:
+        // clone the green snapshot, replay the red suffix.
+        let mut overlay = green.snapshot();
+        for op in &red_ops {
+            overlay.apply(op);
+        }
+
+        // Reference: one database that applied green + red sequentially.
+        let mut reference = Database::new();
+        for op in green_ops.iter().chain(red_ops.iter()) {
+            reference.apply(op);
+        }
+
+        for k in 0..KEYS {
+            let key = format!("k{k}");
+            let q = Query::get("t", &key);
+            assert_eq!(
+                overlay.query(&q),
+                reference.query(&q),
+                "iteration {iteration}: overlay of {key} diverges from \
+                 sequential application"
+            );
+            assert_eq!(
+                overlay.row_version("t", &key),
+                reference.row_version("t", &key),
+                "iteration {iteration}: overlay version of {key} diverges"
+            );
+        }
+        assert_eq!(
+            overlay.digest(),
+            reference.digest(),
+            "iteration {iteration}: overlay digest diverges"
+        );
+
+        // Building the overlay must not perturb the green snapshot.
+        assert_eq!(
+            green.digest(),
+            green_digest,
+            "iteration {iteration}: overlay construction mutated the \
+             green snapshot"
+        );
+    }
+}
+
+#[test]
+fn green_snapshot_never_observes_a_red_only_write() {
+    for iteration in 0..200u64 {
+        let mut walk = Walk(0xBEEF ^ iteration);
+        let n_green = walk.below(16) as usize;
+        let green_ops: Vec<Op> = (0..n_green).map(|_| random_op(&mut walk)).collect();
+
+        let mut green = Database::new();
+        for op in &green_ops {
+            green.apply(op);
+        }
+
+        // Record every key's pre-red answer and version, replay a red
+        // suffix on the overlay only, and require the green snapshot's
+        // answers to be byte-stable throughout.
+        let before: Vec<_> = (0..KEYS)
+            .map(|k| {
+                let key = format!("k{k}");
+                (
+                    green.query(&Query::get("t", &key)),
+                    green.row_version("t", &key),
+                )
+            })
+            .collect();
+        let mut overlay = green.snapshot();
+        for _ in 0..1 + walk.below(12) {
+            overlay.apply(&random_op(&mut walk));
+        }
+        for k in 0..KEYS {
+            let key = format!("k{k}");
+            assert_eq!(
+                green.query(&Query::get("t", &key)),
+                before[k as usize].0,
+                "iteration {iteration}: green snapshot observed a \
+                 red-only write to {key}"
+            );
+            assert_eq!(
+                green.row_version("t", &key),
+                before[k as usize].1,
+                "iteration {iteration}: green version of {key} moved \
+                 without a green write"
+            );
+        }
+    }
+}
+
+#[test]
+fn row_versions_count_every_applied_write() {
+    // Puts, deletes and losing timestamped puts all bump the version:
+    // the counter is a write clock, not a value hash — the staleness
+    // oracle needs it to advance even when the value round-trips back.
+    let mut db = Database::new();
+    assert_eq!(db.row_version("t", "k"), 0);
+    db.apply(&Op::put("t", "k", Value::Int(1)));
+    assert_eq!(db.row_version("t", "k"), 1);
+    db.apply(&Op::put("t", "k", Value::Int(1)));
+    assert_eq!(db.row_version("t", "k"), 2, "same-value put must bump");
+    db.apply(&Op::delete("t", "k"));
+    assert_eq!(db.row_version("t", "k"), 3, "delete must bump");
+    db.apply(&Op::ts_put("t", "k", Value::Int(9), 10));
+    assert_eq!(db.row_version("t", "k"), 4);
+    db.apply(&Op::ts_put("t", "k", Value::Int(8), 5));
+    assert_eq!(
+        db.row_version("t", "k"),
+        5,
+        "a losing (older-timestamp) put still bumps the write clock"
+    );
+}

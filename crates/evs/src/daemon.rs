@@ -99,6 +99,13 @@ pub struct EvsConfig {
     /// (where delivery itself already happens at sequencing). Off by
     /// default: the engine's commutativity fast path opts in.
     pub eager_receipts: bool,
+    /// Emit an [`EvsEvent::LeaseRenew`] on each failure-detector tick in
+    /// the steady phase of a regular configuration, provided every
+    /// member of that configuration was heard from within the last two
+    /// heartbeat intervals. Off by default: the engine's read-lease
+    /// machinery opts in. Renewals ride the existing heartbeat traffic —
+    /// no extra wire frames are sent.
+    pub lease_heartbeats: bool,
 }
 
 impl Default for EvsConfig {
@@ -118,6 +125,7 @@ impl Default for EvsConfig {
             ack_deadline: SimDuration::from_micros(1200),
             clone_fanout: false,
             eager_receipts: false,
+            lease_heartbeats: false,
         }
     }
 }
@@ -514,6 +522,9 @@ impl EvsDaemon {
             EvsEvent::Receipt(_) => {
                 self.stats.receipts += 1;
                 ctx.metrics().incr("evs.receipts", 1);
+            }
+            EvsEvent::LeaseRenew(_) => {
+                ctx.metrics().incr("evs.lease_renewals", 1);
             }
         }
         ctx.send_now(self.app, event);
@@ -1313,6 +1324,18 @@ impl EvsDaemon {
                 let members = self.member_set();
                 if self.ordering.is_none() || reachable != members {
                     self.start_gather(ctx);
+                } else if self.config.lease_heartbeats {
+                    // Renew read leases only on fresh, direct evidence:
+                    // every member heard within two heartbeat intervals
+                    // (much tighter than fail_timeout, so renewal stops
+                    // well before the membership protocol reacts).
+                    let window = self.config.hb_interval * 2;
+                    let conf_id = self.ordering.as_ref().map(|o| o.conf().id);
+                    if let Some(conf_id) = conf_id {
+                        if self.fd.all_fresh_within(&members, ctx.now(), window) {
+                            self.emit(ctx, EvsEvent::LeaseRenew(conf_id));
+                        }
+                    }
                 }
             }
             Phase::Gather(g) => {

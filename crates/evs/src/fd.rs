@@ -48,6 +48,27 @@ impl FailureDetector {
         set
     }
 
+    /// Whether *every* node in `peers` was heard from within `window`
+    /// of `now` (`me` counts as always fresh). Stricter than
+    /// [`Self::reachable`]: lease renewal uses a window of two heartbeat
+    /// intervals, far tighter than `fail_timeout`, so a lease stops
+    /// being renewed well before the membership protocol even suspects
+    /// a peer.
+    pub(crate) fn all_fresh_within<'a>(
+        &self,
+        peers: impl IntoIterator<Item = &'a NodeId>,
+        now: SimTime,
+        window: SimDuration,
+    ) -> bool {
+        peers.into_iter().all(|&p| {
+            p == self.me
+                || self
+                    .last_heard
+                    .get(&p)
+                    .is_some_and(|&t| now.saturating_since(t) <= window)
+        })
+    }
+
     /// Drops all knowledge (on daemon restart after a crash).
     pub(crate) fn reset(&mut self) {
         self.last_heard.clear();
@@ -105,6 +126,22 @@ mod tests {
         let mut fd = FailureDetector::new(n(0), TIMEOUT);
         fd.heard_from(n(0), SimTime::from_millis(100));
         assert_eq!(fd.reachable(SimTime::from_millis(100)).len(), 1);
+    }
+
+    #[test]
+    fn all_fresh_requires_every_peer_within_window() {
+        let mut fd = FailureDetector::new(n(0), TIMEOUT);
+        fd.heard_from(n(1), SimTime::from_millis(100));
+        fd.heard_from(n(2), SimTime::from_millis(150));
+        let window = SimDuration::from_millis(100);
+        let peers = [n(0), n(1), n(2)];
+        assert!(fd.all_fresh_within(&peers, SimTime::from_millis(190), window));
+        // n(1) falls out of the tight window while still "reachable".
+        let at = SimTime::from_millis(210);
+        assert!(!fd.all_fresh_within(&peers, at, window));
+        assert!(fd.reachable(at).contains(&n(1)));
+        // Self never needs a heartbeat.
+        assert!(fd.all_fresh_within(&[n(0)], SimTime::from_secs(100), window));
     }
 
     #[test]

@@ -143,6 +143,17 @@ pub enum EvsEvent {
     /// receipts never replace deliveries, they just reveal the agreed
     /// order one stability round earlier.
     Receipt(Delivery),
+    /// A **read-lease renewal** signal for the named regular
+    /// configuration: the daemon is in steady state and has heard a
+    /// heartbeat from *every* member of that configuration within the
+    /// last two heartbeat intervals — fresh, direct evidence that no
+    /// membership change is brewing. Only emitted when
+    /// [`EvsConfig::lease_heartbeats`](crate::EvsConfig) is set. The
+    /// engine uses this to extend its epoch-sealed read lease; any
+    /// membership doubt (a missing heartbeat, a gather round, a
+    /// transitional configuration) silences the signal and the lease
+    /// drains by timeout.
+    LeaseRenew(ConfId),
 }
 
 #[cfg(test)]

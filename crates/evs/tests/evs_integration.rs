@@ -45,6 +45,7 @@ impl Actor for AppSink {
                 value: *d.payload.downcast_ref::<u64>().expect("u64 payload"),
                 in_transitional: d.in_transitional,
             }),
+            Some(EvsEvent::LeaseRenew(_)) => {}
             None => panic!("sink got unknown payload"),
         }
     }

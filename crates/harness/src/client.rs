@@ -4,9 +4,10 @@
 //! that client is completed".
 
 use todr_core::{
-    ClientId, ClientReply, ClientRequest, QuerySemantics, RequestId, UpdateReplyPolicy,
+    ClientId, ClientReply, ClientRequest, QuerySemantics, ReadConsistency, RequestId,
+    UpdateReplyPolicy,
 };
-use todr_db::{Op, Value};
+use todr_db::{Op, Query, Value};
 use todr_sim::{Actor, ActorId, Ctx, Payload, SimTime};
 
 use crate::metrics::LatencyStats;
@@ -42,17 +43,74 @@ pub struct ClientConfig {
     /// which demotes [`UpdateReplyPolicy::Fast`] submissions to the
     /// green path — the contention axis of experiment A11.
     pub conflict_pct: u8,
+    /// Percentage of requests (0–100) that are *reads* (query-only,
+    /// `Op::Noop`), deterministically interleaved with the writes —
+    /// the YCSB-style mix axis of experiment A12.
+    pub read_pct: u8,
+    /// Consistency tier attached to read requests. `None` issues legacy
+    /// strict-semantics queries (byte-identical to the pre-tier
+    /// streams).
+    pub read_consistency: Option<ReadConsistency>,
+    /// When set, reads and writes draw their keys from a shared
+    /// Zipfian-skewed key space instead of the per-client/hot-key
+    /// scheme.
+    pub zipfian: Option<ZipfianKeys>,
+}
+
+/// Zipfian key-popularity model for YCSB-style workloads. Sampling is
+/// fully deterministic: a splitmix64 hash of `(client, request)` picks
+/// a quantile in a precomputed harmonic CDF — no random-number crate.
+#[derive(Debug, Clone)]
+pub struct ZipfianKeys {
+    /// Number of distinct keys in the shared key space.
+    pub keys: u32,
+    /// Skew parameter θ (YCSB's default is 0.99; 0 is uniform).
+    pub theta: f64,
+}
+
+impl ZipfianKeys {
+    /// The YCSB default: θ = 0.99 over `keys` keys.
+    pub fn ycsb(keys: u32) -> Self {
+        ZipfianKeys { keys, theta: 0.99 }
+    }
+
+    /// The cumulative distribution over key ranks.
+    fn cdf(&self) -> Vec<f64> {
+        let n = self.keys.max(1);
+        let mut weights: Vec<f64> = (1..=n)
+            .map(|r| 1.0 / f64::from(r).powf(self.theta))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        weights
+    }
+}
+
+/// SplitMix64: a tiny, stable hash/PRNG step (public-domain algorithm),
+/// enough to turn a deterministic counter into a uniform quantile.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl Default for ClientConfig {
     fn default() -> Self {
         ClientConfig {
             workload: Workload::Updates,
+            read_consistency: None,
             reply_policy: UpdateReplyPolicy::OnGreen,
             record_from: SimTime::ZERO,
             max_requests: None,
             action_bytes: 200,
             conflict_pct: 0,
+            read_pct: 0,
+            zipfian: None,
         }
     }
 }
@@ -71,6 +129,12 @@ pub struct ClientStats {
     pub rejected: u64,
     /// Latency samples (submit → commit), recording window only.
     pub latency: LatencyStats,
+    /// Reads answered (any tier).
+    pub reads: u64,
+    /// Reads answered inside the recording window.
+    pub reads_recorded: u64,
+    /// Read latency samples (issue → answer), recording window only.
+    pub read_latency: LatencyStats,
 }
 
 /// A closed-loop client attached to one replication server.
@@ -81,11 +145,19 @@ pub struct ClosedLoopClient {
     next_request: u64,
     stats: ClientStats,
     running: bool,
+    /// Issue instant of the outstanding request when it is a read
+    /// (`None` while a write is outstanding). Reads can come back as
+    /// either `QueryAnswer` (local tiers) or `Committed` (ordered
+    /// fallback), so the reply type alone cannot classify them.
+    outstanding_read_at: Option<SimTime>,
+    /// Precomputed Zipfian CDF over key ranks (empty when uniform).
+    zipf_cdf: Vec<f64>,
 }
 
 impl ClosedLoopClient {
     /// Creates a client; send it [`StartClient`] to begin.
     pub fn new(id: ClientId, engine: ActorId, config: ClientConfig) -> Self {
+        let zipf_cdf = config.zipfian.as_ref().map(|z| z.cdf()).unwrap_or_default();
         ClosedLoopClient {
             id,
             engine,
@@ -93,6 +165,8 @@ impl ClosedLoopClient {
             next_request: 0,
             stats: ClientStats::default(),
             running: false,
+            outstanding_read_at: None,
+            zipf_cdf,
         }
     }
 
@@ -108,14 +182,27 @@ impl ClosedLoopClient {
         self.running = false;
     }
 
-    fn build_update(&self) -> Op {
-        // Spread hot-key requests evenly through the run (deterministic,
-        // so replays and cross-config comparisons stay exact).
-        let key = if (self.next_request % 100) < u64::from(self.config.conflict_pct) {
+    /// The key the current request targets. With a Zipfian model the
+    /// key space is shared and skew-sampled; otherwise hot-key requests
+    /// are spread evenly through the run (deterministic, so replays and
+    /// cross-config comparisons stay exact).
+    fn pick_key(&self) -> String {
+        if !self.zipf_cdf.is_empty() {
+            let h = splitmix64(self.id.0 as u64 ^ self.next_request.rotate_left(17));
+            // Top 11 bits discarded: f64 holds 53 mantissa bits.
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            let rank = self.zipf_cdf.partition_point(|&c| c < u);
+            return format!("z{rank}");
+        }
+        if (self.next_request % 100) < u64::from(self.config.conflict_pct) {
             "hot".to_string()
         } else {
             format!("c{}-{}", self.id.0, self.next_request % 64)
-        };
+        }
+    }
+
+    fn build_update(&self) -> Op {
+        let key = self.pick_key();
         match self.config.workload {
             Workload::Updates => {
                 // Pad the value so the modelled 200-byte action carries
@@ -140,17 +227,45 @@ impl ClosedLoopClient {
             }
         }
         self.next_request += 1;
-        let req = ClientRequest {
-            request: RequestId(self.next_request),
-            client: self.id,
-            reply_to: ctx.self_id(),
-            query: None,
-            update: self.build_update(),
-            query_semantics: QuerySemantics::Strict,
-            reply_policy: self.config.reply_policy,
-            size_bytes: self.config.action_bytes,
+        let is_read = (self.next_request % 100) < u64::from(self.config.read_pct);
+        let req = if is_read {
+            self.outstanding_read_at = Some(ctx.now());
+            ClientRequest {
+                request: RequestId(self.next_request),
+                client: self.id,
+                reply_to: ctx.self_id(),
+                query: Some(Query::get("bench", self.pick_key())),
+                update: Op::Noop,
+                query_semantics: QuerySemantics::Strict,
+                read_consistency: self.config.read_consistency,
+                reply_policy: UpdateReplyPolicy::OnGreen,
+                size_bytes: 64,
+            }
+        } else {
+            self.outstanding_read_at = None;
+            ClientRequest {
+                request: RequestId(self.next_request),
+                client: self.id,
+                reply_to: ctx.self_id(),
+                query: None,
+                update: self.build_update(),
+                query_semantics: QuerySemantics::Strict,
+                read_consistency: None,
+                reply_policy: self.config.reply_policy,
+                size_bytes: self.config.action_bytes,
+            }
         };
         ctx.send_now(self.engine, req);
+    }
+
+    fn note_read_done(&mut self, now: SimTime, issued_at: SimTime) {
+        self.stats.reads += 1;
+        if issued_at >= self.config.record_from {
+            self.stats.reads_recorded += 1;
+            self.stats
+                .read_latency
+                .record(now.saturating_since(issued_at));
+        }
     }
 }
 
@@ -168,23 +283,32 @@ impl Actor for ClosedLoopClient {
         };
         match payload.downcast::<ClientReply>() {
             Some(ClientReply::Committed { submitted_at, .. }) => {
-                self.stats.committed += 1;
-                if submitted_at >= self.config.record_from {
-                    self.stats.recorded += 1;
-                    self.stats
-                        .latency
-                        .record(ctx.now().saturating_since(submitted_at));
+                if let Some(at) = self.outstanding_read_at.take() {
+                    // An ordered-path read: the commit reply answers it.
+                    self.note_read_done(ctx.now(), at);
+                } else {
+                    self.stats.committed += 1;
+                    if submitted_at >= self.config.record_from {
+                        self.stats.recorded += 1;
+                        self.stats
+                            .latency
+                            .record(ctx.now().saturating_since(submitted_at));
+                    }
                 }
                 if self.running {
                     self.issue(ctx);
                 }
             }
             Some(ClientReply::QueryAnswer { .. }) => {
+                if let Some(at) = self.outstanding_read_at.take() {
+                    self.note_read_done(ctx.now(), at);
+                }
                 if self.running {
                     self.issue(ctx);
                 }
             }
             Some(ClientReply::Rejected { .. }) => {
+                self.outstanding_read_at = None;
                 self.stats.rejected += 1;
                 // Closed loop ends on rejection; the harness restarts
                 // clients explicitly when that matters.

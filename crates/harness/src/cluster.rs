@@ -92,6 +92,18 @@ pub struct ClusterConfig {
     /// weighted quorum holds them (see DESIGN.md §4e). Off by default;
     /// the default event streams stay byte-identical.
     pub fast_path: bool,
+    /// Enables LARK-style primary read leases on every server: EVS
+    /// daemons emit eager receipts plus heartbeat-driven lease
+    /// renewals, and engines answer [`todr_core::ReadConsistency::
+    /// Linearizable`] reads locally while their lease is valid (see
+    /// DESIGN.md §4f). Off by default; the default event streams stay
+    /// byte-identical.
+    pub read_leases: bool,
+    /// How long a granted/renewed lease stays valid. Validated against
+    /// `2·hb_interval + lease_duration < fail_timeout`, which keeps a
+    /// partitioned holder's lease provably dead before any disjoint
+    /// primary can install and commit writes past it.
+    pub lease_duration: SimDuration,
     /// Engine-side bound on retained red/yellow action bodies; beyond
     /// it update requests are rejected with a retryable error (`0`
     /// disables the bound — see `EngineConfig::max_retained_bodies`).
@@ -128,6 +140,8 @@ impl ClusterConfig {
             tie_break: TieBreak::Fifo,
             torn_crashes: false,
             fast_path: false,
+            read_leases: false,
+            lease_duration: SimDuration::from_millis(60),
             max_retained_bodies: 1 << 16,
             backend: BackendKind::Sim,
             #[cfg(feature = "chaos-mutations")]
@@ -193,6 +207,19 @@ impl ClusterConfig {
             return Err(InvalidClusterConfig(format!(
                 "voting weight {w} must be positive"
             )));
+        }
+        if self.read_leases {
+            let budget = self.hb_interval * 2 + self.lease_duration;
+            if budget >= self.fail_timeout {
+                return Err(InvalidClusterConfig(format!(
+                    "read leases require 2·hb_interval + lease_duration < fail_timeout \
+                     ({} + {} >= {}): a partitioned lease holder must drain before a \
+                     disjoint primary can install and commit writes past it",
+                    self.hb_interval * 2,
+                    self.lease_duration,
+                    self.fail_timeout
+                )));
+            }
         }
         // Not collapsible: the second inner check is feature-gated.
         #[allow(clippy::collapsible_if)]
@@ -370,6 +397,21 @@ impl ClusterConfigBuilder {
     /// receipts + engine fast commits; see [`ClusterConfig::fast_path`]).
     pub fn fast_path(mut self, on: bool) -> Self {
         self.cfg.fast_path = on;
+        self
+    }
+
+    /// Enables primary read leases on every server (validated in
+    /// [`build`](Self::build) against the lease timing inequality; see
+    /// [`ClusterConfig::read_leases`]).
+    pub fn read_leases(mut self, on: bool) -> Self {
+        self.cfg.read_leases = on;
+        self
+    }
+
+    /// Sets the lease validity span (see
+    /// [`ClusterConfig::lease_duration`]).
+    pub fn lease_duration(mut self, d: SimDuration) -> Self {
+        self.cfg.lease_duration = d;
         self
     }
 
@@ -561,7 +603,8 @@ impl Cluster {
             max_pack: config.max_pack,
             cumulative_ack_threshold: config.cumulative_ack_threshold,
             clone_fanout: config.clone_fanout,
-            eager_receipts: config.fast_path,
+            eager_receipts: config.fast_path || config.read_leases,
+            lease_heartbeats: config.read_leases,
             ..EvsConfig::default()
         };
         let daemon = world.add_actor(
@@ -573,6 +616,8 @@ impl Cluster {
         engine_config.checkpoint_interval = config.checkpoint_interval;
         engine_config.initial_member = initial_member;
         engine_config.fast_path = config.fast_path;
+        engine_config.read_leases = config.read_leases;
+        engine_config.lease_duration = config.lease_duration;
         engine_config.max_retained_bodies = config.max_retained_bodies;
         #[cfg(feature = "chaos-mutations")]
         {

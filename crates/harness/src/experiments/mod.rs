@@ -15,6 +15,7 @@
 //! | [`scale::run`] | extension A9: replicas × clients scale sweep past 14 replicas (`BENCH_scale.json`) |
 //! | [`shard::run`] | extension A10: sharded-group capacity scaling with cross-shard transactions (`BENCH_shard.json`) |
 //! | [`fastpath::run`] | extension A11: commutativity fast-path commit latency vs green across conflict rates (`BENCH_fastpath.json`) |
+//! | [`reads::run`] | extension A12: YCSB-style read mixes across consistency tiers — lease vs ordered linearizable, snapshot, overlay (`BENCH_reads.json`) |
 //!
 //! All results are measured in **virtual time** on the calibrated
 //! simulated substrate (see DESIGN.md §2); the claims to compare against
@@ -28,6 +29,7 @@ pub mod fig5b;
 pub mod join;
 pub mod latency;
 pub mod partition;
+pub mod reads;
 pub mod recovery;
 pub mod saturation;
 pub mod scale;

@@ -1,0 +1,403 @@
+//! Read-tier workload sweep (extension A12): YCSB-style read/write
+//! mixes across the consistency tiers of DESIGN.md §4f.
+//!
+//! Every cell runs the same closed-loop clients over a shared Zipfian
+//! key space (θ = 0.99, the YCSB default), with `read_pct` percent of
+//! each client's requests issued as reads at one consistency tier:
+//!
+//! * `lease-linearizable` — read leases on; a regular-primary member
+//!   answers linearizable reads from its green database, parking behind
+//!   any conflicting receipted-but-not-yet-green write.
+//! * `ordered-linearizable` — the control: leases off, so every
+//!   linearizable read rides the full ordered path (sequenced multicast
+//!   + stability round) as a no-op action.
+//! * `green-snapshot` — the local green prefix, no lease required.
+//! * `red-overlay` — the local red suffix replayed over the green
+//!   prefix (dirty), no lease required.
+//!
+//! The comparison table divides lease-read mean latency by the ordered
+//! control's at each mix; the CI `reads-smoke` gate requires the 95/5
+//! ratio ≤ 0.5, total throughput ≥ 0.9× the control, and zero stale
+//! lease reads (re-checked here from the trace, independently of the
+//! todr-check oracle). Emits the machine-readable `BENCH_reads.json`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Serialize;
+use todr_core::ReadConsistency;
+use todr_sim::{ProtocolEvent, ReadTier, SimDuration};
+
+use crate::client::{ClientConfig, Workload, ZipfianKeys};
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::metrics::LatencyStats;
+
+/// Replicas in every cell (the paper's small-LAN size; matches A7/A11).
+pub const N_SERVERS: u32 = 5;
+
+/// Keys in the shared Zipfian space.
+pub const ZIPF_KEYS: u32 = 64;
+
+/// One serving discipline measured by the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Leases on, [`ReadConsistency::Linearizable`] served locally.
+    LeaseLinearizable,
+    /// Leases off, [`ReadConsistency::Linearizable`] rides the ordered
+    /// path — the control the lease cells are gated against.
+    OrderedLinearizable,
+    /// [`ReadConsistency::GreenSnapshot`], lease-free.
+    GreenSnapshot,
+    /// [`ReadConsistency::RedOverlay`], lease-free.
+    RedOverlay,
+}
+
+/// Sweep order: the control first so tables read top-down as
+/// "baseline, then what each tier buys".
+pub const TIERS: [Tier; 4] = [
+    Tier::OrderedLinearizable,
+    Tier::LeaseLinearizable,
+    Tier::GreenSnapshot,
+    Tier::RedOverlay,
+];
+
+impl Tier {
+    /// Stable string used in JSON and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::LeaseLinearizable => "lease-linearizable",
+            Tier::OrderedLinearizable => "ordered-linearizable",
+            Tier::GreenSnapshot => "green-snapshot",
+            Tier::RedOverlay => "red-overlay",
+        }
+    }
+
+    fn consistency(self) -> ReadConsistency {
+        match self {
+            Tier::LeaseLinearizable | Tier::OrderedLinearizable => ReadConsistency::Linearizable,
+            Tier::GreenSnapshot => ReadConsistency::GreenSnapshot,
+            Tier::RedOverlay => ReadConsistency::RedOverlay,
+        }
+    }
+
+    fn leases(self) -> bool {
+        matches!(self, Tier::LeaseLinearizable)
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadCell {
+    /// Percentage of requests issued as reads.
+    pub read_pct: u8,
+    /// Serving discipline (see [`Tier::label`]).
+    pub tier: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Reads answered inside the measurement window.
+    pub reads: u64,
+    /// Updates committed inside the measurement window.
+    pub writes: u64,
+    /// Reads per second of virtual time.
+    pub read_throughput: f64,
+    /// Reads + commits per second of virtual time.
+    pub total_throughput: f64,
+    /// Mean read latency, milliseconds.
+    pub read_mean_ms: f64,
+    /// 99th-percentile read latency, milliseconds.
+    pub read_p99_ms: f64,
+    /// Mean update-commit latency, milliseconds.
+    pub write_mean_ms: f64,
+    /// Lease-served linearizable reads across all servers (whole run).
+    pub lease_reads: u64,
+    /// Linearizable reads that rode the ordered path (whole run).
+    pub ordered_reads: u64,
+    /// Green-snapshot reads (whole run).
+    pub snapshot_reads: u64,
+    /// Red-overlay reads (whole run).
+    pub overlay_reads: u64,
+    /// Lease reads that parked behind a conflicting receipted write.
+    pub lease_reads_parked: u64,
+    /// Lease-served reads that missed an already-acknowledged write —
+    /// recomputed from the trace; the smoke gate requires zero.
+    pub stale_lease_reads: u64,
+}
+
+/// Lease-vs-ordered comparison at one read mix.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadComparison {
+    /// Percentage of requests issued as reads.
+    pub read_pct: u8,
+    /// Ordered-control mean read latency, milliseconds.
+    pub ordered_mean_ms: f64,
+    /// Lease-path mean read latency, milliseconds.
+    pub lease_mean_ms: f64,
+    /// `lease_mean_ms / ordered_mean_ms` (the CI gate wants ≤ 0.5 at
+    /// the 95%-read mix).
+    pub latency_ratio: f64,
+    /// Ordered-control total throughput, operations per second.
+    pub ordered_total_throughput: f64,
+    /// Lease-path total throughput, operations per second.
+    pub lease_total_throughput: f64,
+    /// `lease / ordered` total throughput (the gate wants ≥ 0.9).
+    pub throughput_ratio: f64,
+}
+
+/// The sweep's data, serialized verbatim into `BENCH_reads.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadSweep {
+    /// Replicas in every cell.
+    pub n_servers: u32,
+    /// Read percentages swept (per-client read share of requests).
+    pub read_pcts: Vec<u8>,
+    /// Concurrent closed-loop clients per cell.
+    pub clients: usize,
+    /// Keys in the shared Zipfian space (θ = 0.99).
+    pub zipf_keys: u32,
+    /// World seed.
+    pub seed: u64,
+    /// Virtual measurement window per cell, in seconds.
+    pub window_secs: f64,
+    /// Every measured cell, grouped by mix in [`TIERS`] order.
+    pub cells: Vec<ReadCell>,
+    /// Lease-vs-ordered ratios, one per mix.
+    pub comparisons: Vec<ReadComparison>,
+}
+
+/// Runs the sweep: for each read mix, one cell per tier in [`TIERS`]
+/// order, then the lease-vs-ordered comparison table.
+pub fn run(read_pcts: &[u8], clients: usize, window: SimDuration, seed: u64) -> ReadSweep {
+    let warmup = SimDuration::from_millis(500);
+    let mut cells = Vec::new();
+    for &read_pct in read_pcts {
+        for tier in TIERS {
+            cells.push(measure(read_pct, tier, clients, warmup, window, seed));
+        }
+    }
+    let comparisons = read_pcts
+        .iter()
+        .map(|&read_pct| {
+            let find = |tier: Tier| {
+                cells
+                    .iter()
+                    .find(|c| c.read_pct == read_pct && c.tier == tier.label())
+                    .expect("sweep measured every tier at every mix")
+            };
+            let ordered = find(Tier::OrderedLinearizable);
+            let lease = find(Tier::LeaseLinearizable);
+            ReadComparison {
+                read_pct,
+                ordered_mean_ms: ordered.read_mean_ms,
+                lease_mean_ms: lease.read_mean_ms,
+                latency_ratio: ratio(lease.read_mean_ms, ordered.read_mean_ms),
+                ordered_total_throughput: ordered.total_throughput,
+                lease_total_throughput: lease.total_throughput,
+                throughput_ratio: ratio(lease.total_throughput, ordered.total_throughput),
+            }
+        })
+        .collect();
+    ReadSweep {
+        n_servers: N_SERVERS,
+        read_pcts: read_pcts.to_vec(),
+        clients,
+        zipf_keys: ZIPF_KEYS,
+        seed,
+        window_secs: window.as_secs_f64(),
+        cells,
+        comparisons,
+    }
+}
+
+fn measure(
+    read_pct: u8,
+    tier: Tier,
+    clients: usize,
+    warmup: SimDuration,
+    window: SimDuration,
+    seed: u64,
+) -> ReadCell {
+    // A7's configuration (delayed writes, no packing) so the ordered
+    // control reproduces the A11 green-latency figures.
+    let config = ClusterConfig::builder(N_SERVERS, seed)
+        .delayed_writes()
+        .read_leases(tier.leases())
+        .build()
+        .expect("coherent read-sweep config");
+    let mut cluster = Cluster::build(config);
+    cluster.settle();
+    let client_config = ClientConfig {
+        workload: Workload::Updates,
+        record_from: cluster.now() + warmup,
+        read_pct,
+        read_consistency: Some(tier.consistency()),
+        zipfian: Some(ZipfianKeys::ycsb(ZIPF_KEYS)),
+        ..ClientConfig::default()
+    };
+    let handles: Vec<_> = (0..clients)
+        .map(|i| cluster.attach_client(i % N_SERVERS as usize, client_config.clone()))
+        .collect();
+    cluster.run_for(warmup + window);
+    let mut read_latency = LatencyStats::new();
+    let mut write_latency = LatencyStats::new();
+    let (mut reads, mut writes) = (0u64, 0u64);
+    for h in handles {
+        let stats = cluster.client_stats(h);
+        read_latency.merge(&stats.read_latency);
+        reads += stats.reads_recorded;
+        write_latency.merge(&stats.latency);
+        writes += stats.recorded;
+    }
+    cluster.check_consistency();
+    let (mut lease_reads, mut ordered_reads) = (0u64, 0u64);
+    let (mut snapshot_reads, mut overlay_reads, mut parked) = (0u64, 0u64, 0u64);
+    for idx in 0..N_SERVERS as usize {
+        let stats = cluster.with_engine(idx, |e| e.stats());
+        lease_reads += stats.lease_reads;
+        ordered_reads += stats.ordered_reads;
+        snapshot_reads += stats.snapshot_reads;
+        overlay_reads += stats.overlay_reads;
+        parked += stats.lease_reads_parked;
+    }
+    let secs = window.as_secs_f64();
+    ReadCell {
+        read_pct,
+        tier: tier.label().to_string(),
+        clients,
+        reads,
+        writes,
+        read_throughput: round1(reads as f64 / secs),
+        total_throughput: round1((reads + writes) as f64 / secs),
+        read_mean_ms: round3(read_latency.mean().as_millis_f64()),
+        read_p99_ms: round3(read_latency.percentile(99.0).as_millis_f64()),
+        write_mean_ms: round3(write_latency.mean().as_millis_f64()),
+        lease_reads,
+        ordered_reads,
+        snapshot_reads,
+        overlay_reads,
+        lease_reads_parked: parked,
+        stale_lease_reads: count_stale_lease_reads(&cluster),
+    }
+}
+
+/// Replays the cell's trace and counts lease-served reads that missed
+/// an already-acknowledged write — a from-scratch restatement of the
+/// todr-check `StaleLinearizableRead` clause so the published benchmark
+/// carries its own zero-staleness evidence. A lease read is stale when
+/// the version it observed for a row is below the number of distinct
+/// strongly-acknowledged writes to that row at serve time.
+fn count_stale_lease_reads(cluster: &Cluster) -> u64 {
+    let mut footprints: BTreeMap<(u32, u64), Vec<u64>> = BTreeMap::new();
+    let mut acked: BTreeSet<(u32, u64)> = BTreeSet::new();
+    let mut acked_by_fp: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut stale = 0;
+    for rec in cluster.world.metrics().events() {
+        match &rec.event {
+            ProtocolEvent::ActionFootprint {
+                node,
+                action_seq,
+                writes,
+                writes_unbounded: false,
+                ..
+            } => {
+                let mut w = writes.clone();
+                w.sort_unstable();
+                w.dedup();
+                footprints.insert((*node, *action_seq), w);
+            }
+            ProtocolEvent::UpdateAcked {
+                creator,
+                action_seq,
+                ..
+            } if acked.insert((*creator, *action_seq)) => {
+                if let Some(w) = footprints.get(&(*creator, *action_seq)) {
+                    for fp in w {
+                        *acked_by_fp.entry(*fp).or_insert(0) += 1;
+                    }
+                }
+            }
+            ProtocolEvent::ReadServed {
+                key_fp,
+                tier: ReadTier::LeaseLinearizable,
+                version,
+                ..
+            } if *version < acked_by_fp.get(key_fp).copied().unwrap_or(0) => {
+                stale += 1;
+            }
+            _ => {}
+        }
+    }
+    stale
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        round3(num / den)
+    } else {
+        0.0
+    }
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+impl ReadSweep {
+    /// Deterministic pretty JSON (the `BENCH_reads.json` format).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self).expect("read sweep serializes")
+    }
+
+    /// The sweep as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let headers = [
+            "read%", "tier", "reads/s", "ops/s", "read_ms", "p99_ms", "write_ms", "lease",
+            "ordered", "parked", "stale",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.read_pct.to_string(),
+                    c.tier.clone(),
+                    format!("{:.0}", c.read_throughput),
+                    format!("{:.0}", c.total_throughput),
+                    format!("{:.3}", c.read_mean_ms),
+                    format!("{:.3}", c.read_p99_ms),
+                    format!("{:.3}", c.write_mean_ms),
+                    c.lease_reads.to_string(),
+                    c.ordered_reads.to_string(),
+                    c.lease_reads_parked.to_string(),
+                    c.stale_lease_reads.to_string(),
+                ]
+            })
+            .collect();
+        let c_rows: Vec<Vec<String>> = self
+            .comparisons
+            .iter()
+            .map(|s| {
+                vec![
+                    s.read_pct.to_string(),
+                    format!("{:.3}", s.ordered_mean_ms),
+                    format!("{:.3}", s.lease_mean_ms),
+                    format!("{:.2}x", s.latency_ratio),
+                    format!("{:.2}x", s.throughput_ratio),
+                ]
+            })
+            .collect();
+        format!(
+            "Read-tier workload sweep ({} replicas, {} clients, Zipfian {} keys)\n{}\nLease vs ordered linearizable reads\n{}",
+            self.n_servers,
+            self.clients,
+            self.zipf_keys,
+            super::render_table(&headers, &rows),
+            super::render_table(
+                &["read%", "ordered_ms", "lease_ms", "latency", "throughput"],
+                &c_rows
+            )
+        )
+    }
+}

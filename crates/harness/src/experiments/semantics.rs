@@ -102,6 +102,7 @@ fn probe_request(
         query,
         update,
         query_semantics,
+        read_consistency: None,
         reply_policy,
         size_bytes: 200,
     }
@@ -190,6 +191,7 @@ pub fn run(n_servers: u32, seed: u64) -> SemanticsReport {
         minority_idx,
         ClientConfig {
             workload: Workload::Increments,
+            read_consistency: None,
             reply_policy: UpdateReplyPolicy::OnRed,
             ..ClientConfig::default()
         },

@@ -796,6 +796,7 @@ impl ShardClient {
             query: None,
             update,
             query_semantics: QuerySemantics::Strict,
+            read_consistency: None,
             reply_policy,
             size_bytes: self.config.action_bytes,
         };

@@ -50,6 +50,7 @@ fn submit(cluster: &mut Cluster, server: usize, update: Op) -> ActorId {
             query: Some(Query::get("accounts", "a")),
             update,
             query_semantics: QuerySemantics::Strict,
+            read_consistency: None,
             reply_policy: UpdateReplyPolicy::OnGreen,
             size_bytes: 200,
         }),
@@ -184,6 +185,7 @@ fn query_part_answers_from_post_apply_state_at_origin() {
             query: Some(Query::get("accounts", "a")),
             update: Op::put("accounts", "a", Value::Int(777)),
             query_semantics: QuerySemantics::Strict,
+            read_consistency: None,
             reply_policy: UpdateReplyPolicy::OnGreen,
             size_bytes: 200,
         }),

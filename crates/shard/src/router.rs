@@ -305,6 +305,7 @@ impl ShardRouter {
             query: None,
             update,
             query_semantics: QuerySemantics::Strict,
+            read_consistency: None,
             reply_policy: UpdateReplyPolicy::OnGreen,
             size_bytes: if committing { 200 } else { 64 },
         };

@@ -70,7 +70,7 @@ pub use actor::{Actor, ActorId};
 pub use checksum::checksum64;
 pub use event::{IntoPayload, Payload};
 pub use metrics::{
-    EventColor, Histogram, HistogramSummary, MetricsExport, MetricsHub, ProtocolEvent,
+    EventColor, Histogram, HistogramSummary, MetricsExport, MetricsHub, ProtocolEvent, ReadTier,
     RecordedEvent,
 };
 pub use resource::CpuMeter;

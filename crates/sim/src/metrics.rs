@@ -272,6 +272,64 @@ pub enum ProtocolEvent {
         /// Creator-local action sequence.
         action_seq: u64,
     },
+    /// A replica served a read at some consistency tier. Emitted only
+    /// when read leases are enabled (the linearizability oracle's
+    /// input); `version` is the serving database's write-version of the
+    /// read row at answer time.
+    ReadServed {
+        /// The serving replica.
+        node: u32,
+        /// Fingerprint of the read row.
+        key_fp: u64,
+        /// How the read was served.
+        tier: ReadTier,
+        /// The row's write-version in the database the answer came from.
+        version: u64,
+    },
+    /// A replica acknowledged an update to its client (the linearization
+    /// point the read oracle measures staleness against). Emitted only
+    /// when read leases are enabled; the action's write footprint is
+    /// correlated via its `ActionFootprint` event.
+    UpdateAcked {
+        /// The acknowledging (origin) replica.
+        node: u32,
+        /// Creator of the acknowledged action (== `node` today).
+        creator: u32,
+        /// Creator-local action sequence.
+        action_seq: u64,
+    },
+    /// A replica granted itself (or renewed) a read lease inside a
+    /// regular primary configuration. The lease-safety oracle checks
+    /// that holder intervals from *different* configurations never
+    /// overlap.
+    LeaseGranted {
+        /// The lease-holding replica.
+        node: u32,
+        /// Sequence number of the configuration the lease is sealed to.
+        conf_seq: u64,
+        /// Coordinator of that configuration (disambiguates conf ids).
+        coordinator: u32,
+        /// Virtual-time nanosecond at which the lease expires unless
+        /// renewed.
+        expires_nanos: u64,
+        /// `true` for a heartbeat renewal of an existing lease.
+        renewal: bool,
+    },
+}
+
+/// How a read was served; mirrors `todr_db::ReadConsistency` plus the
+/// lease/ordered split of the linearizable tier, with primitive spelling
+/// so the kernel does not depend on upper layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadTier {
+    /// Linearizable, answered locally under a valid read lease.
+    LeaseLinearizable,
+    /// Linearizable, answered through the ordered action path.
+    OrderedLinearizable,
+    /// Green-prefix snapshot read.
+    GreenSnapshot,
+    /// Green prefix plus local red suffix.
+    RedOverlay,
 }
 
 impl ProtocolEvent {
@@ -301,6 +359,9 @@ impl ProtocolEvent {
             ProtocolEvent::ActionFootprint { .. } => "action-footprint",
             ProtocolEvent::FastCommit { .. } => "fast-commit",
             ProtocolEvent::FastDemoted { .. } => "fast-demoted",
+            ProtocolEvent::ReadServed { .. } => "read-served",
+            ProtocolEvent::UpdateAcked { .. } => "update-acked",
+            ProtocolEvent::LeaseGranted { .. } => "lease-granted",
         }
     }
 }

@@ -57,6 +57,7 @@ fn request(update: Op, query: Option<Query>, semantics: QuerySemantics) -> Clien
         query,
         update,
         query_semantics: semantics,
+        read_consistency: None,
         reply_policy: UpdateReplyPolicy::OnGreen,
         size_bytes: 200,
     }

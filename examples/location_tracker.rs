@@ -60,6 +60,7 @@ fn report_position(
         query_semantics: QuerySemantics::Strict,
         // Timestamp semantics: acknowledge on local (red) ordering —
         // one-copy serializability is deliberately traded away (§6).
+        read_consistency: None,
         reply_policy: UpdateReplyPolicy::OnRed,
         size_bytes: 200,
     };
@@ -83,6 +84,7 @@ fn dirty_lookup(cluster: &mut Cluster, server: usize, vehicle: &str) -> Option<S
         query: Some(Query::get("fleet", vehicle)),
         update: Op::Noop,
         query_semantics: QuerySemantics::Dirty,
+        read_consistency: None,
         reply_policy: UpdateReplyPolicy::OnGreen,
         size_bytes: 64,
     };

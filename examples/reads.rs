@@ -1,0 +1,34 @@
+//! Read-tier workload sweep: YCSB-style read/write mixes across the
+//! consistency tiers — lease-served vs ordered linearizable reads,
+//! green snapshots and red overlays (extension A12), regenerating the
+//! `results/BENCH_reads.json` baseline the CI `reads-smoke` gate
+//! compares against.
+//!
+//! ```sh
+//! cargo run --release --example reads            # print the sweep
+//! cargo run --release --example reads -- --json  # emit the JSON
+//! ```
+//!
+//! Pass `--quick` for the reduced sweep CI runs (95%-read mix only,
+//! shorter window).
+
+use todr::harness::experiments::reads;
+use todr::sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let sweep = if quick {
+        reads::run(&[95], 10, SimDuration::from_secs(1), 42)
+    } else {
+        reads::run(&[95, 50], 10, SimDuration::from_secs(2), 42)
+    };
+
+    if json {
+        println!("{}", sweep.to_json());
+    } else {
+        println!("{}", sweep.to_table());
+    }
+}
